@@ -1,0 +1,91 @@
+// asm430 assembles MSP430-class assembly (the subset defined in
+// internal/asm) and prints the resulting image: segments, words, symbols
+// and a disassembly listing.
+//
+// Usage:
+//
+//	asm430 [-listing] [-symbols] file.s43
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	listing := flag.Bool("listing", true, "print a disassembly listing")
+	symbols := flag.Bool("symbols", false, "print the symbol table")
+	ihex := flag.String("ihex", "", "write the loadable Intel HEX image here")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asm430 [-listing] [-symbols] file.s43")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.AssembleSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *ihex != "" {
+		f, err := os.Create(*ihex)
+		if err != nil {
+			fatal(err)
+		}
+		if err := asm.WriteIHex(f, img); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("; %d words in %d segments, entry %#04x\n", img.SizeWords(), len(img.Segments), img.Entry)
+	for _, seg := range img.Segments {
+		fmt.Printf("\nsegment %#04x (%d words)\n", seg.Addr, len(seg.Words))
+		if !*listing {
+			continue
+		}
+		for i := 0; i < len(seg.Words); {
+			addr := seg.Addr + uint16(2*i)
+			in, n, err := isa.Decode(seg.Words[i:])
+			if err != nil {
+				fmt.Printf("  %04x: %04x            .word %#04x\n", addr, seg.Words[i], seg.Words[i])
+				i++
+				continue
+			}
+			fmt.Printf("  %04x:", addr)
+			for j := 0; j < 3; j++ {
+				if j < n {
+					fmt.Printf(" %04x", seg.Words[i+j])
+				} else {
+					fmt.Printf("     ")
+				}
+			}
+			fmt.Printf("  %s\n", in.String())
+			i += n
+		}
+	}
+	if *symbols {
+		fmt.Println("\nsymbols:")
+		names := make([]string, 0, len(img.Symbols))
+		for n := range img.Symbols {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-24s %#04x\n", n, uint16(img.Symbols[n]))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asm430:", err)
+	os.Exit(1)
+}

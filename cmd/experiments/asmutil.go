@@ -1,0 +1,9 @@
+package main
+
+import "repro/internal/asm"
+
+func asmSource(src string) (*asm.Image, error) { return asm.AssembleSource(src) }
+
+func symbol(img *asm.Image, name string) (uint16, bool) { return img.Symbol(name) }
+
+func mustSym(img *asm.Image, name string) uint16 { return img.MustSymbol(name) }

@@ -1,0 +1,162 @@
+// gliftcheck is the paper's analysis tool (Figure 6): it takes a system
+// binary (as assembly for this repository's assembler), an information
+// flow security policy, and performs application-specific gate-level
+// information flow tracking on the gate-level MSP430-class processor,
+// reporting every possible violation with its root-cause instruction.
+//
+// Usage:
+//
+//	gliftcheck -tainted-in 1 -tainted-out 2 \
+//	           -tainted-code task_start:task_end \
+//	           -tainted-data 0x0400:0x0800 app.s43
+//
+// Ports are numbered 1-4 (P1..P4). Code ranges may use symbols defined in
+// the program; data ranges are hex addresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+)
+
+func main() {
+	taintedIn := flag.String("tainted-in", "", "comma-separated tainted input ports (1-4)")
+	taintedOut := flag.String("tainted-out", "", "comma-separated output ports tainted code may use (1-4)")
+	taintedCode := flag.String("tainted-code", "", "comma-separated lo:hi tainted code ranges (symbols or hex)")
+	taintedData := flag.String("tainted-data", "", "comma-separated lo:hi tainted data partitions (hex)")
+	initTainted := flag.String("initially-tainted", "", "comma-separated lo:hi initially tainted (secret) data")
+	taintWords := flag.Bool("taint-code-words", false, "also mark tainted code's instruction words as tainted data")
+	maxCycles := flag.Uint64("max-cycles", 0, "exploration cycle budget (0: default)")
+	traceN := flag.Int("trace", 0, "print the first N per-cycle tainted-state entries")
+	verbose := flag.Bool("v", false, "print exploration statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gliftcheck [flags] app.s43 (see -help)")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.AssembleSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	pol := &glift.Policy{Name: "cli", TaintCodeWords: *taintWords}
+	if pol.TaintedInPorts, err = parsePorts(*taintedIn); err != nil {
+		fatal(err)
+	}
+	if pol.TaintedOutPorts, err = parsePorts(*taintedOut); err != nil {
+		fatal(err)
+	}
+	if pol.TaintedCode, err = parseRanges(*taintedCode, img); err != nil {
+		fatal(err)
+	}
+	if pol.TaintedData, err = parseRanges(*taintedData, img); err != nil {
+		fatal(err)
+	}
+	if pol.InitiallyTaintedData, err = parseRanges(*initTainted, img); err != nil {
+		fatal(err)
+	}
+
+	opts := &glift.Options{MaxCycles: *maxCycles}
+	var rec *glift.TraceRecorder
+	if *traceN > 0 {
+		rec = &glift.TraceRecorder{Max: *traceN}
+		opts.Trace = rec.Hook()
+	}
+	rep, err := glift.Analyze(img, pol, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if rec != nil {
+		fmt.Println("per-cycle tainted state (first entries):")
+		if _, err := rec.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		fmt.Printf("exploration: %s in %s\n", rep.Stats, time.Duration(rep.Stats.WallNanos))
+	}
+	if rep.Secure() {
+		fmt.Println("SECURE: no possible information flow violations for this application on this processor")
+		return
+	}
+	fmt.Printf("%d potential information flow violations:\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		loc := ""
+		if si, ok := img.AddrToStmt[v.PC]; ok {
+			loc = fmt.Sprintf(" [line %d: %s]", img.Stmts[si].Line, strings.TrimSpace(img.Stmts[si].String()))
+		}
+		fmt.Printf("  %s%s\n", v, loc)
+	}
+	if pcs := rep.ViolatingStorePCs(); len(pcs) > 0 {
+		fmt.Printf("stores needing address masking: %d\n", len(pcs))
+	}
+	if rep.NeedsWatchdog() {
+		fmt.Println("tainted control flow detected: the watchdog-reset transform is required")
+	}
+	os.Exit(1)
+}
+
+func parsePorts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 4 {
+			return nil, fmt.Errorf("bad port %q (want 1-4)", part)
+		}
+		out = append(out, n-1)
+	}
+	return out, nil
+}
+
+func parseRanges(s string, img *asm.Image) ([]glift.AddrRange, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []glift.AddrRange
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad range %q (want lo:hi)", part)
+		}
+		l, err := resolve(lo, img)
+		if err != nil {
+			return nil, err
+		}
+		h, err := resolve(hi, img)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, glift.AddrRange{Lo: l, Hi: h})
+	}
+	return out, nil
+}
+
+func resolve(s string, img *asm.Image) (uint16, error) {
+	if v, ok := img.Symbol(s); ok {
+		return v, nil
+	}
+	n, err := strconv.ParseUint(strings.ToLower(s), 0, 16)
+	if err != nil {
+		return 0, fmt.Errorf("cannot resolve %q as a symbol or address", s)
+	}
+	return uint16(n), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gliftcheck:", err)
+	os.Exit(1)
+}

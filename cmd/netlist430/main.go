@@ -1,0 +1,70 @@
+// netlist430 exposes the gate-level microcontroller netlist that the
+// analysis runs on: statistics (the "processor description" the paper's
+// tool consumes), the textual .gnl serialization, and a Graphviz rendering.
+//
+// Usage:
+//
+//	netlist430 -stats            # gate/DFF/level counts
+//	netlist430 -gnl > mcu.gnl    # dump the netlist
+//	netlist430 -dot > mcu.dot    # Graphviz (large!)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/glift"
+	"repro/internal/netlist"
+)
+
+func main() {
+	stats := flag.Bool("stats", true, "print netlist statistics")
+	gnl := flag.Bool("gnl", false, "write the .gnl serialization to stdout")
+	dot := flag.Bool("dot", false, "write a Graphviz rendering to stdout")
+	flag.Parse()
+
+	d := glift.SharedDesign()
+	if *gnl {
+		if err := netlist.Write(os.Stdout, d.NL); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *dot {
+		if err := netlist.WriteDOT(os.Stdout, d.NL); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *stats {
+		st := d.NL.ComputeStats()
+		fmt.Printf("gate-level MSP430-class microcontroller\n")
+		fmt.Printf("  nets:        %d\n", st.Nets)
+		fmt.Printf("  gates:       %d\n", st.Gates)
+		fmt.Printf("  flip-flops:  %d\n", st.DFFs)
+		fmt.Printf("  inputs:      %d\n", st.Inputs)
+		fmt.Printf("  outputs:     %d\n", st.Outputs)
+		fmt.Printf("  logic depth: %d levels\n", st.Levels)
+		fmt.Printf("  by op:\n")
+		type kv struct {
+			op string
+			n  int
+		}
+		var ops []kv
+		for op, n := range st.ByOp {
+			ops = append(ops, kv{op.String(), n})
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].n > ops[j].n })
+		for _, o := range ops {
+			fmt.Printf("    %-6s %6d\n", o.op, o.n)
+		}
+		fmt.Printf("  probe nets: branch_taken, por, wdt_we, wdt_expired\n")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netlist430:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// run430 executes a program concretely on the gate-level microcontroller:
+// deterministic pseudo-random (or fixed) port inputs, cycle/instruction
+// statistics, final register/memory state, and an optional VCD waveform
+// with per-net taint channels.
+//
+// Usage:
+//
+//	run430 [-cycles N] [-p1 0xVALUE | -seed S] [-vcd out.vcd] [-taint-p1] app.s43
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+	"repro/internal/isa"
+	"repro/internal/mcu"
+	"repro/internal/sim"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 10_000, "cycles to run")
+	p1 := flag.Int("p1", -1, "fixed P1IN value (default: LFSR per cycle)")
+	seed := flag.Uint("seed", 0xACE1, "LFSR seed for port inputs")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform here")
+	taintP1 := flag.Bool("taint-p1", false, "drive P1IN as tainted unknown (symbolic)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: run430 [flags] app.s43")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := asm.AssembleSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	sys, err := mcu.NewSystem(glift.SharedDesign())
+	if err != nil {
+		fatal(err)
+	}
+	zeros := make([]byte, sys.RAM.Size())
+	sys.RAM.Fill(sys.RAM.Base(), zeros)
+	img.Place(func(a, w uint16) { sys.ROM.StoreWord(a, sim.ConcreteWord(w)) })
+	sys.SetResetVector(img.Entry)
+
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		nets := []string{"cpu.pc0", "cpu.pc1", "cpu.pc2", "cpu.pc3", "jump.branch_taken", "por", "wdt.wdt_we"}
+		v, err := sys.AttachVCD(f, nets)
+		if err != nil {
+			fatal(err)
+		}
+		defer v.Flush()
+	}
+
+	rng := uint16(*seed) | 1
+	next := func() uint16 {
+		bit := (rng>>0 ^ rng>>2 ^ rng>>3 ^ rng>>5) & 1
+		rng = rng>>1 | bit<<15
+		return rng
+	}
+	sys.PowerOn()
+	insns := uint64(0)
+	for sys.Cycle < *cycles {
+		switch {
+		case *taintP1:
+			sys.SetPortIn(0, sim.Word{XM: 0xffff, TT: 0xffff})
+		case *p1 >= 0:
+			sys.SetPortIn(0, sim.ConcreteWord(uint16(*p1)))
+		default:
+			sys.SetPortIn(0, sim.ConcreteWord(next()))
+		}
+		ci := sys.EvalCycle(nil)
+		if !ci.PmemOK {
+			fmt.Printf("PC became unknown at cycle %d (symbolic control flow needs gliftcheck)\n", sys.Cycle)
+			break
+		}
+		if ci.StateOK && ci.State == mcu.StFetch {
+			insns++
+		}
+		sys.Commit(ci)
+	}
+
+	fmt.Printf("ran %d cycles, %d instructions (CPI %.2f), %d flip-flop toggles\n",
+		sys.Cycle, insns, float64(sys.Cycle)/float64(insns), sys.C.Toggles)
+	sys.EvalCycle(nil)
+	fmt.Println("registers:")
+	for r := 0; r < 16; r++ {
+		if r == int(isa.CG) {
+			continue
+		}
+		fmt.Printf("  %-3s %s\n", isa.Reg(r), sys.RegWord(isa.Reg(r)))
+	}
+	if n := sys.RAM.TaintedBytes(isa.RAMStart, isa.RAMEnd); n > 0 {
+		fmt.Printf("tainted data-memory bytes: %d\n", n)
+	}
+	for _, ev := range sys.Events() {
+		fmt.Println("event:", ev)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "run430:", err)
+	os.Exit(1)
+}

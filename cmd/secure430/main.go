@@ -1,0 +1,229 @@
+// secure430 is the end-to-end software-refactoring toolflow of Figures 10
+// and 11: it analyzes an application against an information flow policy,
+// identifies the root-cause instructions of every potential violation,
+// automatically inserts address-masking instructions before the violating
+// stores (re-analyzing after each round, since fixing a primary violation
+// removes the conservative violations it induced), reports whether the
+// watchdog-reset mechanism is required, and emits the modified assembly.
+//
+// Usage:
+//
+//	secure430 -tainted-in 1 -tainted-out 2 \
+//	          -tainted-code task_start:task_end \
+//	          -tainted-data 0x0400:0x0800 \
+//	          -partition 0x0400:0x0400 -o fixed.s43 app.s43
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+	"repro/internal/transform"
+)
+
+func main() {
+	taintedIn := flag.String("tainted-in", "", "comma-separated tainted input ports (1-4)")
+	taintedOut := flag.String("tainted-out", "", "comma-separated output ports tainted code may use (1-4)")
+	taintedCode := flag.String("tainted-code", "", "comma-separated lo:hi tainted code ranges (symbols or hex)")
+	taintedData := flag.String("tainted-data", "", "comma-separated lo:hi tainted data partitions (hex)")
+	part := flag.String("partition", "0x0400:0x0400", "mask partition as base:size (size a power of two)")
+	out := flag.String("o", "", "write the modified assembly here (default: stdout)")
+	rounds := flag.Int("rounds", 8, "maximum analyze/repair rounds")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: secure430 [flags] app.s43 (see -help)")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	baseStmts, err := asm.Parse(string(srcBytes))
+	if err != nil {
+		fatal(err)
+	}
+	partition, err := parsePartition(*part)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The policy is resolved against the original image's symbols.
+	img0, err := asm.Assemble(baseStmts)
+	if err != nil {
+		fatal(err)
+	}
+	pol := &glift.Policy{Name: "secure430"}
+	if pol.TaintedInPorts, err = parsePorts(*taintedIn); err != nil {
+		fatal(err)
+	}
+	if pol.TaintedOutPorts, err = parsePorts(*taintedOut); err != nil {
+		fatal(err)
+	}
+	if pol.TaintedCode, err = parseRanges(*taintedCode, img0); err != nil {
+		fatal(err)
+	}
+	if pol.TaintedData, err = parseRanges(*taintedData, img0); err != nil {
+		fatal(err)
+	}
+
+	flaggedLines := map[int]bool{}
+	var finalStmts []asm.Stmt
+	var rep *glift.Report
+	for round := 0; round < *rounds; round++ {
+		stmts, err := asm.Parse(string(srcBytes)) // fresh copy each round
+		if err != nil {
+			fatal(err)
+		}
+		flagged := map[int]bool{}
+		for i := range stmts {
+			if flaggedLines[stmts[i].Line] {
+				flagged[i] = true
+			}
+		}
+		masked := 0
+		if len(flagged) > 0 {
+			stmts, masked, err = transform.InsertMasks(stmts, flagged, partition)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		img, err := asm.Assemble(stmts)
+		if err != nil {
+			fatal(err)
+		}
+		// The tainted-code symbols keep their names across mask insertion,
+		// so re-resolve policy ranges from the new image.
+		p2 := *pol
+		if p2.TaintedCode, err = parseRanges(*taintedCode, img); err != nil {
+			fatal(err)
+		}
+		rep, err = glift.Analyze(img, &p2, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "round %d: %d masked stores, %d violations (%s)\n",
+			round, masked, len(rep.Violations), rep.Stats)
+		progress := false
+		for _, pc := range rep.ViolatingStorePCs() {
+			si, ok := img.AddrToStmt[pc]
+			if !ok {
+				continue
+			}
+			st := img.Stmts[si]
+			if st.Line == 0 {
+				continue
+			}
+			if _, maskable := transform.MaskableStoreTarget(&st); !maskable {
+				fmt.Fprintf(os.Stderr, "  error: line %d (%s) violates the policy and cannot be masked; "+
+					"change the software or the labels (Footnote 6)\n", st.Line, strings.TrimSpace(st.String()))
+				continue
+			}
+			if !flaggedLines[st.Line] {
+				flaggedLines[st.Line] = true
+				progress = true
+			}
+		}
+		finalStmts = stmts
+		if !progress {
+			break
+		}
+	}
+
+	for _, v := range rep.Violations {
+		sev := "warning"
+		if v.Kind == glift.OutputPortTainted || v.Kind == glift.C5WriteUntaintedPort || v.Kind == glift.C4ReadTaintedPort {
+			sev = "error" // direct leak: programmer attention required (Footnote 6)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s\n", sev, v)
+	}
+	if rep.NeedsWatchdog() {
+		fmt.Fprintln(os.Stderr, "note: tainted control flow remains; wrap the tainted task in the watchdog bound")
+		fmt.Fprintf(os.Stderr, "      (arm WDTCTL with %#04x-style writes from untainted code; see internal/transform)\n",
+			transform.PlanWatchdog(1000).WDTCTLValue())
+	} else if rep.Secure() {
+		fmt.Fprintln(os.Stderr, "SECURE: the modified application guarantees the information flow policy")
+	}
+
+	text := asm.Print(finalStmts)
+	if *out == "" {
+		fmt.Print(text)
+	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parsePartition(s string) (transform.Partition, error) {
+	lo, size, ok := strings.Cut(s, ":")
+	if !ok {
+		return transform.Partition{}, fmt.Errorf("bad partition %q (want base:size)", s)
+	}
+	l, err := strconv.ParseUint(strings.ToLower(lo), 0, 16)
+	if err != nil {
+		return transform.Partition{}, err
+	}
+	sz, err := strconv.ParseUint(strings.ToLower(size), 0, 17)
+	if err != nil {
+		return transform.Partition{}, err
+	}
+	p := transform.Partition{Lo: uint16(l), Size: uint16(sz)}
+	return p, p.Validate()
+}
+
+func parsePorts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 4 {
+			return nil, fmt.Errorf("bad port %q (want 1-4)", part)
+		}
+		out = append(out, n-1)
+	}
+	return out, nil
+}
+
+func parseRanges(s string, img *asm.Image) ([]glift.AddrRange, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []glift.AddrRange
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad range %q (want lo:hi)", part)
+		}
+		l, err := resolve(lo, img)
+		if err != nil {
+			return nil, err
+		}
+		h, err := resolve(hi, img)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, glift.AddrRange{Lo: l, Hi: h})
+	}
+	return out, nil
+}
+
+func resolve(s string, img *asm.Image) (uint16, error) {
+	if v, ok := img.Symbol(s); ok {
+		return v, nil
+	}
+	n, err := strconv.ParseUint(strings.ToLower(s), 0, 16)
+	if err != nil {
+		return 0, fmt.Errorf("cannot resolve %q as a symbol or address", s)
+	}
+	return uint16(n), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secure430:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "Software-based
+// Gate-level Information Flow Security for IoT Systems" (Cherupalli, Duwe,
+// Ye, Kumar, Sartori — MICRO 2017).
+//
+// The paper's contribution — a software tool that provides gate-level
+// information flow tracking (GLIFT) guarantees for a known application on a
+// commodity ultra-low-power processor, plus software-only repairs (address
+// masking and watchdog-bounded execution) — is implemented in
+// internal/glift and internal/transform, on top of a complete gate-level
+// MSP430-class microcontroller built from gate primitives (internal/mcu,
+// internal/synth, internal/netlist, internal/logic) and an MSP430 assembler
+// and reference interpreter (internal/asm, internal/isa).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The root bench_test.go regenerates every table and
+// figure of the paper's evaluation:
+//
+//	go test -bench . -benchtime 1x
+package repro

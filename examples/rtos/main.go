@@ -1,0 +1,40 @@
+// RTOS runs the Section 7.3 system-level use case: a round-robin scheduler
+// with a trusted task (div) and an untrusted task (binSearch). The analysis
+// proves that, after the software modifications, no information flows cross
+// the tasks and no task can affect the scheduling — at sub-1% overhead.
+//
+//	go run ./examples/rtos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/glift"
+	"repro/internal/rtos"
+)
+
+func main() {
+	uc, err := rtos.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("unprotected system (FreeRTOS-style scheduler + div + binSearch):")
+	fmt.Printf("  %d violations, conditions %v\n",
+		len(uc.UnprotectedReport.Violations), uc.UnprotectedReport.ViolatedConditions())
+	if len(uc.UnprotectedReport.ByKind(glift.C1TaintedState)) > 0 {
+		fmt.Println("  -> the trusted task and the scheduler become untrusted after binSearch runs")
+	}
+	fmt.Printf("  root-cause analysis identified %d violating store site(s) to mask\n", uc.MaskedStores)
+
+	fmt.Println("\nprotected system (masked stores + watchdog-scheduled untrusted slice):")
+	if uc.ProtectedReport.Secure() {
+		fmt.Println("  SECURE: no cross-task flows; the scheduling cannot be affected by any task")
+	} else {
+		fmt.Printf("  violations remain: %v\n", uc.ProtectedReport.Violations)
+	}
+
+	fmt.Printf("\nscheduling round: %d -> %d cycles, overhead %.2f%% (paper: 0.83%%)\n",
+		uc.UnprotectedRound, uc.ProtectedRound, uc.OverheadPercent())
+}

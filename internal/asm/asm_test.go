@@ -1,0 +1,373 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *Image {
+	t.Helper()
+	img, err := AssembleSource(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+// runImage loads an image into a flat memory and executes n instructions.
+func runImage(t *testing.T, img *Image, n int) *isa.Machine {
+	t.Helper()
+	mem := new(isa.FlatMem)
+	img.Place(mem.StoreWord)
+	mem.StoreWord(isa.ResetVec, img.Entry)
+	m := isa.NewMachine(mem)
+	m.Reset()
+	for i := 0; i < n; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return m
+}
+
+func TestBasicProgram(t *testing.T) {
+	img := assemble(t, `
+; quickstart
+start:  mov #0x1234, r5
+        mov r5, r6
+        add #1, r6
+`)
+	m := runImage(t, img, 3)
+	if m.R[5] != 0x1234 || m.R[6] != 0x1235 {
+		t.Fatalf("r5=%#x r6=%#x", m.R[5], m.R[6])
+	}
+}
+
+func TestConstantGeneratorOptimization(t *testing.T) {
+	img := assemble(t, `
+        mov #0, r5
+        mov #1, r6
+        mov #2, r7
+        mov #4, r8
+        mov #8, r9
+        mov #-1, r10
+`)
+	// All six use the constant generator: one word each.
+	if img.SizeWords() != 6 {
+		t.Fatalf("size = %d words, want 6", img.SizeWords())
+	}
+	m := runImage(t, img, 6)
+	want := []uint16{0, 1, 2, 4, 8, 0xffff}
+	for i, w := range want {
+		if m.R[5+i] != w {
+			t.Errorf("r%d = %#x, want %#x", 5+i, m.R[5+i], w)
+		}
+	}
+}
+
+func TestNonCGImmediateUsesExtWord(t *testing.T) {
+	img := assemble(t, "mov #3, r5")
+	if img.SizeWords() != 2 {
+		t.Fatalf("size = %d, want 2", img.SizeWords())
+	}
+}
+
+func TestLabelsAndJumps(t *testing.T) {
+	img := assemble(t, `
+start:  mov #5, r10
+loop:   dec r10
+        jnz loop
+done:   jmp done
+`)
+	m := runImage(t, img, 1+5*2)
+	if m.R[10] != 0 {
+		t.Fatalf("r10 = %d", m.R[10])
+	}
+	// After the loop the machine should be parked on the self-jump.
+	pc := m.R[isa.PC]
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[isa.PC] != pc {
+		t.Fatal("self-jump moved the PC")
+	}
+}
+
+func TestDirectivesOrgWordSpaceEqu(t *testing.T) {
+	img := assemble(t, `
+.equ MAGIC, 0xbeef
+.org 0xf100
+data:   .word MAGIC, data, 3
+buf:    .space 4
+after:  .word 1
+start:  mov data, r5      ; symbolic load
+        mov &data, r6     ; absolute load
+`)
+	if got := img.MustSymbol("data"); got != 0xf100 {
+		t.Fatalf("data = %#x", got)
+	}
+	if got := img.MustSymbol("buf"); got != 0xf106 {
+		t.Fatalf("buf = %#x", got)
+	}
+	if got := img.MustSymbol("after"); got != 0xf10a {
+		t.Fatalf("after = %#x", got)
+	}
+	m := runImage(t, img, 2)
+	if m.R[5] != 0xbeef || m.R[6] != 0xbeef {
+		t.Fatalf("r5=%#x r6=%#x", m.R[5], m.R[6])
+	}
+}
+
+func TestEmulatedInstructions(t *testing.T) {
+	img := assemble(t, `
+start:  mov #0x400, sp
+        mov #7, r5
+        push r5
+        clr r5
+        pop r6
+        inc r6
+        dec r6
+        tst r6
+        inv r6
+        rla r6
+        nop
+        setc
+        clrc
+`)
+	m := runImage(t, img, 13)
+	if m.R[6] != 0xfff0 { // ((^7)&0xffff)<<1
+		t.Fatalf("r6 = %#x", m.R[6])
+	}
+	if m.R[isa.SP] != 0x400 {
+		t.Fatalf("sp = %#x", m.R[isa.SP])
+	}
+	if m.R[isa.SR]&isa.FlagC != 0 {
+		t.Fatal("carry should be clear")
+	}
+}
+
+func TestRetAndBr(t *testing.T) {
+	img := assemble(t, `
+start:  mov #0x400, sp
+        call #func
+        mov #1, r10
+stop:   jmp stop
+func:   mov #9, r9
+        ret
+`)
+	m := runImage(t, img, 5)
+	if m.R[9] != 9 || m.R[10] != 1 {
+		t.Fatalf("r9=%d r10=%d", m.R[9], m.R[10])
+	}
+	img = assemble(t, `
+start:  br #over
+        mov #0xdead, r5
+over:   nop
+`)
+	m = runImage(t, img, 2)
+	if m.R[5] == 0xdead {
+		t.Fatal("br did not branch")
+	}
+}
+
+func TestByteSuffix(t *testing.T) {
+	img := assemble(t, `
+        mov #0x3ff, r5
+        mov.b r5, r6
+`)
+	m := runImage(t, img, 2)
+	if m.R[6] != 0xff {
+		t.Fatalf("r6 = %#x", m.R[6])
+	}
+}
+
+func TestSymbolExpressions(t *testing.T) {
+	img := assemble(t, `
+.equ BASE, 0x0300
+.equ OFF, 8
+        mov #BASE+OFF, r4
+        mov #BASE-2, r5
+`)
+	m := runImage(t, img, 2)
+	if m.R[4] != 0x0308 || m.R[5] != 0x02fe {
+		t.Fatalf("r4=%#x r5=%#x", m.R[4], m.R[5])
+	}
+}
+
+func TestIndexedOperands(t *testing.T) {
+	img := assemble(t, `
+start:  mov #0x0300, r4
+        mov #0xaa, 2(r4)
+        mov 2(r4), r5
+`)
+	m := runImage(t, img, 3)
+	if m.R[5] != 0xaa {
+		t.Fatalf("r5 = %#x", m.R[5])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":   "frob r4, r5",
+		"dadd rejected":      "dadd r4, r5",
+		"bad label":          "9lbl: nop",
+		"duplicate label":    "a: nop\na: nop",
+		"undefined symbol":   "mov #nosuch, r5",
+		"imm as destination": "mov r5, #4",
+		"jump out of range":  "jmp far\n.org 0xf900\nfar: nop",
+		"operand count":      "mov r5",
+		"swpb byte form":     "swpb.b r5",
+		"reti with operand":  "reti r5",
+		"push @r2+":          "push @r2+",
+		"rrc @r4+":           "rrc @r4+",
+		"overlap":            ".org 0xf000\nnop\n.org 0xf000\nnop",
+		"odd org":            ".org 0xf001\nnop",
+		"bad expression":     "mov #4*2, r5",
+		"bad operand":        "mov )(, r5",
+	}
+	for name, src := range cases {
+		if _, err := AssembleSource(src); err == nil {
+			t.Errorf("%s: assembled %q without error", name, src)
+		}
+	}
+}
+
+func TestAddrStmtMaps(t *testing.T) {
+	img := assemble(t, `
+start:  mov #0x1234, r5
+        nop
+        jmp start
+`)
+	if len(img.AddrToStmt) != 3 {
+		t.Fatalf("AddrToStmt has %d entries", len(img.AddrToStmt))
+	}
+	for addr, si := range img.AddrToStmt {
+		if img.StmtToAddr[si] != addr {
+			t.Fatalf("inverse map broken for %#x", addr)
+		}
+	}
+	// The first instruction spans 2 words; the nop must be at +4.
+	si, ok := img.AddrToStmt[img.Entry+4]
+	if !ok || img.Stmts[si].Mnemonic != "nop" {
+		t.Fatal("nop not mapped at expected address")
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+.equ N, 25
+start:  mov #N, r10       ; loop count
+loop:   dec r10
+        jnz loop
+        mov.b @r4+, r5
+        mov r5, &0x0120
+        push #0x1234
+data:   .word 1, 2, start
+        .space 8
+done:   jmp done
+`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1, err := Assemble(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(stmts)
+	stmts2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse printed source: %v\n%s", err, printed)
+	}
+	img2, err := Assemble(stmts2)
+	if err != nil {
+		t.Fatalf("reassemble printed source: %v\n%s", err, printed)
+	}
+	if len(img1.Segments) != len(img2.Segments) {
+		t.Fatalf("segment count changed: %d vs %d", len(img1.Segments), len(img2.Segments))
+	}
+	for i := range img1.Segments {
+		s1, s2 := img1.Segments[i], img2.Segments[i]
+		if s1.Addr != s2.Addr || len(s1.Words) != len(s2.Words) {
+			t.Fatalf("segment %d differs", i)
+		}
+		for j := range s1.Words {
+			if s1.Words[j] != s2.Words[j] {
+				t.Fatalf("word %d of segment %d differs: %#x vs %#x", j, i, s1.Words[j], s2.Words[j])
+			}
+		}
+	}
+}
+
+func TestEntryPoint(t *testing.T) {
+	img := assemble(t, `
+.org 0xf000
+data: .word 42
+start: nop
+`)
+	if img.Entry != img.MustSymbol("start") {
+		t.Fatalf("entry = %#x", img.Entry)
+	}
+}
+
+func TestStartSymbolOverridesEntry(t *testing.T) {
+	img := assemble(t, `
+        nop
+start:  nop
+`)
+	if img.Entry != img.MustSymbol("start") {
+		t.Fatal("start symbol should set the entry")
+	}
+}
+
+func TestParseOperandForms(t *testing.T) {
+	cases := map[string]OpKind{
+		"#42":     OpImm,
+		"#sym+2":  OpImm,
+		"r7":      OpReg,
+		"PC":      OpReg,
+		"@r6":     OpIndirect,
+		"@r6+":    OpIndInc,
+		"4(r9)":   OpIndexed,
+		"-2(sp)":  OpIndexed,
+		"&0x0120": OpAbs,
+		"buf+4":   OpSym,
+	}
+	for src, want := range cases {
+		op, err := parseOperand(src)
+		if err != nil {
+			t.Errorf("parseOperand(%q): %v", src, err)
+			continue
+		}
+		if op.Kind != want {
+			t.Errorf("parseOperand(%q).Kind = %d, want %d", src, op.Kind, want)
+		}
+	}
+}
+
+func TestNegativeIndexedOffset(t *testing.T) {
+	img := assemble(t, `
+start:  mov #0x0304, r4
+        mov #0x77, -2(r4)
+        mov -2(r4), r5
+`)
+	m := runImage(t, img, 3)
+	if m.R[5] != 0x77 {
+		t.Fatalf("r5 = %#x", m.R[5])
+	}
+	if m.Bus.LoadWord(0x0302) != 0x77 {
+		t.Fatal("store went to the wrong address")
+	}
+}
+
+func TestCommentPreservedByPrinter(t *testing.T) {
+	stmts, err := Parse("nop ; keep me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Print(stmts), "keep me") {
+		t.Fatal("comment lost")
+	}
+}

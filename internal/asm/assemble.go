@@ -1,0 +1,574 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+type mKind uint8
+
+const (
+	mFmt1 mKind = iota
+	mFmt2
+	mJump
+	mEmul
+)
+
+type mnemonic struct {
+	op   isa.Opcode
+	kind mKind
+	// emul rewrites an emulated instruction into a real one.
+	emul func(bw bool, ops []Operand) (string, []Operand, error)
+}
+
+func emul0(real string, fixed ...Operand) func(bool, []Operand) (string, []Operand, error) {
+	return func(bw bool, ops []Operand) (string, []Operand, error) {
+		if len(ops) != 0 {
+			return "", nil, fmt.Errorf("operand count")
+		}
+		return real, fixed, nil
+	}
+}
+
+func emul1(real string, mk func(dst Operand) []Operand) func(bool, []Operand) (string, []Operand, error) {
+	return func(bw bool, ops []Operand) (string, []Operand, error) {
+		if len(ops) != 1 {
+			return "", nil, fmt.Errorf("operand count")
+		}
+		return real, mk(ops[0]), nil
+	}
+}
+
+var mnemonics map[string]mnemonic
+
+func init() {
+	mnemonics = map[string]mnemonic{
+		"mov": {op: isa.MOV, kind: mFmt1}, "add": {op: isa.ADD, kind: mFmt1},
+		"addc": {op: isa.ADDC, kind: mFmt1}, "subc": {op: isa.SUBC, kind: mFmt1},
+		"sub": {op: isa.SUB, kind: mFmt1}, "cmp": {op: isa.CMP, kind: mFmt1},
+		"bit": {op: isa.BIT, kind: mFmt1}, "bic": {op: isa.BIC, kind: mFmt1},
+		"bis": {op: isa.BIS, kind: mFmt1}, "xor": {op: isa.XOR, kind: mFmt1},
+		"and": {op: isa.AND, kind: mFmt1},
+		// DADD is intentionally rejected: the hardware executes it as ADD
+		// (documented deviation), so the assembler refuses to emit it.
+
+		"rrc": {op: isa.RRC, kind: mFmt2}, "swpb": {op: isa.SWPB, kind: mFmt2},
+		"rra": {op: isa.RRA, kind: mFmt2}, "sxt": {op: isa.SXT, kind: mFmt2},
+		"push": {op: isa.PUSH, kind: mFmt2}, "call": {op: isa.CALL, kind: mFmt2},
+		"reti": {op: isa.RETI, kind: mFmt2},
+
+		"jne": {op: isa.JNE, kind: mJump}, "jeq": {op: isa.JEQ, kind: mJump},
+		"jnc": {op: isa.JNC, kind: mJump}, "jc": {op: isa.JC, kind: mJump},
+		"jn": {op: isa.JN, kind: mJump}, "jge": {op: isa.JGE, kind: mJump},
+		"jl": {op: isa.JL, kind: mJump}, "jmp": {op: isa.JMP, kind: mJump},
+		"jnz": {op: isa.JNE, kind: mJump}, "jz": {op: isa.JEQ, kind: mJump},
+		"jlo": {op: isa.JNC, kind: mJump}, "jhs": {op: isa.JC, kind: mJump},
+
+		"nop": {kind: mEmul, emul: emul0("mov", RegOp(isa.CG), RegOp(isa.CG))},
+		"ret": {kind: mEmul, emul: emul0("mov", Operand{Kind: OpIndInc, Reg: isa.SP}, RegOp(isa.PC))},
+		"pop": {kind: mEmul, emul: emul1("mov", func(d Operand) []Operand {
+			return []Operand{{Kind: OpIndInc, Reg: isa.SP}, d}
+		})},
+		"br": {kind: mEmul, emul: emul1("mov", func(d Operand) []Operand {
+			return []Operand{d, RegOp(isa.PC)}
+		})},
+		"clr":  {kind: mEmul, emul: emul1("mov", withImm(0))},
+		"inc":  {kind: mEmul, emul: emul1("add", withImm(1))},
+		"incd": {kind: mEmul, emul: emul1("add", withImm(2))},
+		"dec":  {kind: mEmul, emul: emul1("sub", withImm(1))},
+		"decd": {kind: mEmul, emul: emul1("sub", withImm(2))},
+		"tst":  {kind: mEmul, emul: emul1("cmp", withImm(0))},
+		"inv":  {kind: mEmul, emul: emul1("xor", withImm(-1))},
+		"rla":  {kind: mEmul, emul: emul1("add", func(d Operand) []Operand { return []Operand{d, d} })},
+		"rlc":  {kind: mEmul, emul: emul1("addc", func(d Operand) []Operand { return []Operand{d, d} })},
+		"adc":  {kind: mEmul, emul: emul1("addc", withImm(0))},
+		"sbc":  {kind: mEmul, emul: emul1("subc", withImm(0))},
+		"clrc": {kind: mEmul, emul: emul0("bic", Imm(Int(1)), RegOp(isa.SR))},
+		"setc": {kind: mEmul, emul: emul0("bis", Imm(Int(1)), RegOp(isa.SR))},
+		"clrz": {kind: mEmul, emul: emul0("bic", Imm(Int(2)), RegOp(isa.SR))},
+		"setz": {kind: mEmul, emul: emul0("bis", Imm(Int(2)), RegOp(isa.SR))},
+		"clrn": {kind: mEmul, emul: emul0("bic", Imm(Int(4)), RegOp(isa.SR))},
+		"setn": {kind: mEmul, emul: emul0("bis", Imm(Int(4)), RegOp(isa.SR))},
+		"dint": {kind: mEmul, emul: emul0("bic", Imm(Int(8)), RegOp(isa.SR))},
+		"eint": {kind: mEmul, emul: emul0("bis", Imm(Int(8)), RegOp(isa.SR))},
+	}
+}
+
+func withImm(v int64) func(d Operand) []Operand {
+	return func(d Operand) []Operand { return []Operand{Imm(Int(v)), d} }
+}
+
+// Segment is a contiguous run of assembled words.
+type Segment struct {
+	Addr  uint16
+	Words []uint16
+}
+
+// Image is an assembled program.
+type Image struct {
+	Segments []Segment
+	Symbols  map[string]int64
+	Stmts    []Stmt
+	// AddrToStmt maps the first word address of each emitted instruction or
+	// datum to its statement index; StmtToAddr is the inverse.
+	AddrToStmt map[uint16]int
+	StmtToAddr map[int]uint16
+	// Entry is the address of the first instruction emitted (used as the
+	// reset target unless a "start" symbol exists).
+	Entry uint16
+}
+
+// cgImmediates maps immediate values to constant-generator encodings.
+func cgEncoding(v int64) (isa.Reg, isa.AMode, bool) {
+	switch v {
+	case 0:
+		return isa.CG, isa.ModeReg, true
+	case 1:
+		return isa.CG, isa.ModeIndexed, true
+	case 2:
+		return isa.CG, isa.ModeIndirect, true
+	case -1, 0xffff:
+		return isa.CG, isa.ModeIncr, true
+	case 4:
+		return isa.SR, isa.ModeIndirect, true
+	case 8:
+		return isa.SR, isa.ModeIncr, true
+	}
+	return 0, 0, false
+}
+
+// srcSize reports whether a source operand needs an extension word. The
+// answer must not depend on symbol values (so pass 1 can size code), hence
+// only literal immediates get the constant generator.
+func srcNeedsExt(o Operand) bool {
+	switch o.Kind {
+	case OpImm:
+		if v, ok := o.Expr.ConstOnly(); ok {
+			if _, _, cg := cgEncoding(v); cg {
+				return false
+			}
+		}
+		return true
+	case OpIndexed, OpAbs, OpSym:
+		return true
+	}
+	return false
+}
+
+func dstNeedsExt(o Operand) bool {
+	switch o.Kind {
+	case OpIndexed, OpAbs, OpSym:
+		return true
+	}
+	return false
+}
+
+// instrSize returns the word count of an instruction statement after
+// emulation rewriting.
+func instrSize(st *Stmt) (int, error) {
+	mn, ops, err := resolveEmul(st)
+	if err != nil {
+		return 0, err
+	}
+	info := mnemonics[mn]
+	switch info.kind {
+	case mJump:
+		return 1, nil
+	case mFmt2:
+		if info.op == isa.RETI {
+			return 1, nil
+		}
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("%s wants 1 operand", mn)
+		}
+		if srcNeedsExt(ops[0]) {
+			return 2, nil
+		}
+		return 1, nil
+	default:
+		if len(ops) != 2 {
+			return 0, fmt.Errorf("%s wants 2 operands", mn)
+		}
+		n := 1
+		if srcNeedsExt(ops[0]) {
+			n++
+		}
+		if dstNeedsExt(ops[1]) {
+			n++
+		}
+		return n, nil
+	}
+}
+
+func resolveEmul(st *Stmt) (string, []Operand, error) {
+	info, ok := mnemonics[st.Mnemonic]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown mnemonic %q", st.Mnemonic)
+	}
+	if info.kind != mEmul {
+		return st.Mnemonic, st.Ops, nil
+	}
+	mn, ops, err := info.emul(st.BW, st.Ops)
+	if err != nil {
+		return "", nil, fmt.Errorf("%s: %v", st.Mnemonic, err)
+	}
+	return mn, ops, nil
+}
+
+// Assemble runs both passes over a statement list.
+func Assemble(stmts []Stmt) (*Image, error) {
+	img := &Image{
+		Symbols:    make(map[string]int64),
+		Stmts:      stmts,
+		AddrToStmt: make(map[uint16]int),
+		StmtToAddr: make(map[int]uint16),
+	}
+	errAt := func(st *Stmt, format string, args ...any) error {
+		return fmt.Errorf("line %d (%s): %s", st.Line, st.Mnemonic, fmt.Sprintf(format, args...))
+	}
+
+	// Pass 1: layout and symbol definition.
+	addr := int64(isa.ROMStart)
+	firstInstr := int64(-1)
+	for i := range stmts {
+		st := &stmts[i]
+		if st.Label != "" {
+			if _, dup := img.Symbols[st.Label]; dup {
+				return nil, errAt(st, "duplicate symbol %q", st.Label)
+			}
+			img.Symbols[st.Label] = addr
+		}
+		switch st.Kind {
+		case SEmpty:
+		case SEqu:
+			v, err := st.Exprs[0].Eval(img.Symbols)
+			if err != nil {
+				return nil, errAt(st, "%v", err)
+			}
+			if _, dup := img.Symbols[st.EquName]; dup {
+				return nil, errAt(st, "duplicate symbol %q", st.EquName)
+			}
+			img.Symbols[st.EquName] = v
+		case SOrg:
+			v, err := st.Exprs[0].Eval(img.Symbols)
+			if err != nil {
+				return nil, errAt(st, "%v", err)
+			}
+			addr = v
+			if st.Label != "" {
+				img.Symbols[st.Label] = addr
+			}
+		case SSpace:
+			v, err := st.Exprs[0].Eval(img.Symbols)
+			if err != nil {
+				return nil, errAt(st, "%v", err)
+			}
+			addr += v
+		case SWord:
+			addr += int64(2 * len(st.Exprs))
+		case SInstr:
+			if firstInstr < 0 {
+				firstInstr = addr
+			}
+			n, err := instrSize(st)
+			if err != nil {
+				return nil, errAt(st, "%v", err)
+			}
+			addr += int64(2 * n)
+		}
+		if addr > 1<<16 {
+			return nil, errAt(st, "address overflow")
+		}
+	}
+	if firstInstr >= 0 {
+		img.Entry = uint16(firstInstr)
+	}
+	if s, ok := img.Symbols["start"]; ok {
+		img.Entry = uint16(s)
+	}
+
+	// Pass 2: emission.
+	words := make(map[uint16]uint16)
+	emit := func(st *Stmt, a int64, w uint16) error {
+		if a&1 != 0 {
+			return errAt(st, "odd address %#x", a)
+		}
+		ua := uint16(a)
+		if _, dup := words[ua]; dup {
+			return errAt(st, "overlapping emission at %#04x", ua)
+		}
+		words[ua] = w
+		return nil
+	}
+	addr = int64(isa.ROMStart)
+	for i := range stmts {
+		st := &stmts[i]
+		switch st.Kind {
+		case SOrg:
+			addr, _ = st.Exprs[0].Eval(img.Symbols)
+		case SSpace:
+			n, _ := st.Exprs[0].Eval(img.Symbols)
+			addr += n
+		case SWord:
+			img.AddrToStmt[uint16(addr)] = i
+			img.StmtToAddr[i] = uint16(addr)
+			for _, e := range st.Exprs {
+				v, err := e.Eval(img.Symbols)
+				if err != nil {
+					return nil, errAt(st, "%v", err)
+				}
+				if err := emit(st, addr, uint16(v)); err != nil {
+					return nil, err
+				}
+				addr += 2
+			}
+		case SInstr:
+			in, err := encodeStmt(st, uint16(addr), img.Symbols)
+			if err != nil {
+				return nil, errAt(st, "%v", err)
+			}
+			ws, err := in.Encode()
+			if err != nil {
+				return nil, errAt(st, "%v", err)
+			}
+			img.AddrToStmt[uint16(addr)] = i
+			img.StmtToAddr[i] = uint16(addr)
+			for _, w := range ws {
+				if err := emit(st, addr, w); err != nil {
+					return nil, err
+				}
+				addr += 2
+			}
+		}
+	}
+
+	// Collapse the word map into sorted contiguous segments.
+	addrs := make([]int, 0, len(words))
+	for a := range words {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		n := len(img.Segments)
+		if n > 0 {
+			seg := &img.Segments[n-1]
+			if int(seg.Addr)+2*len(seg.Words) == a {
+				seg.Words = append(seg.Words, words[uint16(a)])
+				continue
+			}
+		}
+		img.Segments = append(img.Segments, Segment{Addr: uint16(a), Words: []uint16{words[uint16(a)]}})
+	}
+	return img, nil
+}
+
+// encodeStmt converts one instruction statement into an isa.Instr. addr is
+// the address of the instruction's first word (needed for PC-relative
+// operands and jumps).
+func encodeStmt(st *Stmt, addr uint16, symbols map[string]int64) (isa.Instr, error) {
+	mn, ops, err := resolveEmul(st)
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	info := mnemonics[mn]
+	in := isa.Instr{Op: info.op, BW: st.BW}
+
+	switch info.kind {
+	case mJump:
+		if len(ops) != 1 || (ops[0].Kind != OpSym && ops[0].Kind != OpImm) {
+			return isa.Instr{}, fmt.Errorf("%s wants a label target", mn)
+		}
+		target, err := ops[0].Expr.Eval(symbols)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		delta := target - int64(addr) - 2
+		if delta&1 != 0 {
+			return isa.Instr{}, fmt.Errorf("odd jump target %#x", target)
+		}
+		off := delta / 2
+		if off < -512 || off > 511 {
+			return isa.Instr{}, fmt.Errorf("jump target out of range (offset %d words)", off)
+		}
+		in.Off = int16(off)
+		return in, nil
+
+	case mFmt2:
+		if info.op == isa.RETI {
+			if len(ops) != 0 {
+				return isa.Instr{}, fmt.Errorf("reti takes no operands")
+			}
+			return in, nil
+		}
+		if len(ops) != 1 {
+			return isa.Instr{}, fmt.Errorf("%s wants 1 operand", mn)
+		}
+		extAddr := addr + 2
+		if err := setSrc(&in, ops[0], extAddr, symbols); err != nil {
+			return isa.Instr{}, err
+		}
+		if info.op != isa.PUSH && info.op != isa.CALL && in.As == isa.ModeIncr && in.Src != isa.PC {
+			return isa.Instr{}, fmt.Errorf("%s does not support @Rn+", mn)
+		}
+		if in.Src == isa.PC && in.As == isa.ModeReg {
+			return isa.Instr{}, fmt.Errorf("%s cannot operate on pc", mn)
+		}
+		return in, nil
+
+	default: // mFmt1
+		if len(ops) != 2 {
+			return isa.Instr{}, fmt.Errorf("%s wants 2 operands", mn)
+		}
+		srcExtAddr := addr + 2
+		if err := setSrc(&in, ops[0], srcExtAddr, symbols); err != nil {
+			return isa.Instr{}, err
+		}
+		dstExtAddr := srcExtAddr
+		if in.SrcUsesExt() {
+			dstExtAddr += 2
+		}
+		if err := setDst(&in, ops[1], dstExtAddr, symbols); err != nil {
+			return isa.Instr{}, err
+		}
+		if in.Dst == isa.PC && in.Ad == 0 && in.Op != isa.MOV {
+			// Read-modify-write of the PC (e.g. add #2, pc) depends on
+			// microarchitectural timing; only MOV (i.e. br/ret) may target it.
+			return isa.Instr{}, fmt.Errorf("%s cannot target pc; use br", mn)
+		}
+		return in, nil
+	}
+}
+
+func setSrc(in *isa.Instr, o Operand, extAddr uint16, symbols map[string]int64) error {
+	switch o.Kind {
+	case OpReg:
+		if o.Reg == isa.PC {
+			// Reading the PC as a register operand is timing-dependent on
+			// the hardware; use a symbolic or immediate operand instead.
+			return fmt.Errorf("pc cannot be a register-mode source operand")
+		}
+		in.Src, in.As = o.Reg, isa.ModeReg
+	case OpIndirect:
+		if o.Reg == isa.CG || o.Reg == isa.SR || o.Reg == isa.PC {
+			return fmt.Errorf("@%s is not addressable", o.Reg)
+		}
+		in.Src, in.As = o.Reg, isa.ModeIndirect
+	case OpIndInc:
+		if o.Reg == isa.CG || o.Reg == isa.SR || o.Reg == isa.PC {
+			return fmt.Errorf("@%s+ is not addressable", o.Reg)
+		}
+		in.Src, in.As = o.Reg, isa.ModeIncr
+	case OpImm:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		if cv, ok := o.Expr.ConstOnly(); ok {
+			if r, as, cg := cgEncoding(cv); cg {
+				in.Src, in.As = r, as
+				return nil
+			}
+		}
+		in.Src, in.As, in.SrcExt = isa.PC, isa.ModeIncr, uint16(v)
+	case OpIndexed:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		if o.Reg == isa.PC || o.Reg == isa.SR || o.Reg == isa.CG {
+			return fmt.Errorf("indexed mode on %s not supported; use a symbol or &addr", o.Reg)
+		}
+		in.Src, in.As, in.SrcExt = o.Reg, isa.ModeIndexed, uint16(v)
+	case OpAbs:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		in.Src, in.As, in.SrcExt = isa.SR, isa.ModeIndexed, uint16(v)
+	case OpSym:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		in.Src, in.As, in.SrcExt = isa.PC, isa.ModeIndexed, uint16(int64(uint16(v))-int64(extAddr))
+	default:
+		return fmt.Errorf("bad source operand")
+	}
+	return nil
+}
+
+func setDst(in *isa.Instr, o Operand, extAddr uint16, symbols map[string]int64) error {
+	switch o.Kind {
+	case OpReg:
+		in.Dst, in.Ad = o.Reg, 0
+	case OpIndexed:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		if o.Reg == isa.PC || o.Reg == isa.SR || o.Reg == isa.CG {
+			return fmt.Errorf("indexed destination on %s not supported", o.Reg)
+		}
+		in.Dst, in.Ad, in.DstExt = o.Reg, 1, uint16(v)
+	case OpAbs:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Ad, in.DstExt = isa.SR, 1, uint16(v)
+	case OpSym:
+		v, err := o.Expr.Eval(symbols)
+		if err != nil {
+			return err
+		}
+		in.Dst, in.Ad, in.DstExt = isa.PC, 1, uint16(int64(uint16(v))-int64(extAddr))
+	default:
+		return fmt.Errorf("bad destination operand (immediates and @Rn cannot be destinations)")
+	}
+	return nil
+}
+
+// AssembleSource parses and assembles in one step.
+func AssembleSource(src string) (*Image, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Assemble(stmts)
+}
+
+// Place writes the image into a word-addressed store (e.g. program memory).
+func (img *Image) Place(store func(addr uint16, word uint16)) {
+	for _, seg := range img.Segments {
+		for i, w := range seg.Words {
+			store(seg.Addr+uint16(2*i), w)
+		}
+	}
+}
+
+// Symbol returns the value of a defined symbol.
+func (img *Image) Symbol(name string) (uint16, bool) {
+	v, ok := img.Symbols[name]
+	return uint16(v), ok
+}
+
+// MustSymbol panics when the symbol is missing; for use by harnesses whose
+// programs are compiled in.
+func (img *Image) MustSymbol(name string) uint16 {
+	v, ok := img.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return uint16(v)
+}
+
+// SizeWords returns the total number of emitted words.
+func (img *Image) SizeWords() int {
+	n := 0
+	for _, s := range img.Segments {
+		n += len(s.Words)
+	}
+	return n
+}

@@ -1,0 +1,264 @@
+// Package asm implements a two-pass assembler for the MSP430-class ISA in
+// internal/isa: a parser producing an editable statement list, symbol
+// resolution, encoding with constant-generator optimization, and a printer
+// that renders (possibly transformed) programs back to source.
+//
+// The statement list is the representation on which the paper's software
+// transformations operate (Figure 11): root-cause analysis maps violating
+// program addresses back to statements, internal/transform inserts masking
+// or watchdog statements, and the program is re-assembled.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// ExprTerm is one signed term of an address expression: either a symbol
+// reference or a literal.
+type ExprTerm struct {
+	Neg bool
+	Sym string // empty for a literal term
+	Num int64
+}
+
+// Expr is a sum of terms, e.g. "buf+2" or "end-start".
+type Expr []ExprTerm
+
+// Int builds a literal expression.
+func Int(v int64) Expr { return Expr{{Num: v}} }
+
+// Sym builds a symbol-reference expression.
+func Sym(name string) Expr { return Expr{{Sym: name}} }
+
+// SymPlus builds sym+off.
+func SymPlus(name string, off int64) Expr { return Expr{{Sym: name}, {Num: off}} }
+
+// Eval resolves the expression against a symbol table.
+func (e Expr) Eval(symbols map[string]int64) (int64, error) {
+	var v int64
+	for _, t := range e.Terms() {
+		tv := t.Num
+		if t.Sym != "" {
+			sv, ok := symbols[t.Sym]
+			if !ok {
+				return 0, fmt.Errorf("undefined symbol %q", t.Sym)
+			}
+			tv = sv
+		}
+		if t.Neg {
+			v -= tv
+		} else {
+			v += tv
+		}
+	}
+	return v, nil
+}
+
+// Terms returns the term list (nil-safe).
+func (e Expr) Terms() []ExprTerm { return e }
+
+// ConstOnly returns the expression's value if it contains no symbols.
+func (e Expr) ConstOnly() (int64, bool) {
+	var v int64
+	for _, t := range e {
+		if t.Sym != "" {
+			return 0, false
+		}
+		if t.Neg {
+			v -= t.Num
+		} else {
+			v += t.Num
+		}
+	}
+	return v, true
+}
+
+// String renders the expression in source form.
+func (e Expr) String() string {
+	var sb strings.Builder
+	for i, t := range e {
+		s := t.Sym
+		neg := t.Neg
+		if s == "" {
+			n := t.Num
+			if n < 0 {
+				neg = !neg
+				n = -n
+			}
+			s = formatInt(n)
+		}
+		switch {
+		case neg:
+			sb.WriteString("-" + s)
+		case i > 0:
+			sb.WriteString("+" + s)
+		default:
+			sb.WriteString(s)
+		}
+	}
+	if sb.Len() == 0 {
+		return "0"
+	}
+	return sb.String()
+}
+
+func formatInt(v int64) string {
+	if v >= 10 || v <= -10 {
+		if v < 0 {
+			return fmt.Sprintf("-0x%x", -v)
+		}
+		return fmt.Sprintf("0x%x", v)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// OpKind classifies an operand.
+type OpKind uint8
+
+// Operand kinds.
+const (
+	OpNone     OpKind = iota
+	OpImm             // #expr
+	OpReg             // Rn
+	OpIndirect        // @Rn
+	OpIndInc          // @Rn+
+	OpIndexed         // expr(Rn)
+	OpAbs             // &expr
+	OpSym             // bare expr: PC-relative symbolic
+)
+
+// Operand is one parsed instruction operand.
+type Operand struct {
+	Kind OpKind
+	Reg  isa.Reg
+	Expr Expr
+}
+
+// Convenience constructors used by the software transformations.
+
+// Imm returns an immediate operand.
+func Imm(e Expr) Operand { return Operand{Kind: OpImm, Expr: e} }
+
+// RegOp returns a register operand.
+func RegOp(r isa.Reg) Operand { return Operand{Kind: OpReg, Reg: r} }
+
+// Abs returns an absolute-address operand (&addr).
+func Abs(e Expr) Operand { return Operand{Kind: OpAbs, Expr: e} }
+
+// Indexed returns an expr(Rn) operand.
+func Indexed(e Expr, r isa.Reg) Operand { return Operand{Kind: OpIndexed, Reg: r, Expr: e} }
+
+// String renders the operand in source form.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpImm:
+		return "#" + o.Expr.String()
+	case OpReg:
+		return o.Reg.String()
+	case OpIndirect:
+		return "@" + o.Reg.String()
+	case OpIndInc:
+		return "@" + o.Reg.String() + "+"
+	case OpIndexed:
+		return fmt.Sprintf("%s(%s)", o.Expr.String(), o.Reg)
+	case OpAbs:
+		return "&" + o.Expr.String()
+	case OpSym:
+		return o.Expr.String()
+	}
+	return "?"
+}
+
+// StmtKind classifies a statement.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SEmpty StmtKind = iota // label-only or blank line
+	SInstr
+	SOrg   // .org expr
+	SWord  // .word expr, expr, ...
+	SSpace // .space expr (zero-filled bytes)
+	SEqu   // .equ name, expr
+)
+
+// Stmt is one source statement. A label, if present, is defined at the
+// statement's address.
+type Stmt struct {
+	Label    string
+	Kind     StmtKind
+	Mnemonic string // canonical mnemonic, possibly emulated ("nop", "ret")
+	BW       bool   // .b suffix
+	Ops      []Operand
+	Exprs    []Expr // .word operands / the single .org/.space operand
+	EquName  string
+	Line     int    // 1-based source line, 0 for synthesized statements
+	Comment  string // trailing comment without the ';'
+}
+
+// Instr builds an instruction statement (used by the transformations).
+func InstrStmt(mnemonic string, ops ...Operand) Stmt {
+	return Stmt{Kind: SInstr, Mnemonic: mnemonic, Ops: ops}
+}
+
+// String renders one statement as a source line (without label handling).
+func (s *Stmt) String() string {
+	var body string
+	switch s.Kind {
+	case SEmpty:
+	case SInstr:
+		m := s.Mnemonic
+		if s.BW {
+			m += ".b"
+		}
+		var ops []string
+		for _, o := range s.Ops {
+			ops = append(ops, o.String())
+		}
+		body = m
+		if len(ops) > 0 {
+			body += " " + strings.Join(ops, ", ")
+		}
+	case SOrg:
+		body = ".org " + s.Exprs[0].String()
+	case SWord:
+		var ws []string
+		for _, e := range s.Exprs {
+			ws = append(ws, e.String())
+		}
+		body = ".word " + strings.Join(ws, ", ")
+	case SSpace:
+		body = ".space " + s.Exprs[0].String()
+	case SEqu:
+		body = fmt.Sprintf(".equ %s, %s", s.EquName, s.Exprs[0].String())
+	}
+	var sb strings.Builder
+	if s.Label != "" {
+		sb.WriteString(s.Label + ":")
+	}
+	if body != "" {
+		if s.Label != "" {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString("        ")
+		}
+		sb.WriteString(body)
+	}
+	if s.Comment != "" {
+		sb.WriteString(" ; " + s.Comment)
+	}
+	return sb.String()
+}
+
+// Print renders a whole program back to assembly source.
+func Print(stmts []Stmt) string {
+	var sb strings.Builder
+	for i := range stmts {
+		sb.WriteString(stmts[i].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprConstructors(t *testing.T) {
+	syms := map[string]int64{"base": 0x400}
+	if v, err := Sym("base").Eval(syms); err != nil || v != 0x400 {
+		t.Fatalf("Sym: %v %v", v, err)
+	}
+	if v, err := SymPlus("base", 8).Eval(syms); err != nil || v != 0x408 {
+		t.Fatalf("SymPlus: %v %v", v, err)
+	}
+	if _, err := Sym("missing").Eval(syms); err == nil {
+		t.Fatal("undefined symbol should fail")
+	}
+	if v, ok := SymPlus("base", 8).ConstOnly(); ok {
+		t.Fatalf("symbolic expr reported const %v", v)
+	}
+	if got := SymPlus("base", -2).String(); got != "base-2" {
+		t.Fatalf("expr string = %q", got)
+	}
+	if got := (Expr{}).String(); got != "0" {
+		t.Fatalf("empty expr = %q", got)
+	}
+}
+
+func TestOperandConstructorsAndPrinting(t *testing.T) {
+	st := InstrStmt("mov", Imm(Int(0x500)), Indexed(Int(4), 9))
+	if got := st.String(); !strings.Contains(got, "mov #0x500, 4(r9)") {
+		t.Fatalf("stmt = %q", got)
+	}
+	st2 := InstrStmt("mov", RegOp(5), Abs(Int(0x120)))
+	if got := st2.String(); !strings.Contains(got, "mov r5, &0x120") {
+		t.Fatalf("stmt = %q", got)
+	}
+	// Built statements must assemble.
+	img, err := Assemble([]Stmt{st, st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.SizeWords() == 0 {
+		t.Fatal("nothing emitted")
+	}
+}
+
+func TestParseErrorFormat(t *testing.T) {
+	_, err := Parse("frob r4")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if !strings.Contains(pe.Error(), "line 1") {
+		t.Fatalf("error = %q", pe.Error())
+	}
+}
+
+func TestImageSymbolLookup(t *testing.T) {
+	img := assemble(t, "start: nop")
+	if _, ok := img.Symbol("start"); !ok {
+		t.Fatal("Symbol miss")
+	}
+	if _, ok := img.Symbol("nope"); ok {
+		t.Fatal("Symbol ghost")
+	}
+}

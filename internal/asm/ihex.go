@@ -1,0 +1,102 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteIHex serializes an assembled image as Intel HEX, the loadable
+// program format the paper's toolflow produces (Figure 11's "Loadable
+// Program Binary (.ihex)").
+func WriteIHex(w io.Writer, img *Image) error {
+	bw := bufio.NewWriter(w)
+	for _, seg := range img.Segments {
+		// Emit 16-byte records.
+		bytes := make([]byte, 2*len(seg.Words))
+		for i, word := range seg.Words {
+			bytes[2*i] = byte(word)
+			bytes[2*i+1] = byte(word >> 8)
+		}
+		for off := 0; off < len(bytes); off += 16 {
+			end := off + 16
+			if end > len(bytes) {
+				end = len(bytes)
+			}
+			rec := bytes[off:end]
+			addr := seg.Addr + uint16(off)
+			sum := byte(len(rec)) + byte(addr>>8) + byte(addr)
+			fmt.Fprintf(bw, ":%02X%04X00", len(rec), addr)
+			for _, b := range rec {
+				fmt.Fprintf(bw, "%02X", b)
+				sum += b
+			}
+			fmt.Fprintf(bw, "%02X\n", byte(-sum))
+		}
+	}
+	fmt.Fprintln(bw, ":00000001FF") // EOF record
+	return bw.Flush()
+}
+
+// ReadIHex parses Intel HEX into (address, word) pairs, invoking store for
+// each 16-bit little-endian word. Odd trailing bytes are zero-padded.
+func ReadIHex(r io.Reader, store func(addr uint16, word uint16)) error {
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] != ':' {
+			return fmt.Errorf("ihex line %d: missing ':'", lineno)
+		}
+		data := line[1:]
+		if len(data)%2 != 0 || len(data) < 10 {
+			return fmt.Errorf("ihex line %d: bad length", lineno)
+		}
+		raw := make([]byte, len(data)/2)
+		for i := range raw {
+			var b byte
+			if _, err := fmt.Sscanf(data[2*i:2*i+2], "%02X", &b); err != nil {
+				return fmt.Errorf("ihex line %d: bad hex: %v", lineno, err)
+			}
+			raw[i] = b
+		}
+		count := int(raw[0])
+		addr := uint16(raw[1])<<8 | uint16(raw[2])
+		typ := raw[3]
+		if len(raw) != count+5 {
+			return fmt.Errorf("ihex line %d: count mismatch", lineno)
+		}
+		var sum byte
+		for _, b := range raw {
+			sum += b
+		}
+		if sum != 0 {
+			return fmt.Errorf("ihex line %d: checksum error", lineno)
+		}
+		switch typ {
+		case 0x00: // data
+			payload := raw[4 : 4+count]
+			for i := 0; i < len(payload); i += 2 {
+				lo := payload[i]
+				hi := byte(0)
+				if i+1 < len(payload) {
+					hi = payload[i+1]
+				}
+				store(addr+uint16(i), uint16(lo)|uint16(hi)<<8)
+			}
+		case 0x01: // EOF
+			return nil
+		default:
+			return fmt.Errorf("ihex line %d: unsupported record type %#02x", lineno, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("ihex: missing EOF record")
+}

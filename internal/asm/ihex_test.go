@@ -1,0 +1,110 @@
+package asm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIHexRoundTrip(t *testing.T) {
+	img := assemble(t, `
+.org 0xf000
+start:  mov #0x1234, r5
+        add #1, r5
+data:   .word 0xbeef, 0xcafe
+.org 0xfffe
+        .word start
+`)
+	var buf bytes.Buffer
+	if err := WriteIHex(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, ":") || !strings.Contains(out, ":00000001FF") {
+		t.Fatalf("malformed ihex:\n%s", out)
+	}
+	// Parse back and compare against the image's own placement.
+	want := map[uint16]uint16{}
+	img.Place(func(a, w uint16) { want[a] = w })
+	got := map[uint16]uint16{}
+	if err := ReadIHex(&buf, func(a, w uint16) { got[a] = w }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("word count: %d vs %d", len(got), len(want))
+	}
+	for a, w := range want {
+		if got[a] != w {
+			t.Fatalf("word at %#04x: %#04x vs %#04x", a, got[a], w)
+		}
+	}
+}
+
+func TestIHexChecksums(t *testing.T) {
+	img := assemble(t, "start: nop")
+	var buf bytes.Buffer
+	if err := WriteIHex(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var sum byte
+		for i := 1; i < len(line); i += 2 {
+			var b byte
+			if _, err := fmt_sscan(line[i:i+2], &b); err != nil {
+				t.Fatal(err)
+			}
+			sum += b
+		}
+		if sum != 0 {
+			t.Fatalf("record %q checksum %#02x", line, sum)
+		}
+	}
+}
+
+func fmt_sscan(s string, b *byte) (int, error) {
+	var v int
+	n, err := sscanHex(s, &v)
+	*b = byte(v)
+	return n, err
+}
+
+func sscanHex(s string, v *int) (int, error) {
+	*v = 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			*v = *v<<4 | int(c-'0')
+		case c >= 'A' && c <= 'F':
+			*v = *v<<4 | int(c-'A'+10)
+		case c >= 'a' && c <= 'f':
+			*v = *v<<4 | int(c-'a'+10)
+		default:
+			return i, errBadHex
+		}
+	}
+	return len(s), nil
+}
+
+var errBadHex = &ParseError{Line: 0, Msg: "bad hex"}
+
+func TestIHexErrors(t *testing.T) {
+	cases := []string{
+		"abc",                      // no colon
+		":0102",                    // too short
+		":02000000BEEF00",          // bad checksum (should be 0x53)
+		":00000005FB",              // unsupported record type
+		":020000",                  // odd
+		":04F00000341201ZZ",        // bad hex
+		":02F0000034125F\n:00F000", // truncated record after valid one
+	}
+	for _, c := range cases {
+		if err := ReadIHex(strings.NewReader(c), func(a, w uint16) {}); err == nil {
+			t.Errorf("ReadIHex(%q) should fail", c)
+		}
+	}
+	// Missing EOF record.
+	if err := ReadIHex(strings.NewReader(":02F00000341248\n"), func(a, w uint16) {}); err == nil {
+		t.Error("missing EOF should fail")
+	}
+}

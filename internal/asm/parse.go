@@ -1,0 +1,297 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// ParseError reports a source position alongside the message.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// Parse turns assembly source into a statement list.
+func Parse(src string) ([]Stmt, error) {
+	var stmts []Stmt
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		lineno := i + 1
+		var comment string
+		if ci := strings.IndexByte(line, ';'); ci >= 0 {
+			comment = strings.TrimSpace(line[ci+1:])
+			line = line[:ci]
+		}
+		line = strings.TrimSpace(line)
+
+		var label string
+		if ci := strings.IndexByte(line, ':'); ci >= 0 {
+			label = strings.TrimSpace(line[:ci])
+			if !isIdent(label) {
+				return nil, &ParseError{lineno, fmt.Sprintf("bad label %q", label)}
+			}
+			line = strings.TrimSpace(line[ci+1:])
+		}
+
+		st, err := parseBody(line)
+		if err != nil {
+			return nil, &ParseError{lineno, err.Error()}
+		}
+		st.Label = label
+		st.Line = lineno
+		st.Comment = comment
+		if st.Kind == SEmpty && label == "" && comment == "" {
+			continue // drop fully blank lines
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+func parseBody(line string) (Stmt, error) {
+	if line == "" {
+		return Stmt{Kind: SEmpty}, nil
+	}
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	rest = strings.TrimSpace(rest)
+
+	if strings.HasPrefix(mnemonic, ".") {
+		return parseDirective(mnemonic, rest)
+	}
+
+	bw := false
+	switch {
+	case strings.HasSuffix(mnemonic, ".b"):
+		bw = true
+		mnemonic = strings.TrimSuffix(mnemonic, ".b")
+	case strings.HasSuffix(mnemonic, ".w"):
+		mnemonic = strings.TrimSuffix(mnemonic, ".w")
+	}
+	if _, ok := mnemonics[mnemonic]; !ok {
+		return Stmt{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var ops []Operand
+	if rest != "" {
+		for _, part := range splitOperands(rest) {
+			op, err := parseOperand(strings.TrimSpace(part))
+			if err != nil {
+				return Stmt{}, err
+			}
+			ops = append(ops, op)
+		}
+	}
+	return Stmt{Kind: SInstr, Mnemonic: mnemonic, BW: bw, Ops: ops}, nil
+}
+
+func parseDirective(dir, rest string) (Stmt, error) {
+	switch dir {
+	case ".org":
+		e, err := parseExpr(rest)
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: SOrg, Exprs: []Expr{e}}, nil
+	case ".space":
+		e, err := parseExpr(rest)
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: SSpace, Exprs: []Expr{e}}, nil
+	case ".word":
+		var exprs []Expr
+		for _, part := range splitOperands(rest) {
+			e, err := parseExpr(strings.TrimSpace(part))
+			if err != nil {
+				return Stmt{}, err
+			}
+			exprs = append(exprs, e)
+		}
+		if len(exprs) == 0 {
+			return Stmt{}, fmt.Errorf(".word needs at least one value")
+		}
+		return Stmt{Kind: SWord, Exprs: exprs}, nil
+	case ".equ", ".set":
+		name, val, ok := strings.Cut(rest, ",")
+		if !ok {
+			return Stmt{}, fmt.Errorf("%s wants: name, value", dir)
+		}
+		name = strings.TrimSpace(name)
+		if !isIdent(name) {
+			return Stmt{}, fmt.Errorf("bad symbol name %q", name)
+		}
+		e, err := parseExpr(strings.TrimSpace(val))
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: SEqu, EquName: name, Exprs: []Expr{e}}, nil
+	}
+	return Stmt{}, fmt.Errorf("unknown directive %q", dir)
+}
+
+// splitOperands splits on commas that are not inside parentheses (there are
+// none in this grammar, but keep it robust).
+func splitOperands(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func parseOperand(s string) (Operand, error) {
+	if s == "" {
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	switch s[0] {
+	case '#':
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpImm, Expr: e}, nil
+	case '&':
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpAbs, Expr: e}, nil
+	case '@':
+		body := s[1:]
+		kind := OpIndirect
+		if strings.HasSuffix(body, "+") {
+			kind = OpIndInc
+			body = body[:len(body)-1]
+		}
+		r, ok := parseReg(body)
+		if !ok {
+			return Operand{}, fmt.Errorf("bad register %q", body)
+		}
+		return Operand{Kind: kind, Reg: r}, nil
+	}
+	if strings.HasSuffix(s, ")") {
+		open := strings.IndexByte(s, '(')
+		if open < 0 {
+			return Operand{}, fmt.Errorf("bad indexed operand %q", s)
+		}
+		r, ok := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+		if !ok {
+			return Operand{}, fmt.Errorf("bad register in %q", s)
+		}
+		e, err := parseExpr(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Kind: OpIndexed, Reg: r, Expr: e}, nil
+	}
+	if r, ok := parseReg(s); ok {
+		return Operand{Kind: OpReg, Reg: r}, nil
+	}
+	e, err := parseExpr(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Kind: OpSym, Expr: e}, nil
+}
+
+func parseReg(s string) (isa.Reg, bool) {
+	switch strings.ToLower(s) {
+	case "pc", "r0":
+		return isa.PC, true
+	case "sp", "r1":
+		return isa.SP, true
+	case "sr", "r2":
+		return isa.SR, true
+	case "cg", "r3":
+		return isa.CG, true
+	}
+	ls := strings.ToLower(s)
+	if strings.HasPrefix(ls, "r") {
+		if n, err := strconv.Atoi(ls[1:]); err == nil && n >= 0 && n <= 15 {
+			return isa.Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseExpr parses a +/- separated chain of symbols and integer literals.
+func parseExpr(s string) (Expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty expression")
+	}
+	var e Expr
+	neg := false
+	i := 0
+	for i < len(s) {
+		switch s[i] {
+		case '+':
+			i++
+			continue
+		case '-':
+			neg = !neg
+			i++
+			continue
+		case ' ', '\t':
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != '+' && s[j] != '-' && s[j] != ' ' && s[j] != '\t' {
+			j++
+		}
+		tok := s[i:j]
+		if v, err := parseInt(tok); err == nil {
+			e = append(e, ExprTerm{Neg: neg, Num: v})
+		} else if isIdent(tok) {
+			e = append(e, ExprTerm{Neg: neg, Sym: tok})
+		} else {
+			return nil, fmt.Errorf("bad expression token %q", tok)
+		}
+		neg = false
+		i = j
+	}
+	if len(e) == 0 {
+		return nil, fmt.Errorf("empty expression %q", s)
+	}
+	return e, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.ToLower(s), 0, 64)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,708 @@
+// Package bench contains the 13 evaluation workloads of Table 1 (the
+// embedded sensor benchmarks of Zhai et al. and the EEMBC-style kernels),
+// written in MSP430 assembly for this repository's assembler, together with
+// the system-code scaffolding and the measurement harness that regenerates
+// Tables 2 and 3.
+//
+// Each benchmark runs as a tainted computational task: it reads samples
+// from the tainted input port P1IN, computes, and writes results to the
+// tainted-allowed output port P2OUT (Section 7's setup). The six benchmarks
+// the paper reports as violating sufficient conditions 1 and 2 (binSearch,
+// div, inSort, intAVG, tHold, Viterbi) have input-dependent control flow
+// and at least one store whose address derives from tainted data; the other
+// seven are written with input-independent control flow (fixed loop bounds,
+// branchless conditional arithmetic) and statically-bounded store
+// addresses, and end with register/flag clearing so no tainted processor
+// state survives into the untainted system code.
+package bench
+
+// Memory map used by every benchmark system.
+const (
+	// SysStack is the untainted system/task stack (grows down).
+	SysStack = 0x0400
+	// PartLo/PartSize bound the tainted data partition.
+	PartLo   = 0x0400
+	PartSize = 0x0400
+)
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	Name string
+	// Task is the tainted task's assembly. It must start at label "task"
+	// and finish by jumping to "task_done". Labels it defines should be
+	// prefixed to stay unique. The partition symbols TPART/TPEND and port
+	// symbols P1IN/P2OUT are predefined.
+	Task string
+	// Source of the workload suite in the paper.
+	Suite string
+	// ExpectC1C2 is the Table 2 expectation: whether the unmodified
+	// benchmark violates sufficient conditions 1 and 2.
+	ExpectC1C2 bool
+	// PaperWithout / PaperWith are Table 3's reference overhead percentages
+	// (without / with application-specific analysis).
+	PaperWithout, PaperWith float64
+}
+
+// All returns the Table 1 benchmark list in the paper's order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		BinSearch(), Div(), InSort(), IntAVG(), IntFilt(), Mult(), RLE(),
+		THold(), Tea8(), FFT(), Viterbi(), ConvEn(), Autocorr(),
+	}
+}
+
+// ByName finds a benchmark.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// BinSearch: binary search over a 16-entry table in the tainted partition
+// for a key read from the tainted port; marks the probe positions in a
+// result array (a store whose index depends on tainted comparisons).
+func BinSearch() *Benchmark {
+	return &Benchmark{
+		Name: "binSearch", Suite: "sensor", ExpectC1C2: true,
+		PaperWithout: 34.63, PaperWith: 34.63,
+		Task: `
+task:   mov #TPART, r4       ; table base
+        mov #24, r5          ; build a sorted table: t[i] = 4*i
+        clr r6
+bs_ini: mov r6, r7
+        rla r7
+        rla r7               ; r7 = 4*i
+        mov r6, r8
+        rla r8               ; byte offset 2*i
+        add r4, r8
+        mov r7, 0(r8)
+        inc r6
+        dec r5
+        jnz bs_ini
+        mov &P1IN, r9        ; tainted key (raw, unbounded)
+        mov r9, r14          ; mark the key's slot: a classic overflow —
+        rla r14              ; the raw input indexes a small table
+        add #TPART+64, r14
+        mov #1, 0(r14)       ; tainted-address store (can escape)
+        clr r10              ; lo
+        mov #23, r11         ; hi
+bs_loop:
+        cmp r11, r10
+        jge bs_done          ; lo >= hi
+        mov r10, r12
+        add r11, r12
+        clrc
+        rrc r12              ; mid = (lo+hi)/2
+        mov r12, r8
+        rla r8
+        add r4, r8           ; &t[mid]
+        mov @r8, r13
+        cmp r9, r13          ; t[mid] ? key
+        jeq bs_hit
+        jl bs_left           ; t[mid] < key
+        mov r12, r11
+        dec r11
+        jmp bs_loop
+bs_left:
+        mov r12, r10
+        inc r10
+        jmp bs_loop
+bs_hit: mov r12, &P2OUT
+bs_done:
+        mov r10, &P2OUT
+        mov &P1IN, r9        ; second search with a fresh key
+        clr r10
+        mov #23, r11
+bs2_lp: cmp r11, r10
+        jge bs2_dn
+        mov r10, r12
+        add r11, r12
+        clrc
+        rrc r12
+        mov r12, r8
+        rla r8
+        add r4, r8
+        mov @r8, r13
+        cmp r9, r13
+        jeq bs2_dn
+        jl bs2_lt
+        mov r12, r11
+        dec r11
+        jmp bs2_lp
+bs2_lt: mov r12, r10
+        inc r10
+        jmp bs2_lp
+bs2_dn: mov r10, &P2OUT
+        jmp task_done
+`,
+	}
+}
+
+// Div: restoring 16-bit division of tainted dividend by tainted divisor;
+// the quotient is histogrammed at a tainted-derived bucket.
+func Div() *Benchmark {
+	return &Benchmark{
+		Name: "div", Suite: "sensor", ExpectC1C2: true,
+		PaperWithout: 33.16, PaperWith: 33.16,
+		Task: `
+task:   mov #2, r12          ; two divisions per activation
+dv_next_op:
+        mov &P1IN, r4        ; dividend (tainted)
+        mov &P1IN, r5        ; divisor (tainted)
+        bis #1, r5           ; avoid divide by zero
+        clr r6               ; quotient
+        clr r7               ; remainder
+        mov #16, r8
+dv_loop:
+        rla r4               ; shift dividend msb into carry
+        rlc r7               ; into remainder
+        cmp r5, r7
+        jl dv_skip           ; remainder < divisor (tainted branch)
+        sub r5, r7
+        bis #1, r6
+dv_skip:
+        dec r8
+        jz dv_done
+        rla r6
+        jmp dv_loop
+dv_done:
+        mov r6, &P2OUT
+        dec r12
+        jnz dv_next_op
+        mov r7, r9           ; histogram the remainder (directly tainted)
+        rla r9
+        add #TPART+32, r9
+        inc 0(r9)            ; tainted-address store (can escape)
+        jmp task_done
+`,
+	}
+}
+
+// InSort: insertion sort of 12 tainted samples inside the partition; the
+// element moves are stores at tainted-comparison-dependent addresses.
+func InSort() *Benchmark {
+	return &Benchmark{
+		Name: "inSort", Suite: "sensor", ExpectC1C2: true,
+		PaperWithout: 37.92, PaperWith: 10.00,
+		Task: `
+task:   mov #TPART, r4
+        mov #12, r5          ; gather 12 tainted samples
+        mov r4, r6
+is_in:  mov &P1IN, r7
+        mov r7, 0(r6)
+        incd r6
+        dec r5
+        jnz is_in
+        mov #1, r8           ; i = 1
+is_out: cmp #12, r8
+        jge is_done
+        mov r8, r9
+        rla r9
+        add r4, r9           ; &a[i]
+        mov @r9, r10         ; key
+        mov r8, r11          ; j = i
+is_shift:
+        tst r11
+        jz is_place
+        mov r11, r12
+        rla r12
+        add r4, r12          ; &a[j]
+        mov -2(r12), r13     ; a[j-1]
+        cmp r10, r13
+        jl is_place          ; a[j-1] < key: stop (tainted branch)
+        mov r13, 0(r12)      ; a[j] = a[j-1] (tainted-address store)
+        dec r11
+        jmp is_shift
+is_place:
+        mov r11, r12
+        rla r12
+        add r4, r12
+        mov r10, 0(r12)      ; a[j] = key
+        inc r8
+        jmp is_out
+is_done:
+        mov 0(r4), &P2OUT
+        mov 0(r4), r9        ; bucket the minimum by its raw value
+        rla r9
+        add #TPART+96, r9
+        mov #1, 0(r9)        ; tainted-address store (can escape)
+        jmp task_done
+`,
+	}
+}
+
+// IntAVG: running integer average of 16 tainted samples with a division
+// loop (tainted branches) and a circular log indexed by the average.
+func IntAVG() *Benchmark {
+	return &Benchmark{
+		Name: "intAVG", Suite: "sensor", ExpectC1C2: true,
+		PaperWithout: 45.56, PaperWith: 11.90,
+		Task: `
+task:   clr r4               ; sum
+        mov #16, r5
+ia_in:  mov &P1IN, r6
+        and #0x00ff, r6
+        add r6, r4
+        dec r5
+        jnz ia_in
+        ; divide sum by 16 via repeated subtraction (tainted loop trip count)
+        clr r7               ; avg
+ia_div: cmp #16, r4
+        jl ia_out            ; tainted branch
+        sub #16, r4
+        inc r7
+        jmp ia_div
+ia_out: mov r7, &P2OUT
+        mov r4, r8           ; log indexed by the raw residual sum
+        rla r8
+        add #TPART+16, r8
+        mov r7, 0(r8)        ; tainted-address store (can escape)
+        jmp task_done
+`,
+	}
+}
+
+// IntFilt: 4-tap moving-sum FIR over 16 samples; fixed control flow, fixed
+// store addresses, register hygiene at the end.
+func IntFilt() *Benchmark {
+	return &Benchmark{
+		Name: "intFilt", Suite: "sensor", ExpectC1C2: false,
+		PaperWithout: 19.58, PaperWith: 0,
+		Task: `
+task:   mov #TPART, r4
+        mov #16, r5          ; gather samples
+        mov r4, r6
+if_in:  mov &P1IN, r7
+        mov r7, 0(r6)
+        incd r6
+        dec r5
+        jnz if_in
+        mov #12, r5          ; 16-4 output points
+        mov r4, r6
+if_sum: mov 0(r6), r8
+        add 2(r6), r8
+        add 4(r6), r8
+        add 6(r6), r8
+        clrc
+        rrc r8
+        clrc
+        rrc r8               ; /4
+        mov r8, 32(r6)       ; fixed offset store inside partition
+        incd r6
+        dec r5
+        jnz if_sum
+        mov 32(r4), &P2OUT
+        clr r4
+        clr r6
+        clr r7
+        clr r8
+        mov #0, sr           ; scrub flags
+        jmp task_done
+`,
+	}
+}
+
+// Mult: 8 branchless 16x16 multiplies of tainted operands (shift-add with
+// arithmetic masking, no data-dependent branches), many partition stores.
+func Mult() *Benchmark {
+	return &Benchmark{
+		Name: "mult", Suite: "sensor", ExpectC1C2: false,
+		PaperWithout: 150.9, PaperWith: 0,
+		Task: `
+task:   mov #TPART, r9
+        mov #8, r4           ; 8 products
+mu_out: mov &P1IN, r12       ; multiplicand (tainted)
+        mov &P1IN, r13       ; multiplier  (tainted)
+        clr r15              ; acc
+        mov #16, r14
+mu_bit: mov r12, r11
+        and #1, r11
+        clr r10
+        sub r11, r10         ; r10 = -(bit) : 0x0000 or 0xffff
+        and r13, r10
+        add r10, r15         ; conditional add, branch-free
+        rla r13
+        clrc
+        rrc r12
+        dec r14              ; untainted flags for the loop branch
+        jnz mu_bit
+        mov r15, 0(r9)       ; store product (fixed address walk)
+        incd r9
+        dec r4
+        jnz mu_out
+        mov -2(r9), &P2OUT
+        clr r9
+        clr r10
+        clr r11
+        clr r12
+        clr r13
+        clr r15
+        mov #0, sr
+        jmp task_done
+`,
+	}
+}
+
+// RLE: fixed-window run-length encoder using branch-free run detection
+// (equality folded into arithmetic), fixed stores.
+func RLE() *Benchmark {
+	return &Benchmark{
+		Name: "rle", Suite: "sensor", ExpectC1C2: false,
+		PaperWithout: 45.61, PaperWith: 0,
+		Task: `
+task:   mov #TPART, r4
+        mov #16, r5          ; gather 16 samples
+        mov r4, r6
+rl_in:  mov &P1IN, r7
+        and #3, r7           ; small alphabet
+        mov r7, 0(r6)
+        incd r6
+        dec r5
+        jnz rl_in
+        ; branch-free run counting: out[i] = (a[i] == a[i+1]) accumulated
+        mov #15, r5
+        mov r4, r6
+        clr r9               ; run accumulator
+rl_cmp: mov 0(r6), r7
+        xor 2(r6), r7        ; 0 iff equal
+        ; normalize to 0/1 without branching: subtract with borrow trick
+        mov r7, r8
+        clr r10
+        sub r8, r10          ; borrow set iff r8 != 0
+        subc r10, r10        ; r10 = 0 if ne... carry trick
+        inv r10
+        and #1, r10          ; r10 = 1 iff r7 != 0
+        add r10, r9          ; count boundaries
+        mov r10, 32(r6)      ; boundary flags at fixed offsets
+        incd r6
+        dec r5
+        jnz rl_cmp
+        mov r9, &P2OUT
+        clr r4
+        clr r6
+        clr r7
+        clr r8
+        clr r9
+        clr r10
+        mov #0, sr
+        jmp task_done
+`,
+	}
+}
+
+// THold: threshold detector with an input-dependent branch per sample and a
+// bucket increment at a tainted-derived address.
+func THold() *Benchmark {
+	return &Benchmark{
+		Name: "tHold", Suite: "sensor", ExpectC1C2: true,
+		PaperWithout: 106.2, PaperWith: 106.2,
+		Task: `
+task:   clr r8               ; above-threshold count
+        mov #8, r5
+th_in:  mov &P1IN, r9        ; raw tainted sample
+        mov r9, r6
+        and #0x00ff, r6
+        cmp #128, r6
+        jl th_lo             ; tainted branch
+        inc r8
+        mov r9, r7           ; bucket store at the raw (unbounded) sample
+        rla r7
+        add #TPART+8, r7
+        inc 0(r7)            ; tainted-address store (can escape)
+th_lo:  dec r5
+        jnz th_in
+        mov r8, &P2OUT
+        jmp task_done
+`,
+	}
+}
+
+// Tea8: 8 rounds of the TEA block cipher on a tainted block with a constant
+// key — pure straight-line arithmetic (branchless multiplies by shifts).
+func Tea8() *Benchmark {
+	return &Benchmark{
+		Name: "tea8", Suite: "sensor", ExpectC1C2: false,
+		PaperWithout: 93.89, PaperWith: 0,
+		Task: `
+task:   mov &P1IN, r4        ; v0 (tainted)
+        mov &P1IN, r5        ; v1 (tainted)
+        clr r6               ; sum
+        mov #8, r7           ; 8 rounds
+te_rnd: add #0x9e37, r6      ; delta (16-bit golden ratio slice)
+        ; v0 += ((v1<<4) + k0) ^ (v1 + sum) ^ ((v1>>5) + k1)
+        mov r5, r8
+        rla r8
+        rla r8
+        rla r8
+        rla r8
+        add #0x1234, r8      ; +k0
+        mov r5, r9
+        add r6, r9
+        xor r9, r8
+        mov r5, r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        add #0x5678, r9      ; +k1
+        xor r9, r8
+        add r8, r4
+        ; v1 += ((v0<<4) + k2) ^ (v0 + sum) ^ ((v0>>5) + k3)
+        mov r4, r8
+        rla r8
+        rla r8
+        rla r8
+        rla r8
+        add #0x9abc, r8
+        mov r4, r9
+        add r6, r9
+        xor r9, r8
+        mov r4, r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        clrc
+        rrc r9
+        add #0xdef0, r9
+        xor r9, r8
+        add r8, r5
+        dec r7
+        jnz te_rnd
+        mov r4, &P2OUT
+        mov r5, &P2OUT
+        mov r4, TPART+0
+        mov r5, TPART+2
+        clr r4
+        clr r5
+        clr r6
+        clr r8
+        clr r9
+        mov #0, sr
+        jmp task_done
+`,
+	}
+}
+
+// FFT: a 4-point radix-2 DIT FFT on tainted samples with constant twiddles
+// (+-1, so butterflies are adds/subs) — fixed geometry, fixed addresses.
+func FFT() *Benchmark {
+	return &Benchmark{
+		Name: "FFT", Suite: "eembc", ExpectC1C2: false,
+		PaperWithout: 17.63, PaperWith: 0,
+		Task: `
+task:   mov #TPART, r4
+        mov &P1IN, r5        ; x0..x3 (tainted)
+        mov &P1IN, r6
+        mov &P1IN, r7
+        mov &P1IN, r8
+        ; stage 1: bit-reversed pairs (x0,x2), (x1,x3)
+        mov r5, r9
+        add r7, r9           ; a = x0+x2
+        mov r5, r10
+        sub r7, r10          ; b = x0-x2
+        mov r6, r11
+        add r8, r11          ; c = x1+x3
+        mov r6, r12
+        sub r8, r12          ; d = x1-x3
+        ; stage 2
+        mov r9, r13
+        add r11, r13         ; X0 = a+c
+        mov r9, r14
+        sub r11, r14         ; X2 = a-c
+        mov r13, 0(r4)
+        mov r10, 2(r4)       ; X1 re = b (imag part d)
+        mov r14, 4(r4)
+        mov r12, 6(r4)
+        mov r13, &P2OUT
+        clr r4
+        clr r5
+        clr r6
+        clr r7
+        clr r8
+        clr r9
+        clr r10
+        clr r11
+        clr r12
+        clr r13
+        clr r14
+        mov #0, sr
+        jmp task_done
+`,
+	}
+}
+
+// Viterbi: one trellis step of a 4-state decoder: add-compare-select on
+// tainted branch metrics (tainted branches) with survivor stores at
+// state-dependent (tainted) addresses.
+func Viterbi() *Benchmark {
+	return &Benchmark{
+		Name: "Viterbi", Suite: "eembc", ExpectC1C2: true,
+		PaperWithout: 1.029, PaperWith: 1.029,
+		Task: `
+task:   mov #TPART, r4       ; path metrics for 4 states
+        clr 0(r4)
+        mov #4, 2(r4)
+        mov #4, 4(r4)
+        mov #8, 6(r4)
+        mov #64, r10         ; 64 trellis steps
+vi_step:
+        mov &P1IN, r5        ; tainted branch metric
+        and #15, r5
+        clr r13              ; state index
+vi_acs: mov r13, r14
+        rla r14
+        add r4, r14          ; &pm[state]
+        ; ACS: min(pm[s] + m, pm[s^1] + (15-m))
+        mov @r14, r6
+        add r5, r6
+        mov r13, r15
+        xor #1, r15
+        rla r15
+        add r4, r15
+        mov @r15, r7
+        mov #15, r8
+        sub r5, r8
+        add r8, r7
+        cmp r7, r6
+        jl vi_keep           ; tainted compare
+        mov r7, r6
+vi_keep:
+        mov r6, 0(r14)
+        inc r13
+        cmp #4, r13
+        jl vi_acs
+        ; survivor store indexed by the raw metric sum (directly tainted)
+        mov r6, r11
+        rla r11
+        add #TPART+16, r11
+        mov r10, 0(r11)      ; tainted-address store (can escape)
+        dec r10
+        jnz vi_step
+        mov 0(r4), &P2OUT
+        jmp task_done
+`,
+	}
+}
+
+// ConvEn: convolutional encoder (k=3, rate 1/2) over 16 tainted bits —
+// pure shifts and XOR parity, fixed loops.
+func ConvEn() *Benchmark {
+	return &Benchmark{
+		Name: "ConvEn", Suite: "eembc", ExpectC1C2: false,
+		PaperWithout: 19.69, PaperWith: 0,
+		Task: `
+task:   mov &P1IN, r4        ; input bits (tainted)
+        clr r5               ; shift register
+        clr r6               ; encoded output
+        mov #16, r7
+ce_bit: rla r4               ; msb -> carry
+        rlc r5               ; into shift register
+        ; g0 = s0^s1^s2 : fold bits of r5&7
+        mov r5, r8
+        and #7, r8
+        mov r8, r9
+        clrc
+        rrc r9
+        xor r9, r8
+        mov r8, r9
+        clrc
+        rrc r9
+        xor r9, r8
+        and #1, r8           ; parity
+        rla r6
+        bis r8, r6
+        dec r7
+        jnz ce_bit
+        mov r6, &P2OUT
+        mov r6, TPART+0
+        clr r4
+        clr r5
+        clr r6
+        clr r8
+        clr r9
+        mov #0, sr
+        jmp task_done
+`,
+	}
+}
+
+// Autocorr: lag-1..2 autocorrelation over 8 tainted samples using the
+// branchless multiplier; fixed loops and addresses.
+func Autocorr() *Benchmark {
+	return &Benchmark{
+		Name: "autocorr", Suite: "eembc", ExpectC1C2: false,
+		PaperWithout: 42.15, PaperWith: 0,
+		Task: `
+task:   mov #TPART, r4
+        mov #8, r5           ; gather
+        mov r4, r6
+ac_in:  mov &P1IN, r7
+        and #0x00ff, r7
+        mov r7, 0(r6)
+        incd r6
+        dec r5
+        jnz ac_in
+        mov #2, r5           ; lags 1..2
+        clr r3               ; (nop spacing)
+ac_lag: mov #TPART, r6
+        clr r15              ; acc for this lag
+        mov #6, r7           ; 8 - 2 products
+ac_mac: mov 0(r6), r12       ; a[i]
+        mov r5, r8
+        rla r8
+        add r6, r8
+        mov 0(r8), r13       ; a[i+lag] -- address derives from the *lag*,
+        ; branchless multiply r12*r13 -> r14 (8 bits is enough)
+        clr r14
+        mov #8, r9
+ac_bit: mov r12, r11
+        and #1, r11
+        clr r10
+        sub r11, r10
+        and r13, r10
+        add r10, r14
+        rla r13
+        clrc
+        rrc r12
+        dec r9
+        jnz ac_bit
+        add r14, r15
+        incd r6
+        dec r7
+        jnz ac_mac
+        mov r5, r8
+        rla r8
+        mov r15, TPART+32(r8) ; store at lag-indexed (untainted) address
+        dec r5
+        jnz ac_lag
+        mov TPART+34, &P2OUT
+        clr r4
+        clr r6
+        clr r7
+        clr r8
+        clr r9
+        clr r10
+        clr r11
+        clr r12
+        clr r13
+        clr r14
+        clr r15
+        mov #0, sr
+        jmp task_done
+`,
+	}
+}

@@ -1,0 +1,52 @@
+// Package core is the canonical entry point for the paper's primary
+// contribution — application-specific gate-level information flow tracking
+// — re-exporting the analysis engine implemented in internal/glift. Use
+// this package when you only need the analysis surface:
+//
+//	img, _ := asm.AssembleSource(src)
+//	report, _ := core.Analyze(img, &core.Policy{...}, nil)
+//	if report.Secure() { ... }
+//
+// The full API (the *-logic baseline, the Figure 7 reproduction, trace
+// recording, engine internals) lives in internal/glift.
+package core
+
+import "repro/internal/glift"
+
+// Core analysis types.
+type (
+	// Policy is an information flow security policy instance.
+	Policy = glift.Policy
+	// AddrRange is a half-open address interval.
+	AddrRange = glift.AddrRange
+	// Report is the output of an analysis run.
+	Report = glift.Report
+	// Violation is one potential information flow violation.
+	Violation = glift.Violation
+	// Kind classifies a violation.
+	Kind = glift.Kind
+	// Options tunes an analysis run.
+	Options = glift.Options
+	// Stats describes the exploration.
+	Stats = glift.Stats
+)
+
+// Violation kinds (the five sufficient conditions of Section 5.1 plus the
+// direct and integrity checks).
+const (
+	C1TaintedState       = glift.C1TaintedState
+	C2MemoryEscape       = glift.C2MemoryEscape
+	C3LoadTainted        = glift.C3LoadTainted
+	C4ReadTaintedPort    = glift.C4ReadTaintedPort
+	C5WriteUntaintedPort = glift.C5WriteUntaintedPort
+	OutputPortTainted    = glift.OutputPortTainted
+	WatchdogTainted      = glift.WatchdogTainted
+	PCUnresolved         = glift.PCUnresolved
+	AnalysisIncomplete   = glift.AnalysisIncomplete
+)
+
+// Analyze runs Algorithm 1 end to end for one policy.
+var Analyze = glift.Analyze
+
+// StarLogic runs the application-agnostic baseline (Footnote 8).
+var StarLogic = glift.StarLogic

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// The alias surface must be usable end to end.
+func TestCoreSurface(t *testing.T) {
+	img, err := asm.AssembleSource(`
+start:  mov &0x0020, r15
+        mov #0x0200, r14
+        add r15, r14
+        mov #500, 0(r14)
+done:   jmp done
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(img, &Policy{
+		Name:           "integrity",
+		TaintedInPorts: []int{0},
+		TaintedData:    []AddrRange{{Lo: 0x0400, Hi: 0x0800}},
+	}, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Secure() {
+		t.Fatal("vulnerable program should not verify")
+	}
+	if len(rep.ByKind(C2MemoryEscape)) == 0 {
+		t.Fatalf("expected a C2 violation, got %v", rep.Violations)
+	}
+}

@@ -1,0 +1,41 @@
+package energy
+
+import "testing"
+
+func TestEnergyLinear(t *testing.T) {
+	m := Model{StaticPJPerCycle: 10, DynamicPJPerToggle: 2}
+	if got := m.Energy(100, 50); got != 1100 {
+		t.Fatalf("energy = %v", got)
+	}
+	if got := m.Energy(0, 0); got != 0 {
+		t.Fatalf("zero energy = %v", got)
+	}
+}
+
+func TestOverheadPercent(t *testing.T) {
+	m := Model{StaticPJPerCycle: 10, DynamicPJPerToggle: 0}
+	if got := m.OverheadPercent(1000, 0, 1150, 0); got != 15 {
+		t.Fatalf("overhead = %v", got)
+	}
+	if got := m.OverheadPercent(0, 0, 100, 100); got != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+	// Idle-heavy protected runs (more cycles, fewer toggles per cycle) cost
+	// less than pure cycle scaling.
+	full := Model{StaticPJPerCycle: 10, DynamicPJPerToggle: 1}
+	cycleOnly := full.OverheadPercent(1000, 0, 1500, 0)
+	withIdle := full.OverheadPercent(1000, 40000, 1500, 41000)
+	if withIdle >= cycleOnly {
+		t.Fatalf("idle-aware overhead %v should be below cycle-only %v", withIdle, cycleOnly)
+	}
+}
+
+func TestDefaultModelPlausible(t *testing.T) {
+	// ~40 toggles/cycle at the default coefficients puts dynamic and static
+	// energy in the same order of magnitude.
+	e := Default.Energy(1000, 40_000)
+	static := Default.StaticPJPerCycle * 1000
+	if e < static || e > 3*static {
+		t.Fatalf("default calibration off: total %v vs static %v", e, static)
+	}
+}

@@ -1,0 +1,166 @@
+package glift
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The paper's non-interference policy tracks two independent taints —
+// untrusted (integrity) and secret (confidentiality) — analyzed separately
+// (Section 4.2). These tests exercise the confidentiality dimension: the
+// taint source is a secret key region in memory, and the untainted sinks
+// are the non-secret output ports.
+
+// A device that exfiltrates its key to the radio port violates
+// confidentiality.
+func TestConfidentialityKeyLeaks(t *testing.T) {
+	img := mustImage(t, `
+.equ KEY, 0x0400
+.equ P4OUT, 0x002e
+start:  mov &KEY, r5         ; load a secret key word
+        mov r5, &P4OUT       ; ...and leak it out the non-secret port
+done:   jmp done
+`)
+	pol := &Policy{
+		Name:                 "confidentiality",
+		TaintedData:          []AddrRange{{0x0400, 0x0420}},
+		InitiallyTaintedData: []AddrRange{{0x0400, 0x0420}},
+		TaintedCode:          []AddrRange{{img.MustSymbol("start"), img.MustSymbol("done")}},
+	}
+	rep, err := Analyze(img, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(rep, OutputPortTainted) && !hasKind(rep, C5WriteUntaintedPort) {
+		t.Fatalf("secret leak not detected: %v", rep.Violations)
+	}
+}
+
+// The same device writing only a MAC-like digest to its *secret-allowed*
+// port verifies under confidentiality.
+func TestConfidentialityContainedKeyUse(t *testing.T) {
+	img := mustImage(t, `
+.equ KEY, 0x0400
+.equ P2OUT, 0x0026
+start:  mov &KEY, r5
+        xor &KEY+2, r5       ; fold the key
+        mov r5, &P2OUT       ; the secret-allowed channel
+        mov r5, &KEY+16      ; scratch inside the secret region
+        clr r5
+        mov #0, sr
+done:   jmp done
+`)
+	pol := &Policy{
+		Name:                 "confidentiality",
+		TaintedData:          []AddrRange{{0x0400, 0x0420}},
+		InitiallyTaintedData: []AddrRange{{0x0400, 0x0420}},
+		TaintedOutPorts:      []int{1},
+		TaintedCode:          []AddrRange{{img.MustSymbol("start"), img.MustSymbol("done")}},
+	}
+	rep, err := Analyze(img, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Secure() {
+		t.Fatalf("contained key use should verify: %v", rep.Violations)
+	}
+}
+
+// A timing channel: a loop whose trip count depends on the secret key
+// taints the PC; condition 1 catches the implicit flow when non-secret
+// code resumes. This is the class of channel ISA-level taint tracking
+// misses and gate-level tracking catches (Section 1).
+func TestConfidentialityTimingChannel(t *testing.T) {
+	img := mustImage(t, `
+.equ KEY, 0x0400
+start:  jmp tstart
+t_done: jmp start            ; non-secret code
+tstart: mov &KEY, r5         ; secret-dependent loop bound
+        and #7, r5
+loop:   dec r5
+        jnz loop             ; secret-dependent control flow
+        jmp t_done
+tend:   nop
+`)
+	pol := &Policy{
+		Name:                 "confidentiality",
+		TaintedData:          []AddrRange{{0x0400, 0x0420}},
+		InitiallyTaintedData: []AddrRange{{0x0400, 0x0420}},
+		TaintedCode:          []AddrRange{{img.MustSymbol("tstart"), img.MustSymbol("tend")}},
+	}
+	rep, err := Analyze(img, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(rep, C1TaintedState) {
+		t.Fatalf("secret-dependent timing should taint the PC into non-secret code: %v", rep.Violations)
+	}
+}
+
+// TestTraceRecorder exercises the per-cycle tainted-state capture.
+func TestTraceRecorder(t *testing.T) {
+	img := mustImage(t, `
+start:  mov &0x0020, r5
+        mov r5, &0x0404
+done:   jmp done
+`)
+	pol := &Policy{
+		Name:           "integrity",
+		TaintedInPorts: []int{0},
+		TaintedData:    []AddrRange{{0x0400, 0x0800}},
+	}
+	rec := &TraceRecorder{}
+	if _, err := Analyze(img, pol, &Options{Trace: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) < 5 {
+		t.Fatalf("only %d trace entries", len(rec.Entries))
+	}
+	// r5 must appear tainted at some point, and RAM taint must grow after
+	// the store.
+	sawR5 := false
+	sawRAM := false
+	for _, e := range rec.Entries {
+		if e.TaintedRegs>>5&1 == 1 {
+			sawR5 = true
+		}
+		if e.TaintedRAM > 0 {
+			sawRAM = true
+		}
+	}
+	if !sawR5 || !sawRAM {
+		t.Fatalf("trace missed taint movement (r5=%v ram=%v)", sawR5, sawRAM)
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ram=") {
+		t.Fatal("trace rendering broken")
+	}
+}
+
+// TestTraceRecorderSampling checks Every/Max limits.
+func TestTraceRecorderSampling(t *testing.T) {
+	img := mustImage(t, `
+start:  mov &0x0020, r5
+        and #7, r5
+loop:   dec r5
+        jnz loop
+        jmp start
+`)
+	pol := &Policy{Name: "integrity", TaintedInPorts: []int{0}}
+	rec := &TraceRecorder{Every: 10, Max: 20}
+	if _, err := Analyze(img, pol, &Options{Trace: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) > 20 {
+		t.Fatalf("cap not applied: %d entries", len(rec.Entries))
+	}
+	for _, e := range rec.Entries {
+		if e.Cycle%10 != 0 {
+			t.Fatalf("sampling broken at cycle %d", e.Cycle)
+		}
+	}
+}

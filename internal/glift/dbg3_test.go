@@ -1,0 +1,32 @@
+package glift
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mcu"
+)
+
+func TestDebugMergeXPC(t *testing.T) {
+	src := `
+start:  mov &0x0020, r15     ; tainted key
+        mov #0x0200, r14
+        add r15, r14
+        mov #500, 0(r14)
+        mov #3, r10
+lp:     dec r10
+        jnz lp
+done:   jmp done
+`
+	img := mustImage(t, src)
+	pol := &Policy{Name: "integrity", TaintedInPorts: []int{0}, TaintedData: []AddrRange{{0x0400, 0x0800}}}
+	e, err := NewEngine(img, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.debugMerge = func(k forkKey, c *mcu.Snapshot) {
+		fmt.Printf("MERGE key(%#x,%d): pc=%s\n", k.pc, k.dir, e.Sys.SnapshotPC(c))
+	}
+	rep := e.Run()
+	fmt.Println(rep.Violations)
+}

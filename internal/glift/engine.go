@@ -1,0 +1,628 @@
+package glift
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/mcu"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+var (
+	designOnce sync.Once
+	design     *mcu.Design
+)
+
+// SharedDesign returns the singleton gate-level processor netlist. Building
+// it is moderately expensive and it holds no simulation state.
+func SharedDesign() *mcu.Design {
+	designOnce.Do(func() { design = mcu.Build() })
+	return design
+}
+
+// Options tunes an analysis run.
+type Options struct {
+	// MaxCycles bounds total simulated cycles (0: default 4M).
+	MaxCycles uint64
+	// MaxPathCycles bounds cycles on one path segment without a merge point
+	// (0: default 200k) — a straight-line runaway guard.
+	MaxPathCycles uint64
+	// WidenAfter is the number of visits to one PC-changing site after
+	// which states are widened (merged to a conservative superstate) rather
+	// than tracked precisely. Below the threshold, concretely-bounded loops
+	// unroll exactly, preserving loop-pointer precision; above it, widening
+	// forces convergence of input-dependent or unbounded loops (0: 512).
+	WidenAfter int
+	// Trace receives per-cycle callbacks (e.g. taint trace recording).
+	Trace func(e *Engine, ci *mcu.CycleInfo)
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxCycles == 0 {
+		out.MaxCycles = 4_000_000
+	}
+	if out.MaxPathCycles == 0 {
+		out.MaxPathCycles = 200_000
+	}
+	if out.WidenAfter == 0 {
+		out.WidenAfter = 512
+	}
+	return out
+}
+
+// forkKey identifies a conservative-state-table entry: a PC-changing
+// commit site (PC value plus FSM state, since a mid-instruction cycle's PC
+// can equal another instruction's fetch address) plus the concrete control
+// decisions taken (Algorithm 1's table of previously observed states).
+type forkKey struct {
+	pc    uint16
+	state uint8
+	dir   uint8
+}
+
+type pathState struct {
+	snap     *mcu.Snapshot
+	curInstr uint16
+}
+
+// tableEntry is one conservative-state-table slot: the reference state for
+// pruning, and how many times the site has been visited.
+type tableEntry struct {
+	snap   *mcu.Snapshot
+	visits int
+}
+
+// Engine performs input-independent gate-level taint tracking of one system
+// binary under one policy.
+type Engine struct {
+	Sys *mcu.System
+	Pol *Policy
+	opt Options
+
+	table    map[forkKey]*tableEntry
+	work     []pathState
+	curInstr uint16
+	seen     map[Violation]bool
+	report   *Report
+
+	ramRange AddrRange
+
+	// debugMerge, when set, observes every superstate widening.
+	debugMerge func(k forkKey, c *mcu.Snapshot)
+}
+
+// CurInstr returns the instruction address currently executing (diagnostics).
+func (e *Engine) CurInstr() uint16 { return e.curInstr }
+
+// SetTrace installs a per-cycle observer after construction.
+func (e *Engine) SetTrace(f func(e *Engine, ci *mcu.CycleInfo)) { e.opt.Trace = f }
+
+// DebugMerge installs a widening observer (diagnostics; reports the key and
+// the merged PC rendering).
+func (e *Engine) DebugMerge(f func(pc uint16, dir uint8, pcWord string)) {
+	e.debugMerge = func(k forkKey, c *mcu.Snapshot) {
+		f(k.pc, k.dir, e.Sys.SnapshotPC(c).String())
+	}
+}
+
+// NewEngine prepares a system for analysis: program loaded, policy taints
+// applied (tainted code partitions, initially tainted data, tainted ports).
+func NewEngine(img *asm.Image, pol *Policy, opt *Options) (*Engine, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := mcu.NewSystem(SharedDesign())
+	if err != nil {
+		return nil, err
+	}
+	// Pad all of program memory with self-jump traps before placing the
+	// image: conservative merging of return addresses can propose candidate
+	// PCs that were never actually pushed, and without padding those
+	// candidates would execute unknown (X) instruction words and cascade
+	// into spurious violations. A trapped candidate parks and is pruned.
+	trap, _ := (&isa.Instr{Op: isa.JMP, Off: -1}).Encode()
+	for a := uint32(isa.ROMStart); a < 0x10000; a += 2 {
+		sys.ROM.StoreWord(uint16(a), sim.ConcreteWord(trap[0]))
+	}
+	img.Place(func(a, w uint16) { sys.ROM.StoreWord(a, sim.ConcreteWord(w)) })
+	sys.SetResetVector(img.Entry)
+	if pol.TaintCodeWords {
+		for _, r := range pol.TaintedCode {
+			sys.TaintCode(r.Lo, r.Hi)
+		}
+	}
+	for _, r := range pol.InitiallyTaintedData {
+		sys.RAM.SetTaint(r.Lo, r.Hi)
+	}
+	for i := 0; i < mcu.NumPorts; i++ {
+		w := sim.Word{XM: 0xffff}
+		if pol.TaintedInPort(i) {
+			w.TT = 0xffff
+		}
+		sys.SetPortIn(i, w)
+	}
+	return &Engine{
+		Sys:      sys,
+		Pol:      pol,
+		opt:      opt.withDefaults(),
+		table:    make(map[forkKey]*tableEntry),
+		seen:     make(map[Violation]bool),
+		report:   &Report{Policy: pol.Name},
+		ramRange: AddrRange{Lo: isa.RAMStart, Hi: isa.RAMEnd},
+	}, nil
+}
+
+// Analyze runs Algorithm 1 end to end for one policy.
+func Analyze(img *asm.Image, pol *Policy, opt *Options) (*Report, error) {
+	e, err := NewEngine(img, pol, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(), nil
+}
+
+// Run explores all possible executions and returns the violation report.
+func (e *Engine) Run() *Report {
+	start := time.Now()
+	e.Sys.PowerOn()
+	e.Sys.Step() // StReset: fetch the reset vector
+	entryW := e.Sys.GetWord([]netlist.NetID(e.Sys.D.PC))
+	e.curInstr = entryW.Val
+	e.push(e.Sys.Snapshot(), e.curInstr, forkKey{}, false)
+
+	for len(e.work) > 0 && e.report.Stats.Cycles < e.opt.MaxCycles {
+		ps := e.work[len(e.work)-1]
+		e.work = e.work[:len(e.work)-1]
+		e.report.Stats.Paths++
+		e.Sys.Restore(ps.snap)
+		e.curInstr = ps.curInstr
+		e.runPath()
+	}
+	if len(e.work) > 0 {
+		e.violation(AnalysisIncomplete, e.curInstr, fmt.Sprintf("cycle budget exhausted with %d pending paths", len(e.work)))
+	}
+	e.report.Stats.WallNanos = time.Since(start).Nanoseconds()
+	return e.report
+}
+
+// runPath simulates from the current state until the path is pruned,
+// forked, or abandoned.
+func (e *Engine) runPath() {
+	var pathCycles uint64
+	for e.report.Stats.Cycles < e.opt.MaxCycles {
+		ci := e.Sys.EvalCycle(nil)
+		if ci.StateOK && ci.State == mcu.StFetch && ci.PmemOK {
+			e.curInstr = ci.PmemAddr
+		}
+		if !ci.PmemOK {
+			e.violation(PCUnresolved, e.curInstr, fmt.Sprintf("fetch address is unknown (pc=%s)", ci.PC))
+			return
+		}
+		e.check(ci)
+		if e.opt.Trace != nil {
+			e.opt.Trace(e, ci)
+		}
+		if ci.PCNext.XM != 0 || ci.POR.V == logic.X || ci.IrqTkn.V == logic.X {
+			// Input-dependent control flow, an uncertain watchdog reset, or
+			// an uncertain interrupt decision: concretize every direction
+			// (Algorithm 1 lines 29-37).
+			e.fork(ci)
+			return
+		}
+		e.commitCycle(ci)
+		pathCycles++
+		if e.modifiesPC(ci) {
+			// Key the conservative state table on the committing cycle's PC
+			// (unique per commit site — including the reset vector load,
+			// whose PC is 0) plus the semantic control decisions.
+			if e.mergePoint(forkKey{pc: ci.PC.Val, state: stateCode(ci), dir: dirCode(ci.BranchTkn.V, ci.POR.V, ci.IrqTkn.V)}) {
+				return // pruned: this state (or a superstate) was explored
+			}
+		}
+		if pathCycles > e.opt.MaxPathCycles {
+			e.violation(AnalysisIncomplete, e.curInstr, "path exceeded straight-line cycle budget")
+			return
+		}
+	}
+}
+
+// commitCycle commits one evaluated cycle and enforces the paper's
+// control-flow recovery rule (Section 5.2): once the PC is tainted, only an
+// *untainted* power-on reset may untaint it. Architectural PC writes with
+// untainted data (a yield jump, a return through a clean stack frame, an
+// interrupt-style RETI) do not help, because *when* they execute is itself
+// attacker-influenced — so the engine re-taints the PC after any commit
+// that is not a clean reset.
+func (e *Engine) commitCycle(ci *mcu.CycleInfo) {
+	pcWasTainted := ci.PC.TT != 0
+	e.Sys.Commit(ci)
+	e.report.Stats.Cycles++
+	cleanReset := ci.POR.V == logic.One && !ci.POR.T
+	if pcWasTainted && !cleanReset {
+		for _, bit := range e.Sys.D.PC {
+			sg := e.Sys.C.Get(bit)
+			sg.T = true
+			e.Sys.C.SetInput(bit, sg)
+		}
+	}
+}
+
+// modifiesPC reports whether the committed cycle changed the PC
+// non-sequentially — a PC-changing instruction in Algorithm 1's sense.
+// These are the points where the conservative state table applies.
+func (e *Engine) modifiesPC(ci *mcu.CycleInfo) bool {
+	if ci.PCNext.XM != 0 || ci.PC.XM != 0 || ci.POR.V != logic.Zero || ci.IrqTkn.V != logic.Zero {
+		return true
+	}
+	if ci.StateOK && ci.State == mcu.StFetch && ci.Fetch.XM == 0 && ci.Fetch.Val>>13 == 1 {
+		return true // a jump instruction, including a self-jump (jmp $)
+	}
+	return ci.PCNext.Val != ci.PC.Val && ci.PCNext.Val != ci.PC.Val+2
+}
+
+// mergePoint applies the conservative state table after committing a
+// PC-changing cycle. It returns true when the path should stop (the state
+// is covered by what has already been explored); otherwise the simulation
+// continues from the (possibly widened) conservative superstate.
+func (e *Engine) mergePoint(k forkKey) bool {
+	post := e.Sys.Snapshot()
+	if c, ok := e.table[k]; ok {
+		c.visits++
+		if post.SubstateOf(c.snap) {
+			e.report.Stats.Prunes++
+			return true
+		}
+		if c.visits <= e.opt.WidenAfter {
+			// Below the widening threshold: track the precise state so
+			// concretely-bounded loops unroll exactly.
+			c.snap = post.Clone()
+			return false
+		}
+		c.snap.MergeFrom(post)
+		e.report.Stats.Merges++
+		if e.debugMerge != nil {
+			e.debugMerge(k, c.snap)
+		}
+		e.Sys.Restore(c.snap)
+		return false
+	}
+	e.table[k] = &tableEntry{snap: post.Clone(), visits: 1}
+	e.report.Stats.TableStates = len(e.table)
+	return false
+}
+
+// fork concretizes an unknown PC-next value by re-evaluating the cycle with
+// the unknown control decisions forced to each combination of concrete
+// values (keeping their taint, so a tainted condition taints the PC on both
+// paths), then enqueues the surviving successor states. Two decision nets
+// can make the PC unknown: the branch_taken probe (input-dependent
+// conditional control flow) and the power-on-reset (a watchdog expiry whose
+// countdown state was widened to X by conservative merging — the reset may
+// or may not fire this cycle, so both worlds are explored).
+func (e *Engine) fork(ci *mcu.CycleInfo) {
+	pre := e.Sys.Snapshot()
+
+	type cand struct {
+		net netlist.NetID
+		sig logic.Sig
+	}
+	var cands []cand
+	if ci.BranchTkn.V == logic.X {
+		cands = append(cands, cand{e.Sys.D.BranchTaken, ci.BranchTkn})
+	}
+	if por := e.Sys.C.Get(e.Sys.D.POR); por.V == logic.X {
+		cands = append(cands, cand{e.Sys.D.POR, por})
+	}
+	if ci.IrqTkn.V == logic.X {
+		cands = append(cands, cand{e.Sys.D.IrqTaken, ci.IrqTkn})
+	}
+	if len(cands) == 0 {
+		// The unknown PC comes from data (e.g. a return address widened by
+		// conservative merging, or a computed branch target). When only a
+		// few bits are unknown, enumerate the candidate targets by forcing
+		// the PC register's D inputs — Algorithm 1's
+		// possible_PC_next_vals(e') for the data-dependent case. Beyond
+		// that, report conservatively (Footnote 4's heuristics territory).
+		const maxXBits = 4
+		var xbits []int
+		for i := 0; i < 16; i++ {
+			if ci.PCNext.XM>>uint(i)&1 == 1 {
+				xbits = append(xbits, i)
+			}
+		}
+		if len(xbits) == 0 || len(xbits) > maxXBits {
+			e.violation(PCUnresolved, e.curInstr, "PC target unknown (indirect control flow through unknown data)")
+			return
+		}
+		for combo := 0; combo < 1<<len(xbits); combo++ {
+			e.Sys.Restore(pre)
+			forced := make(map[netlist.NetID]logic.Sig, len(xbits))
+			for j, bit := range xbits {
+				forced[e.Sys.D.PCNext[bit]] = logic.Sig{
+					V: logic.FromBool(combo>>uint(j)&1 == 1),
+					T: ci.PCNext.TT>>uint(bit)&1 == 1,
+				}
+			}
+			civ := e.Sys.EvalCycle(forced)
+			if civ.PCNext.XM != 0 {
+				e.violation(PCUnresolved, e.curInstr, "PC target unknown even with candidate enumeration")
+				continue
+			}
+			k := forkKey{pc: civ.PC.Val, state: stateCode(civ), dir: uint8(100 + combo)}
+			e.commitCycle(civ)
+			e.report.Stats.Forks++
+			e.push(e.Sys.Snapshot(), e.curInstr, k, true)
+		}
+		return
+	}
+
+	for combo := 0; combo < 1<<len(cands); combo++ {
+		e.Sys.Restore(pre)
+		forced := make(map[netlist.NetID]logic.Sig, len(cands))
+		for i, c := range cands {
+			v := logic.Zero
+			if combo>>uint(i)&1 == 1 {
+				v = logic.One
+			}
+			forced[c.net] = logic.Sig{V: v, T: c.sig.T}
+		}
+		civ := e.Sys.EvalCycle(forced)
+		if civ.PCNext.XM != 0 {
+			e.violation(PCUnresolved, e.curInstr, fmt.Sprintf("PC target unknown even with control decisions forced (st=%d pcnext=%s)", civ.State, civ.PCNext))
+			continue
+		}
+		k := forkKey{pc: civ.PC.Val, state: stateCode(civ), dir: dirCode(civ.BranchTkn.V, civ.POR.V, civ.IrqTkn.V)}
+		e.commitCycle(civ)
+		e.report.Stats.Forks++
+		e.push(e.Sys.Snapshot(), e.curInstr, k, true)
+	}
+}
+
+// dirCode encodes the semantic control decisions of a committed cycle (the
+// branch decision, the power-on reset, and the interrupt entry) so that
+// conservative-state-table entries never mix states with different
+// successor PCs.
+func dirCode(bt, por, irq logic.V) uint8 {
+	return (uint8(bt)*3+uint8(por))*3 + uint8(irq)
+}
+
+// stateCode tags a cycle with its FSM state for the fork key.
+func stateCode(ci *mcu.CycleInfo) uint8 {
+	if !ci.StateOK {
+		return 0xff
+	}
+	return uint8(ci.State)
+}
+
+// push enqueues a successor state, first applying the conservative state
+// table (prune if covered, widen otherwise).
+func (e *Engine) push(post *mcu.Snapshot, curInstr uint16, k forkKey, applyTable bool) {
+	next := curInstr
+	if applyTable {
+		if c, ok := e.table[k]; ok {
+			c.visits++
+			if post.SubstateOf(c.snap) {
+				e.report.Stats.Prunes++
+				return
+			}
+			if c.visits <= e.opt.WidenAfter {
+				c.snap = post.Clone()
+			} else {
+				c.snap.MergeFrom(post)
+				e.report.Stats.Merges++
+				if e.debugMerge != nil {
+					e.debugMerge(k, c.snap)
+				}
+				post = c.snap.Clone()
+			}
+		} else {
+			e.table[k] = &tableEntry{snap: post.Clone(), visits: 1}
+			e.report.Stats.TableStates = len(e.table)
+		}
+	}
+	e.work = append(e.work, pathState{snap: post, curInstr: next})
+}
+
+func (e *Engine) violation(k Kind, pc uint16, detail string) {
+	v := Violation{Kind: k, PC: pc, Detail: detail}
+	key := v // dedupe on (kind, pc)
+	key.Cycle = 0
+	key.Detail = ""
+	// State-condition kinds latch machine-wide: once the watchdog or an
+	// output port register is tainted, every later cycle re-observes it;
+	// keep only the first (root-cause) report.
+	if k == WatchdogTainted || k == OutputPortTainted || k == C1TaintedState {
+		key.PC = 0
+	}
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	v.Cycle = e.report.Stats.Cycles
+	e.report.Violations = append(e.report.Violations, v)
+}
+
+// ---- Per-cycle policy checking (Section 4.2 / 5.1) ----
+
+func (e *Engine) check(ci *mcu.CycleInfo) {
+	taintedTask := e.Pol.InTaintedCode(e.curInstr)
+
+	// C1: untainted code must start executing on an untainted processor.
+	if ci.StateOK && ci.State == mcu.StFetch && !taintedTask {
+		if name, bad := e.coreStateTainted(); bad {
+			e.violation(C1TaintedState, e.curInstr, fmt.Sprintf("untainted code fetch with tainted state element %s", name))
+		}
+	}
+
+	if ci.Re.V != logic.Zero {
+		e.checkLoad(ci, taintedTask)
+	}
+	if ci.We.V != logic.Zero {
+		e.checkStore(ci, taintedTask)
+	}
+
+	// Watchdog integrity: the untainted-reset mechanism is sound only while
+	// the watchdog's state and write strobe stay untainted (Section 5.2).
+	if e.Sys.C.Get(e.Sys.D.WdtWe).T ||
+		e.Sys.GetWord(e.Sys.D.WdtCtl).Tainted() ||
+		e.Sys.GetWord(e.Sys.D.WdtCnt).Tainted() {
+		e.violation(WatchdogTainted, e.curInstr, "watchdog control state or write strobe tainted")
+	}
+
+	// Direct non-interference: untainted output ports must stay untainted.
+	for i := 0; i < mcu.NumPorts; i++ {
+		if e.Pol.TaintedOutPort(i) {
+			continue
+		}
+		if e.Sys.GetWord(e.Sys.D.PortOut[i]).Tainted() {
+			e.violation(OutputPortTainted, e.curInstr, fmt.Sprintf("output port P%d is tainted", i+1))
+		}
+	}
+}
+
+// coreStateTainted scans the processor's architectural flip-flops: the PC,
+// status register and register file. The IR/SRCREG/EA latches and the FSM
+// state register are excluded: they are dead at instruction boundaries by
+// construction (every instruction writes them before any read, and nothing
+// else can observe them), so residual taint there cannot influence a later
+// task — see DESIGN.md.
+func (e *Engine) coreStateTainted() (string, bool) {
+	d := e.Sys.D
+	named := []struct {
+		name string
+		w    []netlist.NetID
+	}{
+		{"pc", d.PC}, {"sr", d.SR},
+	}
+	for _, n := range named {
+		if e.Sys.GetWord(n.w).Tainted() {
+			return n.name, true
+		}
+	}
+	for r := 0; r < 16; r++ {
+		if d.Regs[r] == nil {
+			continue
+		}
+		if e.Sys.GetWord(d.Regs[r]).Tainted() {
+			return isa.Reg(r).String(), true
+		}
+	}
+	return "", false
+}
+
+func (e *Engine) checkLoad(ci *mcu.CycleInfo, taintedTask bool) {
+	if taintedTask {
+		return // tainted code may read anything tainted; C4 guards the rest
+	}
+	addr := ci.Addr
+	free := addr.XM | addr.TT
+	if free == 0 {
+		a := addr.Val
+		if e.Pol.InTaintedData(a) {
+			e.violation(C3LoadTainted, e.curInstr, fmt.Sprintf("untainted code loads from tainted partition address %#04x", a))
+		}
+		if i, ok := portInIndex(a); ok && e.Pol.TaintedInPort(i) {
+			e.violation(C4ReadTaintedPort, e.curInstr, fmt.Sprintf("untainted code reads tainted input port P%d", i+1))
+		}
+		return
+	}
+	// Unknown address: check the whole cover.
+	for _, r := range e.Pol.TaintedData {
+		if r.IntersectsPattern(free, addr.Val) {
+			e.violation(C3LoadTainted, e.curInstr, "unknown load address may reach a tainted partition")
+			break
+		}
+	}
+	for i := 0; i < mcu.NumPorts; i++ {
+		if e.Pol.TaintedInPort(i) && matchesPattern(mcu.PortInAddr(i), free, addr.Val) {
+			e.violation(C4ReadTaintedPort, e.curInstr, "unknown load address may reach a tainted input port")
+			break
+		}
+	}
+}
+
+func (e *Engine) checkStore(ci *mcu.CycleInfo, taintedTask bool) {
+	addr, data := ci.Addr, ci.WData
+	free := addr.XM | addr.TT
+	taintsTarget := data.Tainted() || addr.TT != 0 || ci.We.T
+
+	if free == 0 {
+		a := addr.Val
+		switch {
+		case e.ramRange.Contains(a):
+			if taintsTarget && !e.Pol.InTaintedData(a) {
+				e.violation(C2MemoryEscape, e.curInstr, fmt.Sprintf("tainted store to untainted memory %#04x", a))
+			}
+		case a&^1 == isa.AddrWDTCTL:
+			if taintedTask || taintsTarget {
+				e.violation(WatchdogTainted, e.curInstr, "tainted code or tainted data writes WDTCTL")
+			}
+		default:
+			if i, ok := portOutIndex(a); ok && !e.Pol.TaintedOutPort(i) {
+				if taintedTask {
+					e.violation(C5WriteUntaintedPort, e.curInstr, fmt.Sprintf("tainted code writes untainted output port P%d", i+1))
+				} else if taintsTarget {
+					e.violation(OutputPortTainted, e.curInstr, fmt.Sprintf("tainted data written to untainted output port P%d", i+1))
+				}
+			}
+		}
+		return
+	}
+
+	// Unknown store address: what it may cover is at risk — but only a
+	// store that can *taint* its target (tainted data, tainted address
+	// bits, or a tainted write strobe) violates the information flow
+	// policy. An unknown-but-untainted address (e.g. a loop induction
+	// variable widened by conservative merging) writes unknown values,
+	// not attacker-influenced ones.
+	if !taintsTarget {
+		return
+	}
+	if e.Pol.patternEscapes(free, addr.Val, e.ramRange) {
+		e.violation(C2MemoryEscape, e.curInstr, "store address unknown/tainted: may taint an untainted memory partition")
+	}
+	if matchesPattern(isa.AddrWDTCTL, free, addr.Val) {
+		e.violation(WatchdogTainted, e.curInstr, "unknown store address may reach WDTCTL")
+	}
+	for i := 0; i < mcu.NumPorts; i++ {
+		if !e.Pol.TaintedOutPort(i) && matchesPattern(mcu.PortOutAddr(i), free, addr.Val) {
+			kind := OutputPortTainted
+			if taintedTask {
+				kind = C5WriteUntaintedPort
+			}
+			e.violation(kind, e.curInstr, fmt.Sprintf("unknown store address may reach untainted output port P%d", i+1))
+		}
+	}
+}
+
+func matchesPattern(a, free, want uint16) bool {
+	fixed := ^free
+	return a&fixed == want&fixed || (a+1)&fixed == want&fixed
+}
+
+func portInIndex(a uint16) (int, bool) {
+	for i := 0; i < mcu.NumPorts; i++ {
+		if a&^1 == mcu.PortInAddr(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func portOutIndex(a uint16) (int, bool) {
+	for i := 0; i < mcu.NumPorts; i++ {
+		if a&^1 == mcu.PortOutAddr(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,99 @@
+package glift
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Fig7Row is one cycle of the Figure 7 illustrative example: the values and
+// taints of the state bit S, the input In, the reset, and the combinational
+// next-state S' = S XOR In.
+type Fig7Row struct {
+	Cycle int
+	S     logic.Sig
+	In    logic.Sig
+	Rst   logic.Sig
+	SNext logic.Sig
+}
+
+// String renders the row like the paper's table.
+func (r Fig7Row) String() string {
+	return fmt.Sprintf("cycle %d: S=%s In=%s rst=%s S'=%s", r.Cycle, r.S, r.In, r.Rst, r.SNext)
+}
+
+// Fig7Tree is the symbolic execution tree of Figure 7: a common prefix
+// (cycles 0-2) followed by two paths (cycles 3-5) after the PC becomes
+// unknown.
+type Fig7Tree struct {
+	Common, Left, Right []Fig7Row
+}
+
+// fig7Input is one cycle's stimulus.
+type fig7Input struct {
+	in, rst logic.Sig
+}
+
+// Figure7 reproduces the application-specific gate-level information flow
+// tracking example of Figure 7 on the paper's toy circuit: a flip-flop S
+// with next-state S XOR In and a synchronous clear. The left path ends with
+// a *tainted* reset (value forced, taint retained); the right path with an
+// untainted reset (fully cleaned).
+func Figure7() (*Fig7Tree, error) {
+	nl := netlist.New()
+	in := nl.AddInput("in")
+	rst := nl.AddInput("rst")
+	s := nl.NewNet("s")
+	sNext := nl.NewNet("s_next")
+	nl.AddGate(logic.Xor, sNext, s, in)
+	nl.AddDFF(s, sNext, rst, nl.Const1(), logic.Zero)
+	c, err := sim.NewCircuit(nl)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(start int, inputs []fig7Input) []Fig7Row {
+		var rows []Fig7Row
+		for i, stim := range inputs {
+			c.SetInput(in, stim.in)
+			c.SetInput(rst, stim.rst)
+			c.Eval(nil)
+			rows = append(rows, Fig7Row{
+				Cycle: start + i,
+				S:     c.Get(s),
+				In:    stim.in,
+				Rst:   stim.rst,
+				SNext: c.Get(sNext),
+			})
+			c.Clock()
+		}
+		return rows
+	}
+
+	tree := &Fig7Tree{}
+	// Cycles 0-2: untainted reset, then an untainted 1, then a tainted 0.
+	tree.Common = run(0, []fig7Input{
+		{in: logic.X0, rst: logic.One0},
+		{in: logic.One0, rst: logic.Zero0},
+		{in: logic.Zero1, rst: logic.Zero0},
+	})
+	split := c.DFFState()
+
+	// Left path: unknown untainted input, then a *tainted* reset.
+	tree.Left = run(3, []fig7Input{
+		{in: logic.X0, rst: logic.Zero0},
+		{in: logic.X0, rst: logic.One1},
+		{in: logic.Zero0, rst: logic.Zero0},
+	})
+
+	// Right path: tainted 1, then an untainted reset.
+	c.RestoreDFFState(split)
+	tree.Right = run(3, []fig7Input{
+		{in: logic.One1, rst: logic.Zero0},
+		{in: logic.XT, rst: logic.One0},
+		{in: logic.Zero0, rst: logic.Zero0},
+	})
+	return tree, nil
+}

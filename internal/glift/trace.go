@@ -1,0 +1,111 @@
+package glift
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/mcu"
+)
+
+// TraceEntry is one cycle of the per-cycle tainted state that
+// input-independent gate-level taint tracking produces (the intermediate
+// artifact between the two stages of Figure 6).
+type TraceEntry struct {
+	Cycle        uint64
+	Instr        uint16 // address of the executing instruction
+	State        uint64 // FSM state
+	PCTainted    bool
+	SRTainted    bool
+	TaintedRegs  uint16 // bitmask over R0..R15
+	TaintedRAM   int    // tainted bytes in data memory
+	WdtTainted   bool
+	PortsTainted uint8 // bitmask over output ports P1..P4
+}
+
+// String renders one trace line.
+func (e TraceEntry) String() string {
+	regs := ""
+	for r := 0; r < 16; r++ {
+		if e.TaintedRegs>>uint(r)&1 == 1 {
+			if regs != "" {
+				regs += ","
+			}
+			regs += isa.Reg(r).String()
+		}
+	}
+	if regs == "" {
+		regs = "-"
+	}
+	return fmt.Sprintf("cycle %6d pc=%#04x st=%d pcT=%v srT=%v regs=%s ram=%dB wdt=%v ports=%04b",
+		e.Cycle, e.Instr, e.State, e.PCTainted, e.SRTainted, regs, e.TaintedRAM, e.WdtTainted, e.PortsTainted)
+}
+
+// TraceRecorder captures the per-cycle tainted state during an analysis.
+// Install with Options.Trace = recorder.Hook(). Sampling and a hard cap
+// keep long explorations bounded.
+type TraceRecorder struct {
+	// Every samples one entry per N cycles (default 1).
+	Every uint64
+	// Max caps the number of retained entries (default 10000).
+	Max int
+
+	Entries []TraceEntry
+}
+
+// Hook returns the per-cycle callback to install in Options.Trace.
+func (tr *TraceRecorder) Hook() func(e *Engine, ci *mcu.CycleInfo) {
+	every := tr.Every
+	if every == 0 {
+		every = 1
+	}
+	max := tr.Max
+	if max == 0 {
+		max = 10000
+	}
+	return func(e *Engine, ci *mcu.CycleInfo) {
+		if len(tr.Entries) >= max {
+			return
+		}
+		c := e.report.Stats.Cycles
+		if c%every != 0 {
+			return
+		}
+		entry := TraceEntry{
+			Cycle:      c,
+			Instr:      e.curInstr,
+			State:      ci.State,
+			PCTainted:  ci.PC.Tainted(),
+			SRTainted:  e.Sys.GetWord(e.Sys.D.SR).Tainted(),
+			TaintedRAM: e.Sys.RAM.TaintedBytes(isa.RAMStart, isa.RAMEnd),
+			WdtTainted: e.Sys.GetWord(e.Sys.D.WdtCtl).Tainted() || e.Sys.GetWord(e.Sys.D.WdtCnt).Tainted(),
+		}
+		for r := 0; r < 16; r++ {
+			if e.Sys.D.Regs[r] == nil {
+				continue
+			}
+			if e.Sys.GetWord(e.Sys.D.Regs[r]).Tainted() {
+				entry.TaintedRegs |= 1 << uint(r)
+			}
+		}
+		for p := 0; p < mcu.NumPorts; p++ {
+			if e.Sys.GetWord(e.Sys.D.PortOut[p]).Tainted() {
+				entry.PortsTainted |= 1 << uint(p)
+			}
+		}
+		tr.Entries = append(tr.Entries, entry)
+	}
+}
+
+// WriteTo dumps the trace.
+func (tr *TraceRecorder) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range tr.Entries {
+		m, err := fmt.Fprintln(w, e.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,147 @@
+package glift
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies an information flow violation. C1..C5 correspond to the
+// five sufficient conditions of Section 5.1; the remaining kinds are direct
+// policy violations or integrity failures of the protection mechanisms.
+type Kind uint8
+
+// Violation kinds.
+const (
+	// C1: a processor state element is tainted while untainted code executes.
+	C1TaintedState Kind = iota
+	// C2: a store may taint an untainted memory partition.
+	C2MemoryEscape
+	// C3: untainted code loads from a tainted memory partition.
+	C3LoadTainted
+	// C4: untainted code reads from a tainted input port.
+	C4ReadTaintedPort
+	// C5: tainted code writes to an untainted output port.
+	C5WriteUntaintedPort
+	// OutputPortTainted: tainted data reaches an output port that the policy
+	// requires to stay untainted (a direct non-interference violation).
+	OutputPortTainted
+	// WatchdogTainted: the watchdog timer's control state or write strobe
+	// can be tainted, so the untainted-reset recovery mechanism is unsound.
+	WatchdogTainted
+	// PCUnresolved: the program counter becomes unknown in a way the
+	// analysis cannot concretize (e.g. an indirect jump through tainted
+	// data); the path is abandoned conservatively.
+	PCUnresolved
+	// AnalysisIncomplete: an exploration budget was exhausted.
+	AnalysisIncomplete
+	numKinds
+)
+
+var kindNames = [...]string{
+	"C1-tainted-state", "C2-memory-escape", "C3-load-tainted", "C4-read-tainted-port",
+	"C5-write-untainted-port", "output-port-tainted", "watchdog-tainted",
+	"pc-unresolved", "analysis-incomplete",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Condition returns 1..5 for the sufficient-condition kinds, 0 otherwise.
+func (k Kind) Condition() int {
+	if k <= C5WriteUntaintedPort {
+		return int(k) + 1
+	}
+	return 0
+}
+
+// Violation is one potential information flow security violation, rooted at
+// a static instruction address (root-cause identification, Section 6).
+type Violation struct {
+	Kind   Kind
+	PC     uint16 // address of the offending instruction
+	Cycle  uint64 // first cycle it was observed
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %#04x (cycle %d): %s", v.Kind, v.PC, v.Cycle, v.Detail)
+}
+
+// Report is the output of an analysis run.
+type Report struct {
+	Policy     string
+	Violations []Violation
+	Stats      Stats
+}
+
+// Secure reports whether no violation was found: the system guarantees the
+// policy (Section 5.4's theorem).
+func (r *Report) Secure() bool { return len(r.Violations) == 0 }
+
+// ByKind groups violations.
+func (r *Report) ByKind(k Kind) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ViolatedConditions returns the set of sufficient conditions (1..5)
+// violated, for the Table 2 rows.
+func (r *Report) ViolatedConditions() []int {
+	set := map[int]bool{}
+	for _, v := range r.Violations {
+		if c := v.Kind.Condition(); c != 0 {
+			set[c] = true
+		}
+	}
+	var out []int
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ViolatingStorePCs lists the static addresses of store instructions that
+// need masking (the input to the mask-insertion transform).
+func (r *Report) ViolatingStorePCs() []uint16 {
+	seen := map[uint16]bool{}
+	var out []uint16
+	for _, v := range r.Violations {
+		if v.Kind == C2MemoryEscape && !seen[v.PC] {
+			seen[v.PC] = true
+			out = append(out, v.PC)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeedsWatchdog reports whether tainted control flow was observed (C1), the
+// condition that requires the watchdog-reset transform.
+func (r *Report) NeedsWatchdog() bool { return len(r.ByKind(C1TaintedState)) > 0 }
+
+// Stats describes the exploration.
+type Stats struct {
+	Cycles      uint64 // simulated machine cycles
+	Paths       int    // execution points processed from the worklist
+	Forks       int    // PC concretization forks
+	Prunes      int    // paths terminated by the conservative state table
+	Merges      int    // superstate widenings
+	TableStates int    // distinct (branch, direction) table entries
+	WallNanos   int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d paths=%d forks=%d prunes=%d merges=%d table=%d",
+		s.Cycles, s.Paths, s.Forks, s.Prunes, s.Merges, s.TableStates)
+}

@@ -1,0 +1,395 @@
+// Package isa defines the MSP430-class instruction set used throughout the
+// reproduction: instruction formats, addressing modes, encoding/decoding, a
+// disassembler, and a behavioural reference interpreter. The gate-level
+// microcontroller in internal/mcu implements exactly these semantics; the
+// interpreter is the oracle for differential testing.
+//
+// The ISA follows the MSP430 core instruction set: 12 two-operand (format
+// I) instructions, 7 single-operand (format II) instructions and 8 relative
+// jumps, with the standard 7 addressing modes and the R2/R3 constant
+// generator. Deviation: DADD (BCD add) executes as a plain ADD; the
+// assembler rejects it (documented in DESIGN.md).
+package isa
+
+import "fmt"
+
+// Reg is a register number R0..R15. R0=PC, R1=SP, R2=SR/CG1, R3=CG2.
+type Reg uint8
+
+// Special registers.
+const (
+	PC Reg = 0
+	SP Reg = 1
+	SR Reg = 2
+	CG Reg = 3
+)
+
+// String returns "pc", "sp", "sr", or "rN".
+func (r Reg) String() string {
+	switch r {
+	case PC:
+		return "pc"
+	case SP:
+		return "sp"
+	case SR:
+		return "sr"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Status register flag bits.
+const (
+	FlagC   uint16 = 1 << 0 // carry
+	FlagZ   uint16 = 1 << 1 // zero
+	FlagN   uint16 = 1 << 2 // negative
+	FlagGIE uint16 = 1 << 3
+	FlagV   uint16 = 1 << 8 // signed overflow
+)
+
+// Opcode enumerates all instructions across the three formats.
+type Opcode uint8
+
+// Format I (two-operand) opcodes, in encoding order starting at 0x4.
+const (
+	MOV Opcode = iota
+	ADD
+	ADDC
+	SUBC
+	SUB
+	CMP
+	DADD
+	BIT
+	BIC
+	BIS
+	XOR
+	AND
+	// Format II (single-operand) opcodes, in encoding order.
+	RRC
+	SWPB
+	RRA
+	SXT
+	PUSH
+	CALL
+	RETI
+	// Jump opcodes, in condition-code order.
+	JNE
+	JEQ
+	JNC
+	JC
+	JN
+	JGE
+	JL
+	JMP
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	"mov", "add", "addc", "subc", "sub", "cmp", "dadd", "bit", "bic", "bis", "xor", "and",
+	"rrc", "swpb", "rra", "sxt", "push", "call", "reti",
+	"jne", "jeq", "jnc", "jc", "jn", "jge", "jl", "jmp",
+}
+
+// String returns the canonical lower-case mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// IsFmt1 reports whether o is a two-operand instruction.
+func (o Opcode) IsFmt1() bool { return o <= AND }
+
+// IsFmt2 reports whether o is a single-operand instruction.
+func (o Opcode) IsFmt2() bool { return o >= RRC && o <= RETI }
+
+// IsJump reports whether o is a conditional/unconditional jump.
+func (o Opcode) IsJump() bool { return o >= JNE && o <= JMP }
+
+// WritesDst reports whether a format I op writes its destination (CMP and
+// BIT only set flags).
+func (o Opcode) WritesDst() bool { return o != CMP && o != BIT }
+
+// SetsFlags reports whether the op updates the status flags.
+func (o Opcode) SetsFlags() bool {
+	switch o {
+	case MOV, BIC, BIS, SWPB, PUSH, CALL, RETI:
+		return false
+	}
+	return !o.IsJump()
+}
+
+// AMode is a raw addressing mode field value (As: 0..3, Ad: 0..1).
+type AMode uint8
+
+// Source addressing modes (As field).
+const (
+	ModeReg      AMode = 0 // Rn
+	ModeIndexed  AMode = 1 // X(Rn); R0: symbolic, R2: absolute
+	ModeIndirect AMode = 2 // @Rn
+	ModeIncr     AMode = 3 // @Rn+; R0: #immediate
+)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op     Opcode
+	BW     bool // byte (.b) operation
+	Src    Reg
+	As     AMode
+	SrcExt uint16 // source extension word (imm/index), when used
+	Dst    Reg
+	Ad     AMode  // 0 or 1
+	DstExt uint16 // destination extension word, when used
+	Off    int16  // jump offset in words (PC-relative)
+}
+
+// SrcUsesExt reports whether the source operand consumes an extension word.
+func (in *Instr) SrcUsesExt() bool {
+	if in.Op.IsJump() || in.Op == RETI {
+		return false
+	}
+	if isCG(in.Src, in.As) {
+		return false
+	}
+	return in.As == ModeIndexed || (in.As == ModeIncr && in.Src == PC)
+}
+
+// DstUsesExt reports whether the destination operand consumes an extension
+// word.
+func (in *Instr) DstUsesExt() bool {
+	return in.Op.IsFmt1() && in.Ad == 1
+}
+
+// Words returns the encoded length in 16-bit words.
+func (in *Instr) Words() int {
+	n := 1
+	if in.SrcUsesExt() {
+		n++
+	}
+	if in.DstUsesExt() {
+		n++
+	}
+	return n
+}
+
+// isCG reports whether (reg, as) selects the constant generator rather than
+// a real operand access.
+func isCG(r Reg, as AMode) bool {
+	if r == CG {
+		return true
+	}
+	return r == SR && as >= ModeIndirect
+}
+
+// cgValue returns the generated constant for a constant-generator operand.
+func cgValue(r Reg, as AMode) uint16 {
+	if r == SR {
+		if as == ModeIndirect {
+			return 4
+		}
+		return 8
+	}
+	switch as {
+	case ModeReg:
+		return 0
+	case ModeIndexed:
+		return 1
+	case ModeIndirect:
+		return 2
+	default:
+		return 0xffff
+	}
+}
+
+// Encode emits the instruction's machine words.
+func (in *Instr) Encode() ([]uint16, error) {
+	var w0 uint16
+	switch {
+	case in.Op.IsFmt1():
+		w0 = uint16(4+in.Op-MOV) << 12
+		w0 |= uint16(in.Src) << 8
+		if in.Ad > 1 {
+			return nil, fmt.Errorf("isa: bad Ad %d", in.Ad)
+		}
+		w0 |= uint16(in.Ad) << 7
+		if in.BW {
+			w0 |= 1 << 6
+		}
+		w0 |= uint16(in.As) << 4
+		w0 |= uint16(in.Dst)
+	case in.Op.IsFmt2():
+		// The single operand lives in Src/As/SrcExt by convention.
+		w0 = 0x1000 | uint16(in.Op-RRC)<<7
+		if in.BW {
+			if in.Op == SWPB || in.Op == SXT || in.Op == CALL || in.Op == RETI {
+				return nil, fmt.Errorf("isa: %s has no byte form", in.Op)
+			}
+			w0 |= 1 << 6
+		}
+		w0 |= uint16(in.As) << 4
+		w0 |= uint16(in.Src)
+	case in.Op.IsJump():
+		if in.Off < -512 || in.Off > 511 {
+			return nil, fmt.Errorf("isa: jump offset %d out of range", in.Off)
+		}
+		w0 = 0x2000 | uint16(in.Op-JNE)<<10 | uint16(in.Off)&0x3ff
+	default:
+		return nil, fmt.Errorf("isa: bad opcode %d", in.Op)
+	}
+	words := []uint16{w0}
+	if in.SrcUsesExt() {
+		words = append(words, in.SrcExt)
+	}
+	if in.DstUsesExt() {
+		words = append(words, in.DstExt)
+	}
+	return words, nil
+}
+
+// Decode decodes one instruction starting at words[0]; extension words are
+// taken from the following entries. It returns the instruction and the
+// number of words consumed.
+func Decode(words []uint16) (Instr, int, error) {
+	if len(words) == 0 {
+		return Instr{}, 0, fmt.Errorf("isa: empty decode")
+	}
+	w0 := words[0]
+	var in Instr
+	switch {
+	case w0>>13 == 1: // 001x: jump
+		in.Op = JNE + Opcode(w0>>10&7)
+		off := w0 & 0x3ff
+		if off&0x200 != 0 {
+			off |= 0xfc00
+		}
+		in.Off = int16(off)
+		return in, 1, nil
+	case w0>>10 == 4: // 000100: format II
+		in.Op = RRC + Opcode(w0>>7&7)
+		if in.Op > RETI {
+			return Instr{}, 0, fmt.Errorf("isa: bad format II opcode in %#04x", w0)
+		}
+		in.BW = w0&0x40 != 0
+		in.As = AMode(w0 >> 4 & 3)
+		in.Dst = Reg(w0 & 15)
+		// Format II operand is encoded in the destination fields but uses
+		// source addressing; normalize so Src carries the operand register.
+		in.Src = in.Dst
+		n := 1
+		if in.SrcUsesExt() {
+			if len(words) < 2 {
+				return Instr{}, 0, fmt.Errorf("isa: truncated extension word")
+			}
+			in.SrcExt = words[1]
+			n = 2
+		}
+		return in, n, nil
+	case w0>>12 >= 4: // format I
+		in.Op = MOV + Opcode(w0>>12-4)
+		in.Src = Reg(w0 >> 8 & 15)
+		in.Ad = AMode(w0 >> 7 & 1)
+		in.BW = w0&0x40 != 0
+		in.As = AMode(w0 >> 4 & 3)
+		in.Dst = Reg(w0 & 15)
+		n := 1
+		if in.SrcUsesExt() {
+			if len(words) < n+1 {
+				return Instr{}, 0, fmt.Errorf("isa: truncated src extension")
+			}
+			in.SrcExt = words[n]
+			n++
+		}
+		if in.DstUsesExt() {
+			if len(words) < n+1 {
+				return Instr{}, 0, fmt.Errorf("isa: truncated dst extension")
+			}
+			in.DstExt = words[n]
+			n++
+		}
+		return in, n, nil
+	}
+	return Instr{}, 0, fmt.Errorf("isa: undefined encoding %#04x", w0)
+}
+
+// srcString renders a source operand at the given extension-word address
+// (for symbolic mode display).
+func (in *Instr) srcString() string {
+	return operandString(in.Src, in.As, in.SrcExt)
+}
+
+func operandString(r Reg, as AMode, ext uint16) string {
+	if isCG(r, as) {
+		return fmt.Sprintf("#%d", int16(cgValue(r, as)))
+	}
+	switch as {
+	case ModeReg:
+		return r.String()
+	case ModeIndexed:
+		if r == SR {
+			return fmt.Sprintf("&%#04x", ext)
+		}
+		return fmt.Sprintf("%d(%s)", int16(ext), r)
+	case ModeIndirect:
+		return "@" + r.String()
+	default:
+		if r == PC {
+			return fmt.Sprintf("#%#04x", ext)
+		}
+		return "@" + r.String() + "+"
+	}
+}
+
+// String disassembles the instruction.
+func (in *Instr) String() string {
+	suffix := ""
+	if in.BW {
+		suffix = ".b"
+	}
+	switch {
+	case in.Op.IsJump():
+		return fmt.Sprintf("%s %+d", in.Op, in.Off)
+	case in.Op == RETI:
+		return "reti"
+	case in.Op.IsFmt2():
+		return fmt.Sprintf("%s%s %s", in.Op, suffix, in.srcString())
+	default:
+		dst := operandString(in.Dst, AMode(in.Ad), in.DstExt)
+		return fmt.Sprintf("%s%s %s, %s", in.Op, suffix, in.srcString(), dst)
+	}
+}
+
+// Memory map constants shared by the gate-level MCU, the behavioural system
+// model and the benchmarks. Word-aligned MMIO, MSP430-flavoured layout.
+const (
+	AddrP1IN   = 0x0020
+	AddrP1OUT  = 0x0022
+	AddrP2IN   = 0x0024
+	AddrP2OUT  = 0x0026
+	AddrP3IN   = 0x0028
+	AddrP3OUT  = 0x002a
+	AddrP4IN   = 0x002c
+	AddrP4OUT  = 0x002e
+	AddrWDTCTL = 0x0120
+	AddrTACTL  = 0x0160 // Timer_A-lite control: bit0 enable; any write clears TAIFG
+	AddrTACCR0 = 0x0162 // Timer_A-lite compare value
+	AddrTAR    = 0x0164 // Timer_A-lite counter (read-only)
+
+	RAMStart = 0x0200
+	RAMEnd   = 0x0a00 // 2 KiB of data memory
+	ROMStart = 0xf000 // 4 KiB of program memory
+	ResetVec = 0xfffe
+	// TimerVec is the Timer_A-lite interrupt vector.
+	TimerVec = 0xfff6
+
+	// WDTPW is the watchdog password expected in the upper byte of any
+	// WDTCTL write; a write with a wrong password triggers a POR.
+	WDTPW = 0x5a00
+	// WDTHold stops the watchdog counter.
+	WDTHold = 0x0080
+)
+
+// WDTIntervals lists the selectable watchdog expiry intervals in cycles,
+// indexed by the two WDTCTL interval-select bits (IS1:IS0), as in the
+// MSP430: 0 -> 32768, 1 -> 8192, 2 -> 512, 3 -> 64.
+var WDTIntervals = [4]uint32{32768, 8192, 512, 64}

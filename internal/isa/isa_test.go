@@ -1,0 +1,227 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegString(t *testing.T) {
+	if PC.String() != "pc" || SP.String() != "sp" || SR.String() != "sr" || Reg(7).String() != "r7" {
+		t.Fatal("register names wrong")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	if !MOV.IsFmt1() || !AND.IsFmt1() || RRC.IsFmt1() {
+		t.Fatal("IsFmt1 wrong")
+	}
+	if !RRC.IsFmt2() || !RETI.IsFmt2() || JNE.IsFmt2() || AND.IsFmt2() {
+		t.Fatal("IsFmt2 wrong")
+	}
+	if !JNE.IsJump() || !JMP.IsJump() || RETI.IsJump() {
+		t.Fatal("IsJump wrong")
+	}
+	if CMP.WritesDst() || BIT.WritesDst() || !ADD.WritesDst() {
+		t.Fatal("WritesDst wrong")
+	}
+	if MOV.SetsFlags() || BIS.SetsFlags() || !ADD.SetsFlags() || !CMP.SetsFlags() || JMP.SetsFlags() {
+		t.Fatal("SetsFlags wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: MOV, Src: 4, As: ModeReg, Dst: 5},
+		{Op: ADD, Src: PC, As: ModeIncr, SrcExt: 0x1234, Dst: 10},                  // add #0x1234, r10
+		{Op: MOV, Src: 4, As: ModeIndexed, SrcExt: 6, Dst: 5},                      // mov 6(r4), r5
+		{Op: MOV, Src: SR, As: ModeIndexed, SrcExt: 0x200, Dst: 5},                 // mov &0x200, r5
+		{Op: MOV, Src: 4, As: ModeReg, Dst: 5, Ad: 1, DstExt: 8},                   // mov r4, 8(r5)
+		{Op: MOV, Src: PC, As: ModeIncr, SrcExt: 7, Dst: SR, Ad: 1, DstExt: 0x210}, // mov #7, &0x210
+		{Op: CMP, Src: CG, As: ModeIndexed, Dst: 9},                                // cmp #1, r9
+		{Op: AND, BW: true, Src: 6, As: ModeIndirect, Dst: 7},                      // and.b @r6, r7
+		{Op: XOR, Src: 8, As: ModeIncr, Dst: 9},                                    // xor @r8+, r9
+		{Op: RRA, Src: 12, As: ModeReg},
+		{Op: PUSH, Src: 10, As: ModeReg},
+		{Op: PUSH, Src: PC, As: ModeIncr, SrcExt: 0xbeef}, // push #0xbeef
+		{Op: CALL, Src: PC, As: ModeIncr, SrcExt: 0xf100}, // call #0xf100
+		{Op: RETI},
+		{Op: JMP, Off: -3},
+		{Op: JNE, Off: 200},
+		{Op: JL, Off: -512},
+	}
+	for _, in := range cases {
+		words, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, n, err := Decode(words)
+		if err != nil {
+			t.Fatalf("decode %v: %v", words, err)
+		}
+		if n != len(words) {
+			t.Fatalf("%s: consumed %d of %d words", in.String(), n, len(words))
+		}
+		// Normalize: decode of fmt2 mirrors Src into Dst.
+		if in.Op.IsFmt2() && in.Op != RETI {
+			in.Dst = in.Src
+		}
+		if got != in {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, got)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Instr{
+		{Op: JMP, Off: 600},
+		{Op: JMP, Off: -600},
+		{Op: SWPB, BW: true, Src: 4},
+		{Op: SXT, BW: true, Src: 4},
+		{Op: numOpcodes},
+	}
+	for _, in := range bad {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("encode %+v should fail", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]uint16{
+		{},       // empty
+		{0x0000}, // undefined
+		{0x1380}, // fmt II opcode 7
+		{0x4010}, // mov x(r0),... missing ext word
+		{0x4090}, // mov x(r0), 2(r0) missing second ext
+	}
+	for _, ws := range cases {
+		if _, _, err := Decode(ws); err == nil {
+			t.Errorf("decode %#v should fail", ws)
+		}
+	}
+}
+
+func TestDecodeJumpOffsetSignExtension(t *testing.T) {
+	in := Instr{Op: JMP, Off: -1}
+	ws, _ := in.Encode()
+	got, _, err := Decode(ws)
+	if err != nil || got.Off != -1 {
+		t.Fatalf("jmp -1 decoded to %+v, %v", got, err)
+	}
+}
+
+func TestConstantGenerator(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		as   AMode
+		want uint16
+	}{
+		{CG, ModeReg, 0}, {CG, ModeIndexed, 1}, {CG, ModeIndirect, 2}, {CG, ModeIncr, 0xffff},
+		{SR, ModeIndirect, 4}, {SR, ModeIncr, 8},
+	}
+	for _, c := range cases {
+		if !isCG(c.r, c.as) {
+			t.Errorf("isCG(%s,%d) = false", c.r, c.as)
+		}
+		if got := cgValue(c.r, c.as); got != c.want {
+			t.Errorf("cgValue(%s,%d) = %d, want %d", c.r, c.as, got, c.want)
+		}
+	}
+	if isCG(SR, ModeReg) || isCG(SR, ModeIndexed) || isCG(4, ModeIncr) {
+		t.Error("isCG false positives")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: MOV, Src: 4, As: ModeReg, Dst: 5}, "mov r4, r5"},
+		{Instr{Op: ADD, BW: true, Src: 6, As: ModeIndirect, Dst: 7}, "add.b @r6, r7"},
+		{Instr{Op: MOV, Src: PC, As: ModeIncr, SrcExt: 0x64, Dst: 10}, "mov #0x0064, r10"},
+		{Instr{Op: CMP, Src: CG, As: ModeIndexed, Dst: 9}, "cmp #1, r9"},
+		{Instr{Op: MOV, Src: SR, As: ModeIndexed, SrcExt: 0x120, Dst: 4}, "mov &0x0120, r4"},
+		{Instr{Op: PUSH, Src: 10, As: ModeReg}, "push r10"},
+		{Instr{Op: RETI}, "reti"},
+		{Instr{Op: JNE, Off: -5}, "jne -5"},
+		{Instr{Op: MOV, Src: CG, As: ModeIncr, Dst: 5}, "mov #-1, r5"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: every encodable instruction decodes to itself.
+func TestPropertyEncodeDecodeFuzz(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		var in Instr
+		switch rnd.Intn(3) {
+		case 0:
+			in.Op = MOV + Opcode(rnd.Intn(12))
+			in.Src = Reg(rnd.Intn(16))
+			in.As = AMode(rnd.Intn(4))
+			in.Dst = Reg(rnd.Intn(16))
+			in.Ad = AMode(rnd.Intn(2))
+			in.BW = rnd.Intn(2) == 0
+		case 1:
+			in.Op = RRC + Opcode(rnd.Intn(6)) // skip RETI (fields must be 0)
+			in.Src = Reg(rnd.Intn(16))
+			in.As = AMode(rnd.Intn(4))
+			in.BW = rnd.Intn(2) == 0 && in.Op != SWPB && in.Op != SXT && in.Op != CALL
+		default:
+			in.Op = JNE + Opcode(rnd.Intn(8))
+			in.Off = int16(rnd.Intn(1024) - 512)
+		}
+		if in.SrcUsesExt() {
+			in.SrcExt = uint16(rnd.Uint32())
+		}
+		if in.DstUsesExt() {
+			in.DstExt = uint16(rnd.Uint32())
+		}
+		words, err := in.Encode()
+		if err != nil {
+			continue
+		}
+		got, n, err := Decode(words)
+		if err != nil {
+			t.Fatalf("decode of encoded %q failed: %v", in.String(), err)
+		}
+		want := in
+		if want.Op.IsFmt2() {
+			want.Dst = want.Src
+		}
+		if got != want || n != len(words) {
+			t.Fatalf("fuzz mismatch:\n in: %+v\nout: %+v", want, got)
+		}
+	}
+}
+
+func TestCyclesFor(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want int
+	}{
+		{Instr{Op: MOV, Src: 4, As: ModeReg, Dst: 5}, 1},
+		{Instr{Op: MOV, Src: PC, As: ModeIncr, Dst: 5}, 2},          // #imm
+		{Instr{Op: MOV, Src: CG, As: ModeIncr, Dst: 5}, 1},          // #-1 via CG
+		{Instr{Op: MOV, Src: 4, As: ModeIndexed, Dst: 5}, 2},        // x(r4), r5
+		{Instr{Op: MOV, Src: 4, As: ModeReg, Dst: 5, Ad: 1}, 2},     // r4, x(r5)
+		{Instr{Op: MOV, Src: 4, As: ModeIndexed, Dst: 5, Ad: 1}, 3}, // x(r4), y(r5)
+		{Instr{Op: PUSH, Src: 10, As: ModeReg}, 2},
+		{Instr{Op: PUSH, Src: PC, As: ModeIncr}, 3},
+		{Instr{Op: CALL, Src: PC, As: ModeIncr}, 3},
+		{Instr{Op: RETI}, 3},
+		{Instr{Op: JMP}, 1},
+		{Instr{Op: RRA, Src: 4, As: ModeReg}, 1},
+		{Instr{Op: RRA, Src: 4, As: ModeIndirect}, 3}, // read + write back
+	}
+	for _, c := range cases {
+		if got := CyclesFor(&c.in); got != c.want {
+			t.Errorf("CyclesFor(%s) = %d, want %d", c.in.String(), got, c.want)
+		}
+	}
+}

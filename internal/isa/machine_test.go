@@ -1,0 +1,358 @@
+package isa
+
+import "testing"
+
+// run assembles (by hand-encoding) a program at ROMStart, points the reset
+// vector at it, resets the machine and steps n instructions.
+func run(t *testing.T, n int, prog ...Instr) *Machine {
+	t.Helper()
+	mem := new(FlatMem)
+	addr := uint16(ROMStart)
+	for i := range prog {
+		ws, err := prog[i].Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", prog[i], err)
+		}
+		mem.LoadProgram(addr, ws)
+		addr += uint16(2 * len(ws))
+	}
+	mem.StoreWord(ResetVec, ROMStart)
+	m := NewMachine(mem)
+	m.Reset()
+	for i := 0; i < n; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return m
+}
+
+func imm(v uint16, dst Reg) Instr {
+	return Instr{Op: MOV, Src: PC, As: ModeIncr, SrcExt: v, Dst: dst}
+}
+
+func TestMovImmediate(t *testing.T) {
+	m := run(t, 1, imm(0x1234, 5))
+	if m.R[5] != 0x1234 {
+		t.Fatalf("r5 = %#x", m.R[5])
+	}
+	if m.R[PC] != ROMStart+4 {
+		t.Fatalf("pc = %#x", m.R[PC])
+	}
+}
+
+func TestAddSetsFlags(t *testing.T) {
+	m := run(t, 3, imm(0x7fff, 4), imm(1, 5), Instr{Op: ADD, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 0x8000 {
+		t.Fatalf("r5 = %#x", m.R[5])
+	}
+	if !m.flag(FlagN) || m.flag(FlagZ) || m.flag(FlagC) || !m.flag(FlagV) {
+		t.Fatalf("flags = %#x, want N,V", m.R[SR])
+	}
+}
+
+func TestSubAndCarryIsNotBorrow(t *testing.T) {
+	// 5 - 3 = 2, C=1 (no borrow)
+	m := run(t, 3, imm(5, 4), imm(3, 5), Instr{Op: SUB, Src: 5, As: ModeReg, Dst: 4})
+	if m.R[4] != 2 || !m.flag(FlagC) || m.flag(FlagN) {
+		t.Fatalf("r4=%#x sr=%#x", m.R[4], m.R[SR])
+	}
+	// 3 - 5 borrows: C=0, N=1
+	m = run(t, 3, imm(3, 4), imm(5, 5), Instr{Op: SUB, Src: 5, As: ModeReg, Dst: 4})
+	if m.R[4] != 0xfffe || m.flag(FlagC) || !m.flag(FlagN) {
+		t.Fatalf("r4=%#x sr=%#x", m.R[4], m.R[SR])
+	}
+}
+
+func TestCmpDoesNotWrite(t *testing.T) {
+	m := run(t, 3, imm(7, 4), imm(7, 5), Instr{Op: CMP, Src: 5, As: ModeReg, Dst: 4})
+	if m.R[4] != 7 {
+		t.Fatalf("cmp modified r4 = %#x", m.R[4])
+	}
+	if !m.flag(FlagZ) {
+		t.Fatal("cmp equal should set Z")
+	}
+}
+
+func TestLogicOpsAndFlags(t *testing.T) {
+	m := run(t, 3, imm(0xf0f0, 4), imm(0xff00, 5), Instr{Op: AND, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 0xf000 || !m.flag(FlagC) || !m.flag(FlagN) || m.flag(FlagZ) {
+		t.Fatalf("and: r5=%#x sr=%#x", m.R[5], m.R[SR])
+	}
+	m = run(t, 3, imm(0xf0f0, 4), imm(0x0f0f, 5), Instr{Op: AND, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 0 || m.flag(FlagC) || !m.flag(FlagZ) {
+		t.Fatalf("and zero: r5=%#x sr=%#x", m.R[5], m.R[SR])
+	}
+	m = run(t, 3, imm(0x00ff, 4), imm(0x0f0f, 5), Instr{Op: BIC, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 0x0f00 {
+		t.Fatalf("bic: r5=%#x", m.R[5])
+	}
+	m = run(t, 3, imm(0x00ff, 4), imm(0x0f00, 5), Instr{Op: BIS, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 0x0fff {
+		t.Fatalf("bis: r5=%#x", m.R[5])
+	}
+	m = run(t, 3, imm(0x8001, 4), imm(0x8000, 5), Instr{Op: XOR, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 1 || !m.flag(FlagV) || !m.flag(FlagC) {
+		t.Fatalf("xor: r5=%#x sr=%#x", m.R[5], m.R[SR])
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	// add.b with carry out of bit 7, and upper-byte clearing on register dst.
+	m := run(t, 3, imm(0x12f0, 4), imm(0x3420, 5), Instr{Op: ADD, BW: true, Src: 4, As: ModeReg, Dst: 5})
+	if m.R[5] != 0x0010 {
+		t.Fatalf("add.b: r5=%#x, want 0x0010", m.R[5])
+	}
+	if !m.flag(FlagC) {
+		t.Fatal("add.b should carry out of bit 7")
+	}
+}
+
+func TestMemoryIndexedStoreLoad(t *testing.T) {
+	m := run(t, 4,
+		imm(0x0300, 4),
+		imm(0xbeef, 5),
+		Instr{Op: MOV, Src: 5, As: ModeReg, Dst: 4, Ad: 1, DstExt: 8}, // mov r5, 8(r4)
+		Instr{Op: MOV, Src: 4, As: ModeIndexed, SrcExt: 8, Dst: 6},    // mov 8(r4), r6
+	)
+	if m.R[6] != 0xbeef {
+		t.Fatalf("r6 = %#x", m.R[6])
+	}
+	if m.Bus.LoadWord(0x0308) != 0xbeef {
+		t.Fatal("memory not written")
+	}
+}
+
+func TestAbsoluteMode(t *testing.T) {
+	m := run(t, 2,
+		Instr{Op: MOV, Src: PC, As: ModeIncr, SrcExt: 0x1234, Dst: SR, Ad: 1, DstExt: 0x0400}, // mov #x, &0x400
+		Instr{Op: MOV, Src: SR, As: ModeIndexed, SrcExt: 0x0400, Dst: 7},                      // mov &0x400, r7
+	)
+	if m.R[7] != 0x1234 {
+		t.Fatalf("r7 = %#x", m.R[7])
+	}
+}
+
+func TestAutoIncrement(t *testing.T) {
+	m := run(t, 4,
+		Instr{Op: MOV, Src: PC, As: ModeIncr, SrcExt: 0xaaaa, Dst: SR, Ad: 1, DstExt: 0x0300},
+		Instr{Op: MOV, Src: PC, As: ModeIncr, SrcExt: 0xbbbb, Dst: SR, Ad: 1, DstExt: 0x0302},
+		imm(0x0300, 4),
+		Instr{Op: MOV, Src: 4, As: ModeIncr, Dst: 5}, // mov @r4+, r5
+	)
+	if m.R[5] != 0xaaaa || m.R[4] != 0x0302 {
+		t.Fatalf("r5=%#x r4=%#x", m.R[5], m.R[4])
+	}
+}
+
+func TestByteAutoIncrementStep(t *testing.T) {
+	m := run(t, 2, imm(0x0300, 4), Instr{Op: MOV, BW: true, Src: 4, As: ModeIncr, Dst: 5})
+	if m.R[4] != 0x0301 {
+		t.Fatalf("byte @r4+ stepped to %#x, want 0x0301", m.R[4])
+	}
+}
+
+func TestJumps(t *testing.T) {
+	// jz taken: skip the poison instruction.
+	m := run(t, 4,
+		imm(0, 4),
+		Instr{Op: CMP, Src: CG, As: ModeReg, Dst: 4}, // cmp #0, r4
+		Instr{Op: JEQ, Off: 1},
+		imm(0xdead, 5), // skipped
+	)
+	if m.R[5] == 0xdead {
+		t.Fatal("jeq not taken")
+	}
+	// jne not taken: poison executes.
+	m = run(t, 4,
+		imm(0, 4),
+		Instr{Op: CMP, Src: CG, As: ModeReg, Dst: 4},
+		Instr{Op: JNE, Off: 1},
+		imm(0xdead, 5),
+	)
+	if m.R[5] != 0xdead {
+		t.Fatal("jne should fall through")
+	}
+}
+
+func TestSignedJumps(t *testing.T) {
+	// -1 < 1 signed: JL taken.
+	m := run(t, 4,
+		imm(0xffff, 4),
+		Instr{Op: CMP, Src: CG, As: ModeIndexed, Dst: 4}, // cmp #1, r4
+		Instr{Op: JL, Off: 1},
+		imm(0xdead, 5),
+	)
+	if m.R[5] == 0xdead {
+		t.Fatal("jl should be taken for -1 < 1")
+	}
+}
+
+func TestPushPopCallRet(t *testing.T) {
+	m := run(t, 5,
+		imm(0x0400, SP),
+		imm(0x5678, 4),
+		Instr{Op: PUSH, Src: 4, As: ModeReg},
+		imm(0, 4),
+		Instr{Op: MOV, Src: SP, As: ModeIncr, Dst: 4}, // pop r4
+	)
+	if m.R[4] != 0x5678 || m.R[SP] != 0x0400 {
+		t.Fatalf("r4=%#x sp=%#x", m.R[4], m.R[SP])
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	mem := new(FlatMem)
+	// main: mov #0x400, sp; call #0xf100; mov #1, r10 (after return)
+	prog := []Instr{
+		imm(0x0400, SP),
+		{Op: CALL, Src: PC, As: ModeIncr, SrcExt: 0xf100},
+		imm(1, 10),
+	}
+	addr := uint16(ROMStart)
+	for i := range prog {
+		ws, _ := prog[i].Encode()
+		mem.LoadProgram(addr, ws)
+		addr += uint16(2 * len(ws))
+	}
+	// sub at 0xf100: mov #7, r9 ; ret (mov @sp+, pc)
+	sub := []Instr{
+		imm(7, 9),
+		{Op: MOV, Src: SP, As: ModeIncr, Dst: PC},
+	}
+	addr = 0xf100
+	for i := range sub {
+		ws, _ := sub[i].Encode()
+		mem.LoadProgram(addr, ws)
+		addr += uint16(2 * len(ws))
+	}
+	mem.StoreWord(ResetVec, ROMStart)
+	m := NewMachine(mem)
+	m.Reset()
+	for i := 0; i < 5; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.R[9] != 7 || m.R[10] != 1 {
+		t.Fatalf("r9=%#x r10=%#x", m.R[9], m.R[10])
+	}
+	if m.R[SP] != 0x0400 {
+		t.Fatalf("sp leaked: %#x", m.R[SP])
+	}
+}
+
+func TestFmt2Ops(t *testing.T) {
+	m := run(t, 2, imm(0x8005, 4), Instr{Op: RRA, Src: 4, As: ModeReg})
+	if m.R[4] != 0xc002 || !m.flag(FlagC) {
+		t.Fatalf("rra: r4=%#x sr=%#x", m.R[4], m.R[SR])
+	}
+	m = run(t, 3, imm(1, 4), Instr{Op: RRA, Src: 4, As: ModeReg}, Instr{Op: RRC, Src: 4, As: ModeReg})
+	if m.R[4] != 0x8000 {
+		t.Fatalf("rrc: r4=%#x", m.R[4])
+	}
+	m = run(t, 2, imm(0x1234, 4), Instr{Op: SWPB, Src: 4, As: ModeReg})
+	if m.R[4] != 0x3412 {
+		t.Fatalf("swpb: r4=%#x", m.R[4])
+	}
+	m = run(t, 2, imm(0x0080, 4), Instr{Op: SXT, Src: 4, As: ModeReg})
+	if m.R[4] != 0xff80 || !m.flag(FlagN) {
+		t.Fatalf("sxt: r4=%#x sr=%#x", m.R[4], m.R[SR])
+	}
+}
+
+func TestFmt2MemoryOperand(t *testing.T) {
+	m := run(t, 3,
+		Instr{Op: MOV, Src: PC, As: ModeIncr, SrcExt: 0x0004, Dst: SR, Ad: 1, DstExt: 0x0300},
+		imm(0x0300, 4),
+		Instr{Op: RRA, Src: 4, As: ModeIndirect}, // rra @r4
+	)
+	if got := m.Bus.LoadWord(0x0300); got != 0x0002 {
+		t.Fatalf("rra @r4 result = %#x", got)
+	}
+}
+
+func TestRETI(t *testing.T) {
+	mem := new(FlatMem)
+	// Pre-build a stack frame: SR then PC.
+	mem.StoreWord(0x03fc, 0x0003) // saved SR
+	mem.StoreWord(0x03fe, 0xf200) // saved PC
+	prog := []Instr{
+		imm(0x03fc, SP),
+		{Op: RETI},
+	}
+	addr := uint16(ROMStart)
+	for i := range prog {
+		ws, _ := prog[i].Encode()
+		mem.LoadProgram(addr, ws)
+		addr += uint16(2 * len(ws))
+	}
+	mem.StoreWord(ResetVec, ROMStart)
+	m := NewMachine(mem)
+	m.Reset()
+	for i := 0; i < 2; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.R[PC] != 0xf200 || m.R[SR] != 0x0003 || m.R[SP] != 0x0400 {
+		t.Fatalf("pc=%#x sr=%#x sp=%#x", m.R[PC], m.R[SR], m.R[SP])
+	}
+}
+
+func TestWriteToCGDiscarded(t *testing.T) {
+	m := run(t, 1, imm(0x1234, CG))
+	if m.R[CG] != 0 {
+		t.Fatalf("r3 = %#x, want 0", m.R[CG])
+	}
+}
+
+func TestBranchViaMovToPC(t *testing.T) {
+	m := run(t, 1, imm(0xf800, PC)) // br #0xf800
+	if m.R[PC] != 0xf800 {
+		t.Fatalf("pc = %#x", m.R[PC])
+	}
+}
+
+func TestSymbolicMode(t *testing.T) {
+	// mov data(pc), r5 where data is 10 bytes past the extension word.
+	mem := new(FlatMem)
+	in := Instr{Op: MOV, Src: PC, As: ModeIndexed, SrcExt: 10, Dst: 5}
+	ws, _ := in.Encode()
+	mem.LoadProgram(ROMStart, ws)
+	mem.StoreWord(ROMStart+2+10, 0xcafe)
+	mem.StoreWord(ResetVec, ROMStart)
+	m := NewMachine(mem)
+	m.Reset()
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[5] != 0xcafe {
+		t.Fatalf("r5 = %#x", m.R[5])
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	m := run(t, 3,
+		imm(5, 4), // 2 cycles
+		Instr{Op: MOV, Src: 4, As: ModeReg, Dst: 5},                       // 1 cycle
+		Instr{Op: MOV, Src: 4, As: ModeReg, Dst: 5, Ad: 1, DstExt: 0x300}, // 2 cycles
+	)
+	want := uint64(ResetCycles + 2 + 1 + 2)
+	if m.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", m.Cycles, want)
+	}
+	if m.Insns != 3 {
+		t.Fatalf("insns = %d", m.Insns)
+	}
+}
+
+func TestStepDecodeError(t *testing.T) {
+	mem := new(FlatMem)
+	mem.StoreWord(ResetVec, ROMStart) // ROM is zeroed: opcode 0 is undefined
+	m := NewMachine(mem)
+	m.Reset()
+	if _, err := m.Step(); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

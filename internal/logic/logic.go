@@ -1,0 +1,418 @@
+// Package logic implements the ternary (0/1/X) logic values and the
+// gate-level information flow tracking (GLIFT) propagation rules that the
+// rest of the system is built on.
+//
+// Every signal in a tracked design carries a pair (V, T): a ternary logic
+// value V and a taint bit T. Values follow standard Kleene ternary
+// semantics. Taint follows the GLIFT rule of Tiwari et al. (exemplified for
+// a NAND gate in Figure 1 of the paper): the output of a gate is tainted
+// exactly when some tainted input is able to affect the output value, given
+// the values of the remaining inputs. Unknown (X) untainted inputs are
+// handled conservatively: if any resolution of the unknown inputs would let
+// a tainted input affect the output, the output is tainted.
+package logic
+
+import "fmt"
+
+// V is a ternary logic value.
+type V uint8
+
+const (
+	// Zero is logic 0.
+	Zero V = 0
+	// One is logic 1.
+	One V = 1
+	// X is the unknown value used by input-independent (symbolic)
+	// simulation.
+	X V = 2
+)
+
+// String returns "0", "1" or "X".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("V(%d)", uint8(v))
+}
+
+// FromBool converts a Go bool to a concrete ternary value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Known reports whether v is a concrete 0 or 1.
+func (v V) Known() bool { return v == Zero || v == One }
+
+// MergeV returns the least upper bound of two ternary values: the value
+// itself when both agree, X otherwise. It is used when joining execution
+// states conservatively.
+func MergeV(a, b V) V {
+	if a == b {
+		return a
+	}
+	return X
+}
+
+// Sig is a GLIFT-tracked signal: a ternary value plus a taint bit.
+type Sig struct {
+	V V
+	T bool
+}
+
+// Common signal constants.
+var (
+	Zero0 = Sig{V: Zero}          // untainted 0
+	One0  = Sig{V: One}           // untainted 1
+	X0    = Sig{V: X}             // untainted unknown
+	XT    = Sig{V: X, T: true}    // tainted unknown
+	Zero1 = Sig{V: Zero, T: true} // tainted 0
+	One1  = Sig{V: One, T: true}  // tainted 1
+)
+
+// S builds a signal from a ternary value and a taint flag.
+func S(v V, t bool) Sig { return Sig{V: v, T: t} }
+
+// String renders the signal as e.g. "1", "0*", "X*" (a trailing star marks
+// taint).
+func (s Sig) String() string {
+	if s.T {
+		return s.V.String() + "*"
+	}
+	return s.V.String()
+}
+
+// Merge returns the conservative join of two signals: values merge to X when
+// they disagree and taint is the union. Used for conservative superstates.
+func Merge(a, b Sig) Sig {
+	return Sig{V: MergeV(a.V, b.V), T: a.T || b.T}
+}
+
+// Substate reports whether signal a is covered by the (potentially more
+// conservative) signal b: b either agrees with a or is X, and b is at least
+// as tainted as a.
+func Substate(a, b Sig) bool {
+	if a.T && !b.T {
+		return false
+	}
+	return b.V == X || a.V == b.V
+}
+
+// Packed is the byte encoding of a Sig used by the simulator's dense net
+// arrays: bits 1:0 hold V, bit 2 holds T. Only 6 of the 8 values are valid.
+type Packed = uint8
+
+// NumPacked is the size of lookup tables indexed by a Packed signal.
+const NumPacked = 8
+
+// Pack encodes a Sig into its dense byte representation.
+func Pack(s Sig) Packed {
+	p := Packed(s.V)
+	if s.T {
+		p |= 4
+	}
+	return p
+}
+
+// Unpack decodes a Packed signal.
+func Unpack(p Packed) Sig {
+	return Sig{V: V(p & 3), T: p&4 != 0}
+}
+
+// Op identifies a combinational gate function.
+type Op uint8
+
+// Gate operations. Const0/Const1 take no inputs; Buf and Not take one;
+// And..Xnor take two; Mux takes three (select, in0, in1).
+const (
+	Const0 Op = iota
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+	Mux
+	numOps
+)
+
+var opNames = [...]string{"const0", "const1", "buf", "not", "and", "or", "nand", "nor", "xor", "xnor", "mux"}
+
+// String returns the lower-case mnemonic of the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Arity returns the number of inputs the op consumes.
+func (o Op) Arity() int {
+	switch o {
+	case Const0, Const1:
+		return 0
+	case Buf, Not:
+		return 1
+	case Mux:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// boolEval evaluates the op over concrete boolean inputs. For Mux, in[0] is
+// the select, in[1] the value when select=0, in[2] the value when select=1.
+func boolEval(o Op, in []bool) bool {
+	switch o {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And:
+		return in[0] && in[1]
+	case Or:
+		return in[0] || in[1]
+	case Nand:
+		return !(in[0] && in[1])
+	case Nor:
+		return !(in[0] || in[1])
+	case Xor:
+		return in[0] != in[1]
+	case Xnor:
+		return in[0] == in[1]
+	case Mux:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	}
+	panic("logic: bad op")
+}
+
+// evalGeneric computes the GLIFT-tracked output of op over the given inputs
+// by brute-force case analysis (inputs are at most 3, so at most 8 cases).
+//
+// Output value: the set of outputs reachable when every X-valued input
+// ranges over {0,1} and every concrete input is fixed; a singleton set gives
+// a concrete output, otherwise X.
+//
+// Output taint: tainted iff there is an assignment of the untainted inputs
+// (consistent with their values: concrete fixed, X free) under which the
+// output still depends on the tainted inputs (which range over {0,1}
+// regardless of their current value, since a tainted value is
+// attacker-influenced).
+func evalGeneric(o Op, in []Sig) Sig {
+	n := o.Arity()
+	if n == 0 {
+		if o == Const1 {
+			return One0
+		}
+		return Zero0
+	}
+
+	// Value: enumerate resolutions of X inputs at their observed values.
+	var vals [3]bool
+	seen0, seen1 := false, false
+	var walkVal func(i int)
+	walkVal = func(i int) {
+		if i == n {
+			if boolEval(o, vals[:n]) {
+				seen1 = true
+			} else {
+				seen0 = true
+			}
+			return
+		}
+		switch in[i].V {
+		case Zero:
+			vals[i] = false
+			walkVal(i + 1)
+		case One:
+			vals[i] = true
+			walkVal(i + 1)
+		default: // X: both
+			vals[i] = false
+			walkVal(i + 1)
+			vals[i] = true
+			walkVal(i + 1)
+		}
+	}
+	walkVal(0)
+	var outV V
+	switch {
+	case seen0 && seen1:
+		outV = X
+	case seen1:
+		outV = One
+	default:
+		outV = Zero
+	}
+
+	// Taint: any tainted input at all?
+	anyTaint := false
+	for i := 0; i < n; i++ {
+		if in[i].T {
+			anyTaint = true
+			break
+		}
+	}
+	if !anyTaint {
+		return Sig{V: outV}
+	}
+	// For each assignment of untainted inputs consistent with their values,
+	// check whether varying the tainted inputs changes the output.
+	tainted := false
+	var walkU func(i int)
+	checkDep := func() {
+		s0, s1 := false, false
+		var walkT func(i int)
+		walkT = func(i int) {
+			if i == n {
+				if boolEval(o, vals[:n]) {
+					s1 = true
+				} else {
+					s0 = true
+				}
+				return
+			}
+			if !in[i].T {
+				walkT(i + 1) // already fixed by walkU
+				return
+			}
+			vals[i] = false
+			walkT(i + 1)
+			vals[i] = true
+			walkT(i + 1)
+		}
+		walkT(0)
+		if s0 && s1 {
+			tainted = true
+		}
+	}
+	walkU = func(i int) {
+		if tainted {
+			return
+		}
+		if i == n {
+			checkDep()
+			return
+		}
+		if in[i].T {
+			walkU(i + 1) // assigned in the inner walk
+			return
+		}
+		switch in[i].V {
+		case Zero:
+			vals[i] = false
+			walkU(i + 1)
+		case One:
+			vals[i] = true
+			walkU(i + 1)
+		default:
+			vals[i] = false
+			walkU(i + 1)
+			vals[i] = true
+			walkU(i + 1)
+		}
+	}
+	walkU(0)
+	return Sig{V: outV, T: tainted}
+}
+
+// Eval computes the GLIFT-tracked output of op applied to the given inputs.
+// It panics if the number of inputs does not match the op's arity.
+func Eval(o Op, in ...Sig) Sig {
+	if len(in) != o.Arity() {
+		panic(fmt.Sprintf("logic: %s expects %d inputs, got %d", o, o.Arity(), len(in)))
+	}
+	return evalGeneric(o, in)
+}
+
+// Dense lookup tables used by the simulator inner loop. Indexed by packed
+// signals; invalid packed encodings map to themselves harmlessly (the
+// simulator never produces them).
+var (
+	lut1 [numOps][NumPacked]Packed
+	lut2 [numOps][NumPacked * NumPacked]Packed
+	lut3 [NumPacked * NumPacked * NumPacked]Packed // Mux only
+)
+
+func init() {
+	// Enumerate the 6 valid packed encodings directly.
+	valid := []Packed{0, 1, 2, 4, 5, 6}
+	for _, o := range []Op{Buf, Not} {
+		for _, a := range valid {
+			lut1[o][a] = Pack(evalGeneric(o, []Sig{Unpack(a)}))
+		}
+	}
+	for _, o := range []Op{And, Or, Nand, Nor, Xor, Xnor} {
+		for _, a := range valid {
+			for _, b := range valid {
+				lut2[o][int(a)*NumPacked+int(b)] = Pack(evalGeneric(o, []Sig{Unpack(a), Unpack(b)}))
+			}
+		}
+	}
+	for _, s := range valid {
+		for _, a := range valid {
+			for _, b := range valid {
+				idx := (int(s)*NumPacked+int(a))*NumPacked + int(b)
+				lut3[idx] = Pack(evalGeneric(Mux, []Sig{Unpack(s), Unpack(a), Unpack(b)}))
+			}
+		}
+	}
+}
+
+// Eval1 evaluates a 1-input op on packed signals via lookup table.
+func Eval1(o Op, a Packed) Packed { return lut1[o][a] }
+
+// Eval2 evaluates a 2-input op on packed signals via lookup table.
+func Eval2(o Op, a, b Packed) Packed { return lut2[o][int(a)*NumPacked+int(b)] }
+
+// EvalMux evaluates a mux (sel, in0, in1) on packed signals via lookup table.
+func EvalMux(sel, a, b Packed) Packed {
+	return lut3[(int(sel)*NumPacked+int(a))*NumPacked+int(b)]
+}
+
+// NANDRow is one row of the Figure 1 GLIFT truth table for a NAND gate.
+type NANDRow struct {
+	A, AT, B, BT, O, OT uint8
+}
+
+// NANDTruthTable regenerates the 16-row gate-level information flow tracking
+// truth table for a NAND gate shown in Figure 1 of the paper.
+func NANDTruthTable() []NANDRow {
+	rows := make([]NANDRow, 0, 16)
+	for a := uint8(0); a < 2; a++ {
+		for at := uint8(0); at < 2; at++ {
+			for b := uint8(0); b < 2; b++ {
+				for bt := uint8(0); bt < 2; bt++ {
+					out := Eval(Nand, Sig{V: V(a), T: at == 1}, Sig{V: V(b), T: bt == 1})
+					o := uint8(0)
+					if out.V == One {
+						o = 1
+					}
+					ot := uint8(0)
+					if out.T {
+						ot = 1
+					}
+					rows = append(rows, NANDRow{A: a, AT: at, B: b, BT: bt, O: o, OT: ot})
+				}
+			}
+		}
+	}
+	return rows
+}

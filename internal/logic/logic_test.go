@@ -1,0 +1,369 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sig(v V, t bool) Sig { return Sig{V: v, T: t} }
+
+func TestVString(t *testing.T) {
+	if Zero.String() != "0" || One.String() != "1" || X.String() != "X" {
+		t.Fatalf("bad V strings: %s %s %s", Zero, One, X)
+	}
+	if got := sig(One, true).String(); got != "1*" {
+		t.Fatalf("tainted sig string = %q", got)
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Fatal("FromBool broken")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	if !Zero.Known() || !One.Known() || X.Known() {
+		t.Fatal("Known broken")
+	}
+}
+
+func TestMergeV(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Zero, Zero, Zero}, {One, One, One}, {X, X, X},
+		{Zero, One, X}, {One, Zero, X}, {Zero, X, X}, {X, One, X},
+	}
+	for _, c := range cases {
+		if got := MergeV(c.a, c.b); got != c.want {
+			t.Errorf("MergeV(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMergeSubstateLaws(t *testing.T) {
+	all := []Sig{Zero0, One0, X0, Zero1, One1, XT}
+	for _, a := range all {
+		if !Substate(a, a) {
+			t.Errorf("Substate(%s,%s) should be reflexive", a, a)
+		}
+		for _, b := range all {
+			m := Merge(a, b)
+			if !Substate(a, m) || !Substate(b, m) {
+				t.Errorf("Merge(%s,%s)=%s is not an upper bound", a, b, m)
+			}
+			if Merge(a, b) != Merge(b, a) {
+				t.Errorf("Merge not commutative for %s,%s", a, b)
+			}
+		}
+	}
+	// X covers everything of equal-or-lower taint.
+	if !Substate(Zero0, XT) || !Substate(One1, XT) {
+		t.Error("XT should cover all signals")
+	}
+	if Substate(Zero1, X0) {
+		t.Error("untainted X must not cover tainted 0")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, s := range []Sig{Zero0, One0, X0, Zero1, One1, XT} {
+		if got := Unpack(Pack(s)); got != s {
+			t.Errorf("round trip %s -> %v", s, got)
+		}
+	}
+}
+
+// TestFigure1NANDTable checks the exact 16 rows shown in Figure 1 of the
+// paper.
+func TestFigure1NANDTable(t *testing.T) {
+	want := [][6]uint8{
+		{0, 0, 0, 0, 1, 0},
+		{0, 0, 0, 1, 1, 0},
+		{0, 0, 1, 0, 1, 0},
+		{0, 0, 1, 1, 1, 0},
+		{0, 1, 0, 0, 1, 0},
+		{0, 1, 0, 1, 1, 1},
+		{0, 1, 1, 0, 1, 1},
+		{0, 1, 1, 1, 1, 1},
+		{1, 0, 0, 0, 1, 0},
+		{1, 0, 0, 1, 1, 1},
+		{1, 0, 1, 0, 0, 0},
+		{1, 0, 1, 1, 0, 1},
+		{1, 1, 0, 0, 1, 0},
+		{1, 1, 0, 1, 1, 1},
+		{1, 1, 1, 0, 0, 1},
+		{1, 1, 1, 1, 0, 1},
+	}
+	rows := NANDTruthTable()
+	if len(rows) != 16 {
+		t.Fatalf("want 16 rows, got %d", len(rows))
+	}
+	for i, r := range rows {
+		got := [6]uint8{r.A, r.AT, r.B, r.BT, r.O, r.OT}
+		if got != want[i] {
+			t.Errorf("row %d: got %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestEvalConcreteGates(t *testing.T) {
+	b := func(x bool) Sig { return Sig{V: FromBool(x)} }
+	for _, op := range []Op{And, Or, Nand, Nor, Xor, Xnor} {
+		for _, a := range []bool{false, true} {
+			for _, c := range []bool{false, true} {
+				got := Eval(op, b(a), b(c))
+				want := boolEval(op, []bool{a, c})
+				if got.V != FromBool(want) || got.T {
+					t.Errorf("%s(%v,%v) = %s", op, a, c, got)
+				}
+			}
+		}
+	}
+	if Eval(Not, b(true)).V != Zero || Eval(Buf, b(true)).V != One {
+		t.Error("not/buf broken")
+	}
+	if Eval(Const0).V != Zero || Eval(Const1).V != One {
+		t.Error("const broken")
+	}
+}
+
+func TestEvalXPropagation(t *testing.T) {
+	// AND with a controlling 0 hides X.
+	if got := Eval(And, Zero0, X0); got != Zero0 {
+		t.Errorf("and(0,X) = %s, want 0", got)
+	}
+	if got := Eval(Or, One0, X0); got != One0 {
+		t.Errorf("or(1,X) = %s, want 1", got)
+	}
+	if got := Eval(And, One0, X0); got != X0 {
+		t.Errorf("and(1,X) = %s, want X", got)
+	}
+	if got := Eval(Xor, X0, X0); got != X0 {
+		t.Errorf("xor(X,X) = %s, want X", got)
+	}
+	if got := Eval(Not, X0); got != X0 {
+		t.Errorf("not(X) = %s, want X", got)
+	}
+}
+
+func TestEvalTaintMasking(t *testing.T) {
+	// A controlling untainted input masks taint: and(0, 1*) = 0 untainted.
+	if got := Eval(And, Zero0, One1); got != Zero0 {
+		t.Errorf("and(0,1*) = %s, want 0 untainted", got)
+	}
+	// A non-controlling untainted input lets taint through.
+	if got := Eval(And, One0, One1); got != One1 {
+		t.Errorf("and(1,1*) = %s, want 1*", got)
+	}
+	// XOR always propagates taint.
+	if got := Eval(Xor, Zero0, Zero1); !got.T {
+		t.Errorf("xor(0,0*) = %s, want tainted", got)
+	}
+	// An untainted X paired with a tainted input is conservatively tainted
+	// (some resolution of the X lets the taint through).
+	if got := Eval(And, X0, One1); got.V != X || !got.T {
+		t.Errorf("and(X,1*) = %s, want X*", got)
+	}
+	// But a concrete untainted controlling input always masks, even when the
+	// tainted input is X.
+	if got := Eval(And, Zero0, XT); got != Zero0 {
+		t.Errorf("and(0,X*) = %s, want 0", got)
+	}
+}
+
+func TestEvalMuxSemantics(t *testing.T) {
+	// Concrete select chooses an input; taint follows the chosen input.
+	if got := Eval(Mux, Zero0, One1, Zero0); got != One1 {
+		t.Errorf("mux(0, 1*, 0) = %s, want 1*", got)
+	}
+	if got := Eval(Mux, One0, One1, Zero0); got != Zero0 {
+		t.Errorf("mux(1, 1*, 0) = %s, want 0", got)
+	}
+	// Tainted select with differing data taints the output.
+	if got := Eval(Mux, Zero1, Zero0, One0); got.V != Zero || !got.T {
+		t.Errorf("mux(0*, 0, 1) = %s, want 0*", got)
+	}
+	// Tainted select with identical untainted data leaks nothing.
+	if got := Eval(Mux, Zero1, One0, One0); got != One0 {
+		t.Errorf("mux(0*, 1, 1) = %s, want 1", got)
+	}
+	// X select merges data values.
+	if got := Eval(Mux, X0, Zero0, One0); got.V != X {
+		t.Errorf("mux(X, 0, 1) = %s, want X", got)
+	}
+}
+
+// The tainted-reset behaviour of Figure 7 expressed as a mux: a DFF's next
+// state is mux(rst, nextval, rstval). A tainted asserted reset forces the
+// value but cannot clear the taint.
+func TestFigure7TaintedResetMux(t *testing.T) {
+	d := Sig{V: X, T: true} // tainted unknown next value
+	rstval := Zero0
+	// Untainted asserted reset: fully cleans the state.
+	if got := Eval(Mux, One0, d, rstval); got != Zero0 {
+		t.Errorf("untainted reset: got %s, want 0", got)
+	}
+	// Tainted asserted reset: value forced to 0 but taint retained.
+	if got := Eval(Mux, One1, d, rstval); got.V != Zero || !got.T {
+		t.Errorf("tainted reset: got %s, want 0*", got)
+	}
+}
+
+func TestLUTsMatchEval(t *testing.T) {
+	valid := []Sig{Zero0, One0, X0, Zero1, One1, XT}
+	for _, op := range []Op{Buf, Not} {
+		for _, a := range valid {
+			if got, want := Unpack(Eval1(op, Pack(a))), Eval(op, a); got != want {
+				t.Errorf("lut1 %s(%s) = %s, want %s", op, a, got, want)
+			}
+		}
+	}
+	for _, op := range []Op{And, Or, Nand, Nor, Xor, Xnor} {
+		for _, a := range valid {
+			for _, b := range valid {
+				if got, want := Unpack(Eval2(op, Pack(a), Pack(b))), Eval(op, a, b); got != want {
+					t.Errorf("lut2 %s(%s,%s) = %s, want %s", op, a, b, got, want)
+				}
+			}
+		}
+	}
+	for _, s := range valid {
+		for _, a := range valid {
+			for _, b := range valid {
+				if got, want := Unpack(EvalMux(Pack(s), Pack(a), Pack(b))), Eval(Mux, s, a, b); got != want {
+					t.Errorf("lut3 mux(%s,%s,%s) = %s, want %s", s, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: taint never appears from untainted inputs.
+func TestPropertyNoSpontaneousTaint(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	f := func() bool {
+		op := Op(2 + rnd.Intn(int(numOps)-2))
+		in := make([]Sig, op.Arity())
+		for i := range in {
+			in[i] = Sig{V: V(rnd.Intn(3))}
+		}
+		return !Eval(op, in...).T
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: soundness of value evaluation — if all inputs are concretized in
+// any way compatible with the ternary inputs, the concrete output is
+// compatible with the ternary output.
+func TestPropertyValueSoundness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	f := func() bool {
+		op := Op(2 + rnd.Intn(int(numOps)-2))
+		in := make([]Sig, op.Arity())
+		for i := range in {
+			in[i] = Sig{V: V(rnd.Intn(3))}
+		}
+		out := Eval(op, in...)
+		// Try every concretization.
+		n := op.Arity()
+		conc := make([]bool, n)
+		var walk func(i int) bool
+		walk = func(i int) bool {
+			if i == n {
+				got := boolEval(op, conc)
+				return out.V == X || out.V == FromBool(got)
+			}
+			switch in[i].V {
+			case Zero:
+				conc[i] = false
+				return walk(i + 1)
+			case One:
+				conc[i] = true
+				return walk(i + 1)
+			default:
+				conc[i] = false
+				if !walk(i + 1) {
+					return false
+				}
+				conc[i] = true
+				return walk(i + 1)
+			}
+		}
+		return walk(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: taint soundness — flipping the value of any tainted input never
+// changes the (concrete) output of a gate whose output is untainted.
+func TestPropertyTaintSoundness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	f := func() bool {
+		op := Op(2 + rnd.Intn(int(numOps)-2))
+		n := op.Arity()
+		in := make([]Sig, n)
+		for i := range in {
+			in[i] = Sig{V: V(rnd.Intn(2)), T: rnd.Intn(2) == 0} // concrete values
+		}
+		out := Eval(op, in...)
+		if out.T {
+			return true // nothing to check
+		}
+		// Untainted output: every assignment of tainted inputs must produce
+		// the same output value.
+		conc := make([]bool, n)
+		first := true
+		var ref bool
+		ok := true
+		var walk func(i int)
+		walk = func(i int) {
+			if i == n {
+				got := boolEval(op, conc)
+				if first {
+					ref, first = got, false
+				} else if got != ref {
+					ok = false
+				}
+				return
+			}
+			if in[i].T {
+				conc[i] = false
+				walk(i + 1)
+				conc[i] = true
+				walk(i + 1)
+				return
+			}
+			conc[i] = in[i].V == One
+			walk(i + 1)
+		}
+		walk(0)
+		return ok && FromBool(ref) == out.V
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong arity")
+		}
+	}()
+	Eval(And, One0)
+}
+
+func BenchmarkEval2LUT(b *testing.B) {
+	x := Pack(One1)
+	y := Pack(X0)
+	for i := 0; i < b.N; i++ {
+		x = Eval2(And, x&7, y)
+	}
+	_ = x
+}

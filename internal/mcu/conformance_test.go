@@ -1,0 +1,229 @@
+package mcu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// TestISAConformanceMatrix locksteps the gate-level core against the
+// reference interpreter for every format I opcode crossed with every
+// addressing-mode combination, every format II opcode in register and
+// memory modes, and every jump condition in both directions — a structured
+// complement to the randomized differential fuzzing.
+func TestISAConformanceMatrix(t *testing.T) {
+	prologue := `
+start:  mov #0x0500, sp
+        mov #0x1234, r4
+        mov #0x8765, r5
+        mov #0x0300, r6      ; pointer into RAM
+        mov #0x00ff, r7
+        mov #0x0304, r8      ; second pointer
+        mov #0xaaaa, &0x0300
+        mov #0x5555, &0x0302
+        mov #0x0f0f, &0x0304
+        setc
+`
+	fmt1Ops := []string{"mov", "add", "addc", "sub", "subc", "cmp", "bit", "bic", "bis", "xor", "and"}
+	srcModes := []string{"r4", "#0x1f3", "#8", "2(r6)", "@r6", "@r6+", "&0x0302"}
+	dstModes := []string{"r5", "2(r8)", "&0x0306"}
+	for _, op := range fmt1Ops {
+		for _, src := range srcModes {
+			for _, dst := range dstModes {
+				for _, suffix := range []string{"", ".b"} {
+					name := fmt.Sprintf("%s%s_%s_%s", op, suffix, src, dst)
+					body := prologue + fmt.Sprintf("        %s%s %s, %s\ndone:   jmp done\n", op, suffix, src, dst)
+					t.Run(name, func(t *testing.T) {
+						runDifferential(t, body, 16)
+					})
+				}
+			}
+		}
+	}
+
+	fmt2Ops := []string{"rra", "rrc", "swpb", "sxt", "push"}
+	fmt2Modes := []string{"r4", "2(r6)", "@r6", "&0x0300"}
+	for _, op := range fmt2Ops {
+		for _, mode := range fmt2Modes {
+			if op == "push" && mode != "r4" {
+				// push of memory operands exercises StSrc+StPush
+				body := prologue + fmt.Sprintf("        push %s\ndone:   jmp done\n", mode)
+				t.Run("push_"+mode, func(t *testing.T) { runDifferential(t, body, 16) })
+				continue
+			}
+			body := prologue + fmt.Sprintf("        %s %s\ndone:   jmp done\n", op, mode)
+			t.Run(op+"_"+mode, func(t *testing.T) { runDifferential(t, body, 16) })
+		}
+	}
+
+	// Every jump condition, taken and not taken, across carry/zero/negative
+	// and signed flag setups.
+	flagSetups := []string{
+		"        mov #1, r9\n        cmp #1, r9\n",      // Z=1 C=1
+		"        mov #2, r9\n        cmp #1, r9\n",      // Z=0 C=1 N=0
+		"        mov #0, r9\n        cmp #1, r9\n",      // borrow: C=0 N=1
+		"        mov #-5, r9\n        cmp #1, r9\n",     // negative vs positive
+		"        mov #0x7fff, r9\n        add #1, r9\n", // V=1 N=1
+	}
+	jumps := []string{"jne", "jeq", "jnc", "jc", "jn", "jge", "jl", "jmp"}
+	for i, setup := range flagSetups {
+		for _, j := range jumps {
+			body := prologue + setup +
+				fmt.Sprintf("        %s skip\n        mov #0xdead, r15\nskip:   mov #1, r14\ndone:   jmp done\n", j)
+			t.Run(fmt.Sprintf("%s_setup%d", j, i), func(t *testing.T) {
+				runDifferential(t, body, 20)
+			})
+		}
+	}
+}
+
+// TestConformanceCGAndEmulated exercises all constant-generator encodings
+// and every emulated mnemonic on the gate-level core.
+func TestConformanceCGAndEmulated(t *testing.T) {
+	runDifferential(t, `
+start:  mov #0x0500, sp
+        mov #0, r4
+        mov #1, r5
+        mov #2, r6
+        mov #4, r7
+        mov #8, r8
+        mov #-1, r9
+        add #1, r4
+        add #2, r4
+        add #4, r4
+        add #8, r4
+        sub #1, r4
+        cmp #0, r4
+        bis #1, r4
+        bic #1, r4
+        xor #-1, r4
+        nop
+        clr r10
+        inc r10
+        incd r10
+        dec r10
+        decd r10
+        tst r10
+        inv r10
+        rla r10
+        rlc r10
+        adc r10
+        sbc r10
+        setc
+        clrc
+        setz
+        clrz
+        setn
+        clrn
+        eint
+        dint
+        push r4
+        pop r11
+        br #next
+        mov #0xdead, r15
+next:   mov #5, r12
+done:   jmp done
+`, 60)
+}
+
+// TestConformanceCallStack exercises nested calls and returns.
+func TestConformanceCallStack(t *testing.T) {
+	runDifferential(t, `
+start:  mov #0x0500, sp
+        call #f1
+        mov #1, r10
+done:   jmp done
+f1:     mov #2, r11
+        call #f2
+        mov #3, r12
+        ret
+f2:     mov #4, r13
+        push r13
+        pop r14
+        ret
+`, 40)
+}
+
+// TestConformanceByteEdge exercises byte operations at odd addresses, byte
+// RMW, and byte autoincrement chains.
+func TestConformanceByteEdge(t *testing.T) {
+	runDifferential(t, `
+start:  mov #0x0500, sp
+        mov #0x0300, r6
+        mov #0xa55a, &0x0300
+        mov #0x1bc4, &0x0302
+        mov.b 1(r6), r7      ; high byte of word 0
+        mov.b r7, 3(r6)      ; high byte of word 1
+        add.b @r6+, r7       ; byte autoincrement
+        add.b @r6+, r7
+        add.b @r6+, r7
+        xor.b #0x0f, r7
+        and.b 0(r6), r7
+        rra.b r7
+        rrc.b r7
+        mov.b #0xff, r8
+        add.b r8, r8         ; byte overflow
+        subc.b r8, r7
+done:   jmp done
+`, 40)
+}
+
+// TestConformanceSRWrites checks whole-SR writes and flag readback.
+func TestConformanceSRWrites(t *testing.T) {
+	runDifferential(t, `
+start:  mov #0x0500, sp
+        mov #0x0107, sr      ; set C,Z,N,V directly
+        mov sr, r5           ; read back
+        adc r5               ; consume carry
+        mov #0, sr
+        mov sr, r6
+        jc bad
+        mov #1, r7
+bad:    nop
+done:   jmp done
+`, 20)
+}
+
+// TestConformanceAligned16BitWrap checks address arithmetic wraparound.
+func TestConformanceAligned16BitWrap(t *testing.T) {
+	runDifferential(t, `
+start:  mov #0x0500, sp
+        mov #0xffff, r4
+        add #3, r4           ; wraps to 2
+        mov #0x0300, r6
+        mov #-2, r7
+        add r6, r7           ; 0x02fe
+        mov #0x77, 0(r7)
+        mov 0(r7), r8
+done:   jmp done
+`, 20)
+}
+
+// TestSystemRegWordAndEvents covers accessors not hit elsewhere.
+func TestSystemRegWordAndEvents(t *testing.T) {
+	img, err := asm.AssembleSource(`
+start:  mov #0x1234, r4
+done:   jmp done
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSystem(t)
+	loadConcrete(t, s, img)
+	s.PowerOn()
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	s.EvalCycle(nil)
+	if w := s.RegWord(isa.CG); w.Val != 0 || !w.Concrete() {
+		t.Fatal("CG should read as constant 0")
+	}
+	if w := s.RegWord(isa.PC); !w.Concrete() {
+		t.Fatal("PC should be concrete")
+	}
+	if evs := s.Events(); len(evs) != 0 {
+		t.Fatalf("unexpected events: %v", evs)
+	}
+}

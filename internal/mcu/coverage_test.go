@@ -1,0 +1,158 @@
+package mcu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// randStraightLine emits a random branch-free program (jumps would need the
+// analysis engine's forking; here we test the raw simulator's soundness).
+func randStraightLine(rnd *rand.Rand, n int) string {
+	src := "start: mov #0x500, sp\n mov #0x0300, r14\n mov #0x0380, r15\n"
+	regs := []string{"r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"}
+	ops2 := []string{"mov", "add", "addc", "sub", "subc", "cmp", "bit", "bic", "bis", "xor", "and"}
+	ops1 := []string{"rra", "rrc", "swpb", "sxt", "inv"}
+	for i := 0; i < n; i++ {
+		r := regs[rnd.Intn(len(regs))]
+		r2 := regs[rnd.Intn(len(regs))]
+		switch rnd.Intn(7) {
+		case 0:
+			src += " mov &0x0020, " + r + "\n" // port read (X in symbolic mode)
+		case 1:
+			src += " " + ops2[rnd.Intn(len(ops2))] + " " + r2 + ", " + r + "\n"
+		case 2:
+			src += " " + ops2[rnd.Intn(len(ops2))] + " #" + itoa(rnd.Intn(1<<16)) + ", " + r + "\n"
+		case 3:
+			src += " mov " + r2 + ", " + itoa(2*rnd.Intn(32)) + "(r15)\n"
+		case 4:
+			src += " mov " + itoa(2*rnd.Intn(32)) + "(r15), " + r + "\n"
+		case 5:
+			src += " " + ops1[rnd.Intn(len(ops1))] + " " + r + "\n"
+		case 6:
+			src += " push " + r + "\n"
+		}
+	}
+	src += "done: jmp done\n"
+	return src
+}
+
+// TestSymbolicCoversConcrete is the soundness property of the ternary
+// simulator that the whole analysis rests on: a symbolic run with unknown
+// port inputs must *cover* (be a conservative superstate of) every concrete
+// run, for every input assignment, cycle for cycle.
+func TestSymbolicCoversConcrete(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	for seed := 0; seed < trials; seed++ {
+		rnd := rand.New(rand.NewSource(int64(100 + seed)))
+		src := randStraightLine(rnd, 30)
+		img, err := asm.AssembleSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Symbolic run: ports unknown.
+		symSys := newTestSystem(t)
+		loadConcrete(t, symSys, img)
+		symSys.SetPortIn(0, sim.Word{XM: 0xffff})
+		symSys.PowerOn()
+		cycles := 140
+		var symStates []*Snapshot
+		for i := 0; i < cycles; i++ {
+			symSys.Step()
+			symStates = append(symStates, symSys.Snapshot())
+		}
+
+		// Concrete runs with several input assignments.
+		for c := 0; c < 3; c++ {
+			conc := newTestSystem(t)
+			loadConcrete(t, conc, img)
+			crnd := rand.New(rand.NewSource(int64(999*seed + c)))
+			conc.PowerOn()
+			for i := 0; i < cycles; i++ {
+				conc.SetPortIn(0, sim.ConcreteWord(uint16(crnd.Uint32())))
+				conc.Step()
+				if !conc.Snapshot().SubstateOf(symStates[i]) {
+					t.Fatalf("seed %d input %d: concrete state at cycle %d not covered by symbolic run\nprogram:\n%s",
+						seed, c, i, src)
+				}
+			}
+		}
+	}
+}
+
+// TestSymbolicTaintCoversConcreteFlows: with a tainted port, every register
+// that differs across two concrete runs (i.e. genuinely carries input
+// influence) must be tainted in the symbolic run.
+func TestSymbolicTaintCoversConcreteFlows(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 2
+	}
+	for seed := 0; seed < trials; seed++ {
+		rnd := rand.New(rand.NewSource(int64(500 + seed)))
+		src := randStraightLine(rnd, 25)
+		img, err := asm.AssembleSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		symSys := newTestSystem(t)
+		loadConcrete(t, symSys, img)
+		symSys.SetPortIn(0, sim.Word{XM: 0xffff, TT: 0xffff})
+		symSys.PowerOn()
+		cycles := 120
+		for i := 0; i < cycles; i++ {
+			symSys.Step()
+		}
+		symSys.EvalCycle(nil)
+
+		run := func(val uint16) [16]sim.Word {
+			s := newTestSystem(t)
+			loadConcrete(t, s, img)
+			s.SetPortIn(0, sim.ConcreteWord(val))
+			s.PowerOn()
+			for i := 0; i < cycles; i++ {
+				s.Step()
+			}
+			s.EvalCycle(nil)
+			var regs [16]sim.Word
+			for r := 0; r < 16; r++ {
+				if s.D.Regs[r] != nil {
+					regs[r] = s.GetWord(s.D.Regs[r])
+				}
+			}
+			return regs
+		}
+		a := run(0x1111)
+		b := run(0xfffe)
+		for r := 0; r < 16; r++ {
+			if symSys.D.Regs[r] == nil {
+				continue
+			}
+			if a[r].Val != b[r].Val {
+				sw := symSys.GetWord(symSys.D.Regs[r])
+				if !sw.Tainted() {
+					t.Fatalf("seed %d: r%d differs across inputs (%#x vs %#x) but is untainted symbolically (%s)\nprogram:\n%s",
+						seed, r, a[r].Val, b[r].Val, sw, src)
+				}
+			}
+		}
+	}
+}
+
+func TestDFFUpdateMonotoneUnderX(t *testing.T) {
+	// A direct check of the DFF clocking law the snapshots rely on: X
+	// covers both concrete resolutions of a bit.
+	for _, d := range []logic.Sig{logic.Zero0, logic.One0} {
+		if !logic.Substate(d, logic.X0) {
+			t.Fatalf("%s not covered by X", d)
+		}
+	}
+}

@@ -1,0 +1,621 @@
+// Package mcu constructs a complete gate-level MSP430-class microcontroller
+// from gate primitives — register file, ALU, multi-cycle control FSM, GPIO
+// output ports and a watchdog timer with a password-protected control
+// register — and provides the simulation harness (System) that binds the
+// netlist to behavioural program/data memories and memory-mapped ports.
+//
+// The design stands in for the synthesized, placed-and-routed openMSP430 the
+// paper analyzed (see DESIGN.md): everything the paper's techniques touch —
+// the PC, the status register, the watchdog's write-enable, the port output
+// registers — exists as real gates and flip-flops so that GLIFT taint flows
+// through them exactly as in the paper.
+package mcu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// FSM state encodings (4-bit state register).
+const (
+	StReset = iota // power-on: fetch the reset vector
+	StFetch        // fetch; single-cycle instructions execute here
+	StSrc          // source operand acquisition (ext word / memory / #imm)
+	StDst          // destination ext word + read-modify-write
+	StF2wb         // format II memory write-back
+	StPush         // push operand at SP-2
+	StCall         // push return address, load PC
+	StReti1        // pop SR
+	StReti2        // pop PC
+	StIrq1         // interrupt entry: push PC
+	StIrq2         // interrupt entry: push SR, clear GIE, vector
+	numStates
+)
+
+// NumPorts is the number of GPIO input/output port pairs.
+const NumPorts = 4
+
+// PortInAddr returns the MMIO address of input port i (0-based).
+func PortInAddr(i int) uint16 { return uint16(isa.AddrP1IN + 4*i) }
+
+// PortOutAddr returns the MMIO address of output port i (0-based).
+func PortOutAddr(i int) uint16 { return uint16(isa.AddrP1OUT + 4*i) }
+
+// Design is the constructed netlist plus handles to every net the
+// simulation harness and the analysis need.
+type Design struct {
+	NL *netlist.Netlist
+
+	// Primary inputs.
+	Rst       netlist.NetID // external power-on reset
+	PmemRdata synth.Word    // program memory read data (addr = PmemAddr)
+	DmemRdata synth.Word    // data memory read data (addr = DmemAddr)
+	PortIn    [NumPorts]synth.Word
+
+	// Primary outputs.
+	PmemAddr  synth.Word
+	DmemAddr  synth.Word
+	DmemWdata synth.Word
+	DmemRe    netlist.NetID
+	DmemWe    netlist.NetID
+	DmemBW    netlist.NetID // byte-wide store
+	PortOut   [NumPorts]synth.Word
+
+	// Architectural state (flip-flop outputs).
+	PC, SR, IR synth.Word
+	Regs       [16]synth.Word // nil for PC/SR/CG slots
+	State      synth.Word
+	SrcReg     synth.Word
+	EA         synth.Word
+	WdtCtl     synth.Word // 8 control bits
+	WdtCnt     synth.Word
+	TaCtl      synth.Word // Timer_A-lite control (8 bits)
+	TaCcr0     synth.Word // Timer_A-lite compare
+	TaR        synth.Word // Timer_A-lite counter
+	TaIfg      netlist.NetID
+
+	// Probe nets.
+	PCNext      synth.Word    // D input of the PC register (fork detection)
+	BranchTaken netlist.NetID // conditional-jump decision in StFetch
+	POR         netlist.NetID // power-on reset (ext reset | wdt expiry | password violation)
+	WdtWe       netlist.NetID // write strobe of WDTCTL (integrity-check target)
+	WdtExpired  netlist.NetID
+	IrqTaken    netlist.NetID // interrupt entry decision at a fetch boundary
+}
+
+// regfileSlots lists the register numbers held in the DFF register file
+// (PC, SR and CG live elsewhere).
+var regfileSlots = []int{1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+// Build constructs the microcontroller netlist.
+func Build() *Design {
+	nl := netlist.New()
+	b := synth.NewBuilder(nl)
+	d := &Design{NL: nl}
+
+	// ---- Primary inputs ----
+	d.Rst = nl.AddInput("rst")
+	d.PmemRdata = b.InputWord("pmem_rdata", 16)
+	d.DmemRdata = b.InputWord("dmem_rdata", 16)
+	for i := 0; i < NumPorts; i++ {
+		d.PortIn[i] = b.InputWord(portName("p", i, "in"), 16)
+	}
+
+	// The POR net is declared up front (every register resets on it) and is
+	// driven at the end, once the watchdog logic exists.
+	por := b.Named("por")
+	d.POR = por
+	high, low := b.High(), b.Low()
+	zero16 := b.Const(16, 0)
+
+	// ---- State registers ----
+	// All registers use en=1 with explicit hold muxes on D, so that the only
+	// control inputs are their D cones and the POR reset — this keeps the
+	// GLIFT semantics of "an untainted asserted POR cleans everything".
+	cb := b.Scope("cpu")
+	stateQ, stateD := cb.RegisterLoop("state", 4, por, high, StReset)
+	pcQ, pcD := cb.RegisterLoop("pc", 16, por, high, 0)
+	srQ, srD := cb.RegisterLoop("sr", 16, por, high, 0)
+	irQ, irD := cb.RegisterLoop("ir", 16, por, high, 0)
+	srcQ, srcD := cb.RegisterLoop("srcreg", 16, por, high, 0)
+	eaQ, eaD := cb.RegisterLoop("ea", 16, por, high, 0)
+	d.State, d.PC, d.SR, d.IR, d.SrcReg, d.EA = stateQ, pcQ, srQ, irQ, srcQ, eaQ
+	d.PCNext = pcD
+
+	rb := b.Scope("regs")
+	var regQ, regD [16]synth.Word
+	for _, r := range regfileSlots {
+		regQ[r], regD[r] = rb.RegisterLoop(isa.Reg(r).String(), 16, por, high, 0)
+		d.Regs[r] = regQ[r]
+	}
+	sp := regQ[1]
+
+	// ---- State decode ----
+	stDec := b.Scope("st").Decode(stateQ)
+	stReset, stFetch, stSrc, stDst := stDec[StReset], stDec[StFetch], stDec[StSrc], stDec[StDst]
+	stF2wb, stPush, stCall := stDec[StF2wb], stDec[StPush], stDec[StCall]
+	stReti1, stReti2 := stDec[StReti1], stDec[StReti2]
+	stIrq1, stIrq2 := stDec[StIrq1], stDec[StIrq2]
+
+	// The interrupt-entry decision is computed from the timer block (built
+	// below) and the GIE bit; declared here so fetch-stage logic can gate on
+	// it, driven after the timer exists.
+	irqTaken := b.Named("irq_taken")
+	d.IrqTaken = irqTaken
+	notIrq := b.Scope("irqg").Not(irqTaken)
+
+	// ---- Instruction decode ----
+	// In StFetch the instruction comes straight off program memory; in all
+	// later states it is held in IR. Program memory is always addressed by
+	// the PC, so in operand states PmemRdata carries the extension word.
+	db := b.Scope("dec")
+	insn := db.MuxW(stFetch, irQ, d.PmemRdata)
+	ext := d.PmemRdata
+
+	op1 := synth.Slice(insn, 12, 16)
+	srcF := synth.Slice(insn, 8, 12)
+	adF := insn[7]
+	bwF := insn[6]
+	asF := synth.Slice(insn, 4, 6)
+	dstF := synth.Slice(insn, 0, 4)
+	op2 := synth.Slice(insn, 7, 10)
+	condF := synth.Slice(insn, 10, 13)
+	off10 := synth.Slice(insn, 0, 10)
+
+	isJump := db.AndN(db.Not(insn[15]), db.Not(insn[14]), insn[13])
+	isFmt2 := db.EqConst(synth.Slice(insn, 10, 16), 0b000100)
+	isFmt1 := db.OrN(insn[15], insn[14], db.And(insn[13], insn[12]))
+
+	op1Dec := db.Decode(op1)
+	isMOV, isADD, isADDC := op1Dec[4], op1Dec[5], op1Dec[6]
+	isSUBC, isSUB, isCMP := op1Dec[7], op1Dec[8], op1Dec[9]
+	isDADD, isBIT, isBIC := op1Dec[10], op1Dec[11], op1Dec[12]
+	isBIS, isXOR := op1Dec[13], op1Dec[14]
+
+	// Format II encodes its single operand in the destination fields; all
+	// source-operand logic selects on the effective operand register.
+	srcSel := db.MuxW(isFmt2, srcF, dstF)
+
+	srcEq0 := db.EqConst(srcSel, 0)
+	srcEq1 := db.EqConst(srcSel, 1)
+	srcEq2 := db.EqConst(srcSel, 2)
+	srcEq3 := db.EqConst(srcSel, 3)
+	dstEq0 := db.EqConst(dstF, 0)
+	dstEq2 := db.EqConst(dstF, 2)
+	dstEq3 := db.EqConst(dstF, 3)
+
+	asDec := db.Decode(asF)
+	as0, as1, as2, as3 := asDec[0], asDec[1], asDec[2], asDec[3]
+
+	srcIsCG := db.Or(srcEq3, db.And(srcEq2, asF[1]))
+	immMode := db.AndN(as3, srcEq0, db.Not(srcIsCG))
+	srcNeedsExt := db.And(db.Not(srcIsCG), db.Or(as1, immMode))
+	srcUsesDmem := db.And(db.Not(srcIsCG), db.OrN(as1, as2, db.And(as3, db.Not(srcEq0))))
+	needSrcState := db.And(db.Not(srcIsCG), db.Not(as0))
+
+	op2Dec := db.Decode(op2)
+	isShift2 := db.And(isFmt2, db.Not(op2[2]))
+	isRRC := db.And(isFmt2, op2Dec[0])
+	isSWPB := db.And(isFmt2, op2Dec[1])
+	isRRA := db.And(isFmt2, op2Dec[2])
+	isSXT := db.And(isFmt2, op2Dec[3])
+	isPUSH := db.And(isFmt2, op2Dec[4])
+	isCALL := db.And(isFmt2, op2Dec[5])
+	isRETI := db.And(isFmt2, op2Dec[6])
+
+	fmt1Writes := db.AndN(isFmt1, db.Not(isCMP), db.Not(isBIT))
+	fmt1Flags := db.AndN(isFmt1, db.Not(isMOV), db.Not(isBIC), db.Not(isBIS))
+
+	oneCycle := db.OrN(
+		isJump,
+		db.AndN(isFmt1, db.Not(needSrcState), db.Not(adF)),
+		db.AndN(isShift2, db.Not(needSrcState)),
+	)
+
+	// ---- Register file read ports ----
+	rrb := b.Scope("rdport")
+	readReg := func(sel synth.Word) synth.Word {
+		opts := make([]synth.Word, 16)
+		opts[0] = pcQ
+		opts[2] = srQ
+		opts[3] = zero16
+		for _, r := range regfileSlots {
+			opts[r] = regQ[r]
+		}
+		return rrb.MuxTree(sel, opts)
+	}
+	srcRegVal := readReg(srcSel)
+	dstRegVal := readReg(dstF)
+
+	// ---- Constant generator ----
+	cgb := b.Scope("cg")
+	cg3 := cgb.MuxTree(asF, []synth.Word{zero16, b.Const(16, 1), b.Const(16, 2), b.Const(16, 0xffff)})
+	cg2 := cgb.MuxW(asF[0], b.Const(16, 4), b.Const(16, 8)) // as=10 -> #4, as=11 -> #8
+	cgVal := cgb.MuxW(srcEq2, cg3, cg2)
+
+	// ---- Effective addresses and the data-memory port ----
+	mb := b.Scope("mem")
+	// Source EA (valid in StSrc): indexed modes add the extension word to a
+	// base that is 0 for absolute (&addr via SR), the PC for symbolic, or
+	// the register value; @Rn/@Rn+ use the register directly.
+	idxBase := mb.MuxW(srcEq2, mb.MuxW(srcEq0, srcRegVal, pcQ), zero16)
+	eaIndexed, _, _ := mb.Add(idxBase, ext, low)
+	eaSrc := mb.MuxW(as1, srcRegVal, eaIndexed)
+
+	// Destination EA (valid in StDst).
+	dstBase := mb.MuxW(dstEq2, mb.MuxW(dstEq0, dstRegVal, pcQ), zero16)
+	eaDst, _, _ := mb.Add(dstBase, ext, low)
+
+	spb := b.Scope("spadj")
+	spMinus2, _, _ := spb.Add(sp, b.Const(16, 0xfffe), low)
+	spPlus2 := spb.AddConst(sp, 2)
+
+	dmemAddr := mb.MuxTree(stateQ, muxOptions(map[int]synth.Word{
+		StSrc:   eaSrc,
+		StDst:   eaDst,
+		StF2wb:  eaQ,
+		StPush:  spMinus2,
+		StCall:  spMinus2,
+		StReti1: sp,
+		StReti2: sp,
+		StIrq1:  spMinus2,
+		StIrq2:  spMinus2,
+	}, zero16))
+
+	// Byte extraction from memory read data (load path).
+	selByte := mb.MuxW(dmemAddr[0], synth.Slice(d.DmemRdata, 0, 8), synth.Slice(d.DmemRdata, 8, 16))
+	memLoadVal := mb.MuxW(bwF, d.DmemRdata, mb.ZeroExtend(selByte, 16))
+
+	// ---- Source operand ----
+	ob := b.Scope("op")
+	srcOpReg := ob.MuxW(srcIsCG, srcRegVal, cgVal)
+	srcOpInSrc := ob.MuxW(immMode, memLoadVal, ext)
+	operandLater := ob.MuxW(needSrcState, srcOpReg, srcQ)
+	srcOperand := ob.MuxW(stFetch, ob.MuxW(stSrc, operandLater, srcOpInSrc), srcOpReg)
+	srcOpM := ob.MuxW(bwF, srcOperand, ob.ZeroExtend(synth.Slice(srcOperand, 0, 8), 16))
+
+	// ---- Destination operand ----
+	dstOperand := ob.MuxW(stDst, dstRegVal, memLoadVal)
+	dstOpM := ob.MuxW(bwF, dstOperand, ob.ZeroExtend(synth.Slice(dstOperand, 0, 8), 16))
+
+	// ---- ALU (format I) ----
+	ab := b.Scope("alu")
+	subSel := ab.OrN(isSUB, isSUBC, isCMP)
+	aluA := ab.MuxW(subSel, srcOpM, ab.NotW(srcOpM))
+	carryIn := ab.Mux(subSel,
+		ab.Mux(isADDC, low, srQ[0]),  // add path: ADDC uses C, ADD/DADD use 0
+		ab.Mux(isSUBC, high, srQ[0]), // sub path: SUB/CMP use 1, SUBC uses C
+	)
+	sum, carries := ab.AddFull(aluA, dstOpM, carryIn)
+
+	andRes := ab.AndW(srcOpM, dstOpM)
+	bicRes := ab.AndW(ab.NotW(srcOpM), dstOpM)
+	bisRes := ab.OrW(srcOpM, dstOpM)
+	xorRes := ab.XorW(srcOpM, dstOpM)
+
+	fmt1Res := ab.MuxTree(op1, muxOptions(map[int]synth.Word{
+		4: srcOpM, 5: sum, 6: sum, 7: sum, 8: sum, 9: sum, 10: sum,
+		11: andRes, 12: bicRes, 13: bisRes, 14: xorRes, 15: andRes,
+	}, zero16))
+
+	// ---- Shift unit (format II) ----
+	sb := b.Scope("shift")
+	rrcW := synth.ShiftRight1(srcOpM, srQ[0])
+	rraW := synth.ShiftRight1(srcOpM, srcOpM[15])
+	rrcB := sb.ZeroExtend(synth.ShiftRight1(synth.Slice(srcOpM, 0, 8), srQ[0]), 16)
+	rraB := sb.ZeroExtend(synth.ShiftRight1(synth.Slice(srcOpM, 0, 8), srcOpM[7]), 16)
+	rrcRes := sb.MuxW(bwF, rrcW, rrcB)
+	rraRes := sb.MuxW(bwF, rraW, rraB)
+	swpbRes := synth.Cat(synth.Slice(srcOperand, 8, 16), synth.Slice(srcOperand, 0, 8))
+	sxtRes := synth.SignExtend(synth.Slice(srcOperand, 0, 8), 16)
+	shiftRes := sb.MuxTree(synth.Slice(op2, 0, 2), []synth.Word{rrcRes, swpbRes, rraRes, sxtRes})
+
+	execRes := ob.MuxW(isShift2, fmt1Res, shiftRes)
+
+	// ---- Flags ----
+	fb := b.Scope("flags")
+	msbOf := func(w synth.Word) netlist.NetID { return fb.Mux(bwF, w[15], w[7]) }
+	resMsb := fb.Mux(isSXT, msbOf(execRes), execRes[15]) // SXT sets word flags
+	zByte := fb.IsZero(synth.Slice(execRes, 0, 8))
+	zWord := fb.IsZero(execRes)
+	zVal := fb.Mux(isSXT, fb.Mux(bwF, zWord, zByte), zWord)
+
+	isArith := fb.OrN(isADD, isADDC, isSUBC, isSUB, isCMP, isDADD)
+	cArith := fb.Mux(bwF, carries[15], carries[7])
+	cLogic := fb.Not(zVal)
+	cFmt1 := fb.Mux(isArith, cLogic, cArith)
+	cShift := fb.Mux(fb.Or(isRRC, isRRA), cLogic, srcOpM[0])
+	cNew := fb.Mux(isShift2, cFmt1, cShift)
+
+	aMsb := msbOf(aluA)
+	bMsb := msbOf(dstOpM)
+	sMsb := msbOf(sum)
+	vArith := fb.AndN(fb.Xnor(aMsb, bMsb), fb.Xor(sMsb, bMsb))
+	vXor := fb.And(msbOf(srcOpM), bMsb)
+	vFmt1 := fb.Mux(isArith, fb.Mux(isXOR, low, vXor), vArith)
+	vNew := fb.Mux(isShift2, vFmt1, low)
+
+	// ---- Execution strobes ----
+	xb := b.Scope("exec")
+	execInFetch := xb.AndN(stFetch, oneCycle, xb.Not(isJump), notIrq)
+	execInSrc := xb.AndN(stSrc, xb.Not(isPUSH), xb.Not(isCALL),
+		xb.Or(xb.And(isFmt1, xb.Not(adF)), isShift2))
+
+	// Register-destination writes: format I with Ad=0 and register-operand
+	// shifts (which only execute in StFetch; in StSrc a shift result goes to
+	// SRCREG for the StF2wb memory write-back).
+	regWEn := xb.Or(
+		xb.AndN(xb.Or(execInFetch, execInSrc), isFmt1, fmt1Writes),
+		xb.And(execInFetch, isShift2),
+	)
+	wData := ob.MuxW(bwF, execRes, ob.ZeroExtend(synth.Slice(execRes, 0, 8), 16))
+
+	// Format II register-operand target is the dst field too (same bits).
+	pcWrite := xb.And(regWEn, dstEq0)
+	srWrite := xb.And(regWEn, dstEq2)
+	rfWrite := xb.AndN(regWEn, xb.Not(dstEq0), xb.Not(dstEq2), xb.Not(dstEq3))
+
+	// Port I: source autoincrement and SP adjustments.
+	incEn := xb.AndN(stSrc, as3, xb.Not(srcEq0), xb.Not(srcIsCG))
+	incStep := ob.MuxW(xb.And(bwF, xb.Not(srcEq1)), b.Const(16, 2), b.Const(16, 1))
+	incVal, _, _ := ob.Add(srcRegVal, incStep, low)
+	spDown := xb.OrN(stPush, stCall, stIrq1, stIrq2)
+	spUp := xb.Or(stReti1, stReti2)
+	portIEn := xb.OrN(incEn, spDown, spUp)
+	iSel := ob.MuxW(xb.Or(spDown, spUp), srcSel, b.Const(4, 1))
+	iData := ob.MuxW(spDown, ob.MuxW(spUp, incVal, spPlus2), spMinus2)
+
+	// Register file write: port W wins over port I; hold otherwise.
+	wSelDec := rb.Decode(dstF)
+	iSelDec := rb.Decode(iSel)
+	for _, r := range regfileSlots {
+		enW := rb.And(rfWrite, wSelDec[r])
+		enI := rb.And(portIEn, iSelDec[r])
+		dVal := rb.MuxW(enW, iData, wData)
+		en := rb.Or(enW, enI)
+		rb.Drive(regD[r], rb.MuxW(en, regQ[r], dVal))
+	}
+
+	// ---- Jumps ----
+	jb := b.Scope("jump")
+	pcPlus2 := jb.AddConst(pcQ, 2)
+	offWords := synth.SignExtend(off10, 15)
+	offBytes := synth.Cat(synth.Word{low}, offWords) // 2*offset, sign-extended
+	jumpTarget, _, _ := jb.Add(pcPlus2, offBytes, low)
+
+	nXorV := jb.Xor(srQ[2], srQ[8])
+	condOk := jb.MuxTree(condF, []synth.Word{
+		{jb.Not(srQ[1])}, // JNE
+		{srQ[1]},         // JEQ
+		{jb.Not(srQ[0])}, // JNC
+		{srQ[0]},         // JC
+		{srQ[2]},         // JN
+		{jb.Not(nXorV)},  // JGE
+		{nXorV},          // JL
+		{high},           // JMP
+	})[0]
+	branchTaken := jb.BufNamed("branch_taken", jb.AndN(stFetch, isJump, condOk, notIrq))
+	d.BranchTaken = branchTaken
+
+	// ---- PC next ----
+	pb := b.Scope("pcnext")
+	jumpPC := pb.MuxW(branchTaken, pcPlus2, jumpTarget)
+	fetchPC := pb.MuxW(isJump, pb.MuxW(oneCycle, pcPlus2, pcPlus2), jumpPC)
+	fetchPC = pb.MuxW(irqTaken, fetchPC, pcQ) // interrupt entry: hold the PC
+	srcPC := pb.MuxW(srcNeedsExt, pcQ, pcPlus2)
+	pcBase := pb.MuxTree(stateQ, muxOptions(map[int]synth.Word{
+		StReset: d.PmemRdata, // reset vector (pmem is addressed at 0xfffe)
+		StFetch: fetchPC,
+		StSrc:   srcPC,
+		StDst:   pcPlus2,
+		StCall:  operandLater,
+		StReti2: d.DmemRdata,
+		StIrq2:  d.PmemRdata, // interrupt vector (pmem addressed at TimerVec)
+	}, pcQ))
+	pcNext := pb.MuxW(pcWrite, pcBase, wData)
+	pb.Drive(pcD, pcNext)
+
+	// ---- SR next ----
+	srb := b.Scope("srnext")
+	flagsEn := srb.AndN(
+		srb.OrN(execInFetch, execInSrc, stDst),
+		srb.Or(srb.And(isFmt1, fmt1Flags), srb.And(isShift2, srb.Not(isSWPB))),
+		srb.Not(srWrite),
+	)
+	srFlags := make(synth.Word, 16)
+	copy(srFlags, srQ)
+	srFlags[0], srFlags[1], srFlags[2], srFlags[8] = cNew, zVal, resMsb, vNew
+	srNext := srb.MuxW(flagsEn, srQ, srFlags)
+	srNext = srb.MuxW(srWrite, srNext, wData)
+	srNext = srb.MuxW(stReti1, srNext, d.DmemRdata)
+	srNoGie := srb.AndW(srQ, b.Const(16, 0xfff7)) // GIE cleared on entry
+	srNext = srb.MuxW(stIrq2, srNext, srNoGie)
+	srb.Drive(srD, srNext)
+
+	// ---- IR / SRCREG / EA ----
+	lb := b.Scope("latch")
+	irEn := lb.AndN(stFetch, lb.Not(oneCycle), lb.Not(isJump), notIrq)
+	lb.Drive(irD, lb.MuxW(irEn, irQ, d.PmemRdata))
+
+	srcLatchVal := lb.MuxW(isShift2, srcOpM, shiftRes)
+	lb.Drive(srcD, lb.MuxW(stSrc, srcQ, srcLatchVal))
+	lb.Drive(eaD, lb.MuxW(stSrc, eaQ, eaSrc))
+
+	// ---- State next ----
+	nb := b.Scope("next")
+	st := func(v int) synth.Word { return b.Const(4, uint64(v)) }
+	fromFetchNoIrq := nb.MuxW(oneCycle,
+		nb.MuxW(needSrcState,
+			nb.MuxW(nb.And(isFmt1, adF),
+				nb.MuxW(isPUSH,
+					nb.MuxW(isCALL,
+						nb.MuxW(isRETI, st(StFetch), st(StReti1)),
+						st(StCall)),
+					st(StPush)),
+				st(StDst)),
+			st(StSrc)),
+		st(StFetch))
+	fromFetch := nb.MuxW(irqTaken, fromFetchNoIrq, st(StIrq1))
+	fromSrc := nb.MuxW(isPUSH,
+		nb.MuxW(isCALL,
+			nb.MuxW(isShift2,
+				nb.MuxW(nb.And(isFmt1, adF), st(StFetch), st(StDst)),
+				st(StF2wb)),
+			st(StCall)),
+		st(StPush))
+	stateNext := nb.MuxTree(stateQ, muxOptions(map[int]synth.Word{
+		StReset: st(StFetch),
+		StFetch: fromFetch,
+		StSrc:   fromSrc,
+		StDst:   st(StFetch),
+		StF2wb:  st(StFetch),
+		StPush:  st(StFetch),
+		StCall:  st(StFetch),
+		StReti1: st(StReti2),
+		StReti2: st(StFetch),
+		StIrq1:  st(StIrq2),
+		StIrq2:  st(StFetch),
+	}, st(StReset)))
+	nb.Drive(stateD, stateNext)
+
+	// ---- Data memory port outputs ----
+	wb := b.Scope("wr")
+	// The external reset qualifies both strobes: while rst is asserted the
+	// FSM state is still unknown, and an X write-enable would conservatively
+	// smear X over the whole data memory.
+	notRst := wb.Not(d.Rst)
+	dmemWe := wb.And(notRst, wb.OrN(
+		wb.And(stDst, fmt1Writes),
+		stF2wb, stPush, stCall, stIrq1, stIrq2,
+	))
+	dmemRe := wb.And(notRst, wb.OrN(
+		wb.And(stSrc, srcUsesDmem),
+		wb.And(stDst, wb.Not(isMOV)),
+		stReti1, stReti2,
+	))
+	dmemWdata := wb.MuxTree(stateQ, muxOptions(map[int]synth.Word{
+		StDst:  wData,
+		StF2wb: srcQ,
+		StPush: operandLater,
+		StCall: pcQ,
+		StIrq1: pcQ,
+		StIrq2: srQ,
+	}, zero16))
+	dmemBW := wb.AndN(bwF, wb.Or(stDst, stF2wb))
+
+	// ---- Watchdog timer ----
+	wd := b.Scope("wdt")
+	wdtCtlQ, wdtCtlD := wd.RegisterLoop("ctl", 8, por, high, isa.WDTHold)
+	wdtCntQ, wdtCntD := wd.RegisterLoop("cnt", 16, por, high, 0)
+	d.WdtCtl, d.WdtCnt = wdtCtlQ, wdtCntQ
+
+	wdtSel := wd.And(dmemWe, wd.EqConst(dmemAddr, uint64(isa.AddrWDTCTL)))
+	pwOk := wd.EqConst(synth.Slice(dmemWdata, 8, 16), 0x5a)
+	wdtWe := wd.BufNamed("wdt_we", wd.And(wdtSel, pwOk))
+	d.WdtWe = wdtWe
+	pwViolation := wd.And(wdtSel, wd.Not(pwOk))
+
+	hold := wdtCtlQ[7]
+	interval := wd.MuxTree(synth.Slice(wdtCtlQ, 0, 2), []synth.Word{
+		b.Const(16, 32767), b.Const(16, 8191), b.Const(16, 511), b.Const(16, 63),
+	})
+	expired := wd.BufNamed("wdt_expired", wd.And(wd.Not(hold), wd.EqW(wdtCntQ, interval)))
+	d.WdtExpired = expired
+
+	cntPlus1 := wd.Inc(wdtCntQ)
+	cntRun := wd.MuxW(hold, cntPlus1, wdtCntQ)
+	cntNext := wd.MuxW(wd.OrN(wdtWe, expired), cntRun, zero16)
+	wd.Drive(wdtCntD, cntNext)
+	wd.Drive(wdtCtlD, wd.MuxW(wdtWe, wdtCtlQ, synth.Slice(dmemWdata, 0, 8)))
+
+	b.DriveBit(por, b.OrN(d.Rst, expired, pwViolation))
+
+	// ---- Timer_A-lite ----
+	// A free-running 16-bit up-counter with one compare register. When
+	// enabled (TACTL bit 0) and TAR reaches TACCR0, the interrupt flag
+	// latches; any write to TACTL clears it (the ISR's acknowledge). The
+	// maskable interrupt is taken at the next fetch boundary while GIE is
+	// set — note that whether it fires thus depends on the current
+	// (possibly tainted) SR, which is exactly the paper's argument for why
+	// interrupt-based PC recovery cannot replace the watchdog reset.
+	tb := b.Scope("ta")
+	taCtlQ, taCtlD := tb.RegisterLoop("ctl", 8, por, high, 0)
+	taCcrQ, taCcrD := tb.RegisterLoop("ccr0", 16, por, high, 0)
+	taRQ, taRD := tb.RegisterLoop("tar", 16, por, high, 0)
+	taIfgQ, taIfgD := tb.RegisterLoop("ifg", 1, por, high, 0)
+	d.TaCtl, d.TaCcr0, d.TaR = taCtlQ, taCcrQ, taRQ
+	d.TaIfg = taIfgQ[0]
+
+	taCtlWe := tb.And(dmemWe, tb.EqConst(dmemAddr, uint64(isa.AddrTACTL)))
+	taCcrWe := tb.And(dmemWe, tb.EqConst(dmemAddr, uint64(isa.AddrTACCR0)))
+	tb.Drive(taCtlD, tb.MuxW(taCtlWe, taCtlQ, synth.Slice(dmemWdata, 0, 8)))
+	tb.Drive(taCcrD, tb.MuxW(taCcrWe, taCcrQ, dmemWdata))
+
+	taEn := taCtlQ[0]
+	taHit := tb.And(taEn, tb.EqW(taRQ, taCcrQ))
+	tarNext := tb.MuxW(taEn, taRQ, tb.Inc(taRQ))
+	tarNext = tb.MuxW(taHit, tarNext, zero16) // wrap at compare
+	tb.Drive(taRD, tarNext)
+	// IFG: set on hit, cleared by a TACTL write, held otherwise.
+	ifgNext := tb.Or(taIfgQ[0], taHit)
+	ifgNext = tb.Mux(taCtlWe, ifgNext, b.Low())
+	tb.Drive(taIfgD, synth.Word{ifgNext})
+
+	gie := srQ[3]
+	b.DriveBit(irqTaken, b.AndN(stFetch, taIfgQ[0], gie))
+
+	// ---- GPIO output ports ----
+	gb := b.Scope("gpio")
+	for i := 0; i < NumPorts; i++ {
+		we := gb.And(dmemWe, gb.EqConst(dmemAddr, uint64(PortOutAddr(i))))
+		q, dd := gb.RegisterLoop(portName("p", i, "out"), 16, por, high, 0)
+		// Byte writes replace only the low byte.
+		merged := synth.Cat(synth.Slice(dmemWdata, 0, 8), gb.MuxW(dmemBW, synth.Slice(dmemWdata, 8, 16), synth.Slice(q, 8, 16)))
+		gb.Drive(dd, gb.MuxW(we, q, merged))
+		d.PortOut[i] = q
+	}
+
+	// ---- Primary outputs ----
+	pmemAddr := b.MuxW(stReset, pcQ, b.Const(16, uint64(isa.ResetVec)))
+	pmemAddr = b.MuxW(stIrq2, pmemAddr, b.Const(16, uint64(isa.TimerVec)))
+	d.PmemAddr = pmemAddr
+	d.DmemAddr = dmemAddr
+	d.DmemWdata = dmemWdata
+	d.DmemRe = dmemRe
+	d.DmemWe = dmemWe
+	d.DmemBW = dmemBW
+
+	b.OutputWord("pmem_addr", pmemAddr)
+	b.OutputWord("dmem_addr", dmemAddr)
+	b.OutputWord("dmem_wdata", dmemWdata)
+	nl.AddOutput("dmem_re", dmemRe)
+	nl.AddOutput("dmem_we", dmemWe)
+	nl.AddOutput("dmem_bw", dmemBW)
+	for i := 0; i < NumPorts; i++ {
+		b.OutputWord(portName("p", i, "out"), d.PortOut[i])
+	}
+
+	if err := nl.Validate(); err != nil {
+		panic("mcu: invalid netlist: " + err.Error())
+	}
+	return d
+}
+
+func portName(prefix string, i int, suffix string) string {
+	return prefix + string(rune('1'+i)) + suffix
+}
+
+// muxOptions builds a 16-entry option list for a MuxTree over a 4-bit
+// select word, defaulting unmentioned slots.
+func muxOptions(m map[int]synth.Word, def synth.Word) []synth.Word {
+	opts := make([]synth.Word, 16)
+	for i := range opts {
+		if w, ok := m[i]; ok {
+			opts[i] = w
+		} else {
+			opts[i] = def
+		}
+	}
+	return opts
+}

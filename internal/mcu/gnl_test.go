@@ -1,0 +1,63 @@
+package mcu
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestNetlistGnlRoundTrip serializes the full microcontroller netlist to
+// the .gnl interchange format and parses it back — the path an external
+// "gate-level processor description" would take into the toolflow.
+func TestNetlistGnlRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := netlist.Write(&buf, testDesign.NL); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 100_000 {
+		t.Fatalf("suspiciously small dump: %d bytes", buf.Len())
+	}
+	nl2, err := netlist.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := testDesign.NL.ComputeStats(), nl2.ComputeStats()
+	if s1.Gates != s2.Gates || s1.DFFs != s2.DFFs || s1.Levels != s2.Levels ||
+		s1.Inputs != s2.Inputs || s1.Outputs != s2.Outputs {
+		t.Fatalf("round-trip stats mismatch:\n  %+v\n  %+v", s1, s2)
+	}
+	// The analysis' probe nets must survive by name.
+	for _, probe := range []string{"jump.branch_taken", "por", "wdt.wdt_we", "wdt.wdt_expired"} {
+		if _, ok := nl2.Lookup(probe); !ok {
+			t.Errorf("probe net %q lost in round trip", probe)
+		}
+	}
+}
+
+// TestOptimizeMCUNetlist runs the optimizer over the full microcontroller
+// with the analysis probe nets kept, and checks it shrinks while staying
+// structurally valid.
+func TestOptimizeMCUNetlist(t *testing.T) {
+	opt, st, err := netlist.Optimize(testDesign.NL,
+		"jump.branch_taken", "por", "wdt.wdt_we", "wdt.wdt_expired")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GatesAfter >= st.GatesBefore {
+		t.Fatalf("no shrink: %+v", st)
+	}
+	if float64(st.GatesAfter) < 0.5*float64(st.GatesBefore) {
+		t.Fatalf("suspiciously large shrink (possible logic loss): %+v", st)
+	}
+	for _, probe := range []string{"jump.branch_taken", "por", "wdt.wdt_we", "wdt.wdt_expired"} {
+		if _, ok := opt.Lookup(probe); !ok {
+			t.Errorf("probe %q lost", probe)
+		}
+	}
+	if len(opt.DFFs) != len(testDesign.NL.DFFs) {
+		t.Fatal("flip-flop count changed")
+	}
+	t.Logf("optimizer: %d -> %d gates (folded %d, collapsed %d, dead %d)",
+		st.GatesBefore, st.GatesAfter, st.Folded, st.Collapsed, st.Dead)
+}

@@ -1,0 +1,36 @@
+package motivate
+
+import "testing"
+
+func TestScenarioOutcomes(t *testing.T) {
+	results, err := RunAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("want 4 scenarios, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Scenario.Unknown {
+			if r.Star == nil || !r.Star.PCBecameUnknown || r.Star.GateTaintFraction < 0.5 {
+				t.Errorf("figure %d: unknown-application view should degrade, got %+v", r.Scenario.Figure, r.Star)
+			}
+			continue
+		}
+		if r.Secure != r.Scenario.Secure {
+			t.Errorf("figure %d (%s): secure=%v, want %v; violations: %v",
+				r.Scenario.Figure, r.Scenario.Name, r.Secure, r.Scenario.Secure, r.Report.Violations)
+		}
+	}
+}
+
+func TestFigure4RootCause(t *testing.T) {
+	results, err := RunAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4 := results[2]
+	if got := fig4.Report.ViolatingStorePCs(); len(got) == 0 {
+		t.Fatal("figure 4 should identify the violating store")
+	}
+}

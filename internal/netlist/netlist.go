@@ -1,0 +1,354 @@
+// Package netlist defines the gate-level netlist intermediate representation
+// consumed by the simulator and the information-flow analysis: nets, gates,
+// D flip-flops with synchronous reset/enable, and primary ports. It also
+// provides validation, levelization (a topological evaluation order for the
+// combinational logic) and a textual serialization format (.gnl).
+//
+// The netlist plays the role of the placed-and-routed processor description
+// in the paper's toolflow; see DESIGN.md for the substitution rationale.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// NetID identifies a net (a single wire) within a netlist.
+type NetID int32
+
+// Invalid is the zero-ish NetID used for "no net".
+const Invalid NetID = -1
+
+// Gate is one combinational gate instance. In holds the gate's inputs in
+// order (for Mux: select, in0, in1); unused slots are Invalid.
+type Gate struct {
+	Op  logic.Op
+	In  [3]NetID
+	Out NetID
+}
+
+// NIn returns the number of inputs the gate consumes.
+func (g Gate) NIn() int { return g.Op.Arity() }
+
+// DFF is a D flip-flop with synchronous reset and clock enable. On each
+// clock edge:
+//
+//	if Rst is 1:       Q <- RstVal
+//	else if En is 1:   Q <- D
+//	else:              Q <- Q
+//
+// Rst and En may be tied to the netlist's constant nets. X or tainted
+// control inputs are handled conservatively by the simulator via the GLIFT
+// mux rule, which reproduces the tainted-reset behaviour of Figure 7 in the
+// paper (an asserted but tainted reset forces the value yet keeps the state
+// tainted).
+type DFF struct {
+	D      NetID
+	Q      NetID
+	Rst    NetID
+	En     NetID
+	RstVal logic.V
+}
+
+// PortDir distinguishes primary inputs from primary outputs.
+type PortDir uint8
+
+// Port directions.
+const (
+	DirInput PortDir = iota
+	DirOutput
+)
+
+// Port is a primary input or output of the netlist.
+type Port struct {
+	Name string
+	Net  NetID
+	Dir  PortDir
+}
+
+// Netlist is a flat gate-level design.
+type Netlist struct {
+	names  []string
+	byName map[string]NetID
+
+	Gates []Gate
+	DFFs  []DFF
+	Ports []Port
+
+	const0, const1 NetID
+
+	driver []int32 // per net: gate index, or dffBase+i, or srcInput/srcConst
+
+	level []int32 // levelized gate evaluation order (lazily built)
+}
+
+const (
+	srcNone  = -1
+	srcInput = -2
+	srcConst = -3
+)
+
+// New returns an empty netlist with the two constant nets pre-created.
+func New() *Netlist {
+	n := &Netlist{byName: make(map[string]NetID)}
+	n.const0 = n.NewNet("const0")
+	n.const1 = n.NewNet("const1")
+	n.driver[n.const0] = srcConst
+	n.driver[n.const1] = srcConst
+	return n
+}
+
+// Const0 returns the net that is constant logic 0.
+func (n *Netlist) Const0() NetID { return n.const0 }
+
+// Const1 returns the net that is constant logic 1.
+func (n *Netlist) Const1() NetID { return n.const1 }
+
+// NumNets returns the total number of nets.
+func (n *Netlist) NumNets() int { return len(n.names) }
+
+// NewNet creates a net. An empty name is auto-generated; names must be
+// unique.
+func (n *Netlist) NewNet(name string) NetID {
+	id := NetID(len(n.names))
+	if name == "" {
+		name = fmt.Sprintf("n%d", id)
+	}
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate net name %q", name))
+	}
+	n.names = append(n.names, name)
+	n.byName[name] = id
+	n.driver = append(n.driver, srcNone)
+	n.level = nil
+	return id
+}
+
+// Name returns the name of a net.
+func (n *Netlist) Name(id NetID) string { return n.names[id] }
+
+// Lookup finds a net by name.
+func (n *Netlist) Lookup(name string) (NetID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// MustNet finds a net by name and panics if it does not exist. It is used
+// for the well-known probe nets of a processor netlist (e.g. "branch_taken").
+func (n *Netlist) MustNet(name string) NetID {
+	id, ok := n.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("netlist: no net named %q", name))
+	}
+	return id
+}
+
+// AddGate adds a combinational gate driving out.
+func (n *Netlist) AddGate(op logic.Op, out NetID, in ...NetID) {
+	if len(in) != op.Arity() {
+		panic(fmt.Sprintf("netlist: %s expects %d inputs, got %d", op, op.Arity(), len(in)))
+	}
+	n.checkUndriven(out)
+	g := Gate{Op: op, Out: out}
+	for i := range g.In {
+		g.In[i] = Invalid
+	}
+	copy(g.In[:], in)
+	n.driver[out] = int32(len(n.Gates))
+	n.Gates = append(n.Gates, g)
+	n.level = nil
+}
+
+// AddDFF adds a flip-flop driving q.
+func (n *Netlist) AddDFF(q, d, rst, en NetID, rstVal logic.V) {
+	n.checkUndriven(q)
+	n.driver[q] = int32(1<<30) + int32(len(n.DFFs))
+	n.DFFs = append(n.DFFs, DFF{D: d, Q: q, Rst: rst, En: en, RstVal: rstVal})
+	n.level = nil
+}
+
+// AddInput declares name as a primary input and returns its net.
+func (n *Netlist) AddInput(name string) NetID {
+	id := n.NewNet(name)
+	n.driver[id] = srcInput
+	n.Ports = append(n.Ports, Port{Name: name, Net: id, Dir: DirInput})
+	return id
+}
+
+// AddOutput declares an existing net as a primary output under the given
+// name.
+func (n *Netlist) AddOutput(name string, net NetID) {
+	n.Ports = append(n.Ports, Port{Name: name, Net: net, Dir: DirOutput})
+}
+
+// InputPort returns the net of the named primary input.
+func (n *Netlist) InputPort(name string) (NetID, bool) {
+	for _, p := range n.Ports {
+		if p.Dir == DirInput && p.Name == name {
+			return p.Net, true
+		}
+	}
+	return Invalid, false
+}
+
+// OutputPort returns the net of the named primary output.
+func (n *Netlist) OutputPort(name string) (NetID, bool) {
+	for _, p := range n.Ports {
+		if p.Dir == DirOutput && p.Name == name {
+			return p.Net, true
+		}
+	}
+	return Invalid, false
+}
+
+func (n *Netlist) checkUndriven(id NetID) {
+	if n.driver[id] != srcNone {
+		panic(fmt.Sprintf("netlist: net %q has multiple drivers", n.names[id]))
+	}
+}
+
+// IsDFFOutput reports whether the net is driven by a flip-flop.
+func (n *Netlist) IsDFFOutput(id NetID) bool { return n.driver[id] >= 1<<30 }
+
+// Stats summarizes a netlist.
+type Stats struct {
+	Nets    int
+	Gates   int
+	DFFs    int
+	Inputs  int
+	Outputs int
+	ByOp    map[logic.Op]int
+	Levels  int
+}
+
+// ComputeStats gathers size statistics, levelizing if necessary.
+func (n *Netlist) ComputeStats() Stats {
+	s := Stats{Nets: n.NumNets(), Gates: len(n.Gates), DFFs: len(n.DFFs), ByOp: map[logic.Op]int{}}
+	for _, p := range n.Ports {
+		if p.Dir == DirInput {
+			s.Inputs++
+		} else {
+			s.Outputs++
+		}
+	}
+	for _, g := range n.Gates {
+		s.ByOp[g.Op]++
+	}
+	if order, err := n.Levelize(); err == nil {
+		depth := make(map[NetID]int)
+		maxd := 0
+		for _, gi := range order {
+			g := n.Gates[gi]
+			d := 0
+			for i := 0; i < g.NIn(); i++ {
+				if dd := depth[g.In[i]]; dd > d {
+					d = dd
+				}
+			}
+			depth[g.Out] = d + 1
+			if d+1 > maxd {
+				maxd = d + 1
+			}
+		}
+		s.Levels = maxd
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: every net referenced as a gate
+// or DFF input is driven (by a gate, DFF, input port, or constant), and the
+// combinational logic is acyclic.
+func (n *Netlist) Validate() error {
+	for gi, g := range n.Gates {
+		for i := 0; i < g.NIn(); i++ {
+			if err := n.checkDriven(g.In[i], fmt.Sprintf("gate %d (%s)", gi, g.Op)); err != nil {
+				return err
+			}
+		}
+	}
+	for di, d := range n.DFFs {
+		for _, in := range []NetID{d.D, d.Rst, d.En} {
+			if err := n.checkDriven(in, fmt.Sprintf("dff %d", di)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := n.Levelize()
+	return err
+}
+
+func (n *Netlist) checkDriven(id NetID, ctx string) error {
+	if id == Invalid {
+		return fmt.Errorf("netlist: %s references an invalid net", ctx)
+	}
+	if n.driver[id] == srcNone {
+		return fmt.Errorf("netlist: %s input %q is undriven", ctx, n.names[id])
+	}
+	return nil
+}
+
+// Levelize returns gate indices in a topological order such that each gate
+// appears after all gates driving its inputs. DFF outputs, primary inputs
+// and constants are sources. The order is cached until the netlist changes.
+func (n *Netlist) Levelize() ([]int32, error) {
+	if n.level != nil {
+		return n.level, nil
+	}
+	// Kahn's algorithm over gates.
+	indeg := make([]int32, len(n.Gates))
+	// fanout: driving gate -> consuming gates
+	fanout := make([][]int32, len(n.Gates))
+	for gi, g := range n.Gates {
+		for i := 0; i < g.NIn(); i++ {
+			d := n.driver[g.In[i]]
+			if d >= 0 && d < 1<<30 { // driven by a gate
+				indeg[gi]++
+				fanout[d] = append(fanout[d], int32(gi))
+			}
+		}
+	}
+	order := make([]int32, 0, len(n.Gates))
+	queue := make([]int32, 0, len(n.Gates))
+	for gi := range n.Gates {
+		if indeg[gi] == 0 {
+			queue = append(queue, int32(gi))
+		}
+	}
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, f := range fanout[gi] {
+			indeg[f]--
+			if indeg[f] == 0 {
+				queue = append(queue, f)
+			}
+		}
+	}
+	if len(order) != len(n.Gates) {
+		// Identify one net on a cycle for the error message.
+		for gi := range n.Gates {
+			if indeg[gi] > 0 {
+				return nil, fmt.Errorf("netlist: combinational cycle through net %q", n.names[n.Gates[gi].Out])
+			}
+		}
+		return nil, fmt.Errorf("netlist: combinational cycle")
+	}
+	n.level = order
+	return order, nil
+}
+
+// InputNets returns the nets of all primary inputs, sorted by name for
+// deterministic iteration.
+func (n *Netlist) InputNets() []Port {
+	var ps []Port
+	for _, p := range n.Ports {
+		if p.Dir == DirInput {
+			ps = append(ps, p)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}

@@ -1,0 +1,223 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildToy builds the Figure 7 circuit: S' = S XOR In, with a resettable
+// flip-flop.
+func buildToy() (*Netlist, NetID, NetID, NetID) {
+	n := New()
+	in := n.AddInput("in")
+	rst := n.AddInput("rst")
+	s := n.NewNet("s")
+	sNext := n.NewNet("s_next")
+	n.AddGate(logic.Xor, sNext, s, in)
+	n.AddDFF(s, sNext, rst, n.Const1(), logic.Zero)
+	n.AddOutput("state", s)
+	return n, in, rst, s
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	n, _, _, _ := buildToy()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	st := n.ComputeStats()
+	if st.Gates != 1 || st.DFFs != 1 || st.Inputs != 2 || st.Outputs != 1 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if st.Levels != 1 {
+		t.Fatalf("levels = %d, want 1", st.Levels)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	n := New()
+	n.NewNet("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.NewNet("a")
+}
+
+func TestMultipleDriversPanics(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	out := n.NewNet("out")
+	n.AddGate(logic.Buf, out, a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.AddGate(logic.Not, out, a)
+}
+
+func TestUndrivenInputDetected(t *testing.T) {
+	n := New()
+	floating := n.NewNet("floating")
+	out := n.NewNet("out")
+	n.AddGate(logic.Buf, out, floating)
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("want undriven error, got %v", err)
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	n := New()
+	a := n.NewNet("a")
+	b := n.NewNet("b")
+	n.AddGate(logic.Not, a, b)
+	n.AddGate(logic.Not, b, a)
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+func TestDFFBreaksCycle(t *testing.T) {
+	// A register feedback loop is not a combinational cycle.
+	n := New()
+	q := n.NewNet("q")
+	d := n.NewNet("d")
+	n.AddGate(logic.Not, d, q)
+	n.AddDFF(q, d, n.Const0(), n.Const1(), logic.Zero)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !n.IsDFFOutput(q) || n.IsDFFOutput(d) {
+		t.Fatal("IsDFFOutput wrong")
+	}
+}
+
+func TestLevelizeOrder(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	ab := n.NewNet("ab")
+	abn := n.NewNet("abn")
+	out := n.NewNet("out")
+	// Add in reverse dependency order to exercise sorting.
+	n.AddGate(logic.Or, out, abn, a)
+	n.AddGate(logic.Not, abn, ab)
+	n.AddGate(logic.And, ab, a, b)
+	order, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NetID]int{}
+	for i, gi := range order {
+		pos[n.Gates[gi].Out] = i
+	}
+	if !(pos[ab] < pos[abn] && pos[abn] < pos[out]) {
+		t.Fatalf("bad topo order: %v", pos)
+	}
+}
+
+func TestPortLookups(t *testing.T) {
+	n, in, _, s := buildToy()
+	if got, ok := n.InputPort("in"); !ok || got != in {
+		t.Fatal("InputPort failed")
+	}
+	if got, ok := n.OutputPort("state"); !ok || got != s {
+		t.Fatal("OutputPort failed")
+	}
+	if _, ok := n.InputPort("nope"); ok {
+		t.Fatal("phantom input")
+	}
+	if _, ok := n.OutputPort("nope"); ok {
+		t.Fatal("phantom output")
+	}
+	ins := n.InputNets()
+	if len(ins) != 2 || ins[0].Name != "in" || ins[1].Name != "rst" {
+		t.Fatalf("InputNets = %v", ins)
+	}
+}
+
+func TestMustNet(t *testing.T) {
+	n, _, _, _ := buildToy()
+	if n.MustNet("s") == Invalid {
+		t.Fatal("MustNet existing failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing net")
+		}
+	}()
+	n.MustNet("missing")
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	n, _, _, _ := buildToy()
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read back: %v\n%s", err, buf.String())
+	}
+	s1, s2 := n.ComputeStats(), n2.ComputeStats()
+	if s1.Gates != s2.Gates || s1.DFFs != s2.DFFs || s1.Inputs != s2.Inputs ||
+		s1.Outputs != s2.Outputs || s1.Levels != s2.Levels {
+		t.Fatalf("round trip stats mismatch: %+v vs %+v", s1, s2)
+	}
+	// Second round trip must be byte-identical (canonical form).
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, n2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("serialization not canonical")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"input",                       // missing operand
+		"frobnicate y a",              // unknown op
+		"and y a",                     // wrong arity
+		"dff q d rst=r en=e",          // missing rstval
+		"dff q d rst=r en=e rstval=2", // bad rstval
+		"dff q d bogus",               // malformed attribute
+		"output x",                    // missing net
+		"input const0",                // redeclares constant
+		"not a a",                     // cycle (validate)
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadCreatesConstants(t *testing.T) {
+	src := "net y\nand y const0 const1\noutput y y\n"
+	n, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Gates) != 1 {
+		t.Fatalf("gates = %d", len(n.Gates))
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n, _, _, _ := buildToy()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "xor", "DFF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}

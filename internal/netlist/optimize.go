@@ -1,0 +1,310 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// OptStats summarizes an optimization pass.
+type OptStats struct {
+	GatesBefore, GatesAfter int
+	Folded                  int // constant-folded gates
+	Collapsed               int // identity-simplified gates (buf, and-with-1, ...)
+	Dead                    int // gates removed as unreachable from any root
+}
+
+// Optimize returns a functionally — and GLIFT-taint — equivalent netlist
+// with constants folded, identities collapsed and dead logic removed. Roots
+// are the primary outputs, every flip-flop's D/Rst/En cone, and any nets
+// named in keep (e.g. analysis probe nets). Net names of surviving nets are
+// preserved, so probes remain addressable by name.
+//
+// All rewrites are taint-preserving under the GLIFT evaluation rules:
+// constants are always untainted, a controlling untainted constant masks
+// taint in both the original and simplified forms, and select-independent
+// muxes pass exactly their data's taint.
+func Optimize(n *Netlist, keep ...string) (*Netlist, OptStats, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, OptStats{}, err
+	}
+	st := OptStats{GatesBefore: len(n.Gates)}
+
+	// alias maps a net to its replacement (possibly a constant net).
+	alias := make([]NetID, n.NumNets())
+	for i := range alias {
+		alias[i] = NetID(i)
+	}
+	resolve := func(id NetID) NetID {
+		for alias[id] != id {
+			id = alias[id]
+		}
+		return id
+	}
+	constVal := func(id NetID) (logic.V, bool) {
+		switch resolve(id) {
+		case n.const0:
+			return logic.Zero, true
+		case n.const1:
+			return logic.One, true
+		}
+		return 0, false
+	}
+
+	// gateRepl records per-gate disposition: either an alias was installed
+	// (gate vanishes) or the gate survives (possibly with a new op/inputs).
+	type newGate struct {
+		op logic.Op
+		in [3]NetID
+	}
+	surviving := make(map[int]newGate)
+
+	for _, gi := range order {
+		g := n.Gates[gi]
+		in := make([]NetID, g.NIn())
+		vals := make([]logic.V, g.NIn())
+		allConst := true
+		for i := 0; i < g.NIn(); i++ {
+			in[i] = resolve(g.In[i])
+			if v, ok := constVal(in[i]); ok {
+				vals[i] = v
+			} else {
+				allConst = false
+				vals[i] = logic.X
+			}
+		}
+
+		// Full constant folding.
+		if allConst || g.NIn() == 0 {
+			sigs := make([]logic.Sig, g.NIn())
+			for i := range sigs {
+				sigs[i] = logic.S(vals[i], false)
+			}
+			out := logic.Eval(g.Op, sigs...)
+			if out.V == logic.One {
+				alias[g.Out] = n.const1
+			} else {
+				alias[g.Out] = n.const0
+			}
+			st.Folded++
+			continue
+		}
+
+		// Identity simplifications.
+		simplified := false
+		setAlias := func(to NetID) {
+			alias[g.Out] = to
+			st.Collapsed++
+			simplified = true
+		}
+		emit := func(op logic.Op, ins ...NetID) {
+			var ng newGate
+			ng.op = op
+			for i := range ng.in {
+				ng.in[i] = Invalid
+			}
+			copy(ng.in[:], ins)
+			surviving[int(gi)] = ng
+			simplified = true
+		}
+		c := func(i int) (logic.V, bool) { return constVal(in[i]) }
+		switch g.Op {
+		case logic.Buf:
+			setAlias(in[0])
+		case logic.And:
+			if v, ok := c(0); ok {
+				if v == logic.Zero {
+					setAlias(n.const0)
+				} else {
+					setAlias(in[1])
+				}
+			} else if v, ok := c(1); ok {
+				if v == logic.Zero {
+					setAlias(n.const0)
+				} else {
+					setAlias(in[0])
+				}
+			} else if in[0] == in[1] {
+				setAlias(in[0])
+			}
+		case logic.Or:
+			if v, ok := c(0); ok {
+				if v == logic.One {
+					setAlias(n.const1)
+				} else {
+					setAlias(in[1])
+				}
+			} else if v, ok := c(1); ok {
+				if v == logic.One {
+					setAlias(n.const1)
+				} else {
+					setAlias(in[0])
+				}
+			} else if in[0] == in[1] {
+				setAlias(in[0])
+			}
+		case logic.Xor:
+			if v, ok := c(0); ok {
+				if v == logic.Zero {
+					setAlias(in[1])
+				} else {
+					emit(logic.Not, in[1])
+				}
+			} else if v, ok := c(1); ok {
+				if v == logic.Zero {
+					setAlias(in[0])
+				} else {
+					emit(logic.Not, in[0])
+				}
+			}
+			// NOTE: xor(x,x) is NOT rewritten to 0. Per-gate GLIFT treats
+			// the two (correlated) inputs independently, so the original
+			// gate reports taint when x is tainted; rewriting would change
+			// analysis results (strict GLIFT equivalence is the contract).
+		case logic.Xnor:
+			if v, ok := c(0); ok {
+				if v == logic.One {
+					setAlias(in[1])
+				} else {
+					emit(logic.Not, in[1])
+				}
+			} else if v, ok := c(1); ok {
+				if v == logic.One {
+					setAlias(in[0])
+				} else {
+					emit(logic.Not, in[0])
+				}
+			}
+			// xnor(x,x): kept, same GLIFT-equivalence argument as xor.
+		case logic.Mux: // in[0]=sel, in[1]=when0, in[2]=when1
+			if v, ok := c(0); ok {
+				if v == logic.Zero {
+					setAlias(in[1])
+				} else {
+					setAlias(in[2])
+				}
+			} else if in[1] == in[2] {
+				setAlias(in[1])
+			}
+		}
+		if !simplified {
+			var ng newGate
+			ng.op = g.Op
+			for i := range ng.in {
+				ng.in[i] = Invalid
+			}
+			copy(ng.in[:], in)
+			surviving[int(gi)] = ng
+		}
+	}
+
+	// Mark live gates: reachable backwards from the roots.
+	roots := make([]NetID, 0, 64)
+	for _, p := range n.Ports {
+		if p.Dir == DirOutput {
+			roots = append(roots, resolve(p.Net))
+		}
+	}
+	for _, d := range n.DFFs {
+		roots = append(roots, resolve(d.D), resolve(d.Rst), resolve(d.En))
+	}
+	for _, name := range keep {
+		id, ok := n.Lookup(name)
+		if !ok {
+			return nil, OptStats{}, fmt.Errorf("netlist: keep net %q not found", name)
+		}
+		roots = append(roots, resolve(id))
+	}
+
+	driverGate := make(map[NetID]int) // resolved output net -> surviving gate index
+	for gi, ng := range surviving {
+		_ = ng
+		driverGate[n.Gates[gi].Out] = gi
+	}
+	liveNet := make(map[NetID]bool)
+	liveGate := make(map[int]bool)
+	var walk func(id NetID)
+	walk = func(id NetID) {
+		if liveNet[id] {
+			return
+		}
+		liveNet[id] = true
+		if gi, ok := driverGate[id]; ok {
+			liveGate[gi] = true
+			ng := surviving[gi]
+			for i := 0; i < ng.op.Arity(); i++ {
+				walk(ng.in[i])
+			}
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	// DFF Q nets are sources too (they appear as inputs to live logic).
+	// Mark them live so they are carried over.
+	for _, d := range n.DFFs {
+		liveNet[d.Q] = true
+	}
+
+	// Rebuild.
+	out := New()
+	newID := make(map[NetID]NetID)
+	newID[n.const0] = out.const0
+	newID[n.const1] = out.const1
+	mapNet := func(id NetID) NetID {
+		id = resolve(id)
+		if nid, ok := newID[id]; ok {
+			return nid
+		}
+		nid := out.NewNet(n.Name(id))
+		newID[id] = nid
+		return nid
+	}
+	for _, p := range n.Ports {
+		if p.Dir == DirInput {
+			nid := out.NewNet(p.Name)
+			out.driver[nid] = srcInput
+			out.Ports = append(out.Ports, Port{Name: p.Name, Net: nid, Dir: DirInput})
+			newID[p.Net] = nid
+		}
+	}
+	// Emit surviving live gates in topological order.
+	for _, gi := range order {
+		if !liveGate[int(gi)] {
+			if _, was := surviving[int(gi)]; was {
+				st.Dead++
+			}
+			continue
+		}
+		ng := surviving[int(gi)]
+		ins := make([]NetID, ng.op.Arity())
+		for i := range ins {
+			ins[i] = mapNet(ng.in[i])
+		}
+		out.AddGate(ng.op, mapNet(n.Gates[gi].Out), ins...)
+	}
+	for _, d := range n.DFFs {
+		out.AddDFF(mapNet(d.Q), mapNet(d.D), mapNet(d.Rst), mapNet(d.En), d.RstVal)
+	}
+	for _, p := range n.Ports {
+		if p.Dir == DirOutput {
+			out.AddOutput(p.Name, mapNet(p.Net))
+		}
+	}
+	// A kept net may have been aliased away (e.g. a named buffer probe):
+	// re-materialize it as a buffer so it stays addressable by name.
+	for _, name := range keep {
+		if _, ok := out.Lookup(name); ok {
+			continue
+		}
+		id, _ := n.Lookup(name)
+		probe := out.NewNet(name)
+		out.AddGate(logic.Buf, probe, mapNet(id))
+	}
+	st.GatesAfter = len(out.Gates)
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("netlist: optimize produced invalid netlist: %w", err)
+	}
+	return out, st, nil
+}

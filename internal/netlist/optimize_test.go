@@ -1,0 +1,240 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	x := n.NewNet("x")
+	y := n.NewNet("y")
+	z := n.NewNet("z")
+	n.AddGate(logic.And, x, n.Const1(), n.Const0()) // folds to 0
+	n.AddGate(logic.Or, y, x, a)                    // or(0,a) -> a
+	n.AddGate(logic.Buf, z, y)                      // buf -> alias
+	n.AddOutput("out", z)
+	opt, st, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GatesAfter != 0 {
+		t.Fatalf("expected full collapse, got %d gates (%+v)", st.GatesAfter, st)
+	}
+	// The output should now be wired straight to the input.
+	outNet, _ := opt.OutputPort("out")
+	inNet, _ := opt.InputPort("a")
+	if outNet != inNet {
+		t.Fatalf("output not aliased to input: %v vs %v", outNet, inNet)
+	}
+}
+
+func TestOptimizeIdentities(t *testing.T) {
+	cases := []struct {
+		build func(n *Netlist, a NetID) NetID // returns the output net
+		gates int                             // surviving gate count
+	}{
+		{func(n *Netlist, a NetID) NetID { o := n.NewNet("o"); n.AddGate(logic.And, o, a, n.Const1()); return o }, 0},
+		{func(n *Netlist, a NetID) NetID { o := n.NewNet("o"); n.AddGate(logic.Or, o, a, a); return o }, 0},
+		{func(n *Netlist, a NetID) NetID { o := n.NewNet("o"); n.AddGate(logic.Xor, o, a, n.Const1()); return o }, 1}, // becomes not
+		// xor(a,a)/xnor(a,a) must survive: rewriting them changes per-gate
+		// GLIFT taint (see optimize.go).
+		{func(n *Netlist, a NetID) NetID { o := n.NewNet("o"); n.AddGate(logic.Xor, o, a, a); return o }, 1},
+		{func(n *Netlist, a NetID) NetID { o := n.NewNet("o"); n.AddGate(logic.Xnor, o, a, n.Const0()); return o }, 1},
+		{func(n *Netlist, a NetID) NetID { o := n.NewNet("o"); n.AddGate(logic.Mux, o, a, a, a); return o }, 0},
+		{func(n *Netlist, a NetID) NetID {
+			o := n.NewNet("o")
+			n.AddGate(logic.Mux, o, n.Const1(), n.Const0(), a)
+			return o
+		}, 0},
+	}
+	for i, c := range cases {
+		n := New()
+		a := n.AddInput("a")
+		o := c.build(n, a)
+		n.AddOutput("out", o)
+		opt, st, err := Optimize(n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(opt.Gates) != c.gates {
+			t.Fatalf("case %d: %d gates survive, want %d (%+v)", i, len(opt.Gates), c.gates, st)
+		}
+	}
+}
+
+func TestOptimizeDeadElimination(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	live := n.NewNet("live")
+	dead := n.NewNet("dead")
+	dead2 := n.NewNet("dead2")
+	n.AddGate(logic.And, live, a, b)
+	n.AddGate(logic.Xor, dead, a, b)
+	n.AddGate(logic.Not, dead2, dead)
+	n.AddOutput("out", live)
+	opt, st, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Gates) != 1 || st.Dead != 2 {
+		t.Fatalf("gates=%d dead=%d (%+v)", len(opt.Gates), st.Dead, st)
+	}
+}
+
+func TestOptimizeKeepsProbes(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	probe := n.NewNet("probe")
+	n.AddGate(logic.Not, probe, a)
+	// No output uses the probe: without keep it dies, with keep it lives.
+	out := n.NewNet("out")
+	n.AddGate(logic.Buf, out, a)
+	n.AddOutput("out", out)
+
+	opt, _, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opt.Lookup("probe"); ok {
+		t.Fatal("dead probe should vanish without keep")
+	}
+	opt2, _, err := Optimize(n, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opt2.Lookup("probe"); !ok {
+		t.Fatal("kept probe lost")
+	}
+	if _, _, err := Optimize(n, "nonexistent"); err == nil {
+		t.Fatal("unknown keep should error")
+	}
+}
+
+// randNetlist builds a random DAG of gates over a few inputs and a couple
+// of flip-flops, with some constants mixed in to exercise folding.
+func randNetlist(rnd *rand.Rand, gates int) *Netlist {
+	n := New()
+	pool := []NetID{n.Const0(), n.Const1()}
+	for i := 0; i < 4; i++ {
+		pool = append(pool, n.AddInput(""))
+	}
+	// Two flip-flops whose D comes from late logic (wired after).
+	q1, q2 := n.NewNet("q1"), n.NewNet("q2")
+	pool = append(pool, q1, q2)
+	ops := []logic.Op{logic.Buf, logic.Not, logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Mux}
+	for i := 0; i < gates; i++ {
+		op := ops[rnd.Intn(len(ops))]
+		out := n.NewNet("")
+		in := make([]NetID, op.Arity())
+		for j := range in {
+			in[j] = pool[rnd.Intn(len(pool))]
+		}
+		n.AddGate(op, out, in...)
+		pool = append(pool, out)
+	}
+	rst := pool[2] // an input
+	n.AddDFF(q1, pool[len(pool)-1], rst, n.Const1(), logic.Zero)
+	n.AddDFF(q2, pool[len(pool)-2], rst, n.Const1(), logic.One)
+	for i := 0; i < 3; i++ {
+		n.AddOutput("", pool[len(pool)-3-i])
+	}
+	return n
+}
+
+// evalAll evaluates a netlist combinationally for given input/state
+// assignments and returns the output port signals.
+func evalAll(t *testing.T, n *Netlist, inputs map[string]logic.Sig, dffQ []logic.Sig) []logic.Sig {
+	t.Helper()
+	order, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]logic.Sig, n.NumNets())
+	for i := range vals {
+		vals[i] = logic.X0
+	}
+	vals[n.Const0()] = logic.Zero0
+	vals[n.Const1()] = logic.One0
+	for _, p := range n.Ports {
+		if p.Dir == DirInput {
+			vals[p.Net] = inputs[p.Name]
+		}
+	}
+	for i, d := range n.DFFs {
+		vals[d.Q] = dffQ[i]
+	}
+	for _, gi := range order {
+		g := n.Gates[gi]
+		in := make([]logic.Sig, g.NIn())
+		for i := range in {
+			in[i] = vals[g.In[i]]
+		}
+		vals[g.Out] = logic.Eval(g.Op, in...)
+	}
+	var outs []logic.Sig
+	for _, p := range n.Ports {
+		if p.Dir == DirOutput {
+			outs = append(outs, vals[p.Net])
+		}
+	}
+	return outs
+}
+
+// TestOptimizeEquivalence: for random netlists and random (value, X, taint)
+// input assignments, the optimized netlist produces identical output
+// signals — values AND taints — to the original.
+func TestOptimizeEquivalence(t *testing.T) {
+	sigs := []logic.Sig{logic.Zero0, logic.One0, logic.X0, logic.Zero1, logic.One1, logic.XT}
+	for seed := 0; seed < 30; seed++ {
+		rnd := rand.New(rand.NewSource(int64(seed)))
+		n := randNetlist(rnd, 40)
+		opt, _, err := Optimize(n)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(opt.DFFs) != len(n.DFFs) {
+			t.Fatalf("seed %d: DFF count changed", seed)
+		}
+		for trial := 0; trial < 20; trial++ {
+			inputs := map[string]logic.Sig{}
+			for _, p := range n.InputNets() {
+				inputs[p.Name] = sigs[rnd.Intn(len(sigs))]
+			}
+			dffQ := []logic.Sig{sigs[rnd.Intn(len(sigs))], sigs[rnd.Intn(len(sigs))]}
+			a := evalAll(t, n, inputs, dffQ)
+			b := evalAll(t, opt, inputs, dffQ)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: output count differs", seed)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d trial %d: output %d differs: %s vs %s", seed, trial, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizeStats sanity-checks bookkeeping on a mixed circuit.
+func TestOptimizeStats(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	n := randNetlist(rnd, 60)
+	opt, st, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GatesBefore != 60 {
+		t.Fatalf("before = %d", st.GatesBefore)
+	}
+	if st.GatesAfter != len(opt.Gates) {
+		t.Fatalf("after mismatch: %d vs %d", st.GatesAfter, len(opt.Gates))
+	}
+	if st.GatesAfter > st.GatesBefore {
+		t.Fatal("optimizer grew the netlist")
+	}
+}

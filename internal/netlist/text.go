@@ -1,0 +1,198 @@
+// Textual serialization of netlists (.gnl format).
+//
+// The format is line-based:
+//
+//	# comment
+//	input  <name>
+//	output <name> <net>
+//	net    <name>                      (optional pre-declaration)
+//	<op>   <out> <in>...               e.g. "nand y a b", "mux y s a b"
+//	dff    <q> <d> rst=<net> en=<net> rstval=<0|1>
+//
+// Nets are created on first mention. The well-known nets const0/const1 are
+// always available. The paper's tool consumes a processor's gate-level
+// netlist; this format is our interchange for the same artifact.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+var opByName = map[string]logic.Op{
+	"buf": logic.Buf, "not": logic.Not, "and": logic.And, "or": logic.Or,
+	"nand": logic.Nand, "nor": logic.Nor, "xor": logic.Xor, "xnor": logic.Xnor,
+	"mux": logic.Mux,
+}
+
+// Write serializes the netlist in .gnl form.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# gnl netlist: %d nets, %d gates, %d dffs\n", n.NumNets(), len(n.Gates), len(n.DFFs))
+	for _, p := range n.Ports {
+		if p.Dir == DirInput {
+			fmt.Fprintf(bw, "input %s\n", p.Name)
+		}
+	}
+	for _, g := range n.Gates {
+		fmt.Fprintf(bw, "%s %s", g.Op, n.Name(g.Out))
+		for i := 0; i < g.NIn(); i++ {
+			fmt.Fprintf(bw, " %s", n.Name(g.In[i]))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, d := range n.DFFs {
+		rv := 0
+		if d.RstVal == logic.One {
+			rv = 1
+		}
+		fmt.Fprintf(bw, "dff %s %s rst=%s en=%s rstval=%d\n",
+			n.Name(d.Q), n.Name(d.D), n.Name(d.Rst), n.Name(d.En), rv)
+	}
+	for _, p := range n.Ports {
+		if p.Dir == DirOutput {
+			fmt.Fprintf(bw, "output %s %s\n", p.Name, n.Name(p.Net))
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a .gnl netlist.
+func Read(r io.Reader) (*Netlist, error) {
+	n := New()
+	get := func(name string) NetID {
+		if id, ok := n.Lookup(name); ok {
+			return id
+		}
+		return n.NewNet(name)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("gnl line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "input":
+			if len(fields) != 2 {
+				return nil, errf("input wants 1 operand")
+			}
+			if _, ok := n.Lookup(fields[1]); ok {
+				return nil, errf("input %q redeclares an existing net", fields[1])
+			}
+			n.AddInput(fields[1])
+		case "output":
+			if len(fields) != 3 {
+				return nil, errf("output wants 2 operands")
+			}
+			n.AddOutput(fields[1], get(fields[2]))
+		case "net":
+			if len(fields) != 2 {
+				return nil, errf("net wants 1 operand")
+			}
+			get(fields[1])
+		case "dff":
+			if len(fields) != 6 {
+				return nil, errf("dff wants: q d rst= en= rstval=")
+			}
+			q := get(fields[1])
+			d := get(fields[2])
+			var rstName, enName, rstvalStr string
+			for _, f := range fields[3:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, errf("bad dff attribute %q", f)
+				}
+				switch k {
+				case "rst":
+					rstName = v
+				case "en":
+					enName = v
+				case "rstval":
+					rstvalStr = v
+				default:
+					return nil, errf("unknown dff attribute %q", k)
+				}
+			}
+			if rstName == "" || enName == "" || rstvalStr == "" {
+				return nil, errf("dff missing rst/en/rstval")
+			}
+			rv := logic.Zero
+			switch rstvalStr {
+			case "0":
+			case "1":
+				rv = logic.One
+			default:
+				return nil, errf("bad rstval %q", rstvalStr)
+			}
+			n.AddDFF(q, d, get(rstName), get(enName), rv)
+		default:
+			op, ok := opByName[fields[0]]
+			if !ok {
+				return nil, errf("unknown directive %q", fields[0])
+			}
+			if len(fields) != 2+op.Arity() {
+				return nil, errf("%s wants %d inputs", fields[0], op.Arity())
+			}
+			out := get(fields[1])
+			in := make([]NetID, op.Arity())
+			for i := range in {
+				in[i] = get(fields[2+i])
+			}
+			n.AddGate(op, out, in...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// WriteDOT emits a Graphviz rendering of the netlist, useful when debugging
+// small circuits such as the Figure 7 example.
+func WriteDOT(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph netlist {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	for _, p := range n.Ports {
+		shape := "invtriangle"
+		if p.Dir == DirOutput {
+			shape = "triangle"
+		}
+		fmt.Fprintf(bw, "  %q [shape=%s];\n", p.Name, shape)
+	}
+	for gi, g := range n.Gates {
+		node := fmt.Sprintf("g%d_%s", gi, g.Op)
+		fmt.Fprintf(bw, "  %q [shape=box,label=%q];\n", node, g.Op.String())
+		for i := 0; i < g.NIn(); i++ {
+			fmt.Fprintf(bw, "  %q -> %q;\n", n.Name(g.In[i]), node)
+		}
+		fmt.Fprintf(bw, "  %q -> %q;\n", node, n.Name(g.Out))
+	}
+	for di, d := range n.DFFs {
+		node := fmt.Sprintf("dff%d", di)
+		fmt.Fprintf(bw, "  %q [shape=box3d,label=\"DFF\"];\n", node)
+		fmt.Fprintf(bw, "  %q -> %q [label=\"D\"];\n", n.Name(d.D), node)
+		fmt.Fprintf(bw, "  %q -> %q [label=\"rst\"];\n", n.Name(d.Rst), node)
+		fmt.Fprintf(bw, "  %q -> %q;\n", node, n.Name(d.Q))
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

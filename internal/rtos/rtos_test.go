@@ -1,0 +1,77 @@
+package rtos
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/glift"
+)
+
+var (
+	ucOnce sync.Once
+	uc     *UseCase
+	ucErr  error
+)
+
+func useCase(t *testing.T) *UseCase {
+	t.Helper()
+	ucOnce.Do(func() { uc, ucErr = Run(nil) })
+	if ucErr != nil {
+		t.Fatal(ucErr)
+	}
+	return uc
+}
+
+// The unprotected system is compromised: the untrusted task's tainted
+// control flow reaches the scheduler and the trusted task (C1), and its
+// unbounded keyed store can taint untainted memory (C2).
+func TestUnprotectedSchedulerCompromised(t *testing.T) {
+	u := useCase(t)
+	rep := u.UnprotectedReport
+	if len(rep.ByKind(glift.C1TaintedState)) == 0 {
+		t.Errorf("expected tainted scheduling (C1), got %v", rep.Violations)
+	}
+	if len(rep.ByKind(glift.C2MemoryEscape)) == 0 {
+		t.Errorf("expected memory escape (C2), got %v", rep.Violations)
+	}
+	if u.MaskedStores == 0 {
+		t.Error("root-cause analysis identified no stores to mask")
+	}
+}
+
+// The protected system verifies: no cross-task flows and untouchable
+// scheduling — the paper's two system-level properties.
+func TestProtectedSchedulerVerifies(t *testing.T) {
+	u := useCase(t)
+	if !u.ProtectedReport.Secure() {
+		t.Errorf("protected RTOS system not secure: %v", u.ProtectedReport.Violations)
+	}
+}
+
+// The protection overhead on the full round is small because the trusted
+// work dominates (the paper reports 0.83%).
+func TestOverheadSmall(t *testing.T) {
+	u := useCase(t)
+	o := u.OverheadPercent()
+	if o <= 0 || o > 10 {
+		t.Errorf("round overhead = %.2f%% (rounds %d -> %d), expected small positive",
+			o, u.UnprotectedRound, u.ProtectedRound)
+	}
+	t.Logf("rounds: unprotected=%d protected=%d overhead=%.2f%% (paper: 0.83%%)",
+		u.UnprotectedRound, u.ProtectedRound, o)
+}
+
+func TestBuildVariants(t *testing.T) {
+	for _, p := range []bool{false, true} {
+		s, err := Build(p)
+		if err != nil {
+			t.Fatalf("build(%v): %v", p, err)
+		}
+		if s.Img.SizeWords() < 50 {
+			t.Errorf("suspiciously small system: %d words", s.Img.SizeWords())
+		}
+		if p && s.Plan.IntervalCycles == 0 {
+			t.Error("protected build has no watchdog plan")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package sim provides cycle-accurate simulation of gate-level netlists
+// with GLIFT-tracked ternary signals, plus the behavioural memory model and
+// the machine-level harness used to symbolically execute a whole
+// microcontroller system (processor netlist + program/data memories +
+// memory-mapped peripherals).
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Circuit simulates one netlist. The host drives it in phases each cycle:
+// set primary inputs, call Eval (possibly several times, interleaved with
+// behavioural memory reads that feed results back into inputs), then Clock
+// to commit flip-flop state.
+type Circuit struct {
+	nl    *netlist.Netlist
+	order []int32
+	vals  []logic.Packed // current value of every net
+	tmp   []logic.Packed // scratch for DFF next-state computation
+
+	// Toggles counts flip-flop output bit transitions across Clock calls,
+	// the activity measure used by the energy model.
+	Toggles uint64
+}
+
+// NewCircuit levelizes and wraps the netlist. The initial state follows the
+// paper's Algorithm 1: every flip-flop holds an untainted X; inputs default
+// to untainted X.
+func NewCircuit(nl *netlist.Netlist) (*Circuit, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	c := &Circuit{
+		nl:    nl,
+		order: order,
+		vals:  make([]logic.Packed, nl.NumNets()),
+		tmp:   make([]logic.Packed, len(nl.DFFs)),
+	}
+	c.InitX()
+	return c, nil
+}
+
+// Netlist returns the underlying netlist.
+func (c *Circuit) Netlist() *netlist.Netlist { return c.nl }
+
+// InitX resets every net — including all flip-flop outputs — to untainted X
+// (Algorithm 1, line 2).
+func (c *Circuit) InitX() {
+	xp := logic.Pack(logic.X0)
+	for i := range c.vals {
+		c.vals[i] = xp
+	}
+	c.vals[c.nl.Const0()] = logic.Pack(logic.Zero0)
+	c.vals[c.nl.Const1()] = logic.Pack(logic.One0)
+}
+
+// SetInput drives a primary input (or, in forced evaluations, any net; for
+// ordinary use only inputs should be set).
+func (c *Circuit) SetInput(id netlist.NetID, s logic.Sig) {
+	c.vals[id] = logic.Pack(s)
+}
+
+// Get returns the current signal on a net (valid after Eval).
+func (c *Circuit) Get(id netlist.NetID) logic.Sig {
+	return logic.Unpack(c.vals[id])
+}
+
+// GetWord assembles a multi-bit value from nets (LSB first). The second
+// result is true only if every bit is a known 0/1. The third reports whether
+// any bit is tainted.
+func (c *Circuit) GetWord(bits []netlist.NetID) (val uint64, known bool, tainted bool) {
+	known = true
+	for i, b := range bits {
+		s := logic.Unpack(c.vals[b])
+		switch s.V {
+		case logic.One:
+			val |= 1 << uint(i)
+		case logic.X:
+			known = false
+		}
+		if s.T {
+			tainted = true
+		}
+	}
+	return val, known, tainted
+}
+
+// SetWord drives a vector of nets with the bits of val and a common taint.
+func (c *Circuit) SetWord(bits []netlist.NetID, val uint64, t bool) {
+	for i, b := range bits {
+		c.vals[b] = logic.Pack(logic.S(logic.FromBool(val>>uint(i)&1 == 1), t))
+	}
+}
+
+// Eval propagates values through the combinational logic in levelized
+// order. forced maps net IDs to values that override whatever their driver
+// would produce; pass nil for a normal evaluation. Forcing is how the
+// symbolic execution engine concretizes an unknown branch decision when the
+// PC becomes X (Section 4.1 of the paper).
+func (c *Circuit) Eval(forced map[netlist.NetID]logic.Sig) {
+	gates := c.nl.Gates
+	vals := c.vals
+	if forced != nil {
+		for id, s := range forced {
+			vals[id] = logic.Pack(s)
+		}
+	}
+	for _, gi := range c.order {
+		g := &gates[gi]
+		if forced != nil {
+			if _, ok := forced[g.Out]; ok {
+				continue
+			}
+		}
+		switch g.Op.Arity() {
+		case 1:
+			vals[g.Out] = logic.Eval1(g.Op, vals[g.In[0]])
+		case 2:
+			vals[g.Out] = logic.Eval2(g.Op, vals[g.In[0]], vals[g.In[1]])
+		case 3:
+			vals[g.Out] = logic.EvalMux(vals[g.In[0]], vals[g.In[1]], vals[g.In[2]])
+		default: // constants
+			if g.Op == logic.Const1 {
+				vals[g.Out] = logic.Pack(logic.One0)
+			} else {
+				vals[g.Out] = logic.Pack(logic.Zero0)
+			}
+		}
+	}
+}
+
+// Clock commits flip-flop next states, implementing the synchronous
+// semantics  q' = mux(rst, mux(en, q, d), rstval)  with the GLIFT mux rule,
+// which gives exactly the tainted-reset behaviour of Figure 7: an asserted
+// untainted reset fully cleans a bit, an asserted tainted reset forces the
+// value but keeps it tainted.
+func (c *Circuit) Clock() {
+	dffs := c.nl.DFFs
+	vals := c.vals
+	for i := range dffs {
+		d := &dffs[i]
+		held := logic.EvalMux(vals[d.En], vals[d.Q], vals[d.D])
+		rv := logic.Pack(logic.S(d.RstVal, false))
+		c.tmp[i] = logic.EvalMux(vals[d.Rst], held, rv)
+	}
+	for i := range dffs {
+		q := dffs[i].Q
+		if (vals[q]^c.tmp[i])&3 != 0 {
+			c.Toggles++
+		}
+		vals[q] = c.tmp[i]
+	}
+}
+
+// DFFState returns a copy of the current flip-flop output values, the
+// register portion of a machine state snapshot.
+func (c *Circuit) DFFState() []logic.Packed {
+	out := make([]logic.Packed, len(c.nl.DFFs))
+	for i, d := range c.nl.DFFs {
+		out[i] = c.vals[d.Q]
+	}
+	return out
+}
+
+// RestoreDFFState installs previously captured flip-flop outputs. The host
+// must Eval afterwards before reading any combinational net.
+func (c *Circuit) RestoreDFFState(st []logic.Packed) {
+	for i, d := range c.nl.DFFs {
+		c.vals[d.Q] = st[i]
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// buildCounter builds a 4-bit counter with synchronous reset: a small
+// sequential circuit exercising Eval/Clock/forcing/snapshots.
+func buildCounter(t *testing.T) (*netlist.Netlist, *Circuit, []netlist.NetID, netlist.NetID) {
+	t.Helper()
+	nl := netlist.New()
+	rst := nl.AddInput("rst")
+	q := make([]netlist.NetID, 4)
+	d := make([]netlist.NetID, 4)
+	for i := range q {
+		q[i] = nl.NewNet("")
+		d[i] = nl.NewNet("")
+		nl.AddDFF(q[i], d[i], rst, nl.Const1(), logic.Zero)
+	}
+	// d = q + 1 (ripple increment).
+	carry := nl.Const1()
+	for i := range q {
+		sum := nl.NewNet("")
+		nl.AddGate(logic.Xor, sum, q[i], carry)
+		nc := nl.NewNet("")
+		nl.AddGate(logic.And, nc, q[i], carry)
+		nl.AddGate(logic.Buf, d[i], sum)
+		carry = nc
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCircuit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, c, q, rst
+}
+
+func TestCircuitCounts(t *testing.T) {
+	_, c, q, rst := buildCounter(t)
+	c.SetInput(rst, logic.One0)
+	c.Eval(nil)
+	c.Clock()
+	c.SetInput(rst, logic.Zero0)
+	for i := 0; i < 11; i++ {
+		c.Eval(nil)
+		c.Clock()
+	}
+	c.Eval(nil)
+	v, known, tainted := c.GetWord(q)
+	if !known || tainted || v != 11 {
+		t.Fatalf("counter = %d (known=%v tainted=%v)", v, known, tainted)
+	}
+}
+
+func TestCircuitInitX(t *testing.T) {
+	_, c, q, _ := buildCounter(t)
+	c.Eval(nil)
+	if _, known, _ := c.GetWord(q); known {
+		t.Fatal("uninitialized flip-flops should be X")
+	}
+	if c.Get(c.Netlist().Const1()) != logic.One0 {
+		t.Fatal("const1 wrong after InitX")
+	}
+}
+
+func TestCircuitForcedEval(t *testing.T) {
+	_, c, q, rst := buildCounter(t)
+	c.SetInput(rst, logic.One0)
+	c.Eval(nil)
+	c.Clock()
+	c.SetInput(rst, logic.Zero0)
+	// Force the low Q bit high during evaluation: the increment logic must
+	// see the forced value.
+	forced := map[netlist.NetID]logic.Sig{q[0]: logic.One0}
+	c.Eval(forced)
+	c.Clock()
+	c.Eval(nil)
+	v, _, _ := c.GetWord(q)
+	if v != 2 { // 1 + 1
+		t.Fatalf("forced increment = %d, want 2", v)
+	}
+}
+
+func TestCircuitSetWordTaint(t *testing.T) {
+	nl := netlist.New()
+	in := make([]netlist.NetID, 4)
+	for i := range in {
+		in[i] = nl.AddInput("")
+	}
+	out := nl.NewNet("out")
+	nl.AddGate(logic.Or, out, in[0], in[1])
+	c, err := NewCircuit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetWord(in, 0b0011, true)
+	c.Eval(nil)
+	if got := c.Get(out); got.V != logic.One || !got.T {
+		t.Fatalf("or out = %s", got)
+	}
+	if v, known, tainted := c.GetWord(in); v != 3 || !known || !tainted {
+		t.Fatalf("GetWord = %d %v %v", v, known, tainted)
+	}
+}
+
+func TestDFFStateSnapshot(t *testing.T) {
+	_, c, q, rst := buildCounter(t)
+	c.SetInput(rst, logic.One0)
+	c.Eval(nil)
+	c.Clock()
+	c.SetInput(rst, logic.Zero0)
+	for i := 0; i < 5; i++ {
+		c.Eval(nil)
+		c.Clock()
+	}
+	snap := c.DFFState()
+	for i := 0; i < 3; i++ {
+		c.Eval(nil)
+		c.Clock()
+	}
+	c.RestoreDFFState(snap)
+	c.Eval(nil)
+	if v, _, _ := c.GetWord(q); v != 5 {
+		t.Fatalf("restored counter = %d, want 5", v)
+	}
+}
+
+func TestTogglesCounted(t *testing.T) {
+	_, c, _, rst := buildCounter(t)
+	c.SetInput(rst, logic.One0)
+	c.Eval(nil)
+	c.Clock()
+	c.SetInput(rst, logic.Zero0)
+	before := c.Toggles
+	for i := 0; i < 8; i++ {
+		c.Eval(nil)
+		c.Clock()
+	}
+	// A 4-bit counter over 8 increments toggles bit0 8x, bit1 4x, bit2 2x,
+	// bit3 1x = 15 transitions.
+	if got := c.Toggles - before; got != 15 {
+		t.Fatalf("toggles = %d, want 15", got)
+	}
+}
+
+// The Figure 7 tainted-reset law at circuit level: an asserted tainted
+// reset forces the value but keeps taint; an untainted one cleans fully.
+func TestCircuitTaintedResetLaw(t *testing.T) {
+	nl := netlist.New()
+	rst := nl.AddInput("rst")
+	d := nl.AddInput("d")
+	q := nl.NewNet("q")
+	nl.AddDFF(q, d, rst, nl.Const1(), logic.Zero)
+	c, err := NewCircuit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetInput(d, logic.One1) // tainted 1
+	c.SetInput(rst, logic.Zero0)
+	c.Eval(nil)
+	c.Clock()
+	if got := c.Get(q); got != logic.One1 {
+		t.Fatalf("loaded %s", got)
+	}
+	c.SetInput(rst, logic.One1) // tainted reset
+	c.Eval(nil)
+	c.Clock()
+	if got := c.Get(q); got.V != logic.Zero || !got.T {
+		t.Fatalf("tainted reset -> %s, want 0*", got)
+	}
+	c.SetInput(rst, logic.One0) // untainted reset
+	c.Eval(nil)
+	c.Clock()
+	if got := c.Get(q); got != logic.Zero0 {
+		t.Fatalf("untainted reset -> %s, want clean 0", got)
+	}
+}

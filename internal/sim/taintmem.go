@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// TaintMem models a byte-addressable memory region where every bit carries
+// (value, X, taint), matching the paper's per-cycle tainted state over
+// "gates and memory bits". It also implements the conservative semantics for
+// accesses whose address contains unknown (X) bits: a store may hit any
+// matching location, so all of them absorb a merge of old and new contents;
+// a load may return any matching location, so the result is the merge of all
+// of them. The address's own taint joins the data taint in both directions —
+// this is exactly the mechanism by which an unmasked tainted store address
+// taints an entire data memory in Figure 9 of the paper, and by which
+// software masking (which pins the upper address bits) provably confines the
+// taint to one partition.
+type TaintMem struct {
+	base uint16
+	size int
+	val  []uint8 // value bits
+	xm   []uint8 // X mask: 1 = unknown bit
+	tt   []uint8 // taint mask: 1 = tainted bit
+}
+
+// NewTaintMem creates a region covering [base, base+size). Initial contents
+// are untainted X (Algorithm 1 line 2).
+func NewTaintMem(base uint16, size int) *TaintMem {
+	m := &TaintMem{
+		base: base,
+		size: size,
+		val:  make([]uint8, size),
+		xm:   make([]uint8, size),
+		tt:   make([]uint8, size),
+	}
+	for i := range m.xm {
+		m.xm[i] = 0xff
+	}
+	return m
+}
+
+// Base returns the first covered address; Size the number of bytes.
+func (m *TaintMem) Base() uint16 { return m.base }
+func (m *TaintMem) Size() int    { return m.size }
+
+// Contains reports whether addr falls inside the region.
+func (m *TaintMem) Contains(addr uint16) bool {
+	off := int(addr) - int(m.base)
+	return off >= 0 && off < m.size
+}
+
+// Word carries a 16-bit GLIFT-tracked value as three bit masks.
+type Word struct {
+	Val uint16
+	XM  uint16 // unknown bits
+	TT  uint16 // tainted bits
+}
+
+// Concrete reports whether no bit is X.
+func (w Word) Concrete() bool { return w.XM == 0 }
+
+// Tainted reports whether any bit is tainted.
+func (w Word) Tainted() bool { return w.TT != 0 }
+
+// Sig returns bit i as a logic signal.
+func (w Word) Sig(i int) logic.Sig {
+	v := logic.FromBool(w.Val>>uint(i)&1 == 1)
+	if w.XM>>uint(i)&1 == 1 {
+		v = logic.X
+	}
+	return logic.S(v, w.TT>>uint(i)&1 == 1)
+}
+
+// ConcreteWord builds an untainted concrete Word.
+func ConcreteWord(v uint16) Word { return Word{Val: v} }
+
+// String renders the word for diagnostics, e.g. "0x12xx*".
+func (w Word) String() string {
+	s := ""
+	for i := 15; i >= 0; i-- {
+		if w.XM>>uint(i)&1 == 1 {
+			s += "X"
+		} else {
+			s += fmt.Sprintf("%d", w.Val>>uint(i)&1)
+		}
+	}
+	if w.Tainted() {
+		s += "*"
+	}
+	return s
+}
+
+// Merge joins two words conservatively.
+func MergeWords(a, b Word) Word {
+	xm := a.XM | b.XM | (a.Val ^ b.Val)
+	return Word{Val: a.Val &^ xm, XM: xm, TT: a.TT | b.TT}
+}
+
+func (m *TaintMem) idx(addr uint16) int { return int(addr) - int(m.base) }
+
+// LoadByte returns one byte as a Word-style triple in the low 8 bits.
+func (m *TaintMem) LoadByte(addr uint16) Word {
+	i := m.idx(addr)
+	return Word{Val: uint16(m.val[i]), XM: uint16(m.xm[i]), TT: uint16(m.tt[i])}
+}
+
+// LoadWord returns the aligned 16-bit word containing addr.
+func (m *TaintMem) LoadWord(addr uint16) Word {
+	a := addr &^ 1
+	lo, hi := m.idx(a), m.idx(a+1)
+	return Word{
+		Val: uint16(m.val[lo]) | uint16(m.val[hi])<<8,
+		XM:  uint16(m.xm[lo]) | uint16(m.xm[hi])<<8,
+		TT:  uint16(m.tt[lo]) | uint16(m.tt[hi])<<8,
+	}
+}
+
+// StoreByte overwrites one byte.
+func (m *TaintMem) StoreByte(addr uint16, w Word) {
+	i := m.idx(addr)
+	m.val[i] = uint8(w.Val)
+	m.xm[i] = uint8(w.XM)
+	m.tt[i] = uint8(w.TT)
+}
+
+// StoreWord overwrites the aligned word containing addr.
+func (m *TaintMem) StoreWord(addr uint16, w Word) {
+	a := addr &^ 1
+	lo, hi := m.idx(a), m.idx(a+1)
+	m.val[lo], m.val[hi] = uint8(w.Val), uint8(w.Val>>8)
+	m.xm[lo], m.xm[hi] = uint8(w.XM), uint8(w.XM>>8)
+	m.tt[lo], m.tt[hi] = uint8(w.TT), uint8(w.TT>>8)
+}
+
+// MergeStoreWord conservatively merges w into the aligned word at addr
+// (used when a store *may* target this location).
+func (m *TaintMem) MergeStoreWord(addr uint16, w Word) {
+	m.StoreWord(addr, MergeWords(m.LoadWord(addr), w))
+}
+
+// MergeStoreByte conservatively merges a byte.
+func (m *TaintMem) MergeStoreByte(addr uint16, w Word) {
+	old := m.LoadByte(addr)
+	merged := MergeWords(old, Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff})
+	m.StoreByte(addr, merged)
+}
+
+// ForEachMatch visits every address in the region compatible with the
+// partially-unknown address pattern (concrete bits must match; X bits are
+// free). The visitor receives each candidate address.
+func (m *TaintMem) ForEachMatch(addr Word, f func(a uint16)) {
+	fixed := ^addr.XM
+	want := addr.Val & fixed
+	for off := 0; off < m.size; off++ {
+		a := m.base + uint16(off)
+		if a&fixed == want {
+			f(a)
+		}
+	}
+}
+
+// ForEachMatchRelaxed is ForEachMatch with an explicit free-bit mask (used
+// when tainted address bits must also be treated as attacker-controlled).
+func (m *TaintMem) ForEachMatchRelaxed(free, want uint16, f func(a uint16)) {
+	fixed := ^free
+	for off := 0; off < m.size; off++ {
+		a := m.base + uint16(off)
+		if a&fixed == want {
+			f(a)
+		}
+	}
+}
+
+// TaintedBytes counts bytes with at least one tainted bit in [lo, hi).
+func (m *TaintMem) TaintedBytes(lo, hi uint16) int {
+	n := 0
+	for a := uint32(lo); a < uint32(hi); a++ {
+		if m.Contains(uint16(a)) && m.tt[m.idx(uint16(a))] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyTaint reports whether any byte in [lo, hi) is tainted.
+func (m *TaintMem) AnyTaint(lo, hi uint16) bool { return m.TaintedBytes(lo, hi) > 0 }
+
+// ClearTaint removes taint (but not X-ness) from [lo, hi).
+func (m *TaintMem) ClearTaint(lo, hi uint16) {
+	for a := uint32(lo); a < uint32(hi); a++ {
+		if m.Contains(uint16(a)) {
+			m.tt[m.idx(uint16(a))] = 0
+		}
+	}
+}
+
+// SetTaint marks every bit in [lo, hi) tainted.
+func (m *TaintMem) SetTaint(lo, hi uint16) {
+	for a := uint32(lo); a < uint32(hi); a++ {
+		if m.Contains(uint16(a)) {
+			m.tt[m.idx(uint16(a))] = 0xff
+		}
+	}
+}
+
+// Snapshot returns a deep copy of the region's state.
+func (m *TaintMem) Snapshot() *TaintMem {
+	c := &TaintMem{base: m.base, size: m.size,
+		val: append([]uint8(nil), m.val...),
+		xm:  append([]uint8(nil), m.xm...),
+		tt:  append([]uint8(nil), m.tt...),
+	}
+	return c
+}
+
+// Restore copies state from a snapshot taken on a congruent region.
+func (m *TaintMem) Restore(s *TaintMem) {
+	if s.base != m.base || s.size != m.size {
+		panic("sim: snapshot region mismatch")
+	}
+	copy(m.val, s.val)
+	copy(m.xm, s.xm)
+	copy(m.tt, s.tt)
+}
+
+// Substate reports whether m's state is covered by the (potentially more
+// conservative) state c: everywhere c must be X or agree, and c's taint must
+// include m's.
+func (m *TaintMem) Substate(c *TaintMem) bool {
+	for i := range m.val {
+		if m.tt[i]&^c.tt[i] != 0 {
+			return false
+		}
+		// Bits where c is concrete must be concrete and equal in m.
+		fixed := ^c.xm[i]
+		if m.xm[i]&fixed != 0 {
+			return false
+		}
+		if (m.val[i]^c.val[i])&fixed != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeFrom widens m to cover o as well (conservative join).
+func (m *TaintMem) MergeFrom(o *TaintMem) {
+	for i := range m.val {
+		diff := m.val[i] ^ o.val[i]
+		m.xm[i] |= o.xm[i] | diff
+		m.val[i] &^= m.xm[i]
+		m.tt[i] |= o.tt[i]
+	}
+}
+
+// Fill writes concrete untainted bytes (for loading initial data).
+func (m *TaintMem) Fill(addr uint16, data []byte) {
+	for i, b := range data {
+		m.StoreByte(addr+uint16(i), Word{Val: uint16(b)})
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTaintMemStartsUntaintedX(t *testing.T) {
+	m := NewTaintMem(0x0200, 64)
+	w := m.LoadWord(0x0210)
+	if w.XM != 0xffff || w.TT != 0 {
+		t.Fatalf("initial word = %s", w)
+	}
+	if !m.Contains(0x0200) || !m.Contains(0x023f) || m.Contains(0x0240) || m.Contains(0x01ff) {
+		t.Fatal("Contains bounds wrong")
+	}
+	if m.Base() != 0x0200 || m.Size() != 64 {
+		t.Fatal("accessors")
+	}
+}
+
+func TestStoreLoadWordRoundTrip(t *testing.T) {
+	m := NewTaintMem(0x0200, 64)
+	w := Word{Val: 0xbeef, TT: 0x00ff}
+	m.StoreWord(0x0204, w)
+	if got := m.LoadWord(0x0204); got != w {
+		t.Fatalf("got %s want %s", got, w)
+	}
+	// Odd address aliases to the aligned word.
+	if got := m.LoadWord(0x0205); got != w {
+		t.Fatalf("unaligned load got %s", got)
+	}
+}
+
+func TestStoreLoadByte(t *testing.T) {
+	m := NewTaintMem(0, 16)
+	m.StoreByte(3, Word{Val: 0xab, TT: 0x0f})
+	b := m.LoadByte(3)
+	if b.Val != 0xab || b.TT != 0x0f || b.XM != 0 {
+		t.Fatalf("byte = %s", b)
+	}
+	// The byte lands in the high half of word 2.
+	w := m.LoadWord(2)
+	if w.Val>>8 != 0xab {
+		t.Fatalf("word = %s", w)
+	}
+}
+
+func TestMergeWordsLaws(t *testing.T) {
+	f := func(a, b Word) bool {
+		a.Val &^= a.XM // canonical: X bits carry value 0
+		b.Val &^= b.XM
+		m := MergeWords(a, b)
+		// Upper bound: every concrete bit of m agrees with both.
+		fixed := ^m.XM
+		if (a.Val^m.Val)&fixed&^a.XM != 0 || (b.Val^m.Val)&fixed&^b.XM != 0 {
+			return false
+		}
+		// Taint union.
+		return m.TT == a.TT|b.TT && MergeWords(b, a) == m
+	}
+	cfg := &quick.Config{MaxCount: 2000, Values: func(vs []reflect.Value, r *rand.Rand) {
+		for i := range vs {
+			vs[i] = reflect.ValueOf(Word{Val: uint16(r.Uint32()), XM: uint16(r.Uint32()), TT: uint16(r.Uint32())})
+		}
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeStore(t *testing.T) {
+	m := NewTaintMem(0, 16)
+	m.StoreWord(0, ConcreteWord(0x1234))
+	m.MergeStoreWord(0, Word{Val: 0x1230, TT: 0xffff})
+	w := m.LoadWord(0)
+	if w.XM != 0x0004 { // only bit 2 differs
+		t.Fatalf("merged XM = %#x", w.XM)
+	}
+	if w.TT != 0xffff {
+		t.Fatal("taint not unioned")
+	}
+	m.StoreByte(4, Word{Val: 0x0f})
+	m.MergeStoreByte(4, Word{Val: 0xf0})
+	if b := m.LoadByte(4); b.XM != 0xff {
+		t.Fatalf("byte merge XM = %#x", b.XM)
+	}
+}
+
+func TestForEachMatch(t *testing.T) {
+	m := NewTaintMem(0x0100, 32)
+	// Address pattern: value 0x0104, bits 3..4 free -> 0x0104,0x010c,0x0114,0x011c
+	var got []uint16
+	m.ForEachMatch(Word{Val: 0x0104, XM: 0x0018}, func(a uint16) { got = append(got, a) })
+	want := []uint16{0x0104, 0x010c, 0x0114, 0x011c}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("matches = %v", got)
+		}
+	}
+	// Relaxed variant with an explicit free mask behaves the same.
+	var got2 []uint16
+	m.ForEachMatchRelaxed(0x0018, 0x0104, func(a uint16) { got2 = append(got2, a) })
+	if len(got2) != len(want) {
+		t.Fatalf("relaxed matches = %v", got2)
+	}
+}
+
+func TestTaintAccounting(t *testing.T) {
+	m := NewTaintMem(0x0200, 64)
+	m.Fill(0x0200, make([]byte, 64))
+	if m.AnyTaint(0x0200, 0x0240) {
+		t.Fatal("fresh fill should be untainted")
+	}
+	m.SetTaint(0x0210, 0x0214)
+	if n := m.TaintedBytes(0x0200, 0x0240); n != 4 {
+		t.Fatalf("tainted bytes = %d", n)
+	}
+	m.ClearTaint(0x0210, 0x0212)
+	if n := m.TaintedBytes(0x0200, 0x0240); n != 2 {
+		t.Fatalf("after clear = %d", n)
+	}
+	// Out-of-range taint queries are safe.
+	if m.TaintedBytes(0, 0x100) != 0 {
+		t.Fatal("out of range count")
+	}
+}
+
+func TestSnapshotRestoreSubstateMerge(t *testing.T) {
+	m := NewTaintMem(0, 32)
+	m.Fill(0, make([]byte, 32))
+	snap := m.Snapshot()
+	if !m.Substate(snap) || !snap.Substate(m) {
+		t.Fatal("identical states should cover each other")
+	}
+	m.StoreWord(4, Word{Val: 0x5555, TT: 0x0001})
+	if m.Substate(snap) {
+		t.Fatal("changed state should not be a substate of the old one")
+	}
+	wider := snap.Snapshot()
+	wider.MergeFrom(m)
+	if !m.Substate(wider) || !snap.Substate(wider) {
+		t.Fatal("merge is not an upper bound")
+	}
+	m.Restore(snap)
+	if !m.Substate(snap) || m.AnyTaint(0, 32) {
+		t.Fatal("restore failed")
+	}
+}
+
+func TestRestorePanicsOnMismatch(t *testing.T) {
+	a := NewTaintMem(0, 32)
+	b := NewTaintMem(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Restore(b)
+}
+
+// Property: Substate is reflexive and monotone under MergeFrom.
+func TestPropertySubstateMerge(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := NewTaintMem(0, 16)
+		b := NewTaintMem(0, 16)
+		for i := 0; i < 16; i += 2 {
+			a.StoreWord(uint16(i), Word{Val: uint16(rnd.Uint32()) &^ uint16(rnd.Uint32()), XM: uint16(rnd.Uint32()) & 0xff, TT: uint16(rnd.Uint32())})
+			b.StoreWord(uint16(i), Word{Val: uint16(rnd.Uint32()) &^ uint16(rnd.Uint32()), XM: uint16(rnd.Uint32()) & 0xff, TT: uint16(rnd.Uint32())})
+		}
+		// Canonicalize: X bits carry value 0 (as the simulator produces).
+		for i := 0; i < 16; i += 2 {
+			wa := a.LoadWord(uint16(i))
+			wa.Val &^= wa.XM
+			a.StoreWord(uint16(i), wa)
+			wb := b.LoadWord(uint16(i))
+			wb.Val &^= wb.XM
+			b.StoreWord(uint16(i), wb)
+		}
+		if !a.Substate(a) {
+			t.Fatal("not reflexive")
+		}
+		w := a.Snapshot()
+		w.MergeFrom(b)
+		if !a.Substate(w) || !b.Substate(w) {
+			t.Fatal("merge not an upper bound")
+		}
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	w := Word{Val: 0x0001, XM: 0x0002, TT: 0x0004}
+	if w.Concrete() {
+		t.Fatal("X word is not concrete")
+	}
+	if !w.Tainted() {
+		t.Fatal("tainted bit ignored")
+	}
+	if s := w.Sig(0); s.String() != "1" {
+		t.Fatalf("bit 0 = %s", s)
+	}
+	if s := w.Sig(1); s.String() != "X" {
+		t.Fatalf("bit 1 = %s", s)
+	}
+	if s := w.Sig(2); s.String() != "0*" {
+		t.Fatalf("bit 2 = %s", s)
+	}
+	if ConcreteWord(7).String() != "0000000000000111" {
+		t.Fatalf("string = %s", ConcreteWord(7))
+	}
+	tainted := Word{TT: 1}
+	if tainted.String() != "0000000000000000*" {
+		t.Fatalf("tainted string = %s", tainted)
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestVCDDump(t *testing.T) {
+	nl := netlist.New()
+	in := nl.AddInput("in")
+	q := nl.NewNet("state")
+	sn := nl.NewNet("s_next")
+	nl.AddGate(logic.Xor, sn, q, in)
+	nl.AddDFF(q, sn, nl.Const0(), nl.Const1(), logic.Zero)
+	c, err := NewCircuit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	v, err := NewVCDWriter(&buf, c, []string{"state", "in"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []logic.Sig{logic.Zero0, logic.One0, logic.One1, logic.Zero0}
+	// Initialize the register concretely first.
+	c.SetInput(in, logic.Zero0)
+	c.Eval(nil)
+	c.RestoreDFFState([]logic.Packed{logic.Pack(logic.Zero0)})
+	for _, s := range inputs {
+		c.SetInput(in, s)
+		c.Eval(nil)
+		v.Sample()
+		c.Clock()
+	}
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$enddefinitions", "$var wire 1", "state_taint", "#0", "#2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("vcd missing %q:\n%s", want, out)
+		}
+	}
+	// The tainted input at step 2 must flip the taint channel.
+	if !strings.Contains(out, "#2") {
+		t.Fatal("no change at the taint step")
+	}
+}
+
+func TestVCDUnknownNet(t *testing.T) {
+	nl := netlist.New()
+	nl.AddInput("a")
+	c, err := NewCircuit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVCDWriter(&bytes.Buffer{}, c, []string{"missing"}); err == nil {
+		t.Fatal("expected error for unknown net")
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

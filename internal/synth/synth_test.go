@@ -1,0 +1,431 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// harness builds a circuit and returns an evaluator.
+type harness struct {
+	t  *testing.T
+	nl *netlist.Netlist
+	c  *sim.Circuit
+}
+
+func newHarness(t *testing.T, build func(b *Builder)) *harness {
+	t.Helper()
+	nl := netlist.New()
+	b := NewBuilder(nl)
+	build(b)
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	c, err := sim.NewCircuit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, nl: nl, c: c}
+}
+
+func (h *harness) set(w Word, v uint64, taint bool) { h.c.SetWord([]netlist.NetID(w), v, taint) }
+
+func (h *harness) get(w Word) (uint64, bool, bool) { return h.c.GetWord([]netlist.NetID(w)) }
+
+func TestAdderExhaustive8(t *testing.T) {
+	var a, c Word
+	var sum Word
+	var cout netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 8)
+		c = b.InputWord("b", 8)
+		cin := b.N.AddInput("cin")
+		sum, cout, _ = b.Add(a, c, cin)
+		b.OutputWord("sum", sum)
+		b.N.AddOutput("cout", cout)
+	})
+	h.c.SetInput(h.nl.MustNet("cin"), logic.Zero0)
+	for x := 0; x < 256; x += 7 {
+		for y := 0; y < 256; y += 11 {
+			h.set(a, uint64(x), false)
+			h.set(c, uint64(y), false)
+			h.c.Eval(nil)
+			got, known, tainted := h.get(sum)
+			if !known || tainted {
+				t.Fatalf("add(%d,%d) not concrete/clean", x, y)
+			}
+			if got != uint64((x+y)&0xff) {
+				t.Fatalf("add(%d,%d) = %d", x, y, got)
+			}
+			co := h.c.Get(cout)
+			if co.V != logic.FromBool(x+y > 255) {
+				t.Fatalf("cout(%d,%d) = %s", x, y, co)
+			}
+		}
+	}
+}
+
+func TestIncAndAddConst(t *testing.T) {
+	var a, inc, plus5 Word
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 16)
+		inc = b.Inc(a)
+		plus5 = b.AddConst(a, 5)
+	})
+	for _, x := range []uint64{0, 1, 0xfffe, 0xffff, 1234} {
+		h.set(a, x, false)
+		h.c.Eval(nil)
+		if got, _, _ := h.get(inc); got != (x+1)&0xffff {
+			t.Fatalf("inc(%d) = %d", x, got)
+		}
+		if got, _, _ := h.get(plus5); got != (x+5)&0xffff {
+			t.Fatalf("%d+5 = %d", x, got)
+		}
+	}
+}
+
+func TestEqConstAndEqW(t *testing.T) {
+	var a, c Word
+	var eqc, eqw netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 12)
+		c = b.InputWord("b", 12)
+		eqc = b.EqConst(a, 0x120)
+		eqw = b.EqW(a, c)
+	})
+	h.set(a, 0x120, false)
+	h.set(c, 0x120, false)
+	h.c.Eval(nil)
+	if h.c.Get(eqc).V != logic.One || h.c.Get(eqw).V != logic.One {
+		t.Fatal("equality should hold")
+	}
+	h.set(c, 0x121, false)
+	h.c.Eval(nil)
+	if h.c.Get(eqw).V != logic.Zero {
+		t.Fatal("inequality should be 0")
+	}
+	h.set(a, 0x0, false)
+	h.c.Eval(nil)
+	if h.c.Get(eqc).V != logic.Zero {
+		t.Fatal("eqconst should be 0")
+	}
+}
+
+// The GLIFT masking property that underlies the paper's software masking:
+// if an address's upper bits are untainted and differ concretely from a
+// compare constant, the comparator output is an *untainted* 0 even when the
+// lower bits are tainted X.
+func TestEqConstTaintMasking(t *testing.T) {
+	var a Word
+	var eq netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 16)
+		eq = b.EqConst(a, 0x0120) // the WDTCTL address
+	})
+	// Address = 0x04xx with tainted unknown low bits: cannot be 0x0120.
+	h.set(a, 0x0400, false)
+	for i := 0; i < 10; i++ {
+		h.c.SetInput(a[i], logic.XT)
+	}
+	h.c.Eval(nil)
+	if got := h.c.Get(eq); got != logic.Zero0 {
+		t.Fatalf("masked compare = %s, want untainted 0", got)
+	}
+	// Fully tainted address: compare result must be tainted.
+	h.set(a, 0, true)
+	h.c.Eval(nil)
+	if got := h.c.Get(eq); !got.T {
+		t.Fatalf("unmasked compare = %s, want tainted", got)
+	}
+}
+
+func TestMuxTreeSelects(t *testing.T) {
+	var sel Word
+	var out Word
+	vals := []uint64{0xa, 0xb, 0xc, 0xd, 0x1, 0x2, 0x3, 0x4}
+	h := newHarness(t, func(b *Builder) {
+		sel = b.InputWord("sel", 3)
+		opts := make([]Word, 8)
+		for i, v := range vals {
+			opts[i] = b.Const(4, v)
+		}
+		out = b.MuxTree(sel, opts)
+	})
+	for i := uint64(0); i < 8; i++ {
+		h.set(sel, i, false)
+		h.c.Eval(nil)
+		if got, _, _ := h.get(out); got != vals[i] {
+			t.Fatalf("mux[%d] = %#x, want %#x", i, got, vals[i])
+		}
+	}
+}
+
+func TestDecodeOneHot(t *testing.T) {
+	var sel Word
+	var outs []netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		sel = b.InputWord("sel", 4)
+		outs = b.Decode(sel)
+	})
+	for i := uint64(0); i < 16; i++ {
+		h.set(sel, i, false)
+		h.c.Eval(nil)
+		for j, o := range outs {
+			want := logic.FromBool(uint64(j) == i)
+			if h.c.Get(o).V != want {
+				t.Fatalf("decode(%d)[%d] = %s", i, j, h.c.Get(o))
+			}
+		}
+	}
+}
+
+func TestRegisterResetLoadHold(t *testing.T) {
+	var d, q Word
+	var rst, en netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		d = b.InputWord("d", 8)
+		rst = b.N.AddInput("rst")
+		en = b.N.AddInput("en")
+		q = b.Register("q", d, rst, en, 0x5a)
+	})
+	step := func(dv uint64, r, e bool) {
+		h.set(d, dv, false)
+		h.c.SetInput(rst, logic.S(logic.FromBool(r), false))
+		h.c.SetInput(en, logic.S(logic.FromBool(e), false))
+		h.c.Eval(nil)
+		h.c.Clock()
+		h.c.Eval(nil)
+	}
+	step(0, true, false) // reset
+	if got, _, _ := h.get(q); got != 0x5a {
+		t.Fatalf("after reset q = %#x", got)
+	}
+	step(0x33, false, true) // load
+	if got, _, _ := h.get(q); got != 0x33 {
+		t.Fatalf("after load q = %#x", got)
+	}
+	step(0x44, false, false) // hold
+	if got, _, _ := h.get(q); got != 0x33 {
+		t.Fatalf("after hold q = %#x", got)
+	}
+}
+
+func TestRegisterTaintedResetKeepsTaint(t *testing.T) {
+	// Gate-level reproduction of the Figure 7 property at register level.
+	var d, q Word
+	var rst netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		d = b.InputWord("d", 4)
+		rst = b.N.AddInput("rst")
+		q = b.Register("q", d, rst, b.High(), 0)
+	})
+	// Load tainted data.
+	h.set(d, 0xf, true)
+	h.c.SetInput(rst, logic.Zero0)
+	h.c.Eval(nil)
+	h.c.Clock()
+	h.c.Eval(nil)
+	if _, _, tainted := h.get(q); !tainted {
+		t.Fatal("register should be tainted after tainted load")
+	}
+	// Tainted reset: value clears, taint stays.
+	h.c.SetInput(rst, logic.One1)
+	h.c.Eval(nil)
+	h.c.Clock()
+	h.c.Eval(nil)
+	if v, known, tainted := h.get(q); v != 0 || !known || !tainted {
+		t.Fatalf("tainted reset: q=%d known=%v tainted=%v, want 0/true/true", v, known, tainted)
+	}
+	// Untainted reset: everything clean.
+	h.c.SetInput(rst, logic.One0)
+	h.c.Eval(nil)
+	h.c.Clock()
+	h.c.Eval(nil)
+	if v, known, tainted := h.get(q); v != 0 || !known || tainted {
+		t.Fatalf("untainted reset: q=%d known=%v tainted=%v, want 0/true/false", v, known, tainted)
+	}
+}
+
+func TestShiftWiring(t *testing.T) {
+	var a Word
+	var l, r Word
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 8)
+		l = ShiftLeft1(a, b.Low())
+		r = ShiftRight1(a, b.High())
+	})
+	h.set(a, 0b10110101, false)
+	h.c.Eval(nil)
+	if got, _, _ := h.get(l); got != 0b01101010 {
+		t.Fatalf("shl = %#b", got)
+	}
+	if got, _, _ := h.get(r); got != 0b11011010 {
+		t.Fatalf("shr = %#b", got)
+	}
+}
+
+func TestExtendSliceCat(t *testing.T) {
+	var a Word
+	var ze, se Word
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 4)
+		ze = b.ZeroExtend(a, 8)
+		se = SignExtend(a, 8)
+	})
+	h.set(a, 0b1010, false)
+	h.c.Eval(nil)
+	if got, _, _ := h.get(ze); got != 0b00001010 {
+		t.Fatalf("zext = %#b", got)
+	}
+	if got, _, _ := h.get(se); got != 0b11111010 {
+		t.Fatalf("sext = %#b", got)
+	}
+	if w := Cat(a[:2], a[2:]); len(w) != 4 || w[0] != a[0] || w[3] != a[3] {
+		t.Fatal("cat broken")
+	}
+	if s := Slice(a, 1, 3); len(s) != 2 || s[0] != a[1] {
+		t.Fatal("slice broken")
+	}
+}
+
+func TestReduceEdgeCases(t *testing.T) {
+	var single netlist.NetID
+	var zeroAnd, zeroOr netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		in := b.N.AddInput("x")
+		single = b.AndN(in)
+		zeroAnd = b.AndN()
+		zeroOr = b.OrN()
+	})
+	h.c.SetInput(h.nl.MustNet("x"), logic.One0)
+	h.c.Eval(nil)
+	if h.c.Get(single).V != logic.One {
+		t.Fatal("1-input reduce should pass through")
+	}
+	if h.c.Get(zeroAnd).V != logic.One || h.c.Get(zeroOr).V != logic.Zero {
+		t.Fatal("empty reduce identities wrong")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var a Word
+	var z netlist.NetID
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 16)
+		z = b.IsZero(a)
+	})
+	h.set(a, 0, false)
+	h.c.Eval(nil)
+	if h.c.Get(z).V != logic.One {
+		t.Fatal("iszero(0) != 1")
+	}
+	h.set(a, 0x8000, false)
+	h.c.Eval(nil)
+	if h.c.Get(z).V != logic.Zero {
+		t.Fatal("iszero(0x8000) != 0")
+	}
+}
+
+func TestScopeNaming(t *testing.T) {
+	nl := netlist.New()
+	b := NewBuilder(nl)
+	alu := b.Scope("alu")
+	id := alu.Named("cout")
+	if nl.Name(id) != "alu.cout" {
+		t.Fatalf("scoped name = %q", nl.Name(id))
+	}
+	inner := alu.Scope("adder")
+	id2 := inner.Named("g")
+	if nl.Name(id2) != "alu.adder.g" {
+		t.Fatalf("nested scoped name = %q", nl.Name(id2))
+	}
+}
+
+func TestRegisterLoopAndDrive(t *testing.T) {
+	// A counter built with a feedback register.
+	var q Word
+	h := newHarness(t, func(b *Builder) {
+		rst := b.N.AddInput("rst")
+		var d Word
+		q, d = b.RegisterLoop("cnt", 8, rst, b.High(), 0)
+		b.Drive(d, b.Inc(q))
+	})
+	rst := h.nl.MustNet("rst")
+	h.c.SetInput(rst, logic.One0)
+	h.c.Eval(nil)
+	h.c.Clock()
+	h.c.SetInput(rst, logic.Zero0)
+	for i := 0; i < 5; i++ {
+		h.c.Eval(nil)
+		h.c.Clock()
+	}
+	h.c.Eval(nil)
+	if got, _, _ := h.get(q); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	nl := netlist.New()
+	b := NewBuilder(nl)
+	a := b.Const(4, 1)
+	c := b.Const(8, 1)
+	for name, f := range map[string]func(){
+		"and":  func() { b.AndW(a, c) },
+		"mux":  func() { b.MuxW(b.Low(), a, c) },
+		"add":  func() { b.Add(a, c, b.Low()) },
+		"tree": func() { b.MuxTree(a, []Word{a, c}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property test: random adder inputs with X bits — the concrete bits of the
+// result must match the arithmetic result whenever no X can influence them.
+func TestPropertyAdderXSoundness(t *testing.T) {
+	var a, c Word
+	var sum Word
+	h := newHarness(t, func(b *Builder) {
+		a = b.InputWord("a", 8)
+		c = b.InputWord("b", 8)
+		sum, _, _ = b.Add(a, c, b.Low())
+	})
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		av, bv := uint64(rnd.Intn(256)), uint64(rnd.Intn(256))
+		xmask := uint64(rnd.Intn(256))
+		h.set(a, av, false)
+		h.set(c, bv, false)
+		for i := 0; i < 8; i++ {
+			if xmask>>uint(i)&1 == 1 {
+				h.c.SetInput(a[i], logic.X0)
+			}
+		}
+		h.c.Eval(nil)
+		// For every resolution of the X bits the concrete sum must be
+		// covered by the ternary result.
+		for res := uint64(0); res < 256; res++ {
+			if res&^xmask != av&^xmask {
+				continue
+			}
+			want := (res + bv) & 0xff
+			for i := 0; i < 8; i++ {
+				got := h.c.Get(sum[i])
+				if got.V.Known() && got.V != logic.FromBool(want>>uint(i)&1 == 1) {
+					t.Fatalf("a=%#x b=%#x xmask=%#x res=%#x: sum bit %d = %s, concrete wants %d",
+						av, bv, xmask, res, i, got, want>>uint(i)&1)
+				}
+			}
+		}
+	}
+}

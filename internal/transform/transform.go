@@ -1,0 +1,237 @@
+// Package transform implements the paper's software techniques for
+// eliminating insecure information flows (Section 5.2) as automatic
+// rewrites of the assembly statement list produced by internal/asm:
+//
+//   - Software masked addressing: AND/BIS instruction pairs inserted before
+//     stores whose address can be tainted or unknown, pinning the effective
+//     address into the task's tainted data partition (Figure 9).
+//   - Untainted watchdog-timer reset: planning of deterministic time slices
+//     over the hardware watchdog intervals so that a tainted task's
+//     execution time is bounded and the pipeline is recovered to an
+//     untainted state by a power-on reset (Figure 8), including the
+//     idle-loop padding and context-switch cost model of Section 7.2.
+//
+// Both an application-specific variant (masking only the stores flagged by
+// root-cause analysis) and an "always-on" variant (masking every maskable
+// store, bounding every tainted task) are provided; the cost gap between
+// them is the paper's headline 3.3x result (Table 3).
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Partition is a power-of-two-sized, size-aligned data-memory region that
+// tainted code is allowed to write.
+type Partition struct {
+	Lo   uint16
+	Size uint16
+}
+
+// Validate checks alignment constraints.
+func (p Partition) Validate() error {
+	if p.Size == 0 || p.Size&(p.Size-1) != 0 {
+		return fmt.Errorf("transform: partition size %#x is not a power of two", p.Size)
+	}
+	if p.Lo%p.Size != 0 {
+		return fmt.Errorf("transform: partition base %#x not aligned to size %#x", p.Lo, p.Size)
+	}
+	return nil
+}
+
+// MaskAnd is the AND-immediate confining an address to the partition size.
+func (p Partition) MaskAnd() uint16 { return p.Size - 1 }
+
+// MaskOr is the BIS-immediate pinning the partition base.
+func (p Partition) MaskOr() uint16 { return p.Lo }
+
+// MaskableStoreTarget reports whether a statement is a store through a
+// register (the kind that can escape a partition and can be masked),
+// returning the base register.
+func MaskableStoreTarget(st *asm.Stmt) (isa.Reg, bool) { return maskableStore(st) }
+
+// maskableStore reports whether a statement is a store through a register
+// (the kind that can escape a partition and can be masked), returning the
+// base register.
+func maskableStore(st *asm.Stmt) (isa.Reg, bool) {
+	if st.Kind != asm.SInstr {
+		return 0, false
+	}
+	mn := st.Mnemonic
+	switch mn {
+	case "mov", "add", "addc", "sub", "subc", "bic", "bis", "xor", "and",
+		"inc", "incd", "dec", "decd", "inv", "clr", "rla", "rlc", "adc", "sbc",
+		"rra", "rrc", "swpb", "sxt":
+	default:
+		return 0, false // cmp/bit/tst/jumps/push do not write memory operands
+	}
+	// The destination operand is the last one.
+	if len(st.Ops) == 0 {
+		return 0, false
+	}
+	dst := st.Ops[len(st.Ops)-1]
+	if dst.Kind != asm.OpIndexed {
+		return 0, false
+	}
+	return dst.Reg, true
+}
+
+// maskStmts builds the two masking instructions for a base register.
+func maskStmts(r isa.Reg, p Partition, why string) []asm.Stmt {
+	and := asm.InstrStmt("and", asm.Imm(asm.Int(int64(p.MaskAnd()))), asm.RegOp(r))
+	and.Comment = "mask: " + why
+	bis := asm.InstrStmt("bis", asm.Imm(asm.Int(int64(p.MaskOr()))), asm.RegOp(r))
+	return []asm.Stmt{and, bis}
+}
+
+// InsertMasks inserts address-masking instructions before the statements
+// whose indices are flagged (the root-cause list from the analysis). It
+// returns the rewritten statement list and the number of masked stores.
+// Flagged statements that are not maskable register-indexed stores are
+// reported as errors, mirroring the toolflow's compile errors (Section 6).
+func InsertMasks(stmts []asm.Stmt, flagged map[int]bool, p Partition) ([]asm.Stmt, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	var out []asm.Stmt
+	masked := 0
+	for i := range stmts {
+		st := stmts[i]
+		if !flagged[i] {
+			out = append(out, st)
+			continue
+		}
+		reg, ok := maskableStore(&st)
+		if !ok {
+			return nil, 0, fmt.Errorf("transform: line %d (%s) flagged but is not a maskable store", st.Line, st.String())
+		}
+		ms := maskStmts(reg, p, "inserted by root-cause analysis")
+		// A label on the store must move to the first inserted instruction
+		// so control transfers still execute the mask.
+		if st.Label != "" {
+			ms[0].Label = st.Label
+			st.Label = ""
+		}
+		out = append(out, ms...)
+		out = append(out, st)
+		masked++
+	}
+	return out, masked, nil
+}
+
+// MaskAllStores applies masking to every maskable store — the "always on"
+// software baseline that assumes no application knowledge. It returns the
+// rewritten list and the number of masked stores.
+func MaskAllStores(stmts []asm.Stmt, p Partition) ([]asm.Stmt, int, error) {
+	flagged := map[int]bool{}
+	for i := range stmts {
+		if _, ok := maskableStore(&stmts[i]); ok {
+			flagged[i] = true
+		}
+	}
+	return InsertMasks(stmts, flagged, p)
+}
+
+// MaskableStoreIdxs lists the statement indices of every maskable store.
+func MaskableStoreIdxs(stmts []asm.Stmt) []int {
+	var out []int
+	for i := range stmts {
+		if _, ok := maskableStore(&stmts[i]); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FlagStores maps violating store addresses (from the analysis report) back
+// to statement indices using the image's address map.
+func FlagStores(img *asm.Image, pcs []uint16) (map[int]bool, error) {
+	flagged := map[int]bool{}
+	for _, pc := range pcs {
+		si, ok := img.AddrToStmt[pc]
+		if !ok {
+			return nil, fmt.Errorf("transform: violating PC %#04x maps to no statement", pc)
+		}
+		flagged[si] = true
+	}
+	return flagged, nil
+}
+
+// Watchdog cost model constants (Section 7.2 / footnote 9).
+const (
+	// ContextSwitchCycles is the cost of saving and restoring a task's state.
+	ContextSwitchCycles = 20
+	// WdtArmCycles is the cost of watchdog initialization and reset handling.
+	WdtArmCycles = 10
+	// SliceOverheadCycles is the per-slice fixed cost.
+	SliceOverheadCycles = ContextSwitchCycles + WdtArmCycles
+)
+
+// WdtPlan is a deterministic execution-time bound for a tainted task:
+// Slices intervals of IntervalCycles each, totalling BoundCycles, of which
+// OverheadCycles are not useful task work (switching plus idle padding).
+type WdtPlan struct {
+	IntervalIdx    int // index into isa.WDTIntervals
+	IntervalCycles uint32
+	Slices         int
+	BoundCycles    uint64
+	OverheadCycles uint64
+}
+
+// PlanWatchdog selects the number and duration of watchdog intervals that
+// minimize overhead while deterministically bounding a task of taskCycles
+// cycles (Section 7.2: fewer, longer slices cost less switching but more
+// idle padding in the final slice).
+func PlanWatchdog(taskCycles uint64) WdtPlan {
+	best := WdtPlan{}
+	first := true
+	for idx, iv := range isa.WDTIntervals {
+		useful := int64(iv) - SliceOverheadCycles
+		if useful <= 0 {
+			continue
+		}
+		n := int((int64(taskCycles) + useful - 1) / useful)
+		if n < 1 {
+			n = 1
+		}
+		bound := uint64(n) * uint64(iv)
+		plan := WdtPlan{
+			IntervalIdx:    idx,
+			IntervalCycles: iv,
+			Slices:         n,
+			BoundCycles:    bound,
+			OverheadCycles: bound - taskCycles,
+		}
+		if first || plan.BoundCycles < best.BoundCycles {
+			best = plan
+			first = false
+		}
+	}
+	return best
+}
+
+// WDTCTLValue returns the WDTCTL write that arms the plan's interval.
+func (p WdtPlan) WDTCTLValue() uint16 {
+	return isa.WDTPW | uint16(p.IntervalIdx)
+}
+
+// Overheads summarizes the runtime cost of protecting one application.
+type Overheads struct {
+	BaseCycles      uint64  // unprotected task period
+	MaskedStores    int     // number of store sites masked
+	MaskCycles      uint64  // extra cycles from executed mask instructions
+	Watchdog        bool    // whether the watchdog bound is applied
+	WdtPlanUsed     WdtPlan // the chosen plan (if Watchdog)
+	ProtectedCycles uint64  // resulting task period
+}
+
+// Percent returns the overhead percentage.
+func (o Overheads) Percent() float64 {
+	if o.BaseCycles == 0 {
+		return 0
+	}
+	return 100 * float64(o.ProtectedCycles-o.BaseCycles) / float64(o.BaseCycles)
+}

@@ -1,0 +1,230 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+	"repro/internal/isa"
+)
+
+func parse(t *testing.T, src string) []asm.Stmt {
+	t.Helper()
+	stmts, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts
+}
+
+func TestPartitionValidation(t *testing.T) {
+	good := Partition{Lo: 0x0400, Size: 0x0400}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.MaskAnd() != 0x03ff || good.MaskOr() != 0x0400 {
+		t.Fatalf("masks = %#x %#x", good.MaskAnd(), good.MaskOr())
+	}
+	for _, bad := range []Partition{{0x0400, 0x0300}, {0x0200, 0x0400}, {0, 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("partition %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestInsertMasksFigure9(t *testing.T) {
+	// The Figure 9 left-hand listing: a store through a tainted offset.
+	src := `
+start:  mov #4096, &0x0250
+        mov #49, r15
+        mov.b #1, 0(r15)
+        mov #32, r15
+        mov @r15, r15
+        mov #512, r14
+        add r15, r14
+store:  mov #500, 0(r14)
+        mov r15, &0x0200
+`
+	stmts := parse(t, src)
+	// Find the flagged store by label.
+	flagged := map[int]bool{}
+	for i := range stmts {
+		if stmts[i].Label == "store" {
+			flagged[i] = true
+		}
+	}
+	out, n, err := InsertMasks(stmts, flagged, Partition{Lo: 0x0400, Size: 0x0400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("masked %d stores", n)
+	}
+	printed := asm.Print(out)
+	if !strings.Contains(printed, "and #0x3ff, r14") || !strings.Contains(printed, "bis #0x400, r14") {
+		t.Fatalf("mask instructions missing:\n%s", printed)
+	}
+	// The label must have moved to the mask.
+	for i := range out {
+		if out[i].Label == "store" && out[i].Mnemonic != "and" {
+			t.Fatal("label did not move to the inserted mask")
+		}
+	}
+	// The result must still assemble.
+	if _, err := asm.Assemble(out); err != nil {
+		t.Fatalf("reassemble: %v\n%s", printed, err)
+	}
+}
+
+// End-to-end: the Figure 9 flow — analyze, flag, mask, re-verify.
+func TestMaskRoundTripVerifies(t *testing.T) {
+	src := `
+start:  mov &0x0020, r15     ; tainted input
+        mov #0x0200, r14
+        add r15, r14
+        mov #500, 0(r14)
+done:   jmp done
+`
+	img, err := asm.AssembleSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &glift.Policy{
+		Name:           "integrity",
+		TaintedInPorts: []int{0},
+		TaintedData:    []glift.AddrRange{{Lo: 0x0400, Hi: 0x0800}},
+	}
+	rep, err := glift.Analyze(img, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePCs := rep.ViolatingStorePCs()
+	if len(storePCs) != 1 {
+		t.Fatalf("expected 1 violating store, got %v", storePCs)
+	}
+	flagged, err := FlagStores(img, storePCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, n, err := InsertMasks(img.Stmts, flagged, Partition{Lo: 0x0400, Size: 0x0400})
+	if err != nil || n != 1 {
+		t.Fatalf("mask insertion: n=%d err=%v", n, err)
+	}
+	img2, err := asm.Assemble(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := glift.Analyze(img2, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.ByKind(glift.C2MemoryEscape)) != 0 {
+		t.Fatalf("C2 persists after masking: %v", rep2.Violations)
+	}
+}
+
+func TestInsertMasksRejectsNonStore(t *testing.T) {
+	stmts := parse(t, "start: nop")
+	if _, _, err := InsertMasks(stmts, map[int]bool{0: true}, Partition{Lo: 0x0400, Size: 0x0400}); err == nil {
+		t.Fatal("expected error for non-store statement")
+	}
+}
+
+func TestMaskAllStores(t *testing.T) {
+	src := `
+start:  mov r5, 0(r14)       ; store 1
+        add r5, 2(r14)       ; store 2 (read-modify-write)
+        cmp r5, 4(r14)       ; not a store
+        mov 0(r14), r5       ; load, not a store
+        mov r5, &0x0300      ; absolute store: statically bounded, unmasked
+        push r5              ; stack push: handled by SP discipline
+        mov r5, r6           ; register move
+`
+	stmts := parse(t, src)
+	out, n, err := MaskAllStores(stmts, Partition{Lo: 0x0400, Size: 0x0400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("masked %d stores, want 2\n%s", n, asm.Print(out))
+	}
+	if got := len(MaskableStoreIdxs(stmts)); got != 2 {
+		t.Fatalf("MaskableStoreIdxs = %d", got)
+	}
+}
+
+func TestFlagStoresBadPC(t *testing.T) {
+	img, err := asm.AssembleSource("start: nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlagStores(img, []uint16{0x1234}); err == nil {
+		t.Fatal("expected error for unknown PC")
+	}
+}
+
+func TestPlanWatchdogShortTask(t *testing.T) {
+	// A 100-cycle task: 64-cycle slices have 34 useful cycles each -> 3
+	// slices = 192-cycle bound; 512-cycle slice bounds it in one 512-cycle
+	// slice. 192 < 512, so the planner picks 64x3.
+	p := PlanWatchdog(100)
+	if p.IntervalCycles != 64 || p.Slices != 3 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.BoundCycles != 192 || p.OverheadCycles != 92 {
+		t.Fatalf("bound/overhead = %d/%d", p.BoundCycles, p.OverheadCycles)
+	}
+}
+
+func TestPlanWatchdogLongerTask(t *testing.T) {
+	// 3000 cycles: 64-cycle slices -> 89 slices = 5696; 512 -> 7 slices =
+	// 3584; 8192 -> 1 slice = 8192. Planner picks 512x7.
+	p := PlanWatchdog(3000)
+	if p.IntervalCycles != 512 || p.Slices != 7 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPlanWatchdogTiny(t *testing.T) {
+	p := PlanWatchdog(1)
+	if p.Slices != 1 || p.IntervalCycles != 64 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestWDTCTLValue(t *testing.T) {
+	p := PlanWatchdog(100)
+	if p.WDTCTLValue() != isa.WDTPW|3 {
+		t.Fatalf("wdtctl = %#x", p.WDTCTLValue())
+	}
+	// interval index 3 is the 64-cycle interval
+	if isa.WDTIntervals[3] != 64 {
+		t.Fatal("interval table changed")
+	}
+}
+
+func TestOverheadsPercent(t *testing.T) {
+	o := Overheads{BaseCycles: 1000, ProtectedCycles: 1150}
+	if got := o.Percent(); got != 15 {
+		t.Fatalf("percent = %v", got)
+	}
+	if (Overheads{}).Percent() != 0 {
+		t.Fatal("zero base should be 0%")
+	}
+}
+
+// Property: the plan always bounds the task and never chooses a slice whose
+// overhead exceeds every alternative.
+func TestPlanWatchdogProperties(t *testing.T) {
+	for task := uint64(1); task < 100000; task += 371 {
+		p := PlanWatchdog(task)
+		useful := int64(p.IntervalCycles)*int64(p.Slices) - int64(p.Slices)*SliceOverheadCycles
+		if useful < int64(task) {
+			t.Fatalf("task %d: plan %+v does not fit the task", task, p)
+		}
+		if p.BoundCycles != uint64(p.Slices)*uint64(p.IntervalCycles) {
+			t.Fatalf("task %d: inconsistent bound", task)
+		}
+	}
+}
