@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check build vet test race fault clean
+
+# check is the CI gate: vet, build, and the full suite under the race
+# detector (the engine itself is single-threaded, but bench fan-out and
+# the CLIs are not).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The glift suite explores full benchmark binaries; under the race
+# detector it outgrows go test's default 10m per-package timeout.
+TEST_TIMEOUT ?= 45m
+
+test:
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
+
+race:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
+
+# fault runs just the fail-closed surface: runtime budgets/cancellation
+# and the fault-injection matrix.
+fault:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift ./internal/fault
+
+clean:
+	$(GO) clean ./...

@@ -12,12 +12,26 @@
 //
 // Ports are numbered 1-4 (P1..P4). Code ranges may use symbols defined in
 // the program; data ranges are hex addresses.
+//
+// The verdict enum (verified | violations | incomplete | internal-error)
+// is printed on stderr and the exit code follows a fail-closed contract:
+//
+//	0  verified: the exploration completed and proved the policy
+//	1  violations: the exploration completed and found potential violations
+//	2  usage or input error (bad flags, unreadable or unassemblable source)
+//	3  analysis incomplete (deadline, SIGINT, cycle or memory budget) or
+//	   internal analyzer error — the absence of violations proves nothing
+//
+// -deadline bounds the wall-clock time of the exploration; SIGINT aborts
+// it the same way. Both produce a partial report and exit code 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -34,6 +48,9 @@ func main() {
 	initTainted := flag.String("initially-tainted", "", "comma-separated lo:hi initially tainted (secret) data")
 	taintWords := flag.Bool("taint-code-words", false, "also mark tainted code's instruction words as tainted data")
 	maxCycles := flag.Uint64("max-cycles", 0, "exploration cycle budget (0: default)")
+	deadline := flag.Duration("deadline", 0, "wall-clock analysis deadline (0: none); expiry exits 3")
+	softMem := flag.Int64("soft-mem", 0, "soft memory budget in bytes, escalates widening (0: default, <0: unlimited)")
+	hardMem := flag.Int64("hard-mem", 0, "hard memory budget in bytes, aborts as incomplete (0: default, <0: unlimited)")
 	traceN := flag.Int("trace", 0, "print the first N per-cycle tainted-state entries")
 	verbose := flag.Bool("v", false, "print exploration statistics")
 	flag.Parse()
@@ -67,13 +84,21 @@ func main() {
 		fatal(err)
 	}
 
-	opts := &glift.Options{MaxCycles: *maxCycles}
+	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem}
 	var rec *glift.TraceRecorder
 	if *traceN > 0 {
 		rec = &glift.TraceRecorder{Max: *traceN}
 		opts.Trace = rec.Hook()
 	}
-	rep, err := glift.Analyze(img, pol, opts)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	rep, err := glift.AnalyzeContext(ctx, img, pol, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,25 +111,36 @@ func main() {
 	if *verbose {
 		fmt.Printf("exploration: %s in %s\n", rep.Stats, time.Duration(rep.Stats.WallNanos))
 	}
-	if rep.Secure() {
+	verdict := rep.Verdict()
+	fmt.Fprintln(os.Stderr, "gliftcheck: verdict:", verdict)
+	switch verdict {
+	case glift.Verified:
 		fmt.Println("SECURE: no possible information flow violations for this application on this processor")
-		return
-	}
-	fmt.Printf("%d potential information flow violations:\n", len(rep.Violations))
-	for _, v := range rep.Violations {
-		loc := ""
-		if si, ok := img.AddrToStmt[v.PC]; ok {
-			loc = fmt.Sprintf(" [line %d: %s]", img.Stmts[si].Line, strings.TrimSpace(img.Stmts[si].String()))
+	case glift.InternalError:
+		fmt.Fprintln(os.Stderr, "gliftcheck:", rep.Err.Error())
+		if rep.Err.Stack != "" {
+			fmt.Fprintln(os.Stderr, rep.Err.Stack)
 		}
-		fmt.Printf("  %s%s\n", v, loc)
+	default:
+		if verdict == glift.Incomplete {
+			fmt.Println("NOT PROVEN: the exploration did not run to completion; violations listed below are a lower bound")
+		}
+		fmt.Printf("%d potential information flow violations:\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			loc := ""
+			if si, ok := img.AddrToStmt[v.PC]; ok {
+				loc = fmt.Sprintf(" [line %d: %s]", img.Stmts[si].Line, strings.TrimSpace(img.Stmts[si].String()))
+			}
+			fmt.Printf("  %s%s\n", v, loc)
+		}
+		if pcs := rep.ViolatingStorePCs(); len(pcs) > 0 {
+			fmt.Printf("stores needing address masking: %d\n", len(pcs))
+		}
+		if rep.NeedsWatchdog() {
+			fmt.Println("tainted control flow detected: the watchdog-reset transform is required")
+		}
 	}
-	if pcs := rep.ViolatingStorePCs(); len(pcs) > 0 {
-		fmt.Printf("stores needing address masking: %d\n", len(pcs))
-	}
-	if rep.NeedsWatchdog() {
-		fmt.Println("tainted control flow detected: the watchdog-reset transform is required")
-	}
-	os.Exit(1)
+	os.Exit(verdict.ExitCode())
 }
 
 func parsePorts(s string) ([]int, error) {
@@ -156,7 +192,9 @@ func resolve(s string, img *asm.Image) (uint16, error) {
 	return uint16(n), nil
 }
 
+// fatal reports a usage/input error (exit code 2 in the documented
+// contract); analysis outcomes exit through Verdict.ExitCode instead.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gliftcheck:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

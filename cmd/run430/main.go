@@ -3,15 +3,21 @@
 // statistics, final register/memory state, and an optional VCD waveform
 // with per-net taint channels.
 //
+// SIGINT or -deadline expiry stops the simulation cleanly: the statistics
+// and machine state accumulated so far are still printed (and the VCD, if
+// any, is flushed).
+//
 // Usage:
 //
-//	run430 [-cycles N] [-p1 0xVALUE | -seed S] [-vcd out.vcd] [-taint-p1] app.s43
+//	run430 [-cycles N] [-deadline D] [-p1 0xVALUE | -seed S] [-vcd out.vcd] [-taint-p1] app.s43
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
@@ -22,6 +28,7 @@ import (
 
 func main() {
 	cycles := flag.Uint64("cycles", 10_000, "cycles to run")
+	deadline := flag.Duration("deadline", 0, "wall-clock simulation deadline (0: none)")
 	p1 := flag.Int("p1", -1, "fixed P1IN value (default: LFSR per cycle)")
 	seed := flag.Uint("seed", 0xACE1, "LFSR seed for port inputs")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform here")
@@ -63,6 +70,14 @@ func main() {
 		defer v.Flush()
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	rng := uint16(*seed) | 1
 	next := func() uint16 {
 		bit := (rng>>0 ^ rng>>2 ^ rng>>3 ^ rng>>5) & 1
@@ -72,6 +87,10 @@ func main() {
 	sys.PowerOn()
 	insns := uint64(0)
 	for sys.Cycle < *cycles {
+		if sys.Cycle&1023 == 0 && ctx.Err() != nil {
+			fmt.Printf("simulation stopped early (%v); statistics below are partial\n", ctx.Err())
+			break
+		}
 		switch {
 		case *taintP1:
 			sys.SetPortIn(0, sim.Word{XM: 0xffff, TT: 0xffff})
@@ -109,7 +128,9 @@ func main() {
 	}
 }
 
+// fatal reports a usage/input error; exit code 2 matches the
+// gliftcheck/secure430 contract.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "run430:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

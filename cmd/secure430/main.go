@@ -12,14 +12,23 @@
 //	          -tainted-code task_start:task_end \
 //	          -tainted-data 0x0400:0x0800 \
 //	          -partition 0x0400:0x0400 -o fixed.s43 app.s43
+//
+// Exit codes follow the same fail-closed contract as gliftcheck: 0 when
+// the final round verifies the modified application, 1 when violations
+// remain, 2 on usage/input errors, 3 when the analysis was cut short by
+// SIGINT, -deadline, or a budget (the result proves nothing) or crashed
+// internally. The deadline covers all repair rounds together.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
@@ -34,6 +43,7 @@ func main() {
 	part := flag.String("partition", "0x0400:0x0400", "mask partition as base:size (size a power of two)")
 	out := flag.String("o", "", "write the modified assembly here (default: stdout)")
 	rounds := flag.Int("rounds", 8, "maximum analyze/repair rounds")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for all rounds together (0: none); expiry exits 3")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: secure430 [flags] app.s43 (see -help)")
@@ -71,6 +81,14 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	flaggedLines := map[int]bool{}
 	var finalStmts []asm.Stmt
 	var rep *glift.Report
@@ -102,12 +120,19 @@ func main() {
 		if p2.TaintedCode, err = parseRanges(*taintedCode, img); err != nil {
 			fatal(err)
 		}
-		rep, err = glift.Analyze(img, &p2, nil)
+		rep, err = glift.AnalyzeContext(ctx, img, &p2, nil)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "round %d: %d masked stores, %d violations (%s)\n",
-			round, masked, len(rep.Violations), rep.Stats)
+		fmt.Fprintf(os.Stderr, "round %d: %d masked stores, %d violations (%s in %s)\n",
+			round, masked, len(rep.Violations), rep.Stats, time.Duration(rep.Stats.WallNanos))
+		if v := rep.Verdict(); v == glift.Incomplete || v == glift.InternalError {
+			// A truncated or crashed analysis proves nothing: repairing
+			// against its violation list would be guesswork, so stop here
+			// and let the verdict drive the (non-zero) exit code.
+			finalStmts = stmts
+			break
+		}
 		progress := false
 		for _, pc := range rep.ViolatingStorePCs() {
 			si, ok := img.AddrToStmt[pc]
@@ -134,6 +159,14 @@ func main() {
 		}
 	}
 
+	verdict := rep.Verdict()
+	fmt.Fprintln(os.Stderr, "secure430: verdict:", verdict)
+	switch verdict {
+	case glift.InternalError:
+		fmt.Fprintln(os.Stderr, "secure430:", rep.Err.Error())
+	case glift.Incomplete:
+		fmt.Fprintln(os.Stderr, "NOT PROVEN: the last analysis round did not run to completion")
+	}
 	for _, v := range rep.Violations {
 		sev := "warning"
 		if v.Kind == glift.OutputPortTainted || v.Kind == glift.C5WriteUntaintedPort || v.Kind == glift.C4ReadTaintedPort {
@@ -155,6 +188,7 @@ func main() {
 	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fatal(err)
 	}
+	os.Exit(verdict.ExitCode())
 }
 
 func parsePartition(s string) (transform.Partition, error) {
@@ -223,7 +257,9 @@ func resolve(s string, img *asm.Image) (uint16, error) {
 	return uint16(n), nil
 }
 
+// fatal reports a usage/input error (exit code 2 in the documented
+// contract); analysis outcomes exit through Verdict.ExitCode instead.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "secure430:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -226,7 +227,12 @@ func Assemble(stmts []Stmt) (*Image, error) {
 		StmtToAddr: make(map[int]uint16),
 	}
 	errAt := func(st *Stmt, format string, args ...any) error {
-		return fmt.Errorf("line %d (%s): %s", st.Line, st.Mnemonic, fmt.Sprintf(format, args...))
+		err := fmt.Errorf(format, args...)
+		var undef *UndefinedSymbolError
+		if errors.As(err, &undef) && undef.Line == 0 {
+			undef.Line = st.Line
+		}
+		return fmt.Errorf("line %d (%s): %w", st.Line, st.Mnemonic, err)
 	}
 
 	// Pass 1: layout and symbol definition.
@@ -245,7 +251,7 @@ func Assemble(stmts []Stmt) (*Image, error) {
 		case SEqu:
 			v, err := st.Exprs[0].Eval(img.Symbols)
 			if err != nil {
-				return nil, errAt(st, "%v", err)
+				return nil, errAt(st, "%w", err)
 			}
 			if _, dup := img.Symbols[st.EquName]; dup {
 				return nil, errAt(st, "duplicate symbol %q", st.EquName)
@@ -254,7 +260,7 @@ func Assemble(stmts []Stmt) (*Image, error) {
 		case SOrg:
 			v, err := st.Exprs[0].Eval(img.Symbols)
 			if err != nil {
-				return nil, errAt(st, "%v", err)
+				return nil, errAt(st, "%w", err)
 			}
 			addr = v
 			if st.Label != "" {
@@ -263,7 +269,7 @@ func Assemble(stmts []Stmt) (*Image, error) {
 		case SSpace:
 			v, err := st.Exprs[0].Eval(img.Symbols)
 			if err != nil {
-				return nil, errAt(st, "%v", err)
+				return nil, errAt(st, "%w", err)
 			}
 			addr += v
 		case SWord:
@@ -274,7 +280,7 @@ func Assemble(stmts []Stmt) (*Image, error) {
 			}
 			n, err := instrSize(st)
 			if err != nil {
-				return nil, errAt(st, "%v", err)
+				return nil, errAt(st, "%w", err)
 			}
 			addr += int64(2 * n)
 		}
@@ -317,7 +323,7 @@ func Assemble(stmts []Stmt) (*Image, error) {
 			for _, e := range st.Exprs {
 				v, err := e.Eval(img.Symbols)
 				if err != nil {
-					return nil, errAt(st, "%v", err)
+					return nil, errAt(st, "%w", err)
 				}
 				if err := emit(st, addr, uint16(v)); err != nil {
 					return nil, err
@@ -327,11 +333,11 @@ func Assemble(stmts []Stmt) (*Image, error) {
 		case SInstr:
 			in, err := encodeStmt(st, uint16(addr), img.Symbols)
 			if err != nil {
-				return nil, errAt(st, "%v", err)
+				return nil, errAt(st, "%w", err)
 			}
 			ws, err := in.Encode()
 			if err != nil {
-				return nil, errAt(st, "%v", err)
+				return nil, errAt(st, "%w", err)
 			}
 			img.AddrToStmt[uint16(addr)] = i
 			img.StmtToAddr[i] = uint16(addr)
@@ -554,14 +560,26 @@ func (img *Image) Symbol(name string) (uint16, bool) {
 	return uint16(v), ok
 }
 
-// MustSymbol panics when the symbol is missing; for use by harnesses whose
-// programs are compiled in.
-func (img *Image) MustSymbol(name string) uint16 {
+// ResolveSymbol returns the value of a defined symbol, or a typed
+// *UndefinedSymbolError naming the missing symbol. Harnesses that consume
+// caller-supplied programs should use this instead of MustSymbol.
+func (img *Image) ResolveSymbol(name string) (uint16, error) {
 	v, ok := img.Symbols[name]
 	if !ok {
-		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+		return 0, &UndefinedSymbolError{Symbol: name}
 	}
-	return uint16(v)
+	return uint16(v), nil
+}
+
+// MustSymbol panics when the symbol is missing; for use by harnesses whose
+// programs are compiled in. The panic value is the typed
+// *UndefinedSymbolError, so a recover() boundary can surface the symbol.
+func (img *Image) MustSymbol(name string) uint16 {
+	v, err := img.ResolveSymbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // SizeWords returns the total number of emitted words.

@@ -44,7 +44,7 @@ func (e Expr) Eval(symbols map[string]int64) (int64, error) {
 		if t.Sym != "" {
 			sv, ok := symbols[t.Sym]
 			if !ok {
-				return 0, fmt.Errorf("undefined symbol %q", t.Sym)
+				return 0, &UndefinedSymbolError{Symbol: t.Sym}
 			}
 			tv = sv
 		}

@@ -1,0 +1,20 @@
+package asm
+
+import "fmt"
+
+// UndefinedSymbolError reports a reference to a symbol that has no
+// definition. It is returned (wrapped with statement context) from Assemble
+// for undefined references in source, and from Image.ResolveSymbol for
+// harness lookups — the two paths that previously panicked or reported only
+// a flat string.
+type UndefinedSymbolError struct {
+	Symbol string
+	// Line is the 1-based source line of the referencing statement, or 0
+	// when the lookup is not tied to a source position (symbol-table
+	// queries on an assembled image).
+	Line int
+}
+
+func (e *UndefinedSymbolError) Error() string {
+	return fmt.Sprintf("undefined symbol %q", e.Symbol)
+}

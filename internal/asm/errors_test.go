@@ -1,0 +1,73 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// An undefined symbol in source is a typed error carrying the symbol name
+// and the referencing line — not a panic, not a flat string.
+func TestUndefinedSymbolInSource(t *testing.T) {
+	_, err := AssembleSource(`
+start:  mov #1, r5
+        jmp nowhere
+`)
+	if err == nil {
+		t.Fatal("undefined symbol accepted")
+	}
+	var undef *UndefinedSymbolError
+	if !errors.As(err, &undef) {
+		t.Fatalf("error not typed: %T %v", err, err)
+	}
+	if undef.Symbol != "nowhere" {
+		t.Fatalf("symbol = %q", undef.Symbol)
+	}
+	if undef.Line != 3 {
+		t.Fatalf("line = %d, want 3", undef.Line)
+	}
+	if !strings.Contains(err.Error(), `"nowhere"`) || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("message lacks position/name: %q", err.Error())
+	}
+}
+
+// Directive operands (.org/.equ/.word/.space) resolve through the same
+// typed path.
+func TestUndefinedSymbolInDirective(t *testing.T) {
+	_, err := AssembleSource(`
+.equ SIZE, limit+2
+start:  nop
+`)
+	var undef *UndefinedSymbolError
+	if !errors.As(err, &undef) || undef.Symbol != "limit" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// Image lookups: ResolveSymbol returns the typed error; MustSymbol panics
+// with the same typed value so recover() boundaries keep the diagnosis.
+func TestResolveSymbol(t *testing.T) {
+	img, err := AssembleSource("start: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := img.ResolveSymbol("start"); err != nil || v != img.Entry {
+		t.Fatalf("ResolveSymbol(start) = %#04x, %v", v, err)
+	}
+	_, err = img.ResolveSymbol("task")
+	var undef *UndefinedSymbolError
+	if !errors.As(err, &undef) || undef.Symbol != "task" || undef.Line != 0 {
+		t.Fatalf("got %v", err)
+	}
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("MustSymbol did not panic")
+		}
+		if u, ok := p.(*UndefinedSymbolError); !ok || u.Symbol != "task" {
+			t.Fatalf("panic value = %v (%T)", p, p)
+		}
+	}()
+	img.MustSymbol("task")
+}

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/mcu"
 	"repro/internal/sim"
@@ -46,6 +48,12 @@ func (m Measurement) CPI() float64 {
 // Measure runs a built system concretely with deterministic pseudo-random
 // tainted-port samples and profiles one steady-state task period.
 func Measure(bt *Built, seed uint16, maxCycles uint64) (*Measurement, error) {
+	return MeasureContext(context.Background(), bt, seed, maxCycles)
+}
+
+// MeasureContext is Measure under a cancellation context, checked between
+// simulated cycles so deadlines and SIGINT abort a stuck run cleanly.
+func MeasureContext(ctx context.Context, bt *Built, seed uint16, maxCycles uint64) (*Measurement, error) {
 	sys, err := mcu.NewSystem(glift.SharedDesign())
 	if err != nil {
 		return nil, err
@@ -55,8 +63,14 @@ func Measure(bt *Built, seed uint16, maxCycles uint64) (*Measurement, error) {
 	bt.Img.Place(func(a, w uint16) { sys.ROM.StoreWord(a, sim.ConcreteWord(w)) })
 	sys.SetResetVector(bt.Img.Entry)
 
-	taskAddr := bt.Img.MustSymbol("task")
-	doneAddr := bt.Img.MustSymbol("task_done")
+	taskAddr, err := bt.Img.ResolveSymbol("task")
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (%s): %w", bt.Bench.Name, bt.Variant, err)
+	}
+	doneAddr, err := bt.Img.ResolveSymbol("task_done")
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (%s): %w", bt.Bench.Name, bt.Variant, err)
+	}
 
 	rng := lfsr(seed | 1)
 	sys.PowerOn()
@@ -68,6 +82,9 @@ func Measure(bt *Built, seed uint16, maxCycles uint64) (*Measurement, error) {
 	var doneSeen []mark
 	var insns uint64
 	for sys.Cycle < maxCycles && len(taskEntries) < 3 {
+		if sys.Cycle&1023 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("bench %s (%s): measurement cancelled at cycle %d: %w", bt.Bench.Name, bt.Variant, sys.Cycle, ctx.Err())
+		}
 		sys.SetPortIn(0, sim.ConcreteWord(rng.next()))
 		ci := sys.EvalCycle(nil)
 		if !ci.PmemOK {
@@ -178,19 +195,39 @@ func (o *Options) defaults() Options {
 // system, derive both protected variants, re-verify the analysis-guided one
 // and measure all three concretely.
 func Evaluate(b *Benchmark, opt *Options) (*Evaluation, error) {
+	return EvaluateContext(context.Background(), b, opt)
+}
+
+// EvaluateContext is Evaluate under a cancellation context, threaded through
+// both the symbolic analyses and the concrete measurement runs.
+func EvaluateContext(ctx context.Context, b *Benchmark, opt *Options) (*Evaluation, error) {
 	o := opt.defaults()
 	ev := &Evaluation{Bench: b}
+
+	// A cancelled symbolic exploration returns a partial report with the
+	// Incomplete verdict rather than an error; surface the cancellation as
+	// an error here so batch pipelines do not tabulate truncated results.
+	analyze := func(img *asm.Image, pol *glift.Policy) (*glift.Report, error) {
+		rep, err := glift.AnalyzeContext(ctx, img, pol, o.AnalysisOpt)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("bench %s: analysis cancelled: %w", b.Name, ctx.Err())
+		}
+		return rep, nil
+	}
 
 	var err error
 	ev.Unmod, err = BuildUnmodified(b)
 	if err != nil {
 		return nil, err
 	}
-	ev.UnmodMeasure, err = Measure(ev.Unmod, o.Seed, o.MaxCycles)
+	ev.UnmodMeasure, err = MeasureContext(ctx, ev.Unmod, o.Seed, o.MaxCycles)
 	if err != nil {
 		return nil, err
 	}
-	ev.UnmodReport, err = glift.Analyze(ev.Unmod.Img, ev.Unmod.Policy, o.AnalysisOpt)
+	ev.UnmodReport, err = analyze(ev.Unmod.Img, ev.Unmod.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +237,7 @@ func Evaluate(b *Benchmark, opt *Options) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev.WithReport, err = glift.Analyze(ev.With.Img, ev.With.Policy, o.AnalysisOpt)
+	ev.WithReport, err = analyze(ev.With.Img, ev.With.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -213,12 +250,12 @@ func Evaluate(b *Benchmark, opt *Options) (*Evaluation, error) {
 	// when the plan fits one slice per activation; multi-slice plans use the
 	// analytic bound (see period()).
 	if !ev.With.Watchdog || ev.With.Plan.Slices == 1 {
-		if m, err := Measure(ev.With, o.Seed, o.MaxCycles); err == nil {
+		if m, err := MeasureContext(ctx, ev.With, o.Seed, o.MaxCycles); err == nil {
 			ev.WithMeasure = m
 		}
 	}
 	if !ev.Always.Watchdog || ev.Always.Plan.Slices == 1 {
-		if m, err := Measure(ev.Always, o.Seed, o.MaxCycles); err == nil {
+		if m, err := MeasureContext(ctx, ev.Always, o.Seed, o.MaxCycles); err == nil {
 			ev.AlwaysMeasure = m
 		}
 	}
@@ -228,6 +265,12 @@ func Evaluate(b *Benchmark, opt *Options) (*Evaluation, error) {
 // EvaluateAll evaluates every benchmark concurrently (each evaluation owns
 // its own simulator state; the shared netlist is immutable).
 func EvaluateAll(opt *Options) ([]*Evaluation, error) {
+	return EvaluateAllContext(context.Background(), opt)
+}
+
+// EvaluateAllContext is EvaluateAll under a cancellation context; the first
+// cancellation error wins and the remaining evaluations drain promptly.
+func EvaluateAllContext(ctx context.Context, opt *Options) ([]*Evaluation, error) {
 	all := All()
 	evs := make([]*Evaluation, len(all))
 	errs := make([]error, len(all))
@@ -236,7 +279,7 @@ func EvaluateAll(opt *Options) ([]*Evaluation, error) {
 		wg.Add(1)
 		go func(i int, b *Benchmark) {
 			defer wg.Done()
-			evs[i], errs[i] = Evaluate(b, opt)
+			evs[i], errs[i] = EvaluateContext(ctx, b, opt)
 		}(i, b)
 	}
 	wg.Wait()

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+	"repro/internal/logic"
+)
+
+// maskedSrc is the Figure 5 protected program as a tainted task: a tainted
+// offset masked into the tainted partition [0x0400, 0x0800). Under
+// maskedPolicy the unfaulted checker verifies it clean; every fault
+// scenario below must break that verification.
+const maskedSrc = `
+tstart: mov &0x0020, r15
+        mov #0x0200, r14
+        add r15, r14
+        and #0x03ff, r14
+        bis #0x0400, r14
+        mov #500, 0(r14)
+done:   jmp done
+tend:
+`
+
+func maskedPolicy(img *asm.Image) *glift.Policy {
+	return &glift.Policy{
+		Name:           "integrity",
+		TaintedInPorts: []int{0},
+		TaintedCode:    []glift.AddrRange{{Lo: img.MustSymbol("tstart"), Hi: img.MustSymbol("tend")}},
+		TaintedData:    []glift.AddrRange{{Lo: 0x0400, Hi: 0x0800}},
+	}
+}
+
+// secureSrc copies an untainted input port to an untainted output port —
+// clean under the empty-taint policy until a fault taints P3IN.
+const secureSrc = `
+start:  mov &0x0028, r5      ; P3IN (untainted port)
+        add #1, r5
+        mov r5, &0x002e      ; P4OUT (untainted port)
+        jmp start
+`
+
+func mustImage(t *testing.T, src string) *asm.Image {
+	t.Helper()
+	img, err := asm.AssembleSource(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+// stmtExtAddr returns the address of the extension word of the first
+// statement using the given mnemonic (opcode word + 2).
+func stmtExtAddr(t *testing.T, img *asm.Image, mnemonic string) uint16 {
+	t.Helper()
+	for i := range img.Stmts {
+		if img.Stmts[i].Mnemonic == mnemonic {
+			return img.StmtToAddr[i] + 2
+		}
+	}
+	t.Fatalf("no %q statement in image", mnemonic)
+	return 0
+}
+
+// The harness itself must not disturb a clean system: zero faults on the
+// masked program still verifies.
+func TestNoFaultBaselineVerifies(t *testing.T) {
+	img := mustImage(t, maskedSrc)
+	res, err := Analyze(context.Background(), img, maskedPolicy(img), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Report.Verdict(); v != glift.Verified {
+		t.Fatalf("baseline verdict = %v, violations: %v", v, res.Report.Violations)
+	}
+}
+
+// scenarios is the fail-closed matrix: every entry damages a system that
+// verifies clean, and the checker must return a non-Verified verdict.
+func TestInjectedFaultsNeverVerify(t *testing.T) {
+	maskedImg := mustImage(t, maskedSrc)
+	secureImg := mustImage(t, secureSrc)
+
+	cases := []struct {
+		name   string
+		img    *asm.Image
+		pol    *glift.Policy
+		faults []Fault
+	}{
+		{
+			// Flipping the partition-base constant of the bis from 0x0400
+			// to 0x0200 re-bases the masked store window onto untainted RAM
+			// (back to the Figure 4 vulnerability).
+			name:   "rom-flip-rebases-mask",
+			img:    maskedImg,
+			pol:    maskedPolicy(maskedImg),
+			faults: []Fault{ROMCorrupt{Addr: stmtExtAddr(t, maskedImg, "bis"), Xor: 0x0600}},
+		},
+		{
+			// An unknown instruction word makes decode — and so the next
+			// PC — unresolvable.
+			name:   "rom-x-unresolves-pc",
+			img:    maskedImg,
+			pol:    maskedPolicy(maskedImg),
+			faults: []Fault{ROMCorrupt{Addr: maskedImg.Entry, MakeX: 0xffff}},
+		},
+		{
+			// Tainting the bis' #0x0400 extension word taints the address's
+			// partition bit, so the store pattern escapes the partition.
+			name:   "rom-tainted-word",
+			img:    maskedImg,
+			pol:    maskedPolicy(maskedImg),
+			faults: []Fault{ROMCorrupt{Addr: stmtExtAddr(t, maskedImg, "bis"), Taint: true}},
+		},
+		{
+			// Spurious taint on P3IN, which the policy trusts: the copied
+			// value reaches the untainted output port P4OUT.
+			name:   "tainted-input-port",
+			img:    secureImg,
+			pol:    &glift.Policy{Name: "integrity"},
+			faults: []Fault{PortX{Port: 2, Taint: true}},
+		},
+		{
+			// r14's partition bit (0x0400, set by the bis) stuck at zero:
+			// the masked address slides down into untainted RAM while still
+			// carrying the tainted offset bits.
+			name:   "stuck-ff-clears-partition-bit",
+			img:    maskedImg,
+			pol:    maskedPolicy(maskedImg),
+			faults: []Fault{StuckFF{FF: "r14:10", Value: logic.Zero}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Analyze(context.Background(), tc.img, tc.pol, nil, tc.faults...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.FailClosed() {
+				t.Fatalf("fault %s slipped through as Verified (stats %s)",
+					res.Faults[0].Describe(), res.Report.Stats)
+			}
+			t.Logf("%s -> %v: %v", res.Faults[0].Describe(), res.Report.Verdict(), res.Report.Violations)
+		})
+	}
+
+	// Netlist mutations must never leak into the shared design: after the
+	// stuck-at scenarios above, a plain analysis still verifies.
+	rep, err := glift.Analyze(maskedImg, maskedPolicy(maskedImg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Verdict(); v != glift.Verified {
+		t.Fatalf("shared design polluted by fault injection: verdict %v, %v", v, rep.Violations)
+	}
+}
+
+// Concrete runs fail closed too: an unknown instruction word degenerates
+// the PC, which the runner reports as an error instead of completing.
+func TestConcreteRunFailsClosedOnXWord(t *testing.T) {
+	img := mustImage(t, maskedSrc)
+	// Unfaulted: the program parks on jmp $ and the run succeeds.
+	if _, err := Run(context.Background(), img, 10_000); err != nil {
+		t.Fatalf("clean concrete run: %v", err)
+	}
+	_, err := Run(context.Background(), img, 10_000, ROMCorrupt{Addr: img.Entry, MakeX: 0xffff})
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("expected unknown-PC error, got %v", err)
+	}
+}
+
+// A stuck flip-flop alters concrete execution as well: with the partition
+// bit stuck low, the store's unknown address may reach WDTCTL inside the
+// netlist, the watchdog state goes unknown and the run degenerates — the
+// runner must report an error rather than completing as if healthy.
+func TestConcreteRunStuckFF(t *testing.T) {
+	img := mustImage(t, maskedSrc)
+	if _, err := Run(context.Background(), img, 10_000); err != nil {
+		t.Fatalf("clean concrete run: %v", err)
+	}
+	if _, err := Run(context.Background(), img, 10_000, StuckFF{FF: "r14:10", Value: logic.Zero}); err == nil {
+		t.Fatal("stuck-ff concrete run completed as if healthy")
+	}
+}
+
+// Fault validation: bad names and values are typed errors, not panics.
+func TestFaultValidation(t *testing.T) {
+	img := mustImage(t, maskedSrc)
+	pol := maskedPolicy(img)
+	ctx := context.Background()
+	if _, err := Analyze(ctx, img, pol, nil, StuckFF{FF: "r99:0", Value: logic.Zero}); err == nil {
+		t.Fatal("bad register accepted")
+	}
+	if _, err := Analyze(ctx, img, pol, nil, StuckFF{FF: "r14:10", Value: logic.X}); err == nil {
+		t.Fatal("stuck-at-X accepted")
+	}
+	if _, err := Analyze(ctx, img, pol, nil, PortX{Port: 9}); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	if _, err := Analyze(ctx, img, pol, nil, ROMCorrupt{Addr: 0x0100}); err == nil {
+		t.Fatal("non-ROM address accepted")
+	}
+	if _, err := Analyze(ctx, img, pol, nil, StuckFF{FF: "no_such_net", Value: logic.One}); err == nil {
+		t.Fatal("unknown net accepted")
+	}
+}

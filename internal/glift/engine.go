@@ -1,6 +1,7 @@
 package glift
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,16 @@ type Options struct {
 	// unroll exactly, preserving loop-pointer precision; above it, widening
 	// forces convergence of input-dependent or unbounded loops (0: 512).
 	WidenAfter int
+	// SoftMemBytes is the approximate memory budget for the conservative
+	// state table plus the work queue. While the footprint exceeds it, each
+	// new table entry halves the effective WidenAfter (down to 1), trading
+	// loop-unrolling precision for convergence so the run can still finish
+	// (0: default 512 MiB; negative: unlimited).
+	SoftMemBytes int64
+	// HardMemBytes is the fail-closed memory ceiling: crossing it aborts
+	// the exploration with an AnalysisIncomplete verdict instead of letting
+	// the process die on OOM (0: default 2 GiB; negative: unlimited).
+	HardMemBytes int64
 	// Trace receives per-cycle callbacks (e.g. taint trace recording).
 	Trace func(e *Engine, ci *mcu.CycleInfo)
 }
@@ -55,6 +66,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.WidenAfter == 0 {
 		out.WidenAfter = 512
+	}
+	if out.SoftMemBytes == 0 {
+		out.SoftMemBytes = 512 << 20
+	}
+	if out.HardMemBytes == 0 {
+		out.HardMemBytes = 2 << 30
 	}
 	return out
 }
@@ -96,6 +113,15 @@ type Engine struct {
 
 	ramRange AddrRange
 
+	// ctx aborts the exploration between cycles; set by RunContext.
+	ctx context.Context
+	// widenAfter is the effective widening threshold; it starts at
+	// opt.WidenAfter and is halved by soft-memory-budget escalations.
+	widenAfter int
+	// snapBytes is the approximate footprint of one machine snapshot, the
+	// unit of the memory accounting.
+	snapBytes int64
+
 	// debugMerge, when set, observes every superstate widening.
 	debugMerge func(k forkKey, c *mcu.Snapshot)
 }
@@ -117,10 +143,17 @@ func (e *Engine) DebugMerge(f func(pc uint16, dir uint8, pcWord string)) {
 // NewEngine prepares a system for analysis: program loaded, policy taints
 // applied (tainted code partitions, initially tainted data, tainted ports).
 func NewEngine(img *asm.Image, pol *Policy, opt *Options) (*Engine, error) {
+	return NewEngineOn(SharedDesign(), img, pol, opt)
+}
+
+// NewEngineOn is NewEngine on an explicit design instead of the shared
+// singleton — the hook for analyses of modified netlists such as the
+// fault-injection harness in internal/fault.
+func NewEngineOn(d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Engine, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
-	sys, err := mcu.NewSystem(SharedDesign())
+	sys, err := mcu.NewSystem(d)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +183,7 @@ func NewEngine(img *asm.Image, pol *Policy, opt *Options) (*Engine, error) {
 		}
 		sys.SetPortIn(i, w)
 	}
-	return &Engine{
+	eng := &Engine{
 		Sys:      sys,
 		Pol:      pol,
 		opt:      opt.withDefaults(),
@@ -158,21 +191,47 @@ func NewEngine(img *asm.Image, pol *Policy, opt *Options) (*Engine, error) {
 		seen:     make(map[Violation]bool),
 		report:   &Report{Policy: pol.Name},
 		ramRange: AddrRange{Lo: isa.RAMStart, Hi: isa.RAMEnd},
-	}, nil
+	}
+	eng.widenAfter = eng.opt.WidenAfter
+	eng.snapBytes = sys.SnapshotBytes()
+	return eng, nil
 }
 
 // Analyze runs Algorithm 1 end to end for one policy.
 func Analyze(img *asm.Image, pol *Policy, opt *Options) (*Report, error) {
+	return AnalyzeContext(context.Background(), img, pol, opt)
+}
+
+// AnalyzeContext is Analyze under a cancellation context: cancellation or
+// deadline expiry aborts the exploration cleanly with a partial report
+// whose verdict is Incomplete.
+func AnalyzeContext(ctx context.Context, img *asm.Image, pol *Policy, opt *Options) (*Report, error) {
 	e, err := NewEngine(img, pol, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(), nil
+	return e.RunContext(ctx), nil
 }
 
 // Run explores all possible executions and returns the violation report.
-func (e *Engine) Run() *Report {
+func (e *Engine) Run() *Report { return e.RunContext(context.Background()) }
+
+// RunContext explores all possible executions under a cancellation context.
+// It always returns a usable Report, fail-closed: cancellation and budget
+// exhaustion yield the Incomplete verdict, and any internal panic is
+// recovered into an InternalError verdict carrying the panic diagnostic —
+// a crash can never masquerade as "verified".
+func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 	start := time.Now()
+	e.ctx = ctx
+	defer func() {
+		e.report.Stats.WallNanos = time.Since(start).Nanoseconds()
+		if p := recover(); p != nil {
+			e.report.Err = recoveredError(p)
+		}
+		rep = e.report
+	}()
+
 	e.Sys.PowerOn()
 	e.Sys.Step() // StReset: fetch the reset vector
 	entryW := e.Sys.GetWord([]netlist.NetID(e.Sys.D.PC))
@@ -180,6 +239,17 @@ func (e *Engine) Run() *Report {
 	e.push(e.Sys.Snapshot(), e.curInstr, forkKey{}, false)
 
 	for len(e.work) > 0 && e.report.Stats.Cycles < e.opt.MaxCycles {
+		if ctx.Err() != nil {
+			e.violation(AnalysisIncomplete, e.curInstr,
+				fmt.Sprintf("analysis cancelled (%v) with %d pending paths", ctx.Err(), len(e.work)))
+			return e.report
+		}
+		if e.opt.HardMemBytes > 0 && e.memInUse() > e.opt.HardMemBytes {
+			e.violation(AnalysisIncomplete, e.curInstr,
+				fmt.Sprintf("memory budget exhausted (%d MiB in use, hard budget %d MiB) with %d pending paths",
+					e.memInUse()>>20, e.opt.HardMemBytes>>20, len(e.work)))
+			return e.report
+		}
 		ps := e.work[len(e.work)-1]
 		e.work = e.work[:len(e.work)-1]
 		e.report.Stats.Paths++
@@ -187,11 +257,38 @@ func (e *Engine) Run() *Report {
 		e.curInstr = ps.curInstr
 		e.runPath()
 	}
+	if e.ctx.Err() != nil {
+		e.violation(AnalysisIncomplete, e.curInstr,
+			fmt.Sprintf("analysis cancelled (%v) with %d pending paths", e.ctx.Err(), len(e.work)))
+		return e.report
+	}
 	if len(e.work) > 0 {
 		e.violation(AnalysisIncomplete, e.curInstr, fmt.Sprintf("cycle budget exhausted with %d pending paths", len(e.work)))
 	}
-	e.report.Stats.WallNanos = time.Since(start).Nanoseconds()
 	return e.report
+}
+
+// memInUse approximates the retained footprint of the conservative state
+// table plus the work queue (each entry owns one snapshot).
+func (e *Engine) memInUse() int64 {
+	used := int64(len(e.table)+len(e.work)) * e.snapBytes
+	if used > e.report.Stats.PeakMemBytes {
+		e.report.Stats.PeakMemBytes = used
+	}
+	return used
+}
+
+// noteMem re-accounts after table/work growth and, while over the soft
+// budget, escalates widening: halving the effective WidenAfter makes hot
+// sites merge into superstates on their next visit, which bounds both the
+// table and the work queue — graceful degradation (precision for
+// convergence) before the hard budget fails the run closed.
+func (e *Engine) noteMem() {
+	used := e.memInUse()
+	if e.opt.SoftMemBytes > 0 && used > e.opt.SoftMemBytes && e.widenAfter > 1 {
+		e.widenAfter /= 2
+		e.report.Stats.Escalations++
+	}
 }
 
 // runPath simulates from the current state until the path is pruned,
@@ -199,6 +296,9 @@ func (e *Engine) Run() *Report {
 func (e *Engine) runPath() {
 	var pathCycles uint64
 	for e.report.Stats.Cycles < e.opt.MaxCycles {
+		if pathCycles&1023 == 1023 && e.ctx.Err() != nil {
+			return // the outer loop records the cancellation
+		}
 		ci := e.Sys.EvalCycle(nil)
 		if ci.StateOK && ci.State == mcu.StFetch && ci.PmemOK {
 			e.curInstr = ci.PmemAddr
@@ -281,7 +381,7 @@ func (e *Engine) mergePoint(k forkKey) bool {
 			e.report.Stats.Prunes++
 			return true
 		}
-		if c.visits <= e.opt.WidenAfter {
+		if c.visits <= e.widenAfter {
 			// Below the widening threshold: track the precise state so
 			// concretely-bounded loops unroll exactly.
 			c.snap = post.Clone()
@@ -297,6 +397,7 @@ func (e *Engine) mergePoint(k forkKey) bool {
 	}
 	e.table[k] = &tableEntry{snap: post.Clone(), visits: 1}
 	e.report.Stats.TableStates = len(e.table)
+	e.noteMem()
 	return false
 }
 
@@ -414,7 +515,7 @@ func (e *Engine) push(post *mcu.Snapshot, curInstr uint16, k forkKey, applyTable
 				e.report.Stats.Prunes++
 				return
 			}
-			if c.visits <= e.opt.WidenAfter {
+			if c.visits <= e.widenAfter {
 				c.snap = post.Clone()
 			} else {
 				c.snap.MergeFrom(post)
@@ -430,6 +531,7 @@ func (e *Engine) push(post *mcu.Snapshot, curInstr uint16, k forkKey, applyTable
 		}
 	}
 	e.work = append(e.work, pathState{snap: post, curInstr: next})
+	e.noteMem()
 }
 
 func (e *Engine) violation(k Kind, pc uint16, detail string) {

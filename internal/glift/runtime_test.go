@@ -1,0 +1,261 @@
+package glift
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mcu"
+)
+
+// unboundedSrc loops forever over tainted input: the exploration converges
+// only via widening, so it is a good subject for budget/cancellation tests.
+const unboundedSrc = `
+start:  mov &0x0020, r5
+        and #7, r5
+loop:   dec r5
+        jnz loop
+        jmp start
+`
+
+func unboundedPolicy() *Policy {
+	return &Policy{Name: "integrity", TaintedInPorts: []int{0}}
+}
+
+// countdownSrc is a deep concrete nested loop (~2^32 cycles): with widening
+// effectively disabled it unrolls precisely on a single straight-line path,
+// which is what deadline and per-path-budget enforcement must interrupt.
+const countdownSrc = `
+start:  mov #0xffff, r6
+outer:  mov #0xffff, r5
+loop:   dec r5
+        jnz loop
+        dec r6
+        jnz outer
+        jmp start
+`
+
+// noWiden disables every convergence aid so only the mechanism under test
+// can stop the countdown.
+func noWiden() *Options {
+	return &Options{
+		MaxCycles: 1 << 40, MaxPathCycles: 1 << 40, WidenAfter: 1 << 30,
+		SoftMemBytes: -1, HardMemBytes: -1,
+	}
+}
+
+// A pre-cancelled context must return immediately with the Incomplete
+// verdict — never Verified — and no hang or panic.
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := AnalyzeContext(ctx, mustImage(t, unboundedSrc), unboundedPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete", v)
+	}
+	if rep.Secure() {
+		t.Fatal("a cancelled run must never read as secure")
+	}
+	if !hasKind(rep, AnalysisIncomplete) {
+		t.Fatalf("cancellation not recorded: %v", rep.Violations)
+	}
+}
+
+// A deadline that expires mid-exploration aborts promptly with a partial
+// report carrying Incomplete.
+func TestRunDeadlineExpires(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := AnalyzeContext(ctx, mustImage(t, countdownSrc), &Policy{Name: "integrity"}, noWiden())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete (violations %v)", v, rep.Violations)
+	}
+	found := false
+	for _, v := range rep.ByKind(AnalysisIncomplete) {
+		if strings.Contains(v.Detail, "cancelled") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cancellation diagnostic in %v", rep.Violations)
+	}
+}
+
+// MaxCycles exhaustion on the unbounded loop: Incomplete verdict, pending
+// paths recorded, no hang.
+func TestMaxCyclesExhaustionVerdict(t *testing.T) {
+	rep, err := Analyze(mustImage(t, unboundedSrc), unboundedPolicy(), &Options{MaxCycles: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete", v)
+	}
+	if rep.Secure() {
+		t.Fatal("budget-exhausted run must never read as secure")
+	}
+}
+
+// MaxPathCycles exhaustion: a straight-line runaway (widening disabled so
+// the loop never merges) trips the per-path budget, not a hang.
+func TestMaxPathCyclesExhaustionVerdict(t *testing.T) {
+	rep, err := Analyze(mustImage(t, countdownSrc), &Policy{Name: "integrity"},
+		&Options{MaxPathCycles: 50, WidenAfter: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasKind(rep, AnalysisIncomplete) {
+		t.Fatalf("path budget exhaustion not recorded: %v", rep.Violations)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete", v)
+	}
+}
+
+// A soft memory budget of one byte forces widening escalation on every new
+// table entry; the run still converges (graceful degradation) and records
+// the escalations.
+func TestSoftMemBudgetEscalates(t *testing.T) {
+	rep, err := Analyze(mustImage(t, unboundedSrc), unboundedPolicy(),
+		&Options{SoftMemBytes: 1, HardMemBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Escalations == 0 {
+		t.Fatal("soft budget crossing did not escalate widening")
+	}
+	if rep.Stats.PeakMemBytes == 0 {
+		t.Fatal("memory accounting recorded nothing")
+	}
+	if hasKind(rep, AnalysisIncomplete) {
+		t.Fatalf("escalated widening should still converge: %v", rep.Violations)
+	}
+	t.Logf("stats: %s", rep.Stats)
+}
+
+// A hard memory budget of one byte aborts fail-closed with Incomplete.
+func TestHardMemBudgetAborts(t *testing.T) {
+	rep, err := Analyze(mustImage(t, unboundedSrc), unboundedPolicy(),
+		&Options{SoftMemBytes: -1, HardMemBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete", v)
+	}
+	found := false
+	for _, v := range rep.ByKind(AnalysisIncomplete) {
+		if strings.Contains(v.Detail, "memory budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no memory-budget diagnostic in %v", rep.Violations)
+	}
+}
+
+// An internal panic (here injected through the per-cycle trace hook) is
+// recovered into the InternalError verdict with the diagnostic attached —
+// the engine never lets a crash read as a security result.
+func TestPanicRecoveredAsInternalError(t *testing.T) {
+	eng, err := NewEngine(mustImage(t, unboundedSrc), unboundedPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTrace(func(e *Engine, ci *mcu.CycleInfo) {
+		panic("injected engine fault")
+	})
+	rep := eng.Run()
+	if rep == nil {
+		t.Fatal("no report after panic")
+	}
+	if v := rep.Verdict(); v != InternalError {
+		t.Fatalf("verdict = %v, want InternalError", v)
+	}
+	if rep.Secure() {
+		t.Fatal("a crashed run must never read as secure")
+	}
+	if rep.Err == nil || rep.Err.Panic != "injected engine fault" {
+		t.Fatalf("panic diagnostic lost: %+v", rep.Err)
+	}
+	if rep.Err.Stack == "" {
+		t.Fatal("no stack captured")
+	}
+	if !strings.Contains(rep.Err.Error(), "injected engine fault") {
+		t.Fatalf("Error() omits the panic: %s", rep.Err.Error())
+	}
+	if rep.Stats.WallNanos == 0 {
+		t.Fatal("wall time not stamped on the partial report")
+	}
+}
+
+// Verdict precedence and the CLI exit-code contract.
+func TestVerdictPrecedenceAndExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  *Report
+		want Verdict
+		code int
+	}{
+		{"clean", &Report{}, Verified, 0},
+		{"violations", &Report{Violations: []Violation{{Kind: C2MemoryEscape}}}, Violations, 1},
+		{"incomplete", &Report{Violations: []Violation{{Kind: AnalysisIncomplete}}}, Incomplete, 3},
+		{"incomplete-masks-violations", &Report{Violations: []Violation{
+			{Kind: C2MemoryEscape}, {Kind: AnalysisIncomplete}}}, Incomplete, 3},
+		{"internal-error-dominates", &Report{
+			Violations: []Violation{{Kind: C2MemoryEscape}},
+			Err:        &RunError{Reason: "x"}}, InternalError, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.rep.Verdict(); got != tc.want {
+			t.Errorf("%s: verdict = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := tc.rep.Verdict().ExitCode(); got != tc.code {
+			t.Errorf("%s: exit code = %d, want %d", tc.name, got, tc.code)
+		}
+	}
+	for v := Verified; v <= InternalError; v++ {
+		if v.String() == "" || strings.HasPrefix(v.String(), "verdict(") {
+			t.Errorf("missing name for verdict %d", v)
+		}
+	}
+}
+
+// Cancellation inside a long straight-line path (between merge points) is
+// honoured via the periodic in-path check.
+func TestCancelMidPath(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	img := mustImage(t, countdownSrc)
+	eng, err := NewEngine(img, &Policy{Name: "integrity"}, noWiden())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles int
+	eng.SetTrace(func(e *Engine, ci *mcu.CycleInfo) {
+		cycles++
+		if cycles == 100 {
+			cancel()
+		}
+	})
+	done := make(chan *Report, 1)
+	go func() { done <- eng.RunContext(ctx) }()
+	select {
+	case rep := <-done:
+		if v := rep.Verdict(); v != Incomplete {
+			t.Fatalf("verdict = %v, want Incomplete", v)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation not honoured: run still going after 30s")
+	}
+}

@@ -1,0 +1,87 @@
+package glift
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Verdict is the fail-closed outcome of an analysis run. The paper's
+// guarantee (Section 5.4) holds only when the symbolic exploration ran to
+// completion with no sufficient condition violated, so every abnormal
+// termination — cancellation, an exhausted cycle or memory budget, an
+// internal panic — must map to a non-Verified verdict. Verified is the only
+// verdict that asserts security; everything else means "not proven".
+type Verdict uint8
+
+// Verdicts, ordered by severity. A report's verdict is the most severe
+// applicable one: an incomplete exploration masks even found violations
+// (the violation list is still available in the report), because an
+// incomplete run can neither prove security nor enumerate all violations.
+const (
+	// Verified: the exploration completed and no sufficient condition was
+	// violated — the system guarantees the policy.
+	Verified Verdict = iota
+	// Violations: the exploration completed and found potential violations.
+	Violations
+	// Incomplete: an exploration budget was exhausted or the run was
+	// cancelled; the absence of reported violations proves nothing.
+	Incomplete
+	// InternalError: the engine itself failed (a recovered panic); no part
+	// of the report may be trusted as a security result.
+	InternalError
+)
+
+var verdictNames = [...]string{"verified", "violations", "incomplete", "internal-error"}
+
+// String names the verdict.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// ExitCode maps the verdict onto the documented CLI exit-code contract:
+// 0 = verified, 1 = violations found, 3 = incomplete or internal error
+// (2 is reserved for usage/input errors and never produced by a verdict).
+func (v Verdict) ExitCode() int {
+	switch v {
+	case Verified:
+		return 0
+	case Violations:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// RunError describes an abnormal engine termination. It is attached to the
+// Report (never returned bare) so that a partial report and its diagnostics
+// travel together, and it forces the InternalError verdict.
+type RunError struct {
+	// Reason is a one-line human-readable diagnostic.
+	Reason string
+	// Panic holds the recovered panic value when the error comes from the
+	// engine's recover() boundary, nil otherwise.
+	Panic any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack string
+}
+
+// Error implements the error interface.
+func (e *RunError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("glift: internal error: %s (panic: %v)", e.Reason, e.Panic)
+	}
+	return "glift: internal error: " + e.Reason
+}
+
+// recoveredError converts a recovered panic value into a RunError carrying
+// the panic diagnostic and stack.
+func recoveredError(p any) *RunError {
+	return &RunError{
+		Reason: "engine panic during symbolic exploration",
+		Panic:  p,
+		Stack:  string(debug.Stack()),
+	}
+}

@@ -77,11 +77,34 @@ type Report struct {
 	Policy     string
 	Violations []Violation
 	Stats      Stats
+	// Err is non-nil when the engine aborted on an internal error (a
+	// recovered panic). The rest of the report describes the partial
+	// exploration up to that point and must not be read as a security
+	// result; Verdict() returns InternalError.
+	Err *RunError
 }
 
-// Secure reports whether no violation was found: the system guarantees the
-// policy (Section 5.4's theorem).
-func (r *Report) Secure() bool { return len(r.Violations) == 0 }
+// Verdict classifies the run fail-closed: InternalError dominates
+// Incomplete, which dominates Violations. A cancelled or budget-exhausted
+// run therefore can never read as Verified, even if no violation was
+// observed before the exploration stopped.
+func (r *Report) Verdict() Verdict {
+	switch {
+	case r.Err != nil:
+		return InternalError
+	case len(r.ByKind(AnalysisIncomplete)) > 0:
+		return Incomplete
+	case len(r.Violations) > 0:
+		return Violations
+	default:
+		return Verified
+	}
+}
+
+// Secure reports whether the run *proved* the policy: the exploration must
+// have completed (Section 5.4's theorem quantifies over all executions, so
+// a truncated exploration proves nothing) and found no violation.
+func (r *Report) Secure() bool { return r.Verdict() == Verified }
 
 // ByKind groups violations.
 func (r *Report) ByKind(k Kind) []Violation {
@@ -139,9 +162,22 @@ type Stats struct {
 	Merges      int    // superstate widenings
 	TableStates int    // distinct (branch, direction) table entries
 	WallNanos   int64
+	// PeakMemBytes is the peak approximate footprint of the conservative
+	// state table plus the work queue (snapshot-sized units).
+	PeakMemBytes int64
+	// Escalations counts soft-memory-budget widening escalations (each one
+	// halves the effective WidenAfter to force convergence).
+	Escalations int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("cycles=%d paths=%d forks=%d prunes=%d merges=%d table=%d",
+	out := fmt.Sprintf("cycles=%d paths=%d forks=%d prunes=%d merges=%d table=%d",
 		s.Cycles, s.Paths, s.Forks, s.Prunes, s.Merges, s.TableStates)
+	if s.PeakMemBytes > 0 {
+		out += fmt.Sprintf(" mem=%dKiB", s.PeakMemBytes>>10)
+	}
+	if s.Escalations > 0 {
+		out += fmt.Sprintf(" widen-escalations=%d", s.Escalations)
+	}
+	return out
 }

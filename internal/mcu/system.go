@@ -431,6 +431,13 @@ func (s *System) Snapshot() *Snapshot {
 	return &Snapshot{DFF: s.C.DFFState(), RAM: s.RAM.Snapshot()}
 }
 
+// SnapshotBytes approximates the heap footprint of one Snapshot — the unit
+// of the analysis engine's memory accounting (it multiplies this by the
+// number of retained snapshots rather than tracking allocations).
+func (s *System) SnapshotBytes() int64 {
+	return int64(len(s.D.NL.DFFs)) + s.RAM.FootprintBytes() + 64
+}
+
 // SnapshotPC extracts the PC register value from a snapshot (diagnostics).
 func (s *System) SnapshotPC(sn *Snapshot) sim.Word {
 	if s.pcDFF == nil {

@@ -45,6 +45,11 @@ func NewTaintMem(base uint16, size int) *TaintMem {
 func (m *TaintMem) Base() uint16 { return m.base }
 func (m *TaintMem) Size() int    { return m.size }
 
+// FootprintBytes approximates the heap footprint of the region: three
+// byte-planes (value, X-mask, taint) plus the struct header. It is the
+// basis of the analysis engine's snapshot memory accounting.
+func (m *TaintMem) FootprintBytes() int64 { return 3*int64(m.size) + 64 }
+
 // Contains reports whether addr falls inside the region.
 func (m *TaintMem) Contains(addr uint16) bool {
 	off := int(addr) - int(m.base)
