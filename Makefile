@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet test race fault clean
+.PHONY: check build fmt vet test race fault serve clean
 
-# check is the CI gate: vet, build, and the full suite under the race
-# detector (the engine itself is single-threaded, but bench fan-out and
-# the CLIs are not).
-check: vet build race
+# check is the CI gate: formatting, vet, build, and the full suite under
+# the race detector (the engine itself is single-threaded, but bench
+# fan-out, the service and the CLIs are not).
+check: fmt vet build race
 
 build:
 	$(GO) build ./...
+
+# fmt fails on unformatted files (the same gate CI runs).
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -28,5 +35,13 @@ race:
 fault:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift ./internal/fault
 
+# serve builds and launches the analysis daemon (see README "Running as
+# a service").
+GLIFTD_ADDR ?= :8430
+serve:
+	$(GO) build -o bin/gliftd ./cmd/gliftd
+	./bin/gliftd -addr $(GLIFTD_ADDR)
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin

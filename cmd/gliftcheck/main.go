@@ -24,10 +24,14 @@
 //
 // -deadline bounds the wall-clock time of the exploration; SIGINT aborts
 // it the same way. Both produce a partial report and exit code 3.
+//
+// -json replaces the human-readable stdout report with one JSON document in
+// the same wire shape the gliftd service returns (internal/glift ReportJSON).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +56,7 @@ func main() {
 	softMem := flag.Int64("soft-mem", 0, "soft memory budget in bytes, escalates widening (0: default, <0: unlimited)")
 	hardMem := flag.Int64("hard-mem", 0, "hard memory budget in bytes, aborts as incomplete (0: default, <0: unlimited)")
 	traceN := flag.Int("trace", 0, "print the first N per-cycle tainted-state entries")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (the gliftd wire shape)")
 	verbose := flag.Bool("v", false, "print exploration statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -102,17 +107,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// With -json, stdout carries exactly one JSON document; the side-channel
+	// prints move to stderr so the output stays machine-readable.
+	traceDst, infoDst := os.Stdout, os.Stdout
+	if *jsonOut {
+		traceDst, infoDst = os.Stderr, os.Stderr
+	}
 	if rec != nil {
-		fmt.Println("per-cycle tainted state (first entries):")
-		if _, err := rec.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(traceDst, "per-cycle tainted state (first entries):")
+		if _, err := rec.WriteTo(traceDst); err != nil {
 			fatal(err)
 		}
 	}
 	if *verbose {
-		fmt.Printf("exploration: %s in %s\n", rep.Stats, time.Duration(rep.Stats.WallNanos))
+		fmt.Fprintf(infoDst, "exploration: %s in %s\n", rep.Stats, time.Duration(rep.Stats.WallNanos))
 	}
 	verdict := rep.Verdict()
 	fmt.Fprintln(os.Stderr, "gliftcheck: verdict:", verdict)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.JSON()); err != nil {
+			fatal(err)
+		}
+		os.Exit(verdict.ExitCode())
+	}
 	switch verdict {
 	case glift.Verified:
 		fmt.Println("SECURE: no possible information flow violations for this application on this processor")

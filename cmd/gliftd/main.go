@@ -1,0 +1,75 @@
+// gliftd is the long-running analysis daemon: the glift engine behind an
+// HTTP API with a bounded worker pool, per-job deadlines, live progress,
+// cancellation, and a content-addressed result cache that serves repeated
+// (program, policy, options) submissions without re-running the engine.
+//
+// Usage:
+//
+//	gliftd -addr :8430 -workers 4 -queue 64 -cache 1024 -deadline 2m
+//
+// API (see README.md "Running as a service" for curl examples):
+//
+//	POST   /jobs          submit {source|ihex, policy, options}; ?wait=1 blocks
+//	GET    /jobs/{id}     status + live progress, report when done
+//	DELETE /jobs/{id}     cancel; the job completes with verdict incomplete
+//	GET    /metrics       jobs by verdict, cache hits/misses, queue depth, ...
+//	GET    /healthz       liveness
+//
+// Completed jobs map the CLI verdict/exit-code taxonomy onto HTTP statuses:
+// verified → 200, violations → 409, incomplete → 504, internal error → 500;
+// malformed submissions → 400. SIGINT/SIGTERM drain the pool and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8430", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent analysis workers")
+	queue := flag.Int("queue", 64, "queued-job bound (a full queue rejects with 503)")
+	cache := flag.Int("cache", 1024, "content-addressed result cache entries")
+	deadline := flag.Duration("deadline", 0, "default per-job deadline (0: none)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: gliftd [flags] (see -help)")
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultDeadline: *deadline,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("gliftd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
+	}()
+
+	log.Printf("gliftd: serving on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("gliftd: %v", err)
+	}
+	srv.Close() // cancel in-flight jobs and drain the pool
+	log.Printf("gliftd: stopped")
+}

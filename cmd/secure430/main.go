@@ -18,10 +18,15 @@
 // remain, 2 on usage/input errors, 3 when the analysis was cut short by
 // SIGINT, -deadline, or a budget (the result proves nothing) or crashed
 // internally. The deadline covers all repair rounds together.
+//
+// -json emits the final round's report as one JSON document on stdout in
+// the same wire shape the gliftd service returns; combine with -o to also
+// keep the modified assembly.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +47,7 @@ func main() {
 	taintedData := flag.String("tainted-data", "", "comma-separated lo:hi tainted data partitions (hex)")
 	part := flag.String("partition", "0x0400:0x0400", "mask partition as base:size (size a power of two)")
 	out := flag.String("o", "", "write the modified assembly here (default: stdout)")
+	jsonOut := flag.Bool("json", false, "emit the final report as JSON on stdout (assembly then requires -o)")
 	rounds := flag.Int("rounds", 8, "maximum analyze/repair rounds")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for all rounds together (0: none); expiry exits 3")
 	flag.Parse()
@@ -183,10 +189,21 @@ func main() {
 	}
 
 	text := asm.Print(finalStmts)
-	if *out == "" {
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	} else if !*jsonOut {
 		fmt.Print(text)
-	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-		fatal(err)
+	}
+	if *jsonOut {
+		// stdout carries exactly one JSON document in the gliftd wire shape;
+		// the modified assembly is available through -o.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.JSON()); err != nil {
+			fatal(err)
+		}
 	}
 	os.Exit(verdict.ExitCode())
 }

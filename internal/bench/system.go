@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
@@ -107,17 +108,52 @@ func policyFor(img *asm.Image) *glift.Policy {
 	}
 }
 
-// BuildUnmodified assembles the original system.
+// Building a system is pure in its source text, but the evaluation
+// pipeline used to rebuild the same text over and over: the unmodified
+// image was reassembled for every measurement and variant derivation, and
+// each repair round re-parsed an identical scaffold. Both are memoized
+// here. The unmodified Built is shared read-only per benchmark; parsed
+// scaffolds are cached by source text with callers handed fresh slice
+// copies, since mask insertion relabels statements.
+var (
+	unmodMu    sync.Mutex
+	unmodCache = map[string]*Built{}
+	parseCache sync.Map // source text -> []asm.Stmt (never mutated)
+)
+
+// BuildUnmodified assembles the original system once per benchmark and
+// returns the shared, read-only result on every later call.
 func BuildUnmodified(b *Benchmark) (*Built, error) {
+	unmodMu.Lock()
+	defer unmodMu.Unlock()
+	if bt, ok := unmodCache[b.Name]; ok {
+		return bt, nil
+	}
 	src := buildSource(b, false, 0)
 	img, err := asm.AssembleSource(src)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}
-	return &Built{
+	bt := &Built{
 		Bench: b, Variant: Unmodified,
 		Stmts: img.Stmts, Img: img, Policy: policyFor(img),
-	}, nil
+	}
+	unmodCache[b.Name] = bt
+	return bt, nil
+}
+
+// parseScaffold parses a system source through the cache, returning a copy
+// the caller may extend or relabel freely.
+func parseScaffold(src string) ([]asm.Stmt, error) {
+	if cached, ok := parseCache.Load(src); ok {
+		return append([]asm.Stmt(nil), cached.([]asm.Stmt)...), nil
+	}
+	stmts, err := asm.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	parseCache.Store(src, stmts)
+	return append([]asm.Stmt(nil), stmts...), nil
 }
 
 // taskStmtOffset finds the statement index of the "task" label.
@@ -136,7 +172,7 @@ func taskStmtOffset(stmts []asm.Stmt) (int, error) {
 // scaffolds occupy the same number of source lines).
 func buildVariant(b *Benchmark, v Variant, armed bool, plan transform.WdtPlan, flaggedLines map[int]bool) (*Built, error) {
 	src := buildSource(b, armed, plan.WDTCTLValue())
-	stmts, err := asm.Parse(src)
+	stmts, err := parseScaffold(src)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}

@@ -140,7 +140,7 @@ func (f PortX) Describe() string {
 	}
 	return fmt.Sprintf("unknown input port P%dIN", f.Port+1)
 }
-func (f PortX) rewritesNetlist() bool          { return false }
+func (f PortX) rewritesNetlist() bool           { return false }
 func (f PortX) applyDesign(d *mcu.Design) error { return nil }
 
 func (f PortX) applySystem(sys *mcu.System) error {
@@ -168,7 +168,7 @@ type ROMCorrupt struct {
 func (f ROMCorrupt) Describe() string {
 	return fmt.Sprintf("corrupt ROM word %#04x (xor=%#04x x=%#04x taint=%v)", f.Addr, f.Xor, f.MakeX, f.Taint)
 }
-func (f ROMCorrupt) rewritesNetlist() bool          { return false }
+func (f ROMCorrupt) rewritesNetlist() bool           { return false }
 func (f ROMCorrupt) applyDesign(d *mcu.Design) error { return nil }
 
 func (f ROMCorrupt) applySystem(sys *mcu.System) error {

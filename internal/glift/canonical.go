@@ -1,0 +1,82 @@
+package glift
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// canonicalRange is the canonical wire form of one address range.
+type canonicalRange struct {
+	Lo uint16 `json:"lo"`
+	Hi uint16 `json:"hi"`
+}
+
+// canonicalPolicy is the canonical wire form of a Policy. Field order is
+// fixed by the struct declaration; every slice is sorted and deduplicated
+// before marshalling, so two policies produce byte-identical encodings
+// exactly when they are semantically identical. Name is deliberately
+// excluded: it is a display label and must not split otherwise identical
+// cache entries.
+type canonicalPolicy struct {
+	TaintedInPorts       []int            `json:"tainted_in_ports"`
+	TaintedOutPorts      []int            `json:"tainted_out_ports"`
+	TaintedCode          []canonicalRange `json:"tainted_code"`
+	TaintedData          []canonicalRange `json:"tainted_data"`
+	InitiallyTaintedData []canonicalRange `json:"initially_tainted_data"`
+	TaintCodeWords       bool             `json:"taint_code_words"`
+}
+
+func canonicalPorts(ps []int) []int {
+	out := append([]int{}, ps...)
+	sort.Ints(out)
+	dst := out[:0]
+	for i, p := range out {
+		if i == 0 || p != out[i-1] {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+func canonicalRanges(rs []AddrRange) []canonicalRange {
+	out := make([]canonicalRange, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, canonicalRange{Lo: r.Lo, Hi: r.Hi})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	dst := out[:0]
+	for i, r := range out {
+		if i == 0 || r != out[i-1] {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// CanonicalJSON returns a deterministic JSON encoding of the policy's
+// semantic content: ports and ranges sorted and deduplicated, fields in a
+// fixed order, the display Name excluded. It is the policy component of the
+// service's content-addressed cache key — byte equality of two encodings
+// implies the policies constrain the analysis identically.
+func (p *Policy) CanonicalJSON() []byte {
+	c := canonicalPolicy{
+		TaintedInPorts:       canonicalPorts(p.TaintedInPorts),
+		TaintedOutPorts:      canonicalPorts(p.TaintedOutPorts),
+		TaintedCode:          canonicalRanges(p.TaintedCode),
+		TaintedData:          canonicalRanges(p.TaintedData),
+		InitiallyTaintedData: canonicalRanges(p.InitiallyTaintedData),
+		TaintCodeWords:       p.TaintCodeWords,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		// canonicalPolicy contains only ints, bools and structs of uint16;
+		// Marshal cannot fail on it.
+		panic(err)
+	}
+	return b
+}

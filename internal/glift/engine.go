@@ -51,6 +51,11 @@ type Options struct {
 	HardMemBytes int64
 	// Trace receives per-cycle callbacks (e.g. taint trace recording).
 	Trace func(e *Engine, ci *mcu.CycleInfo)
+	// Progress, when set, receives a statistics snapshot roughly every 8192
+	// simulated cycles and once more (Done=true) when the run finishes. It
+	// is called from the exploration goroutine; hooks that publish to other
+	// goroutines must do their own synchronization.
+	Progress func(Progress)
 }
 
 func (o *Options) withDefaults() Options {
@@ -75,6 +80,12 @@ func (o *Options) withDefaults() Options {
 	}
 	return out
 }
+
+// Normalized returns the options with every default applied — the canonical
+// form used for content-addressed job keys, so an explicitly spelled-out
+// default and an omitted field hash identically. The callback fields do not
+// participate in normalization.
+func (o *Options) Normalized() Options { return o.withDefaults() }
 
 // forkKey identifies a conservative-state-table entry: a PC-changing
 // commit site (PC value plus FSM state, since a mid-instruction cycle's PC
@@ -230,6 +241,7 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 			e.report.Err = recoveredError(p)
 		}
 		rep = e.report
+		e.emitProgress(true)
 	}()
 
 	e.Sys.PowerOn()
@@ -320,6 +332,9 @@ func (e *Engine) runPath() {
 		}
 		e.commitCycle(ci)
 		pathCycles++
+		if e.report.Stats.Cycles&(progressEvery-1) == 0 {
+			e.emitProgress(false)
+		}
 		if e.modifiesPC(ci) {
 			// Key the conservative state table on the committing cycle's PC
 			// (unique per commit site — including the reset vector load,

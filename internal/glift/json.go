@@ -1,0 +1,99 @@
+package glift
+
+import "fmt"
+
+// This file defines the one JSON serialization of an analysis report shared
+// by every surface that emits reports: the gliftcheck/secure430 -json flags
+// and the gliftd service return exactly this shape, so downstream tooling
+// parses a single schema regardless of how the analysis was invoked.
+
+// ViolationJSON is the wire form of one Violation.
+type ViolationJSON struct {
+	Kind string `json:"kind"`
+	// Condition is 1..5 for the sufficient-condition kinds, omitted
+	// otherwise.
+	Condition int    `json:"condition,omitempty"`
+	PC        string `json:"pc"` // hex, e.g. "0xf01c"
+	Cycle     uint64 `json:"cycle"`
+	Detail    string `json:"detail"`
+}
+
+// StatsJSON is the wire form of the exploration statistics.
+type StatsJSON struct {
+	Cycles       uint64 `json:"cycles"`
+	Paths        int    `json:"paths"`
+	Forks        int    `json:"forks"`
+	Prunes       int    `json:"prunes"`
+	Merges       int    `json:"merges"`
+	TableStates  int    `json:"table_states"`
+	WallNanos    int64  `json:"wall_ns"`
+	PeakMemBytes int64  `json:"peak_mem_bytes"`
+	Escalations  int    `json:"widen_escalations"`
+}
+
+// RunErrorJSON is the wire form of an internal engine error.
+type RunErrorJSON struct {
+	Reason string `json:"reason"`
+	Panic  string `json:"panic,omitempty"`
+}
+
+// ReportJSON is the wire form of a full analysis report.
+type ReportJSON struct {
+	Policy             string          `json:"policy"`
+	Verdict            string          `json:"verdict"`
+	ExitCode           int             `json:"exit_code"`
+	Secure             bool            `json:"secure"`
+	Violations         []ViolationJSON `json:"violations"`
+	ViolatedConditions []int           `json:"violated_conditions,omitempty"`
+	// StoresNeedingMask lists the static addresses of stores the transform
+	// layer would mask (hex).
+	StoresNeedingMask []string      `json:"stores_needing_mask,omitempty"`
+	NeedsWatchdog     bool          `json:"needs_watchdog"`
+	Stats             StatsJSON     `json:"stats"`
+	Err               *RunErrorJSON `json:"error,omitempty"`
+}
+
+// JSON converts the report into the shared wire form.
+func (r *Report) JSON() ReportJSON {
+	verdict := r.Verdict()
+	out := ReportJSON{
+		Policy:             r.Policy,
+		Verdict:            verdict.String(),
+		ExitCode:           verdict.ExitCode(),
+		Secure:             r.Secure(),
+		Violations:         []ViolationJSON{},
+		ViolatedConditions: r.ViolatedConditions(),
+		NeedsWatchdog:      r.NeedsWatchdog(),
+		Stats: StatsJSON{
+			Cycles:       r.Stats.Cycles,
+			Paths:        r.Stats.Paths,
+			Forks:        r.Stats.Forks,
+			Prunes:       r.Stats.Prunes,
+			Merges:       r.Stats.Merges,
+			TableStates:  r.Stats.TableStates,
+			WallNanos:    r.Stats.WallNanos,
+			PeakMemBytes: r.Stats.PeakMemBytes,
+			Escalations:  r.Stats.Escalations,
+		},
+	}
+	for _, v := range r.Violations {
+		out.Violations = append(out.Violations, ViolationJSON{
+			Kind:      v.Kind.String(),
+			Condition: v.Kind.Condition(),
+			PC:        fmt.Sprintf("%#04x", v.PC),
+			Cycle:     v.Cycle,
+			Detail:    v.Detail,
+		})
+	}
+	for _, pc := range r.ViolatingStorePCs() {
+		out.StoresNeedingMask = append(out.StoresNeedingMask, fmt.Sprintf("%#04x", pc))
+	}
+	if r.Err != nil {
+		ej := &RunErrorJSON{Reason: r.Err.Reason}
+		if r.Err.Panic != nil {
+			ej.Panic = fmt.Sprint(r.Err.Panic)
+		}
+		out.Err = ej
+	}
+	return out
+}

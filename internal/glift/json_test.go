@@ -1,0 +1,120 @@
+package glift
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCanonicalJSONDeterministic: semantically identical policies encode
+// byte-identically regardless of slice order, duplicates, or display name.
+func TestCanonicalJSONDeterministic(t *testing.T) {
+	a := &Policy{
+		Name:            "a",
+		TaintedInPorts:  []int{2, 0, 2},
+		TaintedOutPorts: []int{1},
+		TaintedCode:     []AddrRange{{Lo: 0xf100, Hi: 0xf200}, {Lo: 0xf000, Hi: 0xf080}},
+		TaintedData:     []AddrRange{{Lo: 0x0400, Hi: 0x0800}},
+	}
+	b := &Policy{
+		Name:            "totally-different-name",
+		TaintedInPorts:  []int{0, 2},
+		TaintedOutPorts: []int{1},
+		TaintedCode:     []AddrRange{{Lo: 0xf000, Hi: 0xf080}, {Lo: 0xf100, Hi: 0xf200}},
+		TaintedData:     []AddrRange{{Lo: 0x0400, Hi: 0x0800}},
+	}
+	if string(a.CanonicalJSON()) != string(b.CanonicalJSON()) {
+		t.Errorf("equivalent policies encode differently:\n%s\n%s", a.CanonicalJSON(), b.CanonicalJSON())
+	}
+	c := &Policy{Name: "a", TaintedInPorts: []int{0, 2}, TaintedOutPorts: []int{1, 3}}
+	if string(a.CanonicalJSON()) == string(c.CanonicalJSON()) {
+		t.Error("different policies encode identically")
+	}
+	// The encoding is valid JSON with the expected field set.
+	var m map[string]any
+	if err := json.Unmarshal(a.CanonicalJSON(), &m); err != nil {
+		t.Fatalf("canonical encoding is not JSON: %v", err)
+	}
+	for _, k := range []string{"tainted_in_ports", "tainted_out_ports", "tainted_code",
+		"tainted_data", "initially_tainted_data", "taint_code_words"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("canonical encoding missing %q", k)
+		}
+	}
+	if _, ok := m["name"]; ok {
+		t.Error("canonical encoding must exclude the display name")
+	}
+}
+
+// TestReportJSONShape: the shared wire form carries verdict, exit code and
+// stringly-typed violation kinds.
+func TestReportJSONShape(t *testing.T) {
+	rep := &Report{
+		Policy: "p",
+		Violations: []Violation{
+			{Kind: C2MemoryEscape, PC: 0xf01c, Cycle: 42, Detail: "d"},
+			{Kind: C1TaintedState, PC: 0xf020, Cycle: 50, Detail: "e"},
+		},
+		Stats: Stats{Cycles: 100, Paths: 3},
+	}
+	j := rep.JSON()
+	if j.Verdict != "violations" || j.ExitCode != 1 || j.Secure {
+		t.Errorf("verdict mapping wrong: %+v", j)
+	}
+	if len(j.Violations) != 2 || j.Violations[0].Kind != "C2-memory-escape" ||
+		j.Violations[0].PC != "0xf01c" || j.Violations[0].Condition != 2 {
+		t.Errorf("violations wire form wrong: %+v", j.Violations)
+	}
+	if len(j.ViolatedConditions) != 2 {
+		t.Errorf("violated conditions = %v", j.ViolatedConditions)
+	}
+	if len(j.StoresNeedingMask) != 1 || j.StoresNeedingMask[0] != "0xf01c" {
+		t.Errorf("stores needing mask = %v", j.StoresNeedingMask)
+	}
+	if !j.NeedsWatchdog {
+		t.Error("C1 should imply needs_watchdog")
+	}
+
+	clean := &Report{Policy: "p", Stats: Stats{Cycles: 10}}
+	cj := clean.JSON()
+	if cj.Verdict != "verified" || cj.ExitCode != 0 || !cj.Secure {
+		t.Errorf("clean report wire form wrong: %+v", cj)
+	}
+	// Violations must encode as [] rather than null so consumers can index
+	// the field unconditionally.
+	b, err := json.Marshal(cj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["violations"].([]any); !ok {
+		t.Errorf("violations should marshal as an array, got %T", m["violations"])
+	}
+
+	crashed := &Report{Policy: "p", Err: &RunError{Reason: "boom", Panic: "p"}}
+	if j := crashed.JSON(); j.Verdict != "internal-error" || j.ExitCode != 3 || j.Err == nil || j.Err.Panic != "p" {
+		t.Errorf("internal error wire form wrong: %+v", j)
+	}
+}
+
+// TestOptionsNormalized: normalization fills every default, so an explicit
+// default and an omitted field are indistinguishable (the property the
+// content-addressed cache key relies on).
+func TestOptionsNormalized(t *testing.T) {
+	var zero *Options
+	n := zero.Normalized()
+	if n.MaxCycles == 0 || n.MaxPathCycles == 0 || n.WidenAfter == 0 ||
+		n.SoftMemBytes == 0 || n.HardMemBytes == 0 {
+		t.Errorf("defaults not applied: %+v", n)
+	}
+	explicit := &Options{MaxCycles: n.MaxCycles, MaxPathCycles: n.MaxPathCycles,
+		WidenAfter: n.WidenAfter, SoftMemBytes: n.SoftMemBytes, HardMemBytes: n.HardMemBytes}
+	e := explicit.Normalized()
+	if e.MaxCycles != n.MaxCycles || e.MaxPathCycles != n.MaxPathCycles ||
+		e.WidenAfter != n.WidenAfter || e.SoftMemBytes != n.SoftMemBytes ||
+		e.HardMemBytes != n.HardMemBytes {
+		t.Errorf("explicit defaults normalize differently: %+v vs %+v", e, n)
+	}
+}

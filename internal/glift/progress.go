@@ -1,0 +1,27 @@
+package glift
+
+// Progress is a point-in-time view of a running exploration, delivered to
+// Options.Progress. It lets long-running hosts (the gliftd service, TUIs)
+// surface live statistics without touching engine internals: the hook is
+// called from the exploration goroutine roughly every ProgressEvery cycles
+// and once more, with Done set, when RunContext returns.
+type Progress struct {
+	// Stats is a copy of the exploration statistics so far.
+	Stats Stats
+	// Pending is the number of path states still queued for exploration.
+	Pending int
+	// Done marks the final callback of a run (the report is complete).
+	Done bool
+}
+
+// progressEvery is the cycle granularity of Options.Progress callbacks; a
+// power of two so the hot path tests it with a mask.
+const progressEvery = 8192
+
+// emitProgress delivers one progress snapshot if a hook is installed.
+func (e *Engine) emitProgress(done bool) {
+	if e.opt.Progress == nil {
+		return
+	}
+	e.opt.Progress(Progress{Stats: e.report.Stats, Pending: len(e.work), Done: done})
+}

@@ -1,0 +1,55 @@
+package glift
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// TestProgressHook: an installed Progress hook observes intermediate
+// snapshots on long runs and always a final Done snapshot whose stats match
+// the returned report.
+func TestProgressHook(t *testing.T) {
+	img, err := asm.AssembleSource(`
+start:  mov #0x0280, sp
+        mov #9000, r10
+lp:     dec r10
+        jnz lp
+end:    jmp end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Progress
+	opt := &Options{
+		// Unroll the loop precisely so the run is long enough to cross the
+		// progress granularity at least once.
+		WidenAfter: 1 << 20,
+		Progress:   func(p Progress) { snaps = append(snaps, p) },
+	}
+	rep, err := Analyze(img, &Policy{Name: "progress"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress callbacks")
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Done {
+		t.Error("final snapshot should have Done set")
+	}
+	if last.Stats.Cycles != rep.Stats.Cycles {
+		t.Errorf("final snapshot cycles %d != report cycles %d", last.Stats.Cycles, rep.Stats.Cycles)
+	}
+	if rep.Stats.Cycles <= progressEvery {
+		t.Fatalf("run too short (%d cycles) to exercise intermediate progress", rep.Stats.Cycles)
+	}
+	if len(snaps) < 2 {
+		t.Error("expected at least one intermediate snapshot on a long run")
+	}
+	for i, p := range snaps[:len(snaps)-1] {
+		if p.Done {
+			t.Errorf("snapshot %d marked Done before the run finished", i)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable SHA-256 content hash of the netlist. The hash
+// is computed over the canonical .gnl serialization (Write), which emits
+// ports, gates and flip-flops in their structural declaration order, so the
+// same construction sequence always yields the same digest across processes
+// and platforms. It is the netlist component of the analysis service's
+// content-addressed cache key.
+func (n *Netlist) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	if err := Write(h, n); err != nil {
+		// hash.Hash's Write never returns an error.
+		panic(err)
+	}
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// FingerprintHex is Fingerprint rendered as a lowercase hex string.
+func (n *Netlist) FingerprintHex() string {
+	fp := n.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}

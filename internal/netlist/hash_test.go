@@ -1,0 +1,52 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func buildSmall(extraGate bool) *Netlist {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	y := n.NewNet("y")
+	n.AddGate(logic.Nand, y, a, b)
+	q := n.NewNet("q")
+	n.AddDFF(q, y, n.Const0(), n.Const1(), logic.Zero)
+	if extraGate {
+		z := n.NewNet("z")
+		n.AddGate(logic.Not, z, q)
+		n.AddOutput("z", z)
+	} else {
+		n.AddOutput("q", q)
+	}
+	return n
+}
+
+// TestFingerprintStable: the same construction sequence always produces the
+// same digest, and any structural change produces a different one.
+func TestFingerprintStable(t *testing.T) {
+	n1 := buildSmall(false)
+	n2 := buildSmall(false)
+	if n1.Fingerprint() != n2.Fingerprint() {
+		t.Error("identical netlists have different fingerprints")
+	}
+	if n1.FingerprintHex() != n2.FingerprintHex() {
+		t.Error("hex fingerprints differ")
+	}
+	if len(n1.FingerprintHex()) != 64 {
+		t.Errorf("hex fingerprint length = %d, want 64", len(n1.FingerprintHex()))
+	}
+	n3 := buildSmall(true)
+	if n1.Fingerprint() == n3.Fingerprint() {
+		t.Error("different netlists share a fingerprint")
+	}
+	// Fingerprinting must not perturb the netlist.
+	if err := n1.Validate(); err != nil {
+		t.Errorf("netlist invalid after fingerprinting: %v", err)
+	}
+	if n1.Fingerprint() != n2.Fingerprint() {
+		t.Error("fingerprint unstable across repeated calls")
+	}
+}

@@ -1,0 +1,39 @@
+package service
+
+import "repro/internal/glift"
+
+// resultCache is the content-addressed result store: completed reports keyed
+// by canonical job key. Reports are immutable after completion, so entries
+// are shared by pointer. Eviction is FIFO by insertion order — the cache is
+// a bounded memo, not a working-set optimizer, and FIFO keeps it O(1) with
+// no per-hit bookkeeping. All methods are called under Server.mu.
+type resultCache struct {
+	cap     int
+	entries map[string]*glift.Report
+	order   []string // insertion order for FIFO eviction
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*glift.Report)}
+}
+
+func (c *resultCache) get(key string) (*glift.Report, bool) {
+	rep, ok := c.entries[key]
+	return rep, ok
+}
+
+func (c *resultCache) put(key string, rep *glift.Report) {
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = rep
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = rep
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) len() int { return len(c.entries) }

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/glift"
+)
+
+// The HTTP API, mapping the fail-closed verdict taxonomy onto status codes
+// (mirroring the CLI exit-code contract 0/1/2/3):
+//
+//	POST   /jobs          submit a JobRequest; ?wait=1 blocks for the result
+//	GET    /jobs/{id}     status + live progress; final report when done
+//	DELETE /jobs/{id}     cancel; the run completes with verdict incomplete
+//	GET    /metrics       service counters as JSON
+//	GET    /healthz       liveness
+//
+// Verdict → status for completed jobs: verified → 200, violations → 409,
+// incomplete → 504, internal-error → 500. Malformed submissions (bad JSON,
+// unassemblable source, invalid policy — the CLI's exit code 2) → 400.
+
+// ProgressJSON is the wire form of live job progress.
+type ProgressJSON struct {
+	Cycles      uint64 `json:"cycles"`
+	Paths       int    `json:"paths"`
+	TableStates int    `json:"table_states"`
+	Pending     int    `json:"pending_paths"`
+	Done        bool   `json:"done"`
+}
+
+// JobStatusJSON is the wire form of one job record.
+type JobStatusJSON struct {
+	ID        string            `json:"id"`
+	Key       string            `json:"key"`
+	State     string            `json:"state"`
+	CacheHit  bool              `json:"cache_hit"`
+	Coalesced int64             `json:"coalesced,omitempty"`
+	Cancelled bool              `json:"cancelled,omitempty"`
+	Verdict   string            `json:"verdict,omitempty"`
+	Progress  ProgressJSON      `json:"progress"`
+	Report    *glift.ReportJSON `json:"report,omitempty"`
+}
+
+// MetricsJSON is the /metrics payload.
+type MetricsJSON struct {
+	JobsSubmitted   int64            `json:"jobs_submitted"`
+	JobsCompleted   int64            `json:"jobs_completed"`
+	JobsByVerdict   map[string]int64 `json:"jobs_by_verdict"`
+	CacheHits       int64            `json:"cache_hits"`
+	CacheMisses     int64            `json:"cache_misses"`
+	CacheEntries    int              `json:"cache_entries"`
+	JobsCoalesced   int64            `json:"jobs_coalesced"`
+	EngineRuns      int64            `json:"engine_runs"`
+	JobsRejected    int64            `json:"jobs_rejected"`
+	CancelRequests  int64            `json:"cancel_requests"`
+	QueueDepth      int              `json:"queue_depth"`
+	Workers         int              `json:"workers"`
+	BusyWorkers     int              `json:"busy_workers"`
+	CyclesSimulated uint64           `json:"cycles_simulated_total"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+// verdictStatus maps the fail-closed verdict taxonomy onto HTTP statuses.
+func verdictStatus(v glift.Verdict) int {
+	switch v {
+	case glift.Verified:
+		return http.StatusOK
+	case glift.Violations:
+		return http.StatusConflict
+	case glift.Incomplete:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // a broken client connection is not recoverable here
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// status snapshots one job record for the wire.
+func (j *job) status() JobStatusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatusJSON{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+		Cancelled: j.cancelled,
+		Progress: ProgressJSON{
+			Cycles:      j.progress.Stats.Cycles,
+			Paths:       j.progress.Stats.Paths,
+			TableStates: j.progress.Stats.TableStates,
+			Pending:     j.progress.Pending,
+			Done:        j.progress.Done,
+		},
+	}
+	if j.report != nil {
+		rj := j.report.JSON()
+		st.Verdict = rj.Verdict
+		st.Report = &rj
+	}
+	return st
+}
+
+// newJobLocked allocates a job record; the caller holds s.mu.
+func (s *Server) newJobLocked(key string) *job {
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		key:     key,
+		state:   stateQueued,
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	s.jobs[j.id] = j
+	return j
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	img, pol, opt, deadline, err := compile(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	wait := r.URL.Query().Get("wait") != "" && r.URL.Query().Get("wait") != "0"
+	key := s.jobKey(img, pol, opt, deadline)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.m.submitted++
+
+	// Content-addressed reuse: a completed identical job answers instantly.
+	if rep, ok := s.cache.get(key); ok {
+		s.m.cacheHits++
+		j := s.newJobLocked(key)
+		j.cacheHit = true
+		s.mu.Unlock()
+		j.finish(rep)
+		s.respond(w, r, j, wait)
+		return
+	}
+	// In-flight dedup: an identical job already queued or running serves
+	// this submission too; the engine executes once.
+	if ex, ok := s.inflight[key]; ok {
+		s.m.coalesced++
+		s.mu.Unlock()
+		ex.mu.Lock()
+		ex.coalesced++
+		ex.mu.Unlock()
+		s.respond(w, r, ex, wait)
+		return
+	}
+	s.m.cacheMisses++
+	j := s.newJobLocked(key)
+	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
+	select {
+	case s.queue <- j:
+		s.inflight[key] = j
+		s.mu.Unlock()
+	default:
+		s.m.rejected++
+		s.m.submitted-- // not accepted
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		j.cancel()
+		writeError(w, http.StatusServiceUnavailable, "queue full (%d jobs pending)", s.cfg.QueueDepth)
+		return
+	}
+	s.respond(w, r, j, wait)
+}
+
+// respond answers a submission: blocking for the final report when wait is
+// set, otherwise 202 with the job handle (or the final status if the job is
+// already done, e.g. a cache hit).
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, j *job, wait bool) {
+	if wait {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return // client went away; the job keeps running for other waiters
+		}
+	}
+	st := j.status()
+	code := http.StatusAccepted
+	if st.State == stateDone {
+		code = verdictStatus(j.report.Verdict())
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status()
+	code := http.StatusOK
+	if st.State == stateDone {
+		code = verdictStatus(j.report.Verdict())
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if ok {
+		s.m.cancels++
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	j.cancelled = true
+	already := j.state == stateDone
+	j.mu.Unlock()
+	j.cancel()
+	code := http.StatusAccepted
+	if already {
+		code = http.StatusOK // finished before the cancel landed
+	}
+	writeJSON(w, code, j.status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	m := MetricsJSON{
+		JobsSubmitted:   s.m.submitted,
+		JobsCompleted:   s.m.completed,
+		JobsByVerdict:   make(map[string]int64, len(s.m.byVerdict)),
+		CacheHits:       s.m.cacheHits,
+		CacheMisses:     s.m.cacheMisses,
+		CacheEntries:    s.cache.len(),
+		JobsCoalesced:   s.m.coalesced,
+		EngineRuns:      s.m.engineRuns,
+		JobsRejected:    s.m.rejected,
+		CancelRequests:  s.m.cancels,
+		QueueDepth:      len(s.queue),
+		Workers:         s.cfg.Workers,
+		BusyWorkers:     s.m.busyWorkers,
+		CyclesSimulated: s.m.cyclesTotal,
+	}
+	for k, v := range s.m.byVerdict {
+		m.JobsByVerdict[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, m)
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+)
+
+// Job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+)
+
+// job is one tracked analysis execution. A single job may serve several
+// submitters: concurrent identical submissions coalesce onto the job that
+// is already queued or running.
+type job struct {
+	id       string
+	key      string
+	img      *asm.Image
+	pol      *glift.Policy
+	opt      glift.Options
+	deadline time.Duration
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	progress  glift.Progress
+	report    *glift.Report
+	cacheHit  bool
+	coalesced int64 // extra submissions served by this execution
+	cancelled bool
+	created   time.Time
+	finished  time.Time
+}
+
+func (j *job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+// setProgress is installed as the engine's Options.Progress hook; it runs
+// on the worker goroutine.
+func (j *job) setProgress(p glift.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// finish publishes the final report and wakes every waiter.
+func (j *job) finish(rep *glift.Report) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.report = rep
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// RangeRequest is one address range in a job request ([lo, hi)).
+type RangeRequest struct {
+	Lo uint16 `json:"lo"`
+	Hi uint16 `json:"hi"`
+}
+
+// PolicyRequest is the wire form of an information flow policy; field names
+// match the canonical policy encoding. Ports are 0-based indices (P1 = 0).
+type PolicyRequest struct {
+	Name                 string         `json:"name"`
+	TaintedInPorts       []int          `json:"tainted_in_ports"`
+	TaintedOutPorts      []int          `json:"tainted_out_ports"`
+	TaintedCode          []RangeRequest `json:"tainted_code"`
+	TaintedData          []RangeRequest `json:"tainted_data"`
+	InitiallyTaintedData []RangeRequest `json:"initially_tainted_data"`
+	TaintCodeWords       bool           `json:"taint_code_words"`
+}
+
+// OptionsRequest selects engine options for one job; zero values take the
+// engine defaults. DeadlineMS bounds the job's wall-clock time (expiry
+// yields the Incomplete verdict through the engine's cancellation path).
+type OptionsRequest struct {
+	MaxCycles     uint64 `json:"max_cycles,omitempty"`
+	MaxPathCycles uint64 `json:"max_path_cycles,omitempty"`
+	WidenAfter    int    `json:"widen_after,omitempty"`
+	SoftMemBytes  int64  `json:"soft_mem_bytes,omitempty"`
+	HardMemBytes  int64  `json:"hard_mem_bytes,omitempty"`
+	DeadlineMS    int64  `json:"deadline_ms,omitempty"`
+}
+
+// JobRequest is one analysis submission: a program (exactly one of Source
+// assembly text or an Intel-hex image), a policy and options.
+type JobRequest struct {
+	// Source is MSP430 assembly for the repository's assembler.
+	Source string `json:"source,omitempty"`
+	// IHex is an Intel-hex program image (the asm430 -ihex output shape).
+	IHex string `json:"ihex,omitempty"`
+	// Entry is the reset target for IHex images (default: lowest address).
+	// Source images resolve their entry point through the assembler.
+	Entry   uint16         `json:"entry,omitempty"`
+	Policy  PolicyRequest  `json:"policy"`
+	Options OptionsRequest `json:"options"`
+}
+
+func toRanges(rs []RangeRequest) []glift.AddrRange {
+	out := make([]glift.AddrRange, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, glift.AddrRange{Lo: r.Lo, Hi: r.Hi})
+	}
+	return out
+}
+
+// compile turns a request into engine inputs, reporting user errors (bad
+// source, bad policy) that the HTTP layer maps to 400.
+func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.Duration, error) {
+	var img *asm.Image
+	var err error
+	switch {
+	case req.Source != "" && req.IHex != "":
+		return nil, nil, nil, 0, fmt.Errorf("give either source or ihex, not both")
+	case req.Source != "":
+		if img, err = asm.AssembleSource(req.Source); err != nil {
+			return nil, nil, nil, 0, err
+		}
+	case req.IHex != "":
+		if img, err = imageFromIHex(req.IHex, req.Entry); err != nil {
+			return nil, nil, nil, 0, err
+		}
+	default:
+		return nil, nil, nil, 0, fmt.Errorf("missing program: give source or ihex")
+	}
+
+	name := req.Policy.Name
+	if name == "" {
+		name = "service"
+	}
+	pol := &glift.Policy{
+		Name:                 name,
+		TaintedInPorts:       req.Policy.TaintedInPorts,
+		TaintedOutPorts:      req.Policy.TaintedOutPorts,
+		TaintedCode:          toRanges(req.Policy.TaintedCode),
+		TaintedData:          toRanges(req.Policy.TaintedData),
+		InitiallyTaintedData: toRanges(req.Policy.InitiallyTaintedData),
+		TaintCodeWords:       req.Policy.TaintCodeWords,
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	opt := &glift.Options{
+		MaxCycles:     req.Options.MaxCycles,
+		MaxPathCycles: req.Options.MaxPathCycles,
+		WidenAfter:    req.Options.WidenAfter,
+		SoftMemBytes:  req.Options.SoftMemBytes,
+		HardMemBytes:  req.Options.HardMemBytes,
+	}
+	if req.Options.DeadlineMS < 0 {
+		return nil, nil, nil, 0, fmt.Errorf("negative deadline_ms")
+	}
+	return img, pol, opt, time.Duration(req.Options.DeadlineMS) * time.Millisecond, nil
+}
+
+// imageFromIHex reconstructs an assembled image from Intel-hex text: the
+// words are grouped into contiguous segments and the entry point defaults
+// to the lowest loaded address.
+func imageFromIHex(text string, entry uint16) (*asm.Image, error) {
+	words := map[uint16]uint16{}
+	err := asm.ReadIHex(strings.NewReader(text), func(addr, w uint16) { words[addr] = w })
+	if err != nil {
+		return nil, err
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("empty ihex image")
+	}
+	addrs := make([]int, 0, len(words))
+	for a := range words {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	img := &asm.Image{Symbols: map[string]int64{}, AddrToStmt: map[uint16]int{}, StmtToAddr: map[int]uint16{}}
+	var seg *asm.Segment
+	for _, ai := range addrs {
+		a := uint16(ai)
+		if seg == nil || int(seg.Addr)+2*len(seg.Words) != int(a) {
+			img.Segments = append(img.Segments, asm.Segment{Addr: a})
+			seg = &img.Segments[len(img.Segments)-1]
+		}
+		seg.Words = append(seg.Words, words[a])
+	}
+	img.Entry = uint16(addrs[0])
+	if entry != 0 {
+		img.Entry = entry
+	}
+	return img, nil
+}

@@ -1,0 +1,224 @@
+// Package service implements gliftd, a long-running concurrent analysis
+// service over the glift engine. It accepts analysis jobs (a program as
+// assembly source or an Intel-hex image, an information flow policy, and
+// engine options) over HTTP, runs them on a bounded worker pool — each job
+// under its own context with an optional deadline, inheriting the engine's
+// fail-closed cancellation and memory-budget contract — and returns the
+// full analysis report in the shared glift.ReportJSON wire shape.
+//
+// Results are stored in a content-addressed cache keyed by a canonical
+// SHA-256 over (netlist fingerprint, assembled image, canonical policy
+// encoding, normalized engine options, job deadline), so a byte-identical
+// resubmission is served without re-running the engine. An in-flight
+// deduplication layer coalesces concurrent identical submissions onto a
+// single execution. Only completed explorations (Verified or Violations
+// verdicts) are cached: an Incomplete or InternalError outcome reflects the
+// run, not the inputs, and must not be replayed to later submitters.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+	"repro/internal/mcu"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the number of concurrent analysis workers (default 2).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue rejects new work with 503 rather than buffering without bound
+	// (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 1024, FIFO eviction).
+	CacheEntries int
+	// DefaultDeadline applies to jobs that do not specify deadline_ms
+	// (0: no deadline).
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// counters aggregates service metrics; all fields are guarded by Server.mu.
+type counters struct {
+	submitted   int64
+	completed   int64
+	byVerdict   map[string]int64
+	cacheHits   int64
+	cacheMisses int64
+	coalesced   int64
+	engineRuns  int64
+	rejected    int64
+	cancels     int64
+	cyclesTotal uint64
+	busyWorkers int
+}
+
+// Server is the analysis service: a job registry, a bounded worker pool and
+// a content-addressed result cache behind an HTTP API.
+type Server struct {
+	cfg      Config
+	design   *mcu.Design
+	designFP [sha256.Size]byte
+	mux      *http.ServeMux
+	queue    chan *job
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // content key -> running/queued job
+	cache    *resultCache
+	nextID   uint64
+	closed   bool
+	m        counters
+}
+
+// New builds a Server analyzing on the shared processor design and starts
+// its worker pool. Callers must Close it to stop the workers.
+func New(cfg Config) *Server {
+	return NewOn(glift.SharedDesign(), cfg)
+}
+
+// NewOn is New on an explicit design (the hook for tests and for serving
+// analyses of modified netlists).
+func NewOn(d *mcu.Design, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		design:   d,
+		designFP: d.NL.Fingerprint(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newResultCache(cfg.CacheEntries),
+	}
+	s.m.byVerdict = make(map[string]int64)
+	s.mux = http.NewServeMux()
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting jobs, cancels everything in flight and waits for
+// the worker pool to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// jobKey computes the canonical content address of a job: the SHA-256 of
+// the netlist fingerprint, the assembled image (entry point plus every
+// segment), the policy's canonical JSON, the normalized engine options and
+// the job deadline. Two submissions with equal keys are guaranteed to
+// produce the same completed report, which is what makes cache reuse and
+// in-flight coalescing sound.
+func (s *Server) jobKey(img *asm.Image, pol *glift.Policy, opt *glift.Options, deadline time.Duration) string {
+	h := sha256.New()
+	h.Write(s.designFP[:])
+	put := func(v any) {
+		if err := binary.Write(h, binary.LittleEndian, v); err != nil {
+			panic(fmt.Sprintf("service: hashing job key: %v", err))
+		}
+	}
+	put(img.Entry)
+	put(uint32(len(img.Segments)))
+	for _, seg := range img.Segments {
+		put(seg.Addr)
+		put(uint32(len(seg.Words)))
+		put(seg.Words)
+	}
+	h.Write(pol.CanonicalJSON())
+	n := opt.Normalized()
+	put(n.MaxCycles)
+	put(n.MaxPathCycles)
+	put(int64(n.WidenAfter))
+	put(n.SoftMemBytes)
+	put(n.HardMemBytes)
+	put(int64(deadline))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job on the engine and publishes its result.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	s.m.busyWorkers++
+	s.mu.Unlock()
+
+	j.setState(stateRunning)
+	ctx := j.ctx
+	if j.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.deadline)
+		defer cancel()
+	}
+	opt := j.opt
+	opt.Progress = j.setProgress
+
+	var rep *glift.Report
+	eng, err := glift.NewEngineOn(s.design, j.img, j.pol, &opt)
+	if err != nil {
+		// Policy validation happens at submission time, so this is an
+		// internal construction failure; report it fail-closed.
+		rep = &glift.Report{Policy: j.pol.Name, Err: &glift.RunError{Reason: err.Error()}}
+	} else {
+		rep = eng.RunContext(ctx)
+	}
+	verdict := rep.Verdict()
+
+	s.mu.Lock()
+	s.m.busyWorkers--
+	s.m.engineRuns++
+	s.m.completed++
+	s.m.byVerdict[verdict.String()]++
+	s.m.cyclesTotal += rep.Stats.Cycles
+	delete(s.inflight, j.key)
+	if verdict == glift.Verified || verdict == glift.Violations {
+		s.cache.put(j.key, rep)
+	}
+	s.mu.Unlock()
+	j.finish(rep)
+}
