@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race fault serve clean
+.PHONY: check build fmt vet test race race-observability fault trace serve clean
 
 # check is the CI gate: formatting, vet, build, and the full suite under
 # the race detector (the engine itself is single-threaded, but bench
@@ -30,10 +30,29 @@ test:
 race:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
+# race-observability covers just the concurrency-sensitive observability
+# surface: the metrics registry, the service that feeds it, and the engine
+# hooks behind both.
+race-observability:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs ./internal/service ./internal/glift
+
 # fault runs just the fail-closed surface: runtime budgets/cancellation
 # and the fault-injection matrix.
 fault:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift ./internal/fault
+
+# trace runs a sample violating benchmark under gliftcheck -trace and
+# validates the resulting Chrome trace with traceview. gliftcheck exits 1
+# on the (expected) violations verdict; only exit codes > 1 are failures.
+trace:
+	$(GO) build -o bin/gliftcheck ./cmd/gliftcheck
+	$(GO) build -o bin/traceview ./cmd/traceview
+	@mkdir -p bin
+	@printf 'start:  jmp tstart\ntstart: mov &0x0020, r15\n        mov #0x0200, r14\n        add r15, r14\n        mov #500, 0(r14)\ndone:   jmp done\ntend:   nop\n' > bin/trace-sample.s43
+	@./bin/gliftcheck -tainted-in 1 -tainted-code tstart:tend -tainted-data 0x0400:0x0800 \
+		-trace bin/trace-sample.json bin/trace-sample.s43 > /dev/null; st=$$?; \
+		if [ $$st -gt 1 ]; then echo "gliftcheck failed ($$st)" >&2; exit $$st; fi
+	./bin/traceview bin/trace-sample.json
 
 # serve builds and launches the analysis daemon (see README "Running as
 # a service").

@@ -27,6 +27,12 @@
 //
 // -json replaces the human-readable stdout report with one JSON document in
 // the same wire shape the gliftd service returns (internal/glift ReportJSON).
+//
+// -trace <file> records the exploration dynamics — path spans, forks,
+// merges, prunes, widening escalations, violations, budget crossings — as
+// Chrome trace_event JSON, viewable in chrome://tracing or Perfetto
+// (validate/summarize with cmd/traceview). -taint-trace N prints the first
+// N per-cycle tainted-state entries (the pre-PR-3 meaning of -trace).
 package main
 
 import (
@@ -42,7 +48,21 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
+	"repro/internal/obs"
 )
+
+// writeChromeTrace dumps the recorded exploration trace to path.
+func writeChromeTrace(xt *obs.ExplorationTrace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := xt.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	taintedIn := flag.String("tainted-in", "", "comma-separated tainted input ports (1-4)")
@@ -55,7 +75,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock analysis deadline (0: none); expiry exits 3")
 	softMem := flag.Int64("soft-mem", 0, "soft memory budget in bytes, escalates widening (0: default, <0: unlimited)")
 	hardMem := flag.Int64("hard-mem", 0, "hard memory budget in bytes, aborts as incomplete (0: default, <0: unlimited)")
-	traceN := flag.Int("trace", 0, "print the first N per-cycle tainted-state entries")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON exploration trace to this file")
+	traceN := flag.Int("taint-trace", 0, "print the first N per-cycle tainted-state entries")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (the gliftd wire shape)")
 	verbose := flag.Bool("v", false, "print exploration statistics")
 	flag.Parse()
@@ -95,6 +116,11 @@ func main() {
 		rec = &glift.TraceRecorder{Max: *traceN}
 		opts.Trace = rec.Hook()
 	}
+	var xt *obs.ExplorationTrace
+	if *traceFile != "" {
+		xt = obs.NewExplorationTrace(0)
+		opts.Tracer = xt.Record
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -118,6 +144,13 @@ func main() {
 		if _, err := rec.WriteTo(traceDst); err != nil {
 			fatal(err)
 		}
+	}
+	if xt != nil {
+		if err := writeChromeTrace(xt, *traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gliftcheck: %s: %d exploration events (%d dropped by the ring bound)\n",
+			*traceFile, xt.Total(), xt.Dropped())
 	}
 	if *verbose {
 		fmt.Fprintf(infoDst, "exploration: %s in %s\n", rep.Stats, time.Duration(rep.Stats.WallNanos))

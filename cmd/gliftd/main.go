@@ -12,8 +12,14 @@
 //	POST   /jobs          submit {source|ihex, policy, options}; ?wait=1 blocks
 //	GET    /jobs/{id}     status + live progress, report when done
 //	DELETE /jobs/{id}     cancel; the job completes with verdict incomplete
-//	GET    /metrics       jobs by verdict, cache hits/misses, queue depth, ...
+//	GET    /metrics       Prometheus text exposition (service + engine series);
+//	                      the legacy JSON shape via Accept: application/json
+//	GET    /metrics.json  jobs by verdict, cache hits/misses, queue depth, ...
 //	GET    /healthz       liveness
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/; engine
+// runs carry pprof labels (glift_job, glift_policy), so profiles attribute
+// CPU and heap to the jobs that burned them.
 //
 // Completed jobs map the CLI verdict/exit-code taxonomy onto HTTP statuses:
 // verified → 200, violations → 409, incomplete → 504, internal error → 500;
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -42,6 +49,7 @@ func main() {
 	queue := flag.Int("queue", 64, "queued-job bound (a full queue rejects with 503)")
 	cache := flag.Int("cache", 1024, "content-addressed result cache entries")
 	deadline := flag.Duration("deadline", 0, "default per-job deadline (0: none)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: gliftd [flags] (see -help)")
@@ -54,7 +62,19 @@ func main() {
 		CacheEntries:    *cache,
 		DefaultDeadline: *deadline,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		// Explicit registration instead of the package's DefaultServeMux
+		// side effect, so profiling stays opt-in behind the flag.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("gliftd: pprof enabled on /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -22,6 +22,11 @@
 // -json emits the final round's report as one JSON document on stdout in
 // the same wire shape the gliftd service returns; combine with -o to also
 // keep the modified assembly.
+//
+// -trace <file> records the exploration dynamics of every analysis round
+// into one Chrome trace_event JSON file (chrome://tracing, Perfetto, or
+// cmd/traceview), which makes the shrinking violation frontier across
+// repair rounds directly visible.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -49,6 +55,7 @@ func main() {
 	out := flag.String("o", "", "write the modified assembly here (default: stdout)")
 	jsonOut := flag.Bool("json", false, "emit the final report as JSON on stdout (assembly then requires -o)")
 	rounds := flag.Int("rounds", 8, "maximum analyze/repair rounds")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace covering all rounds to this file")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for all rounds together (0: none); expiry exits 3")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -95,6 +102,13 @@ func main() {
 		defer cancel()
 	}
 
+	var xt *obs.ExplorationTrace
+	var opts *glift.Options
+	if *traceFile != "" {
+		xt = obs.NewExplorationTrace(0)
+		opts = &glift.Options{Tracer: xt.Record}
+	}
+
 	flaggedLines := map[int]bool{}
 	var finalStmts []asm.Stmt
 	var rep *glift.Report
@@ -126,7 +140,7 @@ func main() {
 		if p2.TaintedCode, err = parseRanges(*taintedCode, img); err != nil {
 			fatal(err)
 		}
-		rep, err = glift.AnalyzeContext(ctx, img, &p2, nil)
+		rep, err = glift.AnalyzeContext(ctx, img, &p2, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -163,6 +177,14 @@ func main() {
 		if !progress {
 			break
 		}
+	}
+
+	if xt != nil {
+		if err := writeChromeTrace(xt, *traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "secure430: %s: %d exploration events (%d dropped by the ring bound)\n",
+			*traceFile, xt.Total(), xt.Dropped())
 	}
 
 	verdict := rep.Verdict()
@@ -272,6 +294,19 @@ func resolve(s string, img *asm.Image) (uint16, error) {
 		return 0, fmt.Errorf("cannot resolve %q as a symbol or address", s)
 	}
 	return uint16(n), nil
+}
+
+// writeChromeTrace dumps the recorded exploration trace to path.
+func writeChromeTrace(xt *obs.ExplorationTrace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := xt.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // fatal reports a usage/input error (exit code 2 in the documented

@@ -1,0 +1,118 @@
+// traceview validates and summarizes a Chrome trace_event JSON file as
+// written by gliftcheck/secure430 -trace (and readable by chrome://tracing
+// or Perfetto). It checks that the document parses, that every event is
+// well-formed (name, phase, non-negative timestamp) and that "B"/"E" path
+// spans balance, then prints per-event-name counts and the wall-clock span
+// the trace covers.
+//
+// Exit codes: 0 valid, 1 invalid trace, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// traceEvent mirrors the subset of the Chrome trace_event fields the
+// validator needs; unknown fields are ignored by design.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceview trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(2)
+	}
+
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		invalid("not valid JSON: %v", err)
+	}
+	if tf.TraceEvents == nil {
+		invalid("no traceEvents array")
+	}
+
+	counts := map[string]int{}
+	var minTS, maxTS float64
+	open, outOfOrder := 0, 0
+	prevTS := -1.0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			invalid("event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "B":
+			open++
+		case "E":
+			if open == 0 {
+				invalid("event %d: %q ends a span that never began", i, ev.Name)
+			}
+			open--
+		case "i", "I", "M", "X", "C":
+		default:
+			invalid("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ph == "M" {
+			counts["(metadata) "+ev.Name]++
+			continue // metadata carries no meaningful timestamp
+		}
+		if ev.TS < 0 {
+			invalid("event %d: negative timestamp %v", i, ev.TS)
+		}
+		counts[ev.Name]++
+		if minTS == 0 && maxTS == 0 && ev.TS != 0 {
+			minTS = ev.TS
+		}
+		if ev.TS < minTS || minTS == 0 {
+			minTS = ev.TS
+		}
+		if ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		// Single-run traces are time-sorted; multi-round secure430 traces
+		// restart the per-engine clock, so disorder is reported, not fatal.
+		if prevTS >= 0 && ev.TS < prevTS {
+			outOfOrder++
+		}
+		prevTS = ev.TS
+	}
+	if open != 0 {
+		invalid("%d path span(s) never closed", open)
+	}
+
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d events\n", os.Args[1], len(tf.TraceEvents))
+	for _, n := range names {
+		fmt.Printf("  %-24s %d\n", n, counts[n])
+	}
+	fmt.Printf("span: %s\n", time.Duration((maxTS-minTS)*1e3)) // µs → ns
+	if outOfOrder > 0 {
+		fmt.Printf("note: %d out-of-order timestamps (multi-round trace)\n", outOfOrder)
+	}
+}
+
+func invalid(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceview: invalid trace: "+format+"\n", args...)
+	os.Exit(1)
+}

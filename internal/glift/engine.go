@@ -51,10 +51,17 @@ type Options struct {
 	HardMemBytes int64
 	// Trace receives per-cycle callbacks (e.g. taint trace recording).
 	Trace func(e *Engine, ci *mcu.CycleInfo)
-	// Progress, when set, receives a statistics snapshot roughly every 8192
-	// simulated cycles and once more (Done=true) when the run finishes. It
-	// is called from the exploration goroutine; hooks that publish to other
-	// goroutines must do their own synchronization.
+	// Tracer, when set, receives structured exploration events — path
+	// starts/ends, forks, merges, prunes, widening escalations, violations
+	// and budget crossings — each stamped with the cycle count and wall
+	// time (the feed for obs.ExplorationTrace and its Chrome trace_event
+	// output). Called from the exploration goroutine; nil costs one
+	// pointer test per event site, never per cycle.
+	Tracer func(TraceEvent)
+	// Progress, when set, receives a statistics snapshot every
+	// progressEvery committed cycles and once more (Done=true) when the
+	// run finishes. It is called from the exploration goroutine; hooks
+	// that publish to other goroutines must do their own synchronization.
 	Progress func(Progress)
 }
 
@@ -126,6 +133,13 @@ type Engine struct {
 
 	// ctx aborts the exploration between cycles; set by RunContext.
 	ctx context.Context
+	// runStart anchors wall-time stamping for progress snapshots and
+	// exploration trace events; set by RunContext.
+	runStart time.Time
+	// sinceEmit counts cycles committed since the last Progress emission,
+	// so snapshots can never be starved by commits that happen outside the
+	// main path loop (e.g. fork concretization).
+	sinceEmit uint64
 	// widenAfter is the effective widening threshold; it starts at
 	// opt.WidenAfter and is halved by soft-memory-budget escalations.
 	widenAfter int
@@ -233,10 +247,10 @@ func (e *Engine) Run() *Report { return e.RunContext(context.Background()) }
 // recovered into an InternalError verdict carrying the panic diagnostic —
 // a crash can never masquerade as "verified".
 func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
-	start := time.Now()
+	e.runStart = time.Now()
 	e.ctx = ctx
 	defer func() {
-		e.report.Stats.WallNanos = time.Since(start).Nanoseconds()
+		e.report.Stats.WallNanos = e.sinceStart().Nanoseconds()
 		if p := recover(); p != nil {
 			e.report.Err = recoveredError(p)
 		}
@@ -257,6 +271,7 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 			return e.report
 		}
 		if e.opt.HardMemBytes > 0 && e.memInUse() > e.opt.HardMemBytes {
+			e.traceEvent(EvBudget, e.curInstr, len(e.work), "hard memory budget")
 			e.violation(AnalysisIncomplete, e.curInstr,
 				fmt.Sprintf("memory budget exhausted (%d MiB in use, hard budget %d MiB) with %d pending paths",
 					e.memInUse()>>20, e.opt.HardMemBytes>>20, len(e.work)))
@@ -267,7 +282,9 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 		e.report.Stats.Paths++
 		e.Sys.Restore(ps.snap)
 		e.curInstr = ps.curInstr
+		e.traceEvent(EvPathStart, ps.curInstr, len(e.work), "")
 		e.runPath()
+		e.traceEvent(EvPathEnd, e.curInstr, len(e.work), "")
 	}
 	if e.ctx.Err() != nil {
 		e.violation(AnalysisIncomplete, e.curInstr,
@@ -275,10 +292,14 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 		return e.report
 	}
 	if len(e.work) > 0 {
+		e.traceEvent(EvBudget, e.curInstr, len(e.work), "cycle budget")
 		e.violation(AnalysisIncomplete, e.curInstr, fmt.Sprintf("cycle budget exhausted with %d pending paths", len(e.work)))
 	}
 	return e.report
 }
+
+// sinceStart is wall time since RunContext started.
+func (e *Engine) sinceStart() time.Duration { return time.Since(e.runStart) }
 
 // memInUse approximates the retained footprint of the conservative state
 // table plus the work queue (each entry owns one snapshot).
@@ -300,6 +321,7 @@ func (e *Engine) noteMem() {
 	if e.opt.SoftMemBytes > 0 && used > e.opt.SoftMemBytes && e.widenAfter > 1 {
 		e.widenAfter /= 2
 		e.report.Stats.Escalations++
+		e.traceEvent(EvEscalation, e.curInstr, e.widenAfter, "soft memory budget")
 	}
 }
 
@@ -332,9 +354,6 @@ func (e *Engine) runPath() {
 		}
 		e.commitCycle(ci)
 		pathCycles++
-		if e.report.Stats.Cycles&(progressEvery-1) == 0 {
-			e.emitProgress(false)
-		}
 		if e.modifiesPC(ci) {
 			// Key the conservative state table on the committing cycle's PC
 			// (unique per commit site — including the reset vector load,
@@ -344,6 +363,7 @@ func (e *Engine) runPath() {
 			}
 		}
 		if pathCycles > e.opt.MaxPathCycles {
+			e.traceEvent(EvBudget, e.curInstr, len(e.work), "straight-line path cycle budget")
 			e.violation(AnalysisIncomplete, e.curInstr, "path exceeded straight-line cycle budget")
 			return
 		}
@@ -361,6 +381,13 @@ func (e *Engine) commitCycle(ci *mcu.CycleInfo) {
 	pcWasTainted := ci.PC.TT != 0
 	e.Sys.Commit(ci)
 	e.report.Stats.Cycles++
+	// Progress cadence is counted in cycles since the last emission, not in
+	// absolute cycle positions: commits also happen outside runPath's loop
+	// (fork concretization), so a boundary-position test could be stepped
+	// over indefinitely and starve the hook on fork-heavy runs.
+	if e.sinceEmit++; e.sinceEmit >= progressEvery {
+		e.emitProgress(false)
+	}
 	cleanReset := ci.POR.V == logic.One && !ci.POR.T
 	if pcWasTainted && !cleanReset {
 		for _, bit := range e.Sys.D.PC {
@@ -394,6 +421,7 @@ func (e *Engine) mergePoint(k forkKey) bool {
 		c.visits++
 		if post.SubstateOf(c.snap) {
 			e.report.Stats.Prunes++
+			e.traceEvent(EvPrune, k.pc, len(e.table), "")
 			return true
 		}
 		if c.visits <= e.widenAfter {
@@ -404,6 +432,7 @@ func (e *Engine) mergePoint(k forkKey) bool {
 		}
 		c.snap.MergeFrom(post)
 		e.report.Stats.Merges++
+		e.traceEvent(EvMerge, k.pc, len(e.table), "")
 		if e.debugMerge != nil {
 			e.debugMerge(k, c.snap)
 		}
@@ -477,6 +506,7 @@ func (e *Engine) fork(ci *mcu.CycleInfo) {
 			e.commitCycle(civ)
 			e.report.Stats.Forks++
 			e.push(e.Sys.Snapshot(), e.curInstr, k, true)
+			e.traceEvent(EvFork, k.pc, len(e.work), "")
 		}
 		return
 	}
@@ -500,6 +530,7 @@ func (e *Engine) fork(ci *mcu.CycleInfo) {
 		e.commitCycle(civ)
 		e.report.Stats.Forks++
 		e.push(e.Sys.Snapshot(), e.curInstr, k, true)
+		e.traceEvent(EvFork, k.pc, len(e.work), "")
 	}
 }
 
@@ -528,6 +559,7 @@ func (e *Engine) push(post *mcu.Snapshot, curInstr uint16, k forkKey, applyTable
 			c.visits++
 			if post.SubstateOf(c.snap) {
 				e.report.Stats.Prunes++
+				e.traceEvent(EvPrune, k.pc, len(e.table), "")
 				return
 			}
 			if c.visits <= e.widenAfter {
@@ -535,6 +567,7 @@ func (e *Engine) push(post *mcu.Snapshot, curInstr uint16, k forkKey, applyTable
 			} else {
 				c.snap.MergeFrom(post)
 				e.report.Stats.Merges++
+				e.traceEvent(EvMerge, k.pc, len(e.table), "")
 				if e.debugMerge != nil {
 					e.debugMerge(k, c.snap)
 				}
@@ -566,6 +599,7 @@ func (e *Engine) violation(k Kind, pc uint16, detail string) {
 	e.seen[key] = true
 	v.Cycle = e.report.Stats.Cycles
 	e.report.Violations = append(e.report.Violations, v)
+	e.traceEvent(EvViolation, pc, 0, k.String())
 }
 
 // ---- Per-cycle policy checking (Section 4.2 / 5.1) ----

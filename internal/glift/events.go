@@ -1,0 +1,92 @@
+package glift
+
+import "fmt"
+
+// TraceEventKind classifies one structured exploration event delivered to
+// Options.Tracer. The kinds mirror the dynamics of Algorithm 1 that the
+// end-of-run Stats integers aggregate away: where paths start and end,
+// where the exploration forks on X-PCs, where the conservative state table
+// prunes or widens, and where budget pressure changes the engine's
+// behaviour.
+type TraceEventKind uint8
+
+// Exploration event kinds.
+const (
+	// EvPathStart: a path state was popped from the worklist and simulation
+	// resumed from it (Aux = pending paths remaining).
+	EvPathStart TraceEventKind = iota
+	// EvPathEnd: the path was abandoned — pruned, forked, or budgeted out
+	// (Aux = pending paths remaining).
+	EvPathEnd
+	// EvFork: one concretized successor of an unknown-PC cycle was
+	// enqueued (PC = the successor's commit PC, Aux = pending paths after
+	// the push). One event per successor, so the count equals Stats.Forks.
+	EvFork
+	// EvMerge: a conservative-state-table entry was widened to a
+	// superstate (PC = the table key's commit site, Aux = table size).
+	EvMerge
+	// EvPrune: a path was covered by an existing table entry and dropped
+	// (PC = the table key's commit site, Aux = table size).
+	EvPrune
+	// EvEscalation: the soft memory budget forced a widening escalation
+	// (Aux = the new effective WidenAfter threshold).
+	EvEscalation
+	// EvViolation: a violation was recorded in the report (PC = root-cause
+	// instruction, Detail = the violation kind name). The count equals
+	// len(Report.Violations).
+	EvViolation
+	// EvBudget: a hard exploration budget was crossed — cycle budget,
+	// straight-line path budget, or the hard memory ceiling (Detail names
+	// the budget). The run ends or the path is abandoned right after.
+	EvBudget
+	// NumTraceEventKinds bounds the enum for per-kind accounting.
+	NumTraceEventKinds
+)
+
+var traceEventNames = [...]string{
+	"path_start", "path_end", "fork", "merge", "prune",
+	"widen_escalation", "violation", "budget",
+}
+
+// String names the kind (the Chrome trace event name).
+func (k TraceEventKind) String() string {
+	if int(k) < len(traceEventNames) {
+		return traceEventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// TraceEvent is one structured exploration event. Every event is stamped
+// with the simulated cycle count and the wall time since RunContext
+// started, so a recorded stream can be laid out on either time axis.
+type TraceEvent struct {
+	Kind TraceEventKind
+	// Cycle is the total simulated cycle count when the event fired.
+	Cycle uint64
+	// WallNS is wall-clock time since the run started, in nanoseconds.
+	WallNS int64
+	// PC is the instruction address the event is rooted at (the commit
+	// site for forks/merges/prunes, the root cause for violations).
+	PC uint16
+	// Aux carries the kind-specific quantity documented on each kind:
+	// pending-queue depth, table size, or the new widening threshold.
+	Aux int
+	// Detail carries the kind-specific text documented on each kind.
+	Detail string
+}
+
+// traceEvent delivers one exploration event to the Tracer hook; with no
+// tracer installed the cost is a single nil check.
+func (e *Engine) traceEvent(kind TraceEventKind, pc uint16, aux int, detail string) {
+	if e.opt.Tracer == nil {
+		return
+	}
+	e.opt.Tracer(TraceEvent{
+		Kind:   kind,
+		Cycle:  e.report.Stats.Cycles,
+		WallNS: e.sinceStart().Nanoseconds(),
+		PC:     pc,
+		Aux:    aux,
+		Detail: detail,
+	})
+}

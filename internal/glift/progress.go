@@ -3,10 +3,12 @@ package glift
 // Progress is a point-in-time view of a running exploration, delivered to
 // Options.Progress. It lets long-running hosts (the gliftd service, TUIs)
 // surface live statistics without touching engine internals: the hook is
-// called from the exploration goroutine roughly every ProgressEvery cycles
-// and once more, with Done set, when RunContext returns.
+// called from the exploration goroutine every progressEvery committed
+// cycles and once more, with Done set, when RunContext returns.
 type Progress struct {
-	// Stats is a copy of the exploration statistics so far.
+	// Stats is a copy of the exploration statistics so far. WallNanos is
+	// refreshed on every emission, so mid-run snapshots carry the elapsed
+	// wall time, not zero.
 	Stats Stats
 	// Pending is the number of path states still queued for exploration.
 	Pending int
@@ -14,14 +16,20 @@ type Progress struct {
 	Done bool
 }
 
-// progressEvery is the cycle granularity of Options.Progress callbacks; a
-// power of two so the hot path tests it with a mask.
-const progressEvery = 8192
+// progressEvery is the cycle granularity of Options.Progress callbacks,
+// counted in cycles committed since the last emission (commits during fork
+// concretization count too, so fork-heavy runs cannot starve the hook).
+// A variable only so cadence tests can shrink it; production code must
+// treat it as a constant.
+var progressEvery uint64 = 8192
 
-// emitProgress delivers one progress snapshot if a hook is installed.
+// emitProgress delivers one progress snapshot if a hook is installed, and
+// restarts the cycles-since-emission counter either way.
 func (e *Engine) emitProgress(done bool) {
+	e.sinceEmit = 0
 	if e.opt.Progress == nil {
 		return
 	}
+	e.report.Stats.WallNanos = e.sinceStart().Nanoseconds()
 	e.opt.Progress(Progress{Stats: e.report.Stats, Pending: len(e.work), Done: done})
 }

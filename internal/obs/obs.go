@@ -1,0 +1,16 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms, with
+// label support) that renders the Prometheus text exposition format, and
+// an exploration trace recorder that turns the glift engine's structured
+// exploration events (forks, merges, prunes, widening escalations,
+// violations, budget crossings) into Chrome trace_event JSON viewable in
+// chrome://tracing or Perfetto.
+//
+// The package deliberately depends on nothing outside the standard
+// library (plus internal/glift for the trace event types), so it can sit
+// under every layer — the gliftd service, the CLIs, tests — without
+// pulling a client library into the module. Metric updates are lock-free
+// (atomics) after the first registration of a series, so instrumented hot
+// paths pay one map lookup at registration time and an atomic add per
+// update afterwards; uninstalled hooks cost a nil check.
+package obs

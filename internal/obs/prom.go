@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// labelEscaper applies the exposition format's label-value escaping.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// children by label values, so the output is deterministic for a
+// deterministic sequence of updates — which is what makes golden-file
+// tests over the endpoint possible.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// write renders one family: HELP/TYPE header then one line per series
+// (several for histograms), children sorted by label values.
+func (f *family) write(w *bufio.Writer) {
+	w.WriteString("# HELP " + f.name + " " + f.help + "\n")
+	w.WriteString("# TYPE " + f.name + " " + typeNames[f.typ] + "\n")
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+
+	for _, c := range children {
+		switch f.typ {
+		case typeCounter, typeGauge:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, c.labelVals, "")
+			w.WriteString(" " + formatFloat(math.Float64frombits(c.valBits.Load())) + "\n")
+		case typeHistogram:
+			// Per-bucket counts are stored non-cumulative; the exposition
+			// format wants cumulative counts ending in the +Inf bucket.
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += c.bucketCounts[i].Load()
+				w.WriteString(f.name + "_bucket")
+				writeLabels(w, f.labels, c.labelVals, formatFloat(ub))
+				w.WriteString(" " + strconv.FormatUint(cum, 10) + "\n")
+			}
+			count := c.count.Load()
+			w.WriteString(f.name + "_bucket")
+			writeLabels(w, f.labels, c.labelVals, "+Inf")
+			w.WriteString(" " + strconv.FormatUint(count, 10) + "\n")
+			w.WriteString(f.name + "_sum")
+			writeLabels(w, f.labels, c.labelVals, "")
+			w.WriteString(" " + formatFloat(math.Float64frombits(c.sumBits.Load())) + "\n")
+			w.WriteString(f.name + "_count")
+			writeLabels(w, f.labels, c.labelVals, "")
+			w.WriteString(" " + strconv.FormatUint(count, 10) + "\n")
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}, appending an le="…" bucket label when le
+// is non-empty; no braces are emitted for a label-free series.
+func writeLabels(w *bufio.Writer, names, vals []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n + `="` + labelEscaper.Replace(vals[i]) + `"`)
+	}
+	if le != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(`le="` + le + `"`)
+	}
+	w.WriteByte('}')
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

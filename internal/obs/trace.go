@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/glift"
+)
+
+// DefaultTraceCap bounds a trace recorder that was constructed with no
+// explicit capacity: 256k events is a few tens of MB serialized — enough
+// for any Table-1 benchmark while keeping a runaway exploration bounded.
+const DefaultTraceCap = 1 << 18
+
+// ExplorationTrace is a ring-buffered sink for the engine's structured
+// exploration events. Install it with Options.Tracer = t.Record; after the
+// run, WriteChromeTrace serializes the retained events as Chrome
+// trace_event JSON for chrome://tracing or Perfetto ("Open trace file").
+//
+// The ring keeps the most recent events when the run overflows the
+// capacity (the interesting dynamics — state-table blowup, widening
+// escalations — cluster at the end of a struggling run); per-kind counts
+// and the total cover the whole run regardless of eviction. Record is safe
+// for concurrent use, although a single engine delivers sequentially.
+type ExplorationTrace struct {
+	mu     sync.Mutex
+	cap    int
+	events []glift.TraceEvent
+	start  int // ring read position once the buffer is full
+	total  uint64
+	counts [glift.NumTraceEventKinds]uint64
+}
+
+// NewExplorationTrace returns a recorder retaining at most capacity events
+// (<= 0 selects DefaultTraceCap).
+func NewExplorationTrace(capacity int) *ExplorationTrace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &ExplorationTrace{cap: capacity}
+}
+
+// Record appends one event; the signature matches glift.Options.Tracer.
+func (t *ExplorationTrace) Record(ev glift.TraceEvent) {
+	t.mu.Lock()
+	t.total++
+	if int(ev.Kind) < len(t.counts) {
+		t.counts[ev.Kind]++
+	}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.start] = ev
+		t.start = (t.start + 1) % t.cap
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in recording order.
+func (t *ExplorationTrace) Events() []glift.TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]glift.TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}
+
+// Total is the number of events recorded over the whole run, including
+// any evicted from the ring.
+func (t *ExplorationTrace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped is the number of events evicted by the ring bound.
+func (t *ExplorationTrace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.events))
+}
+
+// Count returns how many events of one kind were recorded over the whole
+// run (eviction does not lower it).
+func (t *ExplorationTrace) Count(k glift.TraceEventKind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(k) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the retained events in the Chrome
+// trace_event JSON format. Path start/end events become B/E duration
+// slices (so each explored path shows as a span on the timeline); every
+// other kind becomes a thread-scoped instant event carrying its cycle
+// count, PC and kind-specific argument.
+func (t *ExplorationTrace) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "glift exploration"},
+	})
+	open := 0 // path B/E nesting depth in the retained window
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name:  ev.Kind.String(),
+			TS:    float64(ev.WallNS) / 1e3,
+			PID:   1,
+			TID:   1,
+			Scope: "t",
+			Phase: "i",
+			Args: map[string]any{
+				"cycle": ev.Cycle,
+				"pc":    fmt.Sprintf("%#04x", ev.PC),
+			},
+		}
+		switch ev.Kind {
+		case glift.EvPathStart:
+			ce.Name, ce.Phase, ce.Scope = "path", "B", ""
+			ce.Args["pending"] = ev.Aux
+			open++
+		case glift.EvPathEnd:
+			if open == 0 {
+				continue // its B event was evicted by the ring; drop the E
+			}
+			open--
+			ce.Name, ce.Phase, ce.Scope = "path", "E", ""
+			ce.Args = nil
+		case glift.EvFork:
+			ce.Args["pending"] = ev.Aux
+		case glift.EvMerge, glift.EvPrune:
+			ce.Args["table"] = ev.Aux
+		case glift.EvEscalation:
+			ce.Args["widen_after"] = ev.Aux
+			ce.Args["detail"] = ev.Detail
+		case glift.EvViolation, glift.EvBudget:
+			ce.Args["detail"] = ev.Detail
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/glift"
+)
+
+// taintedSrc is the Figure 4/9 pattern: a tainted-input-derived loop bound
+// (forks) plus a tainted store offset (violations), so one run exercises
+// fork, merge/prune, violation and path events.
+const taintedSrc = `
+start:  mov &0x0020, r5      ; tainted P1IN
+        and #3, r5
+loop:   dec r5
+        jnz loop             ; tainted condition: forks
+        mov &0x0020, r15
+        mov #0x0200, r14
+        add r15, r14
+        mov #500, 0(r14)     ; tainted store offset: C2 violation
+end:    jmp end
+`
+
+func taintedReport(t *testing.T, tr *ExplorationTrace) *glift.Report {
+	t.Helper()
+	img, err := asm.AssembleSource(taintedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &glift.Policy{Name: "trace-test", TaintedInPorts: []int{0}}
+	rep, err := glift.Analyze(img, pol, &glift.Options{Tracer: tr.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestTraceCountsMatchStats: the recorder's whole-run per-kind counts must
+// equal the report's Stats counters exactly — every fork/merge/prune the
+// engine counts emits exactly one event, and vice versa.
+func TestTraceCountsMatchStats(t *testing.T) {
+	tr := NewExplorationTrace(0)
+	rep := taintedReport(t, tr)
+	s := rep.Stats
+	if s.Forks == 0 || s.Prunes+s.Merges == 0 {
+		t.Fatalf("benchmark not exercising the engine: %s", s)
+	}
+	checks := []struct {
+		kind glift.TraceEventKind
+		want uint64
+	}{
+		{glift.EvPathStart, uint64(s.Paths)},
+		{glift.EvPathEnd, uint64(s.Paths)},
+		{glift.EvFork, uint64(s.Forks)},
+		{glift.EvMerge, uint64(s.Merges)},
+		{glift.EvPrune, uint64(s.Prunes)},
+		{glift.EvEscalation, uint64(s.Escalations)},
+		{glift.EvViolation, uint64(len(rep.Violations))},
+	}
+	for _, c := range checks {
+		if got := tr.Count(c.kind); got != c.want {
+			t.Errorf("%s events: got %d, stats say %d", c.kind, got, c.want)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("nothing should be evicted at the default capacity, dropped %d", tr.Dropped())
+	}
+}
+
+// TestWriteChromeTrace: the serialized trace is valid Chrome trace_event
+// JSON, time-ordered, with balanced path spans.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewExplorationTrace(0)
+	rep := taintedReport(t, tr)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	open, begins, forks := 0, 0, 0
+	prev := -1.0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "B":
+			begins++
+			open++
+		case "E":
+			if open == 0 {
+				t.Fatalf("event %d: unbalanced span end", i)
+			}
+			open--
+		}
+		if ev.Name == "fork" {
+			forks++
+		}
+		if ev.TS < prev {
+			t.Fatalf("event %d (%s): timestamp %v before %v", i, ev.Name, ev.TS, prev)
+		}
+		prev = ev.TS
+	}
+	if open != 0 {
+		t.Errorf("%d path spans never closed", open)
+	}
+	if begins != rep.Stats.Paths {
+		t.Errorf("path spans %d != Stats.Paths %d", begins, rep.Stats.Paths)
+	}
+	if forks != rep.Stats.Forks {
+		t.Errorf("fork events %d != Stats.Forks %d", forks, rep.Stats.Forks)
+	}
+}
+
+// TestTraceRingEviction: a tiny ring keeps the most recent events, the
+// whole-run totals survive eviction, and the serialized form stays balanced
+// even when a path's begin event was evicted.
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewExplorationTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(glift.TraceEvent{Kind: glift.EvFork, Cycle: uint64(i), WallNS: int64(i)})
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", tr.Total(), tr.Dropped())
+	}
+	if tr.Count(glift.EvFork) != 10 {
+		t.Errorf("per-kind count lost evicted events: %d", tr.Count(glift.EvFork))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Errorf("event %d: cycle %d, want %d (most recent window, in order)", i, ev.Cycle, want)
+		}
+	}
+
+	// An EvPathEnd whose begin was evicted must not serialize an orphan "E".
+	tr2 := NewExplorationTrace(2)
+	tr2.Record(glift.TraceEvent{Kind: glift.EvPathStart})
+	tr2.Record(glift.TraceEvent{Kind: glift.EvFork, WallNS: 1})
+	tr2.Record(glift.TraceEvent{Kind: glift.EvPathEnd, WallNS: 2}) // evicts the start
+	var buf bytes.Buffer
+	if err := tr2.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "E" {
+			t.Error("orphan span end serialized after its begin was evicted")
+		}
+	}
+}

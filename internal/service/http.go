@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/glift"
+	"repro/internal/obs"
 )
 
 // The HTTP API, mapping the fail-closed verdict taxonomy onto status codes
@@ -16,7 +18,9 @@ import (
 //	POST   /jobs          submit a JobRequest; ?wait=1 blocks for the result
 //	GET    /jobs/{id}     status + live progress; final report when done
 //	DELETE /jobs/{id}     cancel; the run completes with verdict incomplete
-//	GET    /metrics       service counters as JSON
+//	GET    /metrics       Prometheus text exposition (JSON via Accept:
+//	                      application/json, preserving the legacy shape)
+//	GET    /metrics.json  service counters as JSON
 //	GET    /healthz       liveness
 //
 // Verdict → status for completed jobs: verified → 200, violations → 409,
@@ -29,7 +33,9 @@ type ProgressJSON struct {
 	Paths       int    `json:"paths"`
 	TableStates int    `json:"table_states"`
 	Pending     int    `json:"pending_paths"`
-	Done        bool   `json:"done"`
+	// WallNanos is the elapsed exploration wall time at the snapshot.
+	WallNanos int64 `json:"wall_ns"`
+	Done      bool  `json:"done"`
 }
 
 // JobStatusJSON is the wire form of one job record.
@@ -68,6 +74,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -115,6 +122,7 @@ func (j *job) status() JobStatusJSON {
 			Paths:       j.progress.Stats.Paths,
 			TableStates: j.progress.Stats.TableStates,
 			Pending:     j.progress.Pending,
+			WallNanos:   j.progress.Stats.WallNanos,
 			Done:        j.progress.Done,
 		},
 	}
@@ -167,10 +175,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.submitted++
+	s.prom.jobsSubmitted.Inc()
 
 	// Content-addressed reuse: a completed identical job answers instantly.
 	if rep, ok := s.cache.get(key); ok {
 		s.m.cacheHits++
+		s.prom.cacheHits.Inc()
 		j := s.newJobLocked(key)
 		j.cacheHit = true
 		s.mu.Unlock()
@@ -182,6 +192,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// this submission too; the engine executes once.
 	if ex, ok := s.inflight[key]; ok {
 		s.m.coalesced++
+		s.prom.coalesced.Inc()
 		s.mu.Unlock()
 		ex.mu.Lock()
 		ex.coalesced++
@@ -190,6 +201,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.cacheMisses++
+	s.prom.cacheMisses.Inc()
 	j := s.newJobLocked(key)
 	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
 	select {
@@ -198,7 +210,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	default:
 		s.m.rejected++
-		s.m.submitted-- // not accepted
+		s.m.submitted-- // not accepted (the prom counter stays monotonic)
+		s.prom.jobsRejected.Inc()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
 		j.cancel()
@@ -248,6 +261,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	if ok {
 		s.m.cancels++
+		s.prom.cancels.Inc()
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -266,7 +280,24 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, j.status())
 }
 
+// handleMetrics serves the Prometheus text exposition; clients asking for
+// application/json get the legacy JSON shape (also at /metrics.json).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	// Derivable gauges are synced at scrape time rather than on every
+	// queue/cache transition.
+	s.prom.queueDepth.Set(float64(len(s.queue)))
+	s.mu.Lock()
+	s.prom.cacheEntries.Set(float64(s.cache.len()))
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.prom.reg.WritePrometheus(w) //nolint:errcheck // a broken client connection is not recoverable here
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	m := MetricsJSON{
 		JobsSubmitted:   s.m.submitted,

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/glift"
+	"repro/internal/obs"
+)
+
+// promMetrics bundles every Prometheus series gliftd exports: the service
+// series (request latency, queue/worker/cache state, job outcomes) and the
+// engine series fed by each job's Progress stream. The JSON counters in
+// Server.m keep the legacy /metrics.json shape; these series are the
+// time-series view over the same events.
+type promMetrics struct {
+	reg *obs.Registry
+
+	httpDur       *obs.HistogramVec // {route, code}
+	jobsSubmitted *obs.Counter
+	jobsRejected  *obs.Counter
+	jobsCompleted *obs.CounterVec // {verdict}
+	cancels       *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	coalesced     *obs.Counter
+	cacheEntries  *obs.Gauge
+	queueDepth    *obs.Gauge
+	workers       *obs.Gauge
+	workersBusy   *obs.Gauge
+
+	runDur          *obs.HistogramVec // {verdict}
+	engCycles       *obs.Counter
+	engPaths        *obs.Counter
+	engForks        *obs.Counter
+	engMerges       *obs.Counter
+	engPrunes       *obs.Counter
+	engEscalations  *obs.Counter
+	engTableStates  *obs.Gauge
+	engPeakMem      *obs.Gauge
+	engCyclesPerSec *obs.Gauge
+}
+
+func newPromMetrics(workers int) *promMetrics {
+	reg := obs.NewRegistry()
+	m := &promMetrics{
+		reg: reg,
+		httpDur: reg.HistogramVec("gliftd_http_request_duration_seconds",
+			"HTTP request latency by route pattern and status code.", obs.DefBuckets, "route", "code"),
+		jobsSubmitted: reg.Counter("gliftd_jobs_submitted_total",
+			"Job submissions received, including later-rejected ones."),
+		jobsRejected: reg.Counter("gliftd_jobs_rejected_total",
+			"Submissions rejected because the queue was full."),
+		jobsCompleted: reg.CounterVec("gliftd_jobs_completed_total",
+			"Engine executions finished, by fail-closed verdict.", "verdict"),
+		cancels: reg.Counter("gliftd_cancel_requests_total",
+			"DELETE /jobs/{id} requests against known jobs."),
+		cacheHits: reg.Counter("gliftd_cache_hits_total",
+			"Submissions answered from the content-addressed result cache."),
+		cacheMisses: reg.Counter("gliftd_cache_misses_total",
+			"Submissions that had to run (or join) an engine execution."),
+		coalesced: reg.Counter("gliftd_jobs_coalesced_total",
+			"Submissions served by an identical job already queued or running."),
+		cacheEntries: reg.Gauge("gliftd_cache_entries",
+			"Completed reports currently held in the result cache."),
+		queueDepth: reg.Gauge("gliftd_queue_depth",
+			"Jobs waiting for a worker."),
+		workers: reg.Gauge("gliftd_workers",
+			"Configured analysis worker count."),
+		workersBusy: reg.Gauge("gliftd_workers_busy",
+			"Workers currently running an engine execution."),
+		runDur: reg.HistogramVec("glift_engine_run_seconds",
+			"Wall time of one complete engine exploration, by verdict.", obs.RunBuckets, "verdict"),
+		engCycles: reg.Counter("glift_engine_cycles_total",
+			"Simulated machine cycles across all engine runs."),
+		engPaths: reg.Counter("glift_engine_paths_total",
+			"Path states processed from the exploration worklist."),
+		engForks: reg.Counter("glift_engine_forks_total",
+			"X-PC concretization forks."),
+		engMerges: reg.Counter("glift_engine_merges_total",
+			"Conservative-state-table superstate widenings."),
+		engPrunes: reg.Counter("glift_engine_prunes_total",
+			"Paths pruned as substates of a table entry."),
+		engEscalations: reg.Counter("glift_engine_widen_escalations_total",
+			"Soft-memory-budget widening escalations."),
+		engTableStates: reg.Gauge("glift_engine_table_states",
+			"Conservative-state-table entries across currently running explorations."),
+		engPeakMem: reg.Gauge("glift_engine_peak_mem_bytes",
+			"Largest approximate table-plus-worklist footprint any single run has reached."),
+		engCyclesPerSec: reg.Gauge("glift_engine_cycles_per_second",
+			"Exploration throughput over the most recent progress interval."),
+	}
+	m.workers.Set(float64(workers))
+	return m
+}
+
+// engineProgress mirrors one running engine's Progress stream into the
+// registry, converting the stream's cumulative Stats into counter deltas
+// so concurrent jobs aggregate correctly. It runs on the job's worker
+// goroutine and forwards every snapshot to the job's own sink.
+type engineProgress struct {
+	m    *promMetrics
+	next func(glift.Progress)
+	prev glift.Stats
+}
+
+func (ep *engineProgress) observe(p glift.Progress) {
+	s, m := p.Stats, ep.m
+	m.engCycles.Add(float64(s.Cycles - ep.prev.Cycles))
+	m.engPaths.Add(float64(s.Paths - ep.prev.Paths))
+	m.engForks.Add(float64(s.Forks - ep.prev.Forks))
+	m.engMerges.Add(float64(s.Merges - ep.prev.Merges))
+	m.engPrunes.Add(float64(s.Prunes - ep.prev.Prunes))
+	m.engEscalations.Add(float64(s.Escalations - ep.prev.Escalations))
+	m.engTableStates.Add(float64(s.TableStates - ep.prev.TableStates))
+	m.engPeakMem.SetMax(float64(s.PeakMemBytes))
+	if dw := s.WallNanos - ep.prev.WallNanos; dw > 0 {
+		m.engCyclesPerSec.Set(float64(s.Cycles-ep.prev.Cycles) / (float64(dw) / 1e9))
+	}
+	ep.prev = s
+	if p.Done {
+		// The run's state table is released with the engine; remove its
+		// contribution so the gauge tracks live explorations only.
+		m.engTableStates.Add(-float64(s.TableStates))
+	}
+	if ep.next != nil {
+		ep.next(p)
+	}
+}
+
+// instrument wraps the API with the request-latency histogram.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.prom.httpDur.With(routeLabel(r), strconv.Itoa(sw.code)).
+			Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the latency histogram.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routeLabel normalizes the request path to its route pattern so the
+// histogram's label set stays bounded — neither job IDs nor arbitrary
+// not-found paths may mint new series.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/jobs/"):
+		p = "/jobs/{id}"
+	case p == "/jobs", p == "/metrics", p == "/metrics.json", p == "/healthz":
+	default:
+		p = "other"
+	}
+	return r.Method + " " + p
+}

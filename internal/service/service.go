@@ -23,12 +23,14 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/mcu"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server.
@@ -91,6 +93,7 @@ type Server struct {
 	nextID   uint64
 	closed   bool
 	m        counters
+	prom     *promMetrics
 }
 
 // New builds a Server analyzing on the shared processor design and starts
@@ -111,6 +114,7 @@ func NewOn(d *mcu.Design, cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		cache:    newResultCache(cfg.CacheEntries),
+		prom:     newPromMetrics(cfg.Workers),
 	}
 	s.m.byVerdict = make(map[string]int64)
 	s.mux = http.NewServeMux()
@@ -122,8 +126,13 @@ func NewOn(d *mcu.Design, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API, instrumented with the request-latency
+// histogram.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// Metrics returns the Prometheus metrics registry (the hook for hosts that
+// serve or push the registry themselves).
+func (s *Server) Metrics() *obs.Registry { return s.prom.reg }
 
 // Close stops accepting jobs, cancels everything in flight and waits for
 // the worker pool to drain.
@@ -182,11 +191,15 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job on the engine and publishes its result.
+// runJob executes one job on the engine and publishes its result. The
+// engine run carries pprof labels (job id, policy), so CPU and heap
+// profiles taken through gliftd's -pprof endpoint attribute samples to the
+// job that burned them.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	s.m.busyWorkers++
 	s.mu.Unlock()
+	s.prom.workersBusy.Add(1)
 
 	j.setState(stateRunning)
 	ctx := j.ctx
@@ -196,7 +209,7 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	opt := j.opt
-	opt.Progress = j.setProgress
+	opt.Progress = (&engineProgress{m: s.prom, next: j.setProgress}).observe
 
 	var rep *glift.Report
 	eng, err := glift.NewEngineOn(s.design, j.img, j.pol, &opt)
@@ -205,7 +218,8 @@ func (s *Server) runJob(j *job) {
 		// internal construction failure; report it fail-closed.
 		rep = &glift.Report{Policy: j.pol.Name, Err: &glift.RunError{Reason: err.Error()}}
 	} else {
-		rep = eng.RunContext(ctx)
+		pprof.Do(ctx, pprof.Labels("glift_job", j.id, "glift_policy", j.pol.Name),
+			func(ctx context.Context) { rep = eng.RunContext(ctx) })
 	}
 	verdict := rep.Verdict()
 
@@ -220,5 +234,8 @@ func (s *Server) runJob(j *job) {
 		s.cache.put(j.key, rep)
 	}
 	s.mu.Unlock()
+	s.prom.workersBusy.Add(-1)
+	s.prom.jobsCompleted.With(verdict.String()).Inc()
+	s.prom.runDur.With(verdict.String()).Observe(float64(rep.Stats.WallNanos) / 1e9)
 	j.finish(rep)
 }

@@ -117,7 +117,14 @@ func (c *testClient) do(method, path string, body any) (int, JobStatusJSON) {
 
 func (c *testClient) metrics() MetricsJSON {
 	c.t.Helper()
-	resp, err := c.srv.Client().Get(c.srv.URL + "/metrics")
+	// The default /metrics representation is Prometheus text now; the JSON
+	// shape stays reachable through content negotiation (and /metrics.json).
+	req, err := http.NewRequest("GET", c.srv.URL+"/metrics", nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.srv.Client().Do(req)
 	if err != nil {
 		c.t.Fatal(err)
 	}
