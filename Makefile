@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-observability fault trace serve clean
+.PHONY: check build fmt vet test race race-observability differential fault trace bench-json bench-check serve clean
 
 # check is the CI gate: formatting, vet, build, and the full suite under
 # the race detector (the engine itself is single-threaded, but bench
@@ -36,6 +36,14 @@ race:
 race-observability:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs ./internal/service ./internal/glift
 
+# differential runs the parallel-vs-sequential equivalence suite under the
+# race detector: every scaffold benchmark at Workers=1 vs Workers=4 must
+# produce byte-identical reports, plus the table-contention stress test and
+# the seeded program fuzzer (see DESIGN.md "Parallel exploration").
+differential:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift \
+		-run 'TestDifferential|TestTableContention|TestParallel|TestFuzz'
+
 # fault runs just the fail-closed surface: runtime budgets/cancellation
 # and the fault-injection matrix.
 fault:
@@ -53,6 +61,18 @@ trace:
 		-trace bin/trace-sample.json bin/trace-sample.s43 > /dev/null; st=$$?; \
 		if [ $$st -gt 1 ]; then echo "gliftcheck failed ($$st)" >&2; exit $$st; fi
 	./bin/traceview bin/trace-sample.json
+
+# bench-json regenerates the committed throughput baseline: cycles/sec,
+# peak table size, peak memory and wall time for every scaffold benchmark
+# at Workers=1 and Workers=4, plus the machine-speed calibration probe.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_0.json
+
+# bench-check re-measures and fails when sequential (Workers=1) throughput,
+# normalized by the calibration probe, regressed more than 20% against the
+# committed baseline.
+bench-check:
+	$(GO) run ./cmd/benchjson -workers 1 -compare BENCH_0.json -threshold 0.20
 
 # serve builds and launches the analysis daemon (see README "Running as
 # a service").

@@ -1,0 +1,260 @@
+// Command benchjson measures analysis throughput over the scaffold
+// benchmarks and emits a machine-readable baseline: cycles per second, peak
+// conservative-table size, peak memory and wall time per benchmark and
+// worker count. The committed baseline (BENCH_0.json at the repository
+// root) is regenerated with `make bench-json`; `make bench-check` re-runs
+// the measurement and fails when sequential (Workers=1) throughput
+// regressed more than -threshold against the baseline.
+//
+// Raw cycles/sec is meaningless across machines, so every run also times a
+// fixed single-path calibration program on the same binary and records its
+// throughput. Regression checking compares benchmark throughput normalized
+// by the calibration probe, which cancels machine speed and leaves only
+// changes attributable to the engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/glift"
+)
+
+// probeSrc is the calibration workload: one concrete path, no forks, no
+// taint, so its throughput is a clean measure of raw gate-level simulation
+// speed on this machine and binary.
+const probeSrc = `
+start:  mov #200, r6
+outer:  mov #50, r5
+loop:   dec r5
+        jnz loop
+        dec r6
+        jnz outer
+        jmp start
+`
+
+const probeCycles = 20_000
+
+// minCompareCycles is the floor below which a benchmark's wall time is
+// dominated by system construction rather than exploration; such
+// measurements are too noisy for the regression gate and are skipped.
+const minCompareCycles = 1000
+
+// Result is one (benchmark, workers) measurement.
+type Result struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	Cycles       uint64  `json:"cycles"`
+	WallNanos    int64   `json:"wall_ns"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	TableStates  int     `json:"table_states"`
+	PeakMemBytes int64   `json:"peak_mem_bytes"`
+	Verdict      string  `json:"verdict"`
+}
+
+// Baseline is the benchjson output document.
+type Baseline struct {
+	Schema            string   `json:"schema"`
+	NumCPU            int      `json:"num_cpu"`
+	GoMaxProcs        int      `json:"go_max_procs"`
+	ProbeCyclesPerSec float64  `json:"probe_cycles_per_sec"`
+	Results           []Result `json:"results"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}
+
+func measureProbe(reps int) (float64, error) {
+	img, err := asm.AssembleSource(probeSrc)
+	if err != nil {
+		return 0, fmt.Errorf("assemble probe: %w", err)
+	}
+	opt := &glift.Options{MaxCycles: probeCycles, Workers: 1}
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		rep, err := glift.Analyze(img, &glift.Policy{Name: "probe"}, opt)
+		if err != nil {
+			return 0, fmt.Errorf("probe analysis: %w", err)
+		}
+		el := time.Since(start)
+		if el <= 0 || rep.Stats.Cycles == 0 {
+			return 0, fmt.Errorf("probe measured nothing (cycles=%d wall=%v)", rep.Stats.Cycles, el)
+		}
+		if cps := float64(rep.Stats.Cycles) / el.Seconds(); cps > best {
+			best = cps
+		}
+	}
+	return best, nil
+}
+
+// measure runs the analysis reps times and keeps the fastest repetition:
+// the minimum wall time is the least-noise estimate of the engine's cost,
+// since scheduling interference and cold caches only ever add time.
+func measure(b *bench.Benchmark, workers, reps int) (Result, error) {
+	bt, err := bench.BuildUnmodified(b)
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: workers})
+		if err != nil {
+			return Result{}, fmt.Errorf("bench %s (workers=%d): %w", b.Name, workers, err)
+		}
+		el := time.Since(start)
+		if i == 0 || el.Nanoseconds() < best.WallNanos {
+			best = Result{
+				Name:         b.Name,
+				Workers:      workers,
+				Cycles:       rep.Stats.Cycles,
+				WallNanos:    el.Nanoseconds(),
+				CyclesPerSec: float64(rep.Stats.Cycles) / el.Seconds(),
+				TableStates:  rep.Stats.TableStates,
+				PeakMemBytes: rep.Stats.PeakMemBytes,
+				Verdict:      rep.Verdict().String(),
+			}
+		}
+	}
+	return best, nil
+}
+
+// compare checks sequential throughput against a baseline file, normalized
+// by each run's calibration probe. Returns the number of regressions.
+func compare(cur *Baseline, baselinePath string, threshold float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", baselinePath, err))
+	}
+	if base.ProbeCyclesPerSec <= 0 || cur.ProbeCyclesPerSec <= 0 {
+		fatal(fmt.Errorf("missing calibration probe (baseline %.0f, current %.0f)",
+			base.ProbeCyclesPerSec, cur.ProbeCyclesPerSec))
+	}
+	baseBy := map[string]Result{}
+	for _, r := range base.Results {
+		if r.Workers == 1 {
+			baseBy[r.Name] = r
+		}
+	}
+	regressions := 0
+	for _, r := range cur.Results {
+		if r.Workers != 1 {
+			continue
+		}
+		b, ok := baseBy[r.Name]
+		if !ok {
+			continue
+		}
+		if r.Cycles < minCompareCycles {
+			fmt.Printf("%-10s workers=1 skipped (%d cycles: setup-dominated, too noisy to gate)\n",
+				r.Name, r.Cycles)
+			continue
+		}
+		baseNorm := b.CyclesPerSec / base.ProbeCyclesPerSec
+		curNorm := r.CyclesPerSec / cur.ProbeCyclesPerSec
+		ratio := curNorm / baseNorm
+		status := "ok"
+		if ratio < 1-threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-10s workers=1 normalized %.3f -> %.3f (%.0f%%) %s\n",
+			r.Name, baseNorm, curNorm, ratio*100, status)
+	}
+	return regressions
+}
+
+func main() {
+	workersList := flag.String("workers", "1,4", "comma-separated engine worker counts to measure")
+	out := flag.String("o", "", "write the JSON baseline to this file (default: stdout)")
+	baseline := flag.String("compare", "", "baseline JSON to check Workers=1 throughput against")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated normalized cycles/sec regression")
+	reps := flag.Int("reps", 3, "repetitions per measurement (the fastest is kept)")
+	filter := flag.String("bench", "", "comma-separated benchmark names (default: all)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [flags] (see -help)")
+		os.Exit(2)
+	}
+
+	var workers []int
+	for _, f := range strings.Split(*workersList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			fatal(fmt.Errorf("bad -workers entry %q", f))
+		}
+		workers = append(workers, w)
+	}
+	var benches []*bench.Benchmark
+	if *filter == "" {
+		benches = bench.All()
+	} else {
+		for _, name := range strings.Split(*filter, ",") {
+			b := bench.ByName(strings.TrimSpace(name))
+			if b == nil {
+				fatal(fmt.Errorf("unknown benchmark %q", name))
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	if *reps < 1 {
+		fatal(fmt.Errorf("bad -reps %d", *reps))
+	}
+	probe, err := measureProbe(*reps)
+	if err != nil {
+		fatal(err)
+	}
+	doc := &Baseline{
+		Schema:            "glift-bench/1",
+		NumCPU:            runtime.NumCPU(),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		ProbeCyclesPerSec: probe,
+	}
+	for _, b := range benches {
+		for _, w := range workers {
+			r, err := measure(b, w, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%-10s workers=%d %8d cycles %10.0f cycles/sec table=%d\n",
+				r.Name, r.Workers, r.Cycles, r.CyclesPerSec, r.TableStates)
+			doc.Results = append(doc.Results, r)
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	} else if *baseline == "" {
+		os.Stdout.Write(enc)
+	}
+
+	if *baseline != "" {
+		if n := compare(doc, *baseline, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", n, *threshold*100)
+			os.Exit(1)
+		}
+	}
+}

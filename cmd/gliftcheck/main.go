@@ -78,6 +78,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON exploration trace to this file")
 	traceN := flag.Int("taint-trace", 0, "print the first N per-cycle tainted-state entries")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (the gliftd wire shape)")
+	workers := flag.Int("workers", 0, "engine exploration workers (0: GOMAXPROCS, 1: sequential); the report is identical either way")
 	verbose := flag.Bool("v", false, "print exploration statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -110,7 +111,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem}
+	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem, Workers: *workers}
 	var rec *glift.TraceRecorder
 	if *traceN > 0 {
 		rec = &glift.TraceRecorder{Max: *traceN}

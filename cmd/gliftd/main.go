@@ -49,6 +49,7 @@ func main() {
 	queue := flag.Int("queue", 64, "queued-job bound (a full queue rejects with 503)")
 	cache := flag.Int("cache", 1024, "content-addressed result cache entries")
 	deadline := flag.Duration("deadline", 0, "default per-job deadline (0: none)")
+	engineWorkers := flag.Int("engine-workers", 1, "exploration workers per engine run (0: GOMAXPROCS); service workers multiply with engine workers")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,6 +62,7 @@ func main() {
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
 		DefaultDeadline: *deadline,
+		EngineWorkers:   *engineWorkers,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

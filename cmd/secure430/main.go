@@ -57,6 +57,7 @@ func main() {
 	rounds := flag.Int("rounds", 8, "maximum analyze/repair rounds")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace covering all rounds to this file")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for all rounds together (0: none); expiry exits 3")
+	workers := flag.Int("workers", 0, "engine exploration workers per round (0: GOMAXPROCS, 1: sequential); the report is identical either way")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: secure430 [flags] app.s43 (see -help)")
@@ -103,10 +104,10 @@ func main() {
 	}
 
 	var xt *obs.ExplorationTrace
-	var opts *glift.Options
+	opts := &glift.Options{Workers: *workers}
 	if *traceFile != "" {
 		xt = obs.NewExplorationTrace(0)
-		opts = &glift.Options{Tracer: xt.Record}
+		opts.Tracer = xt.Record
 	}
 
 	flaggedLines := map[int]bool{}

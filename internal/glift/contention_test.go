@@ -1,0 +1,109 @@
+package glift
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// contentionSrc funnels every forked path back through the same merge
+// point: two independent tainted branches per iteration fork the
+// exploration, and all resulting paths re-enter the loop through the jump
+// at "again", hammering one forkKey.pc in the conservative state table.
+// Convergence happens only when widening at that shared entry saturates,
+// so the run's table traffic is dominated by a single hot key — the worst
+// case for parallel exploration, since nearly every speculated segment's
+// fate is decided by a table entry some other path just changed.
+const contentionSrc = `
+start:  mov &0x0020, r5      ; tainted input (P1IN)
+        and #3, r5
+loop:   mov &0x0020, r6
+        and #1, r6
+        jnz skip1            ; tainted branch: fork
+        inc r5
+skip1:  mov &0x0020, r7
+        and #1, r7
+        jnz skip2            ; second tainted branch: fork again
+        dec r5
+skip2:  and #7, r5
+again:  jmp loop             ; shared merge point for every path
+`
+
+func contentionReport(t *testing.T, workers int) *Report {
+	t.Helper()
+	rep, err := Analyze(mustImage(t, contentionSrc), unboundedPolicy(), &Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("analyze (workers=%d): %v", workers, err)
+	}
+	return rep
+}
+
+// TestTableContentionParallel stresses the hot-key case under the race
+// detector: a pool of workers speculating paths that all merge at the same
+// forkKey.pc must produce exactly the sequential run's table — no lost
+// merges, no duplicated entries, no drifted widen counts.
+func TestTableContentionParallel(t *testing.T) {
+	seq := contentionReport(t, 1)
+	for _, w := range []int{4, 8} {
+		par := contentionReport(t, w)
+		if seq.Stats.TableStates != par.Stats.TableStates {
+			t.Errorf("workers=%d: table size %d, sequential %d (lost or duplicated merge)",
+				w, par.Stats.TableStates, seq.Stats.TableStates)
+		}
+		if seq.Stats.Merges != par.Stats.Merges {
+			t.Errorf("workers=%d: merges %d, sequential %d", w, par.Stats.Merges, seq.Stats.Merges)
+		}
+		if seq.Stats.Prunes != par.Stats.Prunes {
+			t.Errorf("workers=%d: prunes %d, sequential %d", w, par.Stats.Prunes, seq.Stats.Prunes)
+		}
+		sj, pj := seq.JSON(), par.JSON()
+		sj.Stats.WallNanos, pj.Stats.WallNanos = 0, 0
+		sb, _ := json.Marshal(sj)
+		pb, _ := json.Marshal(pj)
+		if string(sb) != string(pb) {
+			t.Errorf("workers=%d report differs from sequential:\n%s\nvs\n%s", w, pb, sb)
+		}
+	}
+}
+
+// TestParallelCancellation verifies the PR 1 contract survives the worker
+// pool: cancelling mid-run must stop promptly (workers abandoned, pool
+// drained, no deadlock on the condition variable) and report Incomplete,
+// never Verified.
+func TestParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := AnalyzeContext(ctx, mustImage(t, countdownSrc), &Policy{Name: "integrity"},
+		func() *Options { o := noWiden(); o.Workers = 4; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation ignored with workers: ran %v", elapsed)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete", v)
+	}
+	if rep.Secure() {
+		t.Fatal("a cancelled parallel run must never read as secure")
+	}
+}
+
+// TestParallelMemoryBudget verifies the hard memory budget still aborts the
+// run when speculation workers are active, and that the verdict semantics
+// (Incomplete, AnalysisIncomplete violation) are unchanged.
+func TestParallelMemoryBudget(t *testing.T) {
+	opt := &Options{Workers: 4, SoftMemBytes: -1, HardMemBytes: 1 << 16}
+	rep, err := Analyze(mustImage(t, contentionSrc), unboundedPolicy(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Verdict(); v != Incomplete {
+		t.Fatalf("verdict = %v, want Incomplete", v)
+	}
+	if !hasKind(rep, AnalysisIncomplete) {
+		t.Fatalf("hard budget abort not recorded: %v", rep.Violations)
+	}
+}

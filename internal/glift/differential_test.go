@@ -1,0 +1,110 @@
+package glift_test
+
+// Differential testing of the parallel exploration mode: the engine
+// guarantees that Options.Workers changes wall-clock time and nothing else,
+// and the content-addressed job cache in internal/service relies on that
+// guarantee (Workers is excluded from job keys). This harness enforces it
+// the strong way — every scaffold benchmark is analyzed sequentially and
+// with a worker pool, and the two reports must serialize byte-identically
+// once the wall-time field (the one documented exception) is zeroed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/glift"
+)
+
+// normalizedReportJSON serializes a report with wall-time zeroed, the only
+// field allowed to differ between worker counts.
+func normalizedReportJSON(t *testing.T, rep *glift.Report) []byte {
+	t.Helper()
+	j := rep.JSON()
+	j.Stats.WallNanos = 0
+	out, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return out
+}
+
+// violationSet order-normalizes a report's violations for set comparison.
+func violationSet(rep *glift.Report) []string {
+	out := make([]string, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		out = append(out, fmt.Sprintf("%s@%#04x: %s", v.Kind, v.PC, v.Detail))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func analyzeWorkers(t *testing.T, bt *bench.Built, workers int) *glift.Report {
+	t.Helper()
+	rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("analyze %s (workers=%d): %v", bt.Bench.Name, workers, err)
+	}
+	return rep
+}
+
+// TestDifferentialScaffoldBenchmarks runs every scaffold benchmark with
+// Workers=1 and Workers=4 and asserts identical verdicts, order-normalized
+// violation sets, conservative-table sizes, and finally byte-identical
+// reports modulo wall time (which subsumes the weaker checks; they run
+// first only to localize a failure).
+func TestDifferentialScaffoldBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			bt, err := bench.BuildUnmodified(b)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			seq := analyzeWorkers(t, bt, 1)
+			par := analyzeWorkers(t, bt, 4)
+
+			if sv, pv := seq.Verdict(), par.Verdict(); sv != pv {
+				t.Errorf("verdict mismatch: sequential %v, parallel %v", sv, pv)
+			}
+			svs, pvs := violationSet(seq), violationSet(par)
+			if len(svs) != len(pvs) {
+				t.Errorf("violation count mismatch: sequential %d, parallel %d", len(svs), len(pvs))
+			} else {
+				for i := range svs {
+					if svs[i] != pvs[i] {
+						t.Errorf("violation set mismatch at %d:\n  sequential: %s\n  parallel:   %s", i, svs[i], pvs[i])
+					}
+				}
+			}
+			if st, pt := seq.Stats.TableStates, par.Stats.TableStates; st != pt {
+				t.Errorf("table size mismatch: sequential %d, parallel %d", st, pt)
+			}
+
+			sj, pj := normalizedReportJSON(t, seq), normalizedReportJSON(t, par)
+			if string(sj) != string(pj) {
+				t.Errorf("reports differ beyond wall time:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", sj, pj)
+			}
+		})
+	}
+}
+
+// TestDifferentialWorkerSweep covers worker counts beyond the canonical
+// 1-vs-4 pair on a fork-heavy benchmark, including pools larger than the
+// path count.
+func TestDifferentialWorkerSweep(t *testing.T) {
+	bt, err := bench.BuildUnmodified(bench.ByName("binSearch"))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	want := normalizedReportJSON(t, analyzeWorkers(t, bt, 1))
+	for _, w := range []int{2, 3, 8} {
+		got := normalizedReportJSON(t, analyzeWorkers(t, bt, w))
+		if string(got) != string(want) {
+			t.Errorf("workers=%d report differs from sequential:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}

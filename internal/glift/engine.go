@@ -3,6 +3,7 @@ package glift
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -30,6 +31,17 @@ func SharedDesign() *mcu.Design {
 type Options struct {
 	// MaxCycles bounds total simulated cycles (0: default 4M).
 	MaxCycles uint64
+	// Workers is the number of exploration workers (0: default GOMAXPROCS;
+	// 1: strictly sequential, the pre-parallel behavior). Additional workers
+	// speculatively simulate queued path states on private mcu.System
+	// instances while a single committer replays their recorded traces
+	// through the conservative state table in exact sequential order, so a
+	// run produces the same Report — byte-identical modulo wall-time fields
+	// — for every worker count. Because results cannot depend on it,
+	// Workers is deliberately excluded from Normalized() and from
+	// content-addressed job keys. Runs with a per-cycle Trace hook are
+	// forced sequential (the hook observes live simulation state).
+	Workers int
 	// MaxPathCycles bounds cycles on one path segment without a merge point
 	// (0: default 200k) — a straight-line runaway guard.
 	MaxPathCycles uint64
@@ -91,8 +103,15 @@ func (o *Options) withDefaults() Options {
 // Normalized returns the options with every default applied — the canonical
 // form used for content-addressed job keys, so an explicitly spelled-out
 // default and an omitted field hash identically. The callback fields do not
-// participate in normalization.
-func (o *Options) Normalized() Options { return o.withDefaults() }
+// participate in normalization, and Workers is zeroed: the worker count
+// changes only wall time, never the report (the parallel mode's determinism
+// guarantee), so two submissions differing only in Workers must share one
+// cache entry.
+func (o *Options) Normalized() Options {
+	out := o.withDefaults()
+	out.Workers = 0
+	return out
+}
 
 // forkKey identifies a conservative-state-table entry: a PC-changing
 // commit site (PC value plus FSM state, since a mid-instruction cycle's PC
@@ -107,6 +126,10 @@ type forkKey struct {
 type pathState struct {
 	snap     *mcu.Snapshot
 	curInstr uint16
+	// id orders every enqueued state over the run; the speculation pool
+	// addresses its per-item bookkeeping by it (sequential runs carry the
+	// ids too — assignment is deterministic and costs one increment).
+	id uint64
 }
 
 // tableEntry is one conservative-state-table slot: the reference state for
@@ -123,13 +146,26 @@ type Engine struct {
 	Pol *Policy
 	opt Options
 
-	table    map[forkKey]*tableEntry
+	table map[forkKey]*tableEntry
+	// tableMu guards table contents against the speculation workers'
+	// advisory reads (tableCovers). The committer is the only writer, so
+	// sequential runs pay one uncontended lock per table application.
+	tableMu  sync.RWMutex
 	work     []pathState
 	curInstr uint16
 	seen     map[Violation]bool
 	report   *Report
 
 	ramRange AddrRange
+
+	// design and img rebuild per-worker mcu.System instances for the
+	// speculation pool (circuits are mutable and cannot be shared).
+	design *mcu.Design
+	img    *asm.Image
+	// pool is the speculation worker pool; nil for sequential runs.
+	pool *specPool
+	// pushSeq issues pathState ids in enqueue order.
+	pushSeq uint64
 
 	// ctx aborts the exploration between cycles; set by RunContext.
 	ctx context.Context
@@ -178,6 +214,32 @@ func NewEngineOn(d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Eng
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
+	sys, err := buildSystem(d, img, pol)
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{
+		Sys:      sys,
+		Pol:      pol,
+		opt:      opt.withDefaults(),
+		table:    make(map[forkKey]*tableEntry),
+		seen:     make(map[Violation]bool),
+		report:   &Report{Policy: pol.Name},
+		ramRange: AddrRange{Lo: isa.RAMStart, Hi: isa.RAMEnd},
+		design:   d,
+		img:      img,
+	}
+	eng.widenAfter = eng.opt.WidenAfter
+	eng.snapBytes = sys.SnapshotBytes()
+	return eng, nil
+}
+
+// buildSystem prepares one simulation instance: program loaded, policy
+// taints applied. The speculation pool uses it to give each worker a
+// private system whose ROM, port inputs and reset line are identical to the
+// committer's — everything else (flip-flops, RAM) arrives via Restore, so
+// two systems built here evaluate any snapshot bit-identically.
+func buildSystem(d *mcu.Design, img *asm.Image, pol *Policy) (*mcu.System, error) {
 	sys, err := mcu.NewSystem(d)
 	if err != nil {
 		return nil, err
@@ -208,18 +270,7 @@ func NewEngineOn(d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Eng
 		}
 		sys.SetPortIn(i, w)
 	}
-	eng := &Engine{
-		Sys:      sys,
-		Pol:      pol,
-		opt:      opt.withDefaults(),
-		table:    make(map[forkKey]*tableEntry),
-		seen:     make(map[Violation]bool),
-		report:   &Report{Policy: pol.Name},
-		ramRange: AddrRange{Lo: isa.RAMStart, Hi: isa.RAMEnd},
-	}
-	eng.widenAfter = eng.opt.WidenAfter
-	eng.snapBytes = sys.SnapshotBytes()
-	return eng, nil
+	return sys, nil
 }
 
 // Analyze runs Algorithm 1 end to end for one policy.
@@ -258,6 +309,14 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 		e.emitProgress(true)
 	}()
 
+	if w := e.workerCount(); w > 1 {
+		e.pool = newSpecPool(e, w-1)
+		defer func() {
+			e.pool.stop()
+			e.pool = nil
+		}()
+	}
+
 	e.Sys.PowerOn()
 	e.Sys.Step() // StReset: fetch the reset vector
 	entryW := e.Sys.GetWord([]netlist.NetID(e.Sys.D.PC))
@@ -280,10 +339,19 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 		ps := e.work[len(e.work)-1]
 		e.work = e.work[:len(e.work)-1]
 		e.report.Stats.Paths++
-		e.Sys.Restore(ps.snap)
-		e.curInstr = ps.curInstr
-		e.traceEvent(EvPathStart, ps.curInstr, len(e.work), "")
-		e.runPath()
+		var tr *specTrace
+		if e.pool != nil {
+			tr = e.pool.take(ps.id)
+		}
+		if tr != nil {
+			e.traceEvent(EvPathStart, ps.curInstr, len(e.work), "")
+			e.replayTrace(ps, tr)
+		} else {
+			e.Sys.Restore(ps.snap)
+			e.curInstr = ps.curInstr
+			e.traceEvent(EvPathStart, ps.curInstr, len(e.work), "")
+			e.runPathFrom(0)
+		}
 		e.traceEvent(EvPathEnd, e.curInstr, len(e.work), "")
 	}
 	if e.ctx.Err() != nil {
@@ -300,6 +368,21 @@ func (e *Engine) RunContext(ctx context.Context) (rep *Report) {
 
 // sinceStart is wall time since RunContext started.
 func (e *Engine) sinceStart() time.Duration { return time.Since(e.runStart) }
+
+// workerCount resolves Options.Workers: 0 means GOMAXPROCS, and a per-cycle
+// Trace hook forces sequential exploration — the hook contract is to observe
+// the live simulation of every committed cycle in order, which speculative
+// re-execution cannot honor.
+func (e *Engine) workerCount() int {
+	w := e.opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if e.opt.Trace != nil {
+		w = 1
+	}
+	return w
+}
 
 // memInUse approximates the retained footprint of the conservative state
 // table plus the work queue (each entry owns one snapshot).
@@ -325,10 +408,11 @@ func (e *Engine) noteMem() {
 	}
 }
 
-// runPath simulates from the current state until the path is pruned,
-// forked, or abandoned.
-func (e *Engine) runPath() {
-	var pathCycles uint64
+// runPathFrom simulates from the current state until the path is pruned,
+// forked, or abandoned. pathCycles seeds the straight-line budget counter:
+// 0 for a fresh path, or the cycles already replayed when the committer
+// resumes live execution in the middle of a speculated segment.
+func (e *Engine) runPathFrom(pathCycles uint64) {
 	for e.report.Stats.Cycles < e.opt.MaxCycles {
 		if pathCycles&1023 == 1023 && e.ctx.Err() != nil {
 			return // the outer loop records the cancellation
@@ -341,7 +425,7 @@ func (e *Engine) runPath() {
 			e.violation(PCUnresolved, e.curInstr, fmt.Sprintf("fetch address is unknown (pc=%s)", ci.PC))
 			return
 		}
-		e.check(ci)
+		e.checkCycle(ci)
 		if e.opt.Trace != nil {
 			e.opt.Trace(e, ci)
 		}
@@ -354,7 +438,7 @@ func (e *Engine) runPath() {
 		}
 		e.commitCycle(ci)
 		pathCycles++
-		if e.modifiesPC(ci) {
+		if modifiesPC(ci) {
 			// Key the conservative state table on the committing cycle's PC
 			// (unique per commit site — including the reset vector load,
 			// whose PC is 0) plus the semantic control decisions.
@@ -378,22 +462,45 @@ func (e *Engine) runPath() {
 // attacker-influenced — so the engine re-taints the PC after any commit
 // that is not a clean reset.
 func (e *Engine) commitCycle(ci *mcu.CycleInfo) {
-	pcWasTainted := ci.PC.TT != 0
-	e.Sys.Commit(ci)
+	commitOn(e.Sys, ci, e.countCommit)
+}
+
+// countCommit accounts one committed cycle against the report and drives
+// the progress cadence. Progress is counted in cycles since the last
+// emission, not in absolute cycle positions: commits also happen outside
+// runPathFrom's loop (fork concretization), so a boundary-position test
+// could be stepped over indefinitely and starve the hook on fork-heavy
+// runs.
+func (e *Engine) countCommit() {
 	e.report.Stats.Cycles++
-	// Progress cadence is counted in cycles since the last emission, not in
-	// absolute cycle positions: commits also happen outside runPath's loop
-	// (fork concretization), so a boundary-position test could be stepped
-	// over indefinitely and starve the hook on fork-heavy runs.
 	if e.sinceEmit++; e.sinceEmit >= progressEvery {
 		e.emitProgress(false)
 	}
+}
+
+// advanceCycles accounts delta already-simulated cycles at once — the
+// committer's bulk form of countCommit when it replays a speculated
+// segment whose cycles were simulated on a worker.
+func (e *Engine) advanceCycles(delta uint64) {
+	e.report.Stats.Cycles += delta
+	if e.sinceEmit += delta; e.sinceEmit >= progressEvery {
+		e.emitProgress(false)
+	}
+}
+
+// commitOn commits one evaluated cycle on sys and applies the re-taint
+// rule; onCommitted (the engine's cycle accounting, or a speculation
+// worker's local counter) runs between the commit and the re-taint.
+func commitOn(sys *mcu.System, ci *mcu.CycleInfo, onCommitted func()) {
+	pcWasTainted := ci.PC.TT != 0
+	sys.Commit(ci)
+	onCommitted()
 	cleanReset := ci.POR.V == logic.One && !ci.POR.T
 	if pcWasTainted && !cleanReset {
-		for _, bit := range e.Sys.D.PC {
-			sg := e.Sys.C.Get(bit)
+		for _, bit := range sys.D.PC {
+			sg := sys.C.Get(bit)
 			sg.T = true
-			e.Sys.C.SetInput(bit, sg)
+			sys.C.SetInput(bit, sg)
 		}
 	}
 }
@@ -401,7 +508,7 @@ func (e *Engine) commitCycle(ci *mcu.CycleInfo) {
 // modifiesPC reports whether the committed cycle changed the PC
 // non-sequentially — a PC-changing instruction in Algorithm 1's sense.
 // These are the points where the conservative state table applies.
-func (e *Engine) modifiesPC(ci *mcu.CycleInfo) bool {
+func modifiesPC(ci *mcu.CycleInfo) bool {
 	if ci.PCNext.XM != 0 || ci.PC.XM != 0 || ci.POR.V != logic.Zero || ci.IrqTkn.V != logic.Zero {
 		return true
 	}
@@ -411,24 +518,43 @@ func (e *Engine) modifiesPC(ci *mcu.CycleInfo) bool {
 	return ci.PCNext.Val != ci.PC.Val && ci.PCNext.Val != ci.PC.Val+2
 }
 
-// mergePoint applies the conservative state table after committing a
-// PC-changing cycle. It returns true when the path should stop (the state
-// is covered by what has already been explored); otherwise the simulation
-// continues from the (possibly widened) conservative superstate.
-func (e *Engine) mergePoint(k forkKey) bool {
-	post := e.Sys.Snapshot()
+// tableOutcome classifies one application of the conservative state table
+// to a PC-changing commit's post-state.
+type tableOutcome uint8
+
+const (
+	// tableInserted: first visit; a clone of the state became the entry.
+	tableInserted tableOutcome = iota
+	// tableReplaced: below the widening threshold; the entry now tracks
+	// this precise state and the path continues from it unchanged.
+	tableReplaced
+	// tablePruned: the state is covered by the entry; stop the path.
+	tablePruned
+	// tableWidened: the entry was widened to a superstate covering this
+	// state; the path must continue from the returned superstate.
+	tableWidened
+)
+
+// tableApply runs the conservative-state-table protocol for key k against
+// post — the single authority shared by merge points, successor pushes and
+// speculation replay, so all three stay byte-for-byte equivalent. On
+// tableWidened the second result is the conservative superstate (owned by
+// the table; callers must Clone before mutating or enqueueing it).
+func (e *Engine) tableApply(k forkKey, post *mcu.Snapshot) (tableOutcome, *mcu.Snapshot) {
+	e.tableMu.Lock()
+	defer e.tableMu.Unlock()
 	if c, ok := e.table[k]; ok {
 		c.visits++
 		if post.SubstateOf(c.snap) {
 			e.report.Stats.Prunes++
 			e.traceEvent(EvPrune, k.pc, len(e.table), "")
-			return true
+			return tablePruned, nil
 		}
 		if c.visits <= e.widenAfter {
 			// Below the widening threshold: track the precise state so
 			// concretely-bounded loops unroll exactly.
 			c.snap = post.Clone()
-			return false
+			return tableReplaced, nil
 		}
 		c.snap.MergeFrom(post)
 		e.report.Stats.Merges++
@@ -436,12 +562,26 @@ func (e *Engine) mergePoint(k forkKey) bool {
 		if e.debugMerge != nil {
 			e.debugMerge(k, c.snap)
 		}
-		e.Sys.Restore(c.snap)
-		return false
+		return tableWidened, c.snap
 	}
 	e.table[k] = &tableEntry{snap: post.Clone(), visits: 1}
 	e.report.Stats.TableStates = len(e.table)
-	e.noteMem()
+	return tableInserted, nil
+}
+
+// mergePoint applies the conservative state table after committing a
+// PC-changing cycle. It returns true when the path should stop (the state
+// is covered by what has already been explored); otherwise the simulation
+// continues from the (possibly widened) conservative superstate.
+func (e *Engine) mergePoint(k forkKey) bool {
+	switch oc, cont := e.tableApply(k, e.Sys.Snapshot()); oc {
+	case tablePruned:
+		return true
+	case tableWidened:
+		e.Sys.Restore(cont)
+	case tableInserted:
+		e.noteMem()
+	}
 	return false
 }
 
@@ -454,7 +594,27 @@ func (e *Engine) mergePoint(k forkKey) bool {
 // countdown state was widened to X by conservative merging — the reset may
 // or may not fire this cycle, so both worlds are explored).
 func (e *Engine) fork(ci *mcu.CycleInfo) {
-	pre := e.Sys.Snapshot()
+	forkOutcomes(e.Sys, ci,
+		func(detail string) {
+			e.violation(PCUnresolved, e.curInstr, detail)
+		},
+		func(k forkKey, civ *mcu.CycleInfo) {
+			e.commitCycle(civ)
+			e.report.Stats.Forks++
+			e.push(e.Sys.Snapshot(), e.curInstr, k, true)
+			e.traceEvent(EvFork, k.pc, len(e.work), "")
+		})
+}
+
+// forkOutcomes enumerates every concretization of an unknown-PC cycle in a
+// fixed deterministic order, shared by the live engine and the speculation
+// workers. For each combination it either reports an unresolved target
+// (onUnresolved, with the violation detail) or evaluates the forced cycle
+// and hands it to onSucc, which must commit it; sys is left in the last
+// combination's state.
+func forkOutcomes(sys *mcu.System, ci *mcu.CycleInfo,
+	onUnresolved func(detail string), onSucc func(k forkKey, civ *mcu.CycleInfo)) {
+	pre := sys.Snapshot()
 
 	type cand struct {
 		net netlist.NetID
@@ -462,13 +622,13 @@ func (e *Engine) fork(ci *mcu.CycleInfo) {
 	}
 	var cands []cand
 	if ci.BranchTkn.V == logic.X {
-		cands = append(cands, cand{e.Sys.D.BranchTaken, ci.BranchTkn})
+		cands = append(cands, cand{sys.D.BranchTaken, ci.BranchTkn})
 	}
-	if por := e.Sys.C.Get(e.Sys.D.POR); por.V == logic.X {
-		cands = append(cands, cand{e.Sys.D.POR, por})
+	if por := sys.C.Get(sys.D.POR); por.V == logic.X {
+		cands = append(cands, cand{sys.D.POR, por})
 	}
 	if ci.IrqTkn.V == logic.X {
-		cands = append(cands, cand{e.Sys.D.IrqTaken, ci.IrqTkn})
+		cands = append(cands, cand{sys.D.IrqTaken, ci.IrqTkn})
 	}
 	if len(cands) == 0 {
 		// The unknown PC comes from data (e.g. a return address widened by
@@ -485,34 +645,30 @@ func (e *Engine) fork(ci *mcu.CycleInfo) {
 			}
 		}
 		if len(xbits) == 0 || len(xbits) > maxXBits {
-			e.violation(PCUnresolved, e.curInstr, "PC target unknown (indirect control flow through unknown data)")
+			onUnresolved("PC target unknown (indirect control flow through unknown data)")
 			return
 		}
 		for combo := 0; combo < 1<<len(xbits); combo++ {
-			e.Sys.Restore(pre)
+			sys.Restore(pre)
 			forced := make(map[netlist.NetID]logic.Sig, len(xbits))
 			for j, bit := range xbits {
-				forced[e.Sys.D.PCNext[bit]] = logic.Sig{
+				forced[sys.D.PCNext[bit]] = logic.Sig{
 					V: logic.FromBool(combo>>uint(j)&1 == 1),
 					T: ci.PCNext.TT>>uint(bit)&1 == 1,
 				}
 			}
-			civ := e.Sys.EvalCycle(forced)
+			civ := sys.EvalCycle(forced)
 			if civ.PCNext.XM != 0 {
-				e.violation(PCUnresolved, e.curInstr, "PC target unknown even with candidate enumeration")
+				onUnresolved("PC target unknown even with candidate enumeration")
 				continue
 			}
-			k := forkKey{pc: civ.PC.Val, state: stateCode(civ), dir: uint8(100 + combo)}
-			e.commitCycle(civ)
-			e.report.Stats.Forks++
-			e.push(e.Sys.Snapshot(), e.curInstr, k, true)
-			e.traceEvent(EvFork, k.pc, len(e.work), "")
+			onSucc(forkKey{pc: civ.PC.Val, state: stateCode(civ), dir: uint8(100 + combo)}, civ)
 		}
 		return
 	}
 
 	for combo := 0; combo < 1<<len(cands); combo++ {
-		e.Sys.Restore(pre)
+		sys.Restore(pre)
 		forced := make(map[netlist.NetID]logic.Sig, len(cands))
 		for i, c := range cands {
 			v := logic.Zero
@@ -521,16 +677,12 @@ func (e *Engine) fork(ci *mcu.CycleInfo) {
 			}
 			forced[c.net] = logic.Sig{V: v, T: c.sig.T}
 		}
-		civ := e.Sys.EvalCycle(forced)
+		civ := sys.EvalCycle(forced)
 		if civ.PCNext.XM != 0 {
-			e.violation(PCUnresolved, e.curInstr, fmt.Sprintf("PC target unknown even with control decisions forced (st=%d pcnext=%s)", civ.State, civ.PCNext))
+			onUnresolved(fmt.Sprintf("PC target unknown even with control decisions forced (st=%d pcnext=%s)", civ.State, civ.PCNext))
 			continue
 		}
-		k := forkKey{pc: civ.PC.Val, state: stateCode(civ), dir: dirCode(civ.BranchTkn.V, civ.POR.V, civ.IrqTkn.V)}
-		e.commitCycle(civ)
-		e.report.Stats.Forks++
-		e.push(e.Sys.Snapshot(), e.curInstr, k, true)
-		e.traceEvent(EvFork, k.pc, len(e.work), "")
+		onSucc(forkKey{pc: civ.PC.Val, state: stateCode(civ), dir: dirCode(civ.BranchTkn.V, civ.POR.V, civ.IrqTkn.V)}, civ)
 	}
 }
 
@@ -555,87 +707,96 @@ func stateCode(ci *mcu.CycleInfo) uint8 {
 func (e *Engine) push(post *mcu.Snapshot, curInstr uint16, k forkKey, applyTable bool) {
 	next := curInstr
 	if applyTable {
-		if c, ok := e.table[k]; ok {
-			c.visits++
-			if post.SubstateOf(c.snap) {
-				e.report.Stats.Prunes++
-				e.traceEvent(EvPrune, k.pc, len(e.table), "")
-				return
-			}
-			if c.visits <= e.widenAfter {
-				c.snap = post.Clone()
-			} else {
-				c.snap.MergeFrom(post)
-				e.report.Stats.Merges++
-				e.traceEvent(EvMerge, k.pc, len(e.table), "")
-				if e.debugMerge != nil {
-					e.debugMerge(k, c.snap)
-				}
-				post = c.snap.Clone()
-			}
-		} else {
-			e.table[k] = &tableEntry{snap: post.Clone(), visits: 1}
-			e.report.Stats.TableStates = len(e.table)
+		switch oc, cont := e.tableApply(k, post); oc {
+		case tablePruned:
+			return
+		case tableWidened:
+			post = cont.Clone()
 		}
 	}
-	e.work = append(e.work, pathState{snap: post, curInstr: next})
+	e.pushSeq++
+	e.work = append(e.work, pathState{snap: post, curInstr: next, id: e.pushSeq})
+	if e.pool != nil {
+		e.pool.offer(e.pushSeq, post, next)
+	}
 	e.noteMem()
 }
 
-func (e *Engine) violation(k Kind, pc uint16, detail string) {
-	v := Violation{Kind: k, PC: pc, Detail: detail}
-	key := v // dedupe on (kind, pc)
-	key.Cycle = 0
-	key.Detail = ""
-	// State-condition kinds latch machine-wide: once the watchdog or an
-	// output port register is tainted, every later cycle re-observes it;
-	// keep only the first (root-cause) report.
+// violationDedupKey is the (kind, pc) identity violations deduplicate on.
+// State-condition kinds latch machine-wide: once the watchdog or an output
+// port register is tainted, every later cycle re-observes it; those
+// deduplicate on the kind alone so only the first (root-cause) report
+// survives. Shared with the speculation workers, whose local deduplication
+// must drop exactly the raises the live engine would drop.
+func violationDedupKey(k Kind, pc uint16) Violation {
 	if k == WatchdogTainted || k == OutputPortTainted || k == C1TaintedState {
-		key.PC = 0
+		pc = 0
 	}
+	return Violation{Kind: k, PC: pc}
+}
+
+func (e *Engine) violation(k Kind, pc uint16, detail string) {
+	key := violationDedupKey(k, pc)
 	if e.seen[key] {
 		return
 	}
 	e.seen[key] = true
-	v.Cycle = e.report.Stats.Cycles
+	v := Violation{Kind: k, PC: pc, Detail: detail, Cycle: e.report.Stats.Cycles}
 	e.report.Violations = append(e.report.Violations, v)
 	e.traceEvent(EvViolation, pc, 0, k.String())
 }
 
 // ---- Per-cycle policy checking (Section 4.2 / 5.1) ----
 
-func (e *Engine) check(ci *mcu.CycleInfo) {
-	taintedTask := e.Pol.InTaintedCode(e.curInstr)
+// cycleChecker evaluates the per-cycle policy conditions against one
+// simulation instance, raising violations through a pluggable sink. The
+// live engine raises into its report; speculation workers record raises
+// into their segment trace for deterministic replay.
+type cycleChecker struct {
+	sys      *mcu.System
+	pol      *Policy
+	ramRange AddrRange
+	raise    func(k Kind, pc uint16, detail string)
+}
+
+// checkCycle runs the policy checks on the engine's own system.
+func (e *Engine) checkCycle(ci *mcu.CycleInfo) {
+	c := cycleChecker{sys: e.Sys, pol: e.Pol, ramRange: e.ramRange, raise: e.violation}
+	c.check(ci, e.curInstr)
+}
+
+func (c *cycleChecker) check(ci *mcu.CycleInfo, curInstr uint16) {
+	taintedTask := c.pol.InTaintedCode(curInstr)
 
 	// C1: untainted code must start executing on an untainted processor.
 	if ci.StateOK && ci.State == mcu.StFetch && !taintedTask {
-		if name, bad := e.coreStateTainted(); bad {
-			e.violation(C1TaintedState, e.curInstr, fmt.Sprintf("untainted code fetch with tainted state element %s", name))
+		if name, bad := c.coreStateTainted(); bad {
+			c.raise(C1TaintedState, curInstr, fmt.Sprintf("untainted code fetch with tainted state element %s", name))
 		}
 	}
 
 	if ci.Re.V != logic.Zero {
-		e.checkLoad(ci, taintedTask)
+		c.checkLoad(ci, curInstr, taintedTask)
 	}
 	if ci.We.V != logic.Zero {
-		e.checkStore(ci, taintedTask)
+		c.checkStore(ci, curInstr, taintedTask)
 	}
 
 	// Watchdog integrity: the untainted-reset mechanism is sound only while
 	// the watchdog's state and write strobe stay untainted (Section 5.2).
-	if e.Sys.C.Get(e.Sys.D.WdtWe).T ||
-		e.Sys.GetWord(e.Sys.D.WdtCtl).Tainted() ||
-		e.Sys.GetWord(e.Sys.D.WdtCnt).Tainted() {
-		e.violation(WatchdogTainted, e.curInstr, "watchdog control state or write strobe tainted")
+	if c.sys.C.Get(c.sys.D.WdtWe).T ||
+		c.sys.GetWord(c.sys.D.WdtCtl).Tainted() ||
+		c.sys.GetWord(c.sys.D.WdtCnt).Tainted() {
+		c.raise(WatchdogTainted, curInstr, "watchdog control state or write strobe tainted")
 	}
 
 	// Direct non-interference: untainted output ports must stay untainted.
 	for i := 0; i < mcu.NumPorts; i++ {
-		if e.Pol.TaintedOutPort(i) {
+		if c.pol.TaintedOutPort(i) {
 			continue
 		}
-		if e.Sys.GetWord(e.Sys.D.PortOut[i]).Tainted() {
-			e.violation(OutputPortTainted, e.curInstr, fmt.Sprintf("output port P%d is tainted", i+1))
+		if c.sys.GetWord(c.sys.D.PortOut[i]).Tainted() {
+			c.raise(OutputPortTainted, curInstr, fmt.Sprintf("output port P%d is tainted", i+1))
 		}
 	}
 }
@@ -646,8 +807,8 @@ func (e *Engine) check(ci *mcu.CycleInfo) {
 // construction (every instruction writes them before any read, and nothing
 // else can observe them), so residual taint there cannot influence a later
 // task — see DESIGN.md.
-func (e *Engine) coreStateTainted() (string, bool) {
-	d := e.Sys.D
+func (c *cycleChecker) coreStateTainted() (string, bool) {
+	d := c.sys.D
 	named := []struct {
 		name string
 		w    []netlist.NetID
@@ -655,7 +816,7 @@ func (e *Engine) coreStateTainted() (string, bool) {
 		{"pc", d.PC}, {"sr", d.SR},
 	}
 	for _, n := range named {
-		if e.Sys.GetWord(n.w).Tainted() {
+		if c.sys.GetWord(n.w).Tainted() {
 			return n.name, true
 		}
 	}
@@ -663,14 +824,14 @@ func (e *Engine) coreStateTainted() (string, bool) {
 		if d.Regs[r] == nil {
 			continue
 		}
-		if e.Sys.GetWord(d.Regs[r]).Tainted() {
+		if c.sys.GetWord(d.Regs[r]).Tainted() {
 			return isa.Reg(r).String(), true
 		}
 	}
 	return "", false
 }
 
-func (e *Engine) checkLoad(ci *mcu.CycleInfo, taintedTask bool) {
+func (c *cycleChecker) checkLoad(ci *mcu.CycleInfo, curInstr uint16, taintedTask bool) {
 	if taintedTask {
 		return // tainted code may read anything tainted; C4 guards the rest
 	}
@@ -678,30 +839,30 @@ func (e *Engine) checkLoad(ci *mcu.CycleInfo, taintedTask bool) {
 	free := addr.XM | addr.TT
 	if free == 0 {
 		a := addr.Val
-		if e.Pol.InTaintedData(a) {
-			e.violation(C3LoadTainted, e.curInstr, fmt.Sprintf("untainted code loads from tainted partition address %#04x", a))
+		if c.pol.InTaintedData(a) {
+			c.raise(C3LoadTainted, curInstr, fmt.Sprintf("untainted code loads from tainted partition address %#04x", a))
 		}
-		if i, ok := portInIndex(a); ok && e.Pol.TaintedInPort(i) {
-			e.violation(C4ReadTaintedPort, e.curInstr, fmt.Sprintf("untainted code reads tainted input port P%d", i+1))
+		if i, ok := portInIndex(a); ok && c.pol.TaintedInPort(i) {
+			c.raise(C4ReadTaintedPort, curInstr, fmt.Sprintf("untainted code reads tainted input port P%d", i+1))
 		}
 		return
 	}
 	// Unknown address: check the whole cover.
-	for _, r := range e.Pol.TaintedData {
+	for _, r := range c.pol.TaintedData {
 		if r.IntersectsPattern(free, addr.Val) {
-			e.violation(C3LoadTainted, e.curInstr, "unknown load address may reach a tainted partition")
+			c.raise(C3LoadTainted, curInstr, "unknown load address may reach a tainted partition")
 			break
 		}
 	}
 	for i := 0; i < mcu.NumPorts; i++ {
-		if e.Pol.TaintedInPort(i) && matchesPattern(mcu.PortInAddr(i), free, addr.Val) {
-			e.violation(C4ReadTaintedPort, e.curInstr, "unknown load address may reach a tainted input port")
+		if c.pol.TaintedInPort(i) && matchesPattern(mcu.PortInAddr(i), free, addr.Val) {
+			c.raise(C4ReadTaintedPort, curInstr, "unknown load address may reach a tainted input port")
 			break
 		}
 	}
 }
 
-func (e *Engine) checkStore(ci *mcu.CycleInfo, taintedTask bool) {
+func (c *cycleChecker) checkStore(ci *mcu.CycleInfo, curInstr uint16, taintedTask bool) {
 	addr, data := ci.Addr, ci.WData
 	free := addr.XM | addr.TT
 	taintsTarget := data.Tainted() || addr.TT != 0 || ci.We.T
@@ -709,20 +870,20 @@ func (e *Engine) checkStore(ci *mcu.CycleInfo, taintedTask bool) {
 	if free == 0 {
 		a := addr.Val
 		switch {
-		case e.ramRange.Contains(a):
-			if taintsTarget && !e.Pol.InTaintedData(a) {
-				e.violation(C2MemoryEscape, e.curInstr, fmt.Sprintf("tainted store to untainted memory %#04x", a))
+		case c.ramRange.Contains(a):
+			if taintsTarget && !c.pol.InTaintedData(a) {
+				c.raise(C2MemoryEscape, curInstr, fmt.Sprintf("tainted store to untainted memory %#04x", a))
 			}
 		case a&^1 == isa.AddrWDTCTL:
 			if taintedTask || taintsTarget {
-				e.violation(WatchdogTainted, e.curInstr, "tainted code or tainted data writes WDTCTL")
+				c.raise(WatchdogTainted, curInstr, "tainted code or tainted data writes WDTCTL")
 			}
 		default:
-			if i, ok := portOutIndex(a); ok && !e.Pol.TaintedOutPort(i) {
+			if i, ok := portOutIndex(a); ok && !c.pol.TaintedOutPort(i) {
 				if taintedTask {
-					e.violation(C5WriteUntaintedPort, e.curInstr, fmt.Sprintf("tainted code writes untainted output port P%d", i+1))
+					c.raise(C5WriteUntaintedPort, curInstr, fmt.Sprintf("tainted code writes untainted output port P%d", i+1))
 				} else if taintsTarget {
-					e.violation(OutputPortTainted, e.curInstr, fmt.Sprintf("tainted data written to untainted output port P%d", i+1))
+					c.raise(OutputPortTainted, curInstr, fmt.Sprintf("tainted data written to untainted output port P%d", i+1))
 				}
 			}
 		}
@@ -738,19 +899,19 @@ func (e *Engine) checkStore(ci *mcu.CycleInfo, taintedTask bool) {
 	if !taintsTarget {
 		return
 	}
-	if e.Pol.patternEscapes(free, addr.Val, e.ramRange) {
-		e.violation(C2MemoryEscape, e.curInstr, "store address unknown/tainted: may taint an untainted memory partition")
+	if c.pol.patternEscapes(free, addr.Val, c.ramRange) {
+		c.raise(C2MemoryEscape, curInstr, "store address unknown/tainted: may taint an untainted memory partition")
 	}
 	if matchesPattern(isa.AddrWDTCTL, free, addr.Val) {
-		e.violation(WatchdogTainted, e.curInstr, "unknown store address may reach WDTCTL")
+		c.raise(WatchdogTainted, curInstr, "unknown store address may reach WDTCTL")
 	}
 	for i := 0; i < mcu.NumPorts; i++ {
-		if !e.Pol.TaintedOutPort(i) && matchesPattern(mcu.PortOutAddr(i), free, addr.Val) {
+		if !c.pol.TaintedOutPort(i) && matchesPattern(mcu.PortOutAddr(i), free, addr.Val) {
 			kind := OutputPortTainted
 			if taintedTask {
 				kind = C5WriteUntaintedPort
 			}
-			e.violation(kind, e.curInstr, fmt.Sprintf("unknown store address may reach untainted output port P%d", i+1))
+			c.raise(kind, curInstr, fmt.Sprintf("unknown store address may reach untainted output port P%d", i+1))
 		}
 	}
 }

@@ -12,6 +12,11 @@ type Progress struct {
 	Stats Stats
 	// Pending is the number of path states still queued for exploration.
 	Pending int
+	// Sched is a snapshot of the parallel-exploration scheduler (busy
+	// workers, deque depth, steal/speculation counters). It is the zero
+	// value on sequential runs, and lives here rather than in Stats so
+	// reports stay byte-identical across worker counts.
+	Sched SchedStats
 	// Done marks the final callback of a run (the report is complete).
 	Done bool
 }
@@ -31,5 +36,9 @@ func (e *Engine) emitProgress(done bool) {
 		return
 	}
 	e.report.Stats.WallNanos = e.sinceStart().Nanoseconds()
-	e.opt.Progress(Progress{Stats: e.report.Stats, Pending: len(e.work), Done: done})
+	p := Progress{Stats: e.report.Stats, Pending: len(e.work), Done: done}
+	if e.pool != nil {
+		p.Sched = e.pool.sched()
+	}
+	e.opt.Progress(p)
 }

@@ -96,6 +96,11 @@ type OptionsRequest struct {
 	SoftMemBytes  int64  `json:"soft_mem_bytes,omitempty"`
 	HardMemBytes  int64  `json:"hard_mem_bytes,omitempty"`
 	DeadlineMS    int64  `json:"deadline_ms,omitempty"`
+	// Workers selects the engine's exploration worker count for this job
+	// (0: the server's Config.EngineWorkers, then the engine default).
+	// Reports are identical for every worker count, so this field does not
+	// participate in the job's cache key.
+	Workers int `json:"workers,omitempty"`
 }
 
 // JobRequest is one analysis submission: a program (exactly one of Source
@@ -162,9 +167,13 @@ func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.D
 		WidenAfter:    req.Options.WidenAfter,
 		SoftMemBytes:  req.Options.SoftMemBytes,
 		HardMemBytes:  req.Options.HardMemBytes,
+		Workers:       req.Options.Workers,
 	}
 	if req.Options.DeadlineMS < 0 {
 		return nil, nil, nil, 0, fmt.Errorf("negative deadline_ms")
+	}
+	if req.Options.Workers < 0 {
+		return nil, nil, nil, 0, fmt.Errorf("negative workers")
 	}
 	return img, pol, opt, time.Duration(req.Options.DeadlineMS) * time.Millisecond, nil
 }

@@ -41,6 +41,12 @@ type promMetrics struct {
 	engTableStates  *obs.Gauge
 	engPeakMem      *obs.Gauge
 	engCyclesPerSec *obs.Gauge
+
+	engSpecBusy   *obs.Gauge
+	engDequeDepth *obs.Gauge
+	engSteals     *obs.Counter
+	engSpecUsed   *obs.Counter
+	engSpecWasted *obs.Counter
 }
 
 func newPromMetrics(workers int) *promMetrics {
@@ -91,6 +97,16 @@ func newPromMetrics(workers int) *promMetrics {
 			"Largest approximate table-plus-worklist footprint any single run has reached."),
 		engCyclesPerSec: reg.Gauge("glift_engine_cycles_per_second",
 			"Exploration throughput over the most recent progress interval."),
+		engSpecBusy: reg.Gauge("glift_engine_spec_workers_busy",
+			"Speculation workers currently simulating a path segment, across running explorations."),
+		engDequeDepth: reg.Gauge("glift_engine_deque_depth",
+			"Queued path states not yet claimed by a speculation worker, across running explorations."),
+		engSteals: reg.Counter("glift_engine_steals_total",
+			"Path states claimed by speculation workers."),
+		engSpecUsed: reg.Counter("glift_engine_spec_used_total",
+			"Speculated traces replayed by the committer."),
+		engSpecWasted: reg.Counter("glift_engine_spec_wasted_total",
+			"Speculated segments discarded before use."),
 	}
 	m.workers.Set(float64(workers))
 	return m
@@ -101,29 +117,56 @@ func newPromMetrics(workers int) *promMetrics {
 // so concurrent jobs aggregate correctly. It runs on the job's worker
 // goroutine and forwards every snapshot to the job's own sink.
 type engineProgress struct {
-	m    *promMetrics
-	next func(glift.Progress)
-	prev glift.Stats
+	m         *promMetrics
+	next      func(glift.Progress)
+	prev      glift.Stats
+	prevSched glift.SchedStats
+}
+
+// counterDelta clamps a cumulative-feed delta at zero. Registry counters
+// panic on negative additions, and the cumulative values observed here are
+// not guaranteed monotone: with parallel exploration a snapshot can carry a
+// wall-clock or scheduler reading that interleaves against the previous
+// one, and the final Done emission is taken after the speculation pool has
+// been torn down. A clamped interval under-counts briefly and catches up on
+// the next snapshot; a negative one would take the whole exporter down.
+func counterDelta[T int | int64 | uint64](cur, prev T) float64 {
+	if cur <= prev {
+		return 0
+	}
+	return float64(cur - prev)
 }
 
 func (ep *engineProgress) observe(p glift.Progress) {
 	s, m := p.Stats, ep.m
-	m.engCycles.Add(float64(s.Cycles - ep.prev.Cycles))
-	m.engPaths.Add(float64(s.Paths - ep.prev.Paths))
-	m.engForks.Add(float64(s.Forks - ep.prev.Forks))
-	m.engMerges.Add(float64(s.Merges - ep.prev.Merges))
-	m.engPrunes.Add(float64(s.Prunes - ep.prev.Prunes))
-	m.engEscalations.Add(float64(s.Escalations - ep.prev.Escalations))
+	m.engCycles.Add(counterDelta(s.Cycles, ep.prev.Cycles))
+	m.engPaths.Add(counterDelta(s.Paths, ep.prev.Paths))
+	m.engForks.Add(counterDelta(s.Forks, ep.prev.Forks))
+	m.engMerges.Add(counterDelta(s.Merges, ep.prev.Merges))
+	m.engPrunes.Add(counterDelta(s.Prunes, ep.prev.Prunes))
+	m.engEscalations.Add(counterDelta(s.Escalations, ep.prev.Escalations))
 	m.engTableStates.Add(float64(s.TableStates - ep.prev.TableStates))
 	m.engPeakMem.SetMax(float64(s.PeakMemBytes))
-	if dw := s.WallNanos - ep.prev.WallNanos; dw > 0 {
+	if dw := s.WallNanos - ep.prev.WallNanos; dw > 0 && s.Cycles > ep.prev.Cycles {
 		m.engCyclesPerSec.Set(float64(s.Cycles-ep.prev.Cycles) / (float64(dw) / 1e9))
 	}
 	ep.prev = s
+
+	sc := p.Sched
+	m.engSpecBusy.Add(float64(sc.Busy - ep.prevSched.Busy))
+	m.engDequeDepth.Add(float64(sc.DequeDepth - ep.prevSched.DequeDepth))
+	m.engSteals.Add(counterDelta(sc.Steals, ep.prevSched.Steals))
+	m.engSpecUsed.Add(counterDelta(sc.SpecUsed, ep.prevSched.SpecUsed))
+	m.engSpecWasted.Add(counterDelta(sc.SpecWasted, ep.prevSched.SpecWasted))
+	ep.prevSched = sc
+
 	if p.Done {
-		// The run's state table is released with the engine; remove its
-		// contribution so the gauge tracks live explorations only.
+		// The run's state table and scheduler are released with the engine;
+		// remove their contribution so the gauges track live explorations
+		// only.
 		m.engTableStates.Add(-float64(s.TableStates))
+		m.engSpecBusy.Add(-float64(sc.Busy))
+		m.engDequeDepth.Add(-float64(sc.DequeDepth))
 	}
 	if ep.next != nil {
 		ep.next(p)

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"repro/internal/glift"
 )
 
 // get fetches a raw body with an optional Accept header.
@@ -82,6 +84,17 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		t.Errorf("unbounded route label: %q", body)
 	}
 
+	// The parallel-exploration scheduler series exist even when the engine
+	// ran sequentially (zero-valued), so dashboards never see gaps.
+	for _, series := range []string{
+		"glift_engine_spec_workers_busy", "glift_engine_deque_depth",
+		"glift_engine_steals_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing scheduler series %q", series)
+		}
+	}
+
 	resp, body = c.get("/metrics", "application/json")
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("Accept: application/json got Content-Type %q", ct)
@@ -92,5 +105,45 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	resp, body2 := c.get("/metrics.json", "")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body2, `"jobs_submitted"`) {
 		t.Errorf("/metrics.json: code=%d body=%s", resp.StatusCode, body2)
+	}
+}
+
+// TestEngineProgressNonMonotonic: the delta feed must survive cumulative
+// readings that go backwards. Registry counters panic on negative Add, and
+// a parallel run's snapshots are not guaranteed monotone in every field
+// (the Done emission, for one, is taken after the speculation pool is torn
+// down, so its scheduler counters reset to zero). The guard clamps such
+// intervals instead of crashing the job's worker goroutine.
+func TestEngineProgressNonMonotonic(t *testing.T) {
+	m := newPromMetrics(1)
+	ep := &engineProgress{m: m}
+
+	grow := glift.Progress{
+		Stats: glift.Stats{Cycles: 1000, Paths: 10, Forks: 5, WallNanos: 100},
+		Sched: glift.SchedStats{Workers: 3, Busy: 2, DequeDepth: 4, Steals: 7, SpecUsed: 5, SpecWasted: 1},
+	}
+	ep.observe(grow)
+
+	// A regressed snapshot: every cumulative field below its predecessor.
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("non-monotonic progress snapshot panicked the exporter: %v", r)
+		}
+	}()
+	ep.observe(glift.Progress{
+		Stats: glift.Stats{Cycles: 900, Paths: 8, Forks: 3, WallNanos: 90},
+		Sched: glift.SchedStats{},
+	})
+	// And the Done emission with zeroed scheduler state must drain the
+	// gauges back to zero rather than pushing them negative forever.
+	ep.observe(glift.Progress{
+		Stats: glift.Stats{Cycles: 1100, Paths: 11, Forks: 6, WallNanos: 120},
+		Done:  true,
+	})
+	if v := m.engSpecBusy.Value(); v != 0 {
+		t.Errorf("spec-busy gauge = %v after Done, want 0", v)
+	}
+	if v := m.engDequeDepth.Value(); v != 0 {
+		t.Errorf("deque-depth gauge = %v after Done, want 0", v)
 	}
 }

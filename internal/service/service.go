@@ -46,6 +46,11 @@ type Config struct {
 	// DefaultDeadline applies to jobs that do not specify deadline_ms
 	// (0: no deadline).
 	DefaultDeadline time.Duration
+	// EngineWorkers is the per-engine exploration worker count applied to
+	// jobs that do not request one (0: the engine default, GOMAXPROCS).
+	// Service workers multiply with engine workers, so hosts running
+	// several concurrent jobs usually want this pinned low.
+	EngineWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +178,10 @@ func (s *Server) jobKey(img *asm.Image, pol *glift.Policy, opt *glift.Options, d
 		put(seg.Words)
 	}
 	h.Write(pol.CanonicalJSON())
+	// Normalized() zeroes Options.Workers: the parallel engine guarantees
+	// byte-identical reports for every worker count (the differential suite
+	// in internal/glift enforces it), so hashing it would only split the
+	// cache and defeat coalescing between equivalent submissions.
 	n := opt.Normalized()
 	put(n.MaxCycles)
 	put(n.MaxPathCycles)
@@ -209,6 +218,9 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	opt := j.opt
+	if opt.Workers == 0 {
+		opt.Workers = s.cfg.EngineWorkers
+	}
 	opt.Progress = (&engineProgress{m: s.prom, next: j.setProgress}).observe
 
 	var rep *glift.Report
