@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-observability differential fault trace bench-json bench-check serve clean
+.PHONY: check build fmt vet test race race-observability differential backend-differential fault trace bench-json bench-check serve clean
 
 # check is the CI gate: formatting, vet, build, and the full suite under
 # the race detector (the engine itself is single-threaded, but bench
@@ -36,13 +36,26 @@ race:
 race-observability:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs ./internal/service ./internal/glift
 
-# differential runs the parallel-vs-sequential equivalence suite under the
-# race detector: every scaffold benchmark at Workers=1 vs Workers=4 must
+# differential runs the equivalence suite under the race detector: every
+# scaffold benchmark swept over (backend, workers) configurations must
 # produce byte-identical reports, plus the table-contention stress test and
-# the seeded program fuzzer (see DESIGN.md "Parallel exploration").
+# the seeded program fuzzer (see DESIGN.md "Parallel exploration" and
+# "Evaluation backends").
 differential:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift \
 		-run 'TestDifferential|TestTableContention|TestParallel|TestFuzz'
+
+# backend-differential isolates the evaluation-backend contract: the
+# randomized interpreter-vs-compiled equivalence tests in internal/sim, the
+# scaffold-benchmark backend sweep, and the faulted-system agreement check,
+# all under the race detector.
+backend-differential:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/sim \
+		-run 'TestBackend|TestParseBackend'
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift \
+		-run 'TestDifferential|TestFuzz'
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/fault \
+		-run 'TestFaultBackendsAgree'
 
 # fault runs just the fail-closed surface: runtime budgets/cancellation
 # and the fault-injection matrix.
@@ -64,15 +77,16 @@ trace:
 
 # bench-json regenerates the committed throughput baseline: cycles/sec,
 # peak table size, peak memory and wall time for every scaffold benchmark
-# at Workers=1 and Workers=4, plus the machine-speed calibration probe.
+# per backend at Workers=1 and Workers=4, plus per-backend machine-speed
+# calibration probes.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_0.json
+	$(GO) run ./cmd/benchjson -o BENCH_1.json
 
 # bench-check re-measures and fails when sequential (Workers=1) throughput,
-# normalized by the calibration probe, regressed more than 20% against the
-# committed baseline.
+# normalized by the matching backend's calibration probe, regressed more
+# than 20% against the committed baseline for either backend.
 bench-check:
-	$(GO) run ./cmd/benchjson -workers 1 -compare BENCH_0.json -threshold 0.20
+	$(GO) run ./cmd/benchjson -workers 1 -compare BENCH_1.json -threshold 0.20
 
 # serve builds and launches the analysis daemon (see README "Running as
 # a service").

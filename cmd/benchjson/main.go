@@ -1,16 +1,16 @@
 // Command benchjson measures analysis throughput over the scaffold
 // benchmarks and emits a machine-readable baseline: cycles per second, peak
-// conservative-table size, peak memory and wall time per benchmark and
-// worker count. The committed baseline (BENCH_0.json at the repository
+// conservative-table size, peak memory and wall time per benchmark, backend
+// and worker count. The committed baseline (BENCH_1.json at the repository
 // root) is regenerated with `make bench-json`; `make bench-check` re-runs
 // the measurement and fails when sequential (Workers=1) throughput
-// regressed more than -threshold against the baseline.
+// regressed more than -threshold against the baseline for any backend.
 //
 // Raw cycles/sec is meaningless across machines, so every run also times a
-// fixed single-path calibration program on the same binary and records its
-// throughput. Regression checking compares benchmark throughput normalized
-// by the calibration probe, which cancels machine speed and leaves only
-// changes attributable to the engine.
+// fixed single-path calibration program per backend on the same binary and
+// records its throughput. Regression checking compares benchmark throughput
+// normalized by the matching backend's calibration probe, which cancels
+// machine speed and leaves only changes attributable to the engine.
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/glift"
+	"repro/internal/sim"
 )
 
 // probeSrc is the calibration workload: one concrete path, no forks, no
@@ -48,9 +49,10 @@ const probeCycles = 20_000
 // measurements are too noisy for the regression gate and are skipped.
 const minCompareCycles = 1000
 
-// Result is one (benchmark, workers) measurement.
+// Result is one (benchmark, backend, workers) measurement.
 type Result struct {
 	Name         string  `json:"name"`
+	Backend      string  `json:"backend"`
 	Workers      int     `json:"workers"`
 	Cycles       uint64  `json:"cycles"`
 	WallNanos    int64   `json:"wall_ns"`
@@ -60,13 +62,15 @@ type Result struct {
 	Verdict      string  `json:"verdict"`
 }
 
-// Baseline is the benchjson output document.
+// Baseline is the benchjson output document. Schema glift-bench/2 added the
+// backend dimension: results carry a backend name and the calibration probe
+// is measured once per backend (the probe map is keyed by backend name).
 type Baseline struct {
-	Schema            string   `json:"schema"`
-	NumCPU            int      `json:"num_cpu"`
-	GoMaxProcs        int      `json:"go_max_procs"`
-	ProbeCyclesPerSec float64  `json:"probe_cycles_per_sec"`
-	Results           []Result `json:"results"`
+	Schema            string             `json:"schema"`
+	NumCPU            int                `json:"num_cpu"`
+	GoMaxProcs        int                `json:"go_max_procs"`
+	ProbeCyclesPerSec map[string]float64 `json:"probe_cycles_per_sec"`
+	Results           []Result           `json:"results"`
 }
 
 func fatal(err error) {
@@ -74,18 +78,18 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-func measureProbe(reps int) (float64, error) {
+func measureProbe(backend sim.BackendKind, reps int) (float64, error) {
 	img, err := asm.AssembleSource(probeSrc)
 	if err != nil {
 		return 0, fmt.Errorf("assemble probe: %w", err)
 	}
-	opt := &glift.Options{MaxCycles: probeCycles, Workers: 1}
+	opt := &glift.Options{MaxCycles: probeCycles, Workers: 1, Backend: backend}
 	best := 0.0
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		rep, err := glift.Analyze(img, &glift.Policy{Name: "probe"}, opt)
 		if err != nil {
-			return 0, fmt.Errorf("probe analysis: %w", err)
+			return 0, fmt.Errorf("probe analysis (%s): %w", backend, err)
 		}
 		el := time.Since(start)
 		if el <= 0 || rep.Stats.Cycles == 0 {
@@ -101,7 +105,7 @@ func measureProbe(reps int) (float64, error) {
 // measure runs the analysis reps times and keeps the fastest repetition:
 // the minimum wall time is the least-noise estimate of the engine's cost,
 // since scheduling interference and cold caches only ever add time.
-func measure(b *bench.Benchmark, workers, reps int) (Result, error) {
+func measure(b *bench.Benchmark, backend sim.BackendKind, workers, reps int) (Result, error) {
 	bt, err := bench.BuildUnmodified(b)
 	if err != nil {
 		return Result{}, err
@@ -109,14 +113,15 @@ func measure(b *bench.Benchmark, workers, reps int) (Result, error) {
 	best := Result{}
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: workers})
+		rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: workers, Backend: backend})
 		if err != nil {
-			return Result{}, fmt.Errorf("bench %s (workers=%d): %w", b.Name, workers, err)
+			return Result{}, fmt.Errorf("bench %s (%s, workers=%d): %w", b.Name, backend, workers, err)
 		}
 		el := time.Since(start)
 		if i == 0 || el.Nanoseconds() < best.WallNanos {
 			best = Result{
 				Name:         b.Name,
+				Backend:      backend.String(),
 				Workers:      workers,
 				Cycles:       rep.Stats.Cycles,
 				WallNanos:    el.Nanoseconds(),
@@ -130,8 +135,15 @@ func measure(b *bench.Benchmark, workers, reps int) (Result, error) {
 	return best, nil
 }
 
+// compareKey identifies one gated measurement in a baseline.
+type compareKey struct {
+	name    string
+	backend string
+}
+
 // compare checks sequential throughput against a baseline file, normalized
-// by each run's calibration probe. Returns the number of regressions.
+// by each run's matching calibration probe. Returns the number of
+// regressions.
 func compare(cur *Baseline, baselinePath string, threshold float64) int {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -141,14 +153,14 @@ func compare(cur *Baseline, baselinePath string, threshold float64) int {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parse %s: %w", baselinePath, err))
 	}
-	if base.ProbeCyclesPerSec <= 0 || cur.ProbeCyclesPerSec <= 0 {
-		fatal(fmt.Errorf("missing calibration probe (baseline %.0f, current %.0f)",
-			base.ProbeCyclesPerSec, cur.ProbeCyclesPerSec))
+	if base.Schema != cur.Schema {
+		fatal(fmt.Errorf("baseline schema %q does not match %q (regenerate with make bench-json)",
+			base.Schema, cur.Schema))
 	}
-	baseBy := map[string]Result{}
+	baseBy := map[compareKey]Result{}
 	for _, r := range base.Results {
 		if r.Workers == 1 {
-			baseBy[r.Name] = r
+			baseBy[compareKey{r.Name, r.Backend}] = r
 		}
 	}
 	regressions := 0
@@ -156,31 +168,58 @@ func compare(cur *Baseline, baselinePath string, threshold float64) int {
 		if r.Workers != 1 {
 			continue
 		}
-		b, ok := baseBy[r.Name]
+		b, ok := baseBy[compareKey{r.Name, r.Backend}]
 		if !ok {
 			continue
 		}
+		baseProbe, curProbe := base.ProbeCyclesPerSec[r.Backend], cur.ProbeCyclesPerSec[r.Backend]
+		if baseProbe <= 0 || curProbe <= 0 {
+			fatal(fmt.Errorf("missing %s calibration probe (baseline %.0f, current %.0f)",
+				r.Backend, baseProbe, curProbe))
+		}
 		if r.Cycles < minCompareCycles {
-			fmt.Printf("%-10s workers=1 skipped (%d cycles: setup-dominated, too noisy to gate)\n",
-				r.Name, r.Cycles)
+			fmt.Printf("%-10s %-8s workers=1 skipped (%d cycles: setup-dominated, too noisy to gate)\n",
+				r.Name, r.Backend, r.Cycles)
 			continue
 		}
-		baseNorm := b.CyclesPerSec / base.ProbeCyclesPerSec
-		curNorm := r.CyclesPerSec / cur.ProbeCyclesPerSec
+		baseNorm := b.CyclesPerSec / baseProbe
+		curNorm := r.CyclesPerSec / curProbe
 		ratio := curNorm / baseNorm
 		status := "ok"
 		if ratio < 1-threshold {
 			status = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-10s workers=1 normalized %.3f -> %.3f (%.0f%%) %s\n",
-			r.Name, baseNorm, curNorm, ratio*100, status)
+		fmt.Printf("%-10s %-8s workers=1 normalized %.3f -> %.3f (%.0f%%) %s\n",
+			r.Name, r.Backend, baseNorm, curNorm, ratio*100, status)
 	}
 	return regressions
 }
 
+// speedupSummary prints the compiled backend's sequential throughput gain
+// over the interpreter when both were measured, normalized per benchmark.
+func speedupSummary(doc *Baseline) {
+	interp := map[string]Result{}
+	for _, r := range doc.Results {
+		if r.Workers == 1 && r.Backend == sim.BackendInterp.String() {
+			interp[r.Name] = r
+		}
+	}
+	for _, r := range doc.Results {
+		if r.Workers != 1 || r.Backend != sim.BackendCompiled.String() {
+			continue
+		}
+		b, ok := interp[r.Name]
+		if !ok || b.CyclesPerSec <= 0 || r.Cycles < minCompareCycles {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-10s compiled/interp speedup %.2fx\n", r.Name, r.CyclesPerSec/b.CyclesPerSec)
+	}
+}
+
 func main() {
 	workersList := flag.String("workers", "1,4", "comma-separated engine worker counts to measure")
+	backendsList := flag.String("backends", "compiled,interp", "comma-separated evaluation backends to measure")
 	out := flag.String("o", "", "write the JSON baseline to this file (default: stdout)")
 	baseline := flag.String("compare", "", "baseline JSON to check Workers=1 throughput against")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated normalized cycles/sec regression")
@@ -200,6 +239,14 @@ func main() {
 		}
 		workers = append(workers, w)
 	}
+	var backends []sim.BackendKind
+	for _, f := range strings.Split(*backendsList, ",") {
+		be, err := sim.ParseBackend(strings.TrimSpace(f))
+		if err != nil {
+			fatal(err)
+		}
+		backends = append(backends, be)
+	}
 	var benches []*bench.Benchmark
 	if *filter == "" {
 		benches = bench.All()
@@ -216,27 +263,33 @@ func main() {
 	if *reps < 1 {
 		fatal(fmt.Errorf("bad -reps %d", *reps))
 	}
-	probe, err := measureProbe(*reps)
-	if err != nil {
-		fatal(err)
-	}
 	doc := &Baseline{
-		Schema:            "glift-bench/1",
+		Schema:            "glift-bench/2",
 		NumCPU:            runtime.NumCPU(),
 		GoMaxProcs:        runtime.GOMAXPROCS(0),
-		ProbeCyclesPerSec: probe,
+		ProbeCyclesPerSec: map[string]float64{},
+	}
+	for _, be := range backends {
+		probe, err := measureProbe(be, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		doc.ProbeCyclesPerSec[be.String()] = probe
 	}
 	for _, b := range benches {
-		for _, w := range workers {
-			r, err := measure(b, w, *reps)
-			if err != nil {
-				fatal(err)
+		for _, be := range backends {
+			for _, w := range workers {
+				r, err := measure(b, be, w, *reps)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "%-10s %-8s workers=%d %8d cycles %10.0f cycles/sec table=%d\n",
+					r.Name, r.Backend, r.Workers, r.Cycles, r.CyclesPerSec, r.TableStates)
+				doc.Results = append(doc.Results, r)
 			}
-			fmt.Fprintf(os.Stderr, "%-10s workers=%d %8d cycles %10.0f cycles/sec table=%d\n",
-				r.Name, r.Workers, r.Cycles, r.CyclesPerSec, r.TableStates)
-			doc.Results = append(doc.Results, r)
 		}
 	}
+	speedupSummary(doc)
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -49,6 +49,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // writeChromeTrace dumps the recorded exploration trace to path.
@@ -79,6 +80,7 @@ func main() {
 	traceN := flag.Int("taint-trace", 0, "print the first N per-cycle tainted-state entries")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (the gliftd wire shape)")
 	workers := flag.Int("workers", 0, "engine exploration workers (0: GOMAXPROCS, 1: sequential); the report is identical either way")
+	backendName := flag.String("backend", "", "gate-evaluation backend: compiled (default) or interp; the report is byte-identical either way")
 	verbose := flag.Bool("v", false, "print exploration statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -111,7 +113,11 @@ func main() {
 		fatal(err)
 	}
 
-	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem, Workers: *workers}
+	backend, err := sim.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem, Workers: *workers, Backend: backend}
 	var rec *glift.TraceRecorder
 	if *traceN > 0 {
 		rec = &glift.TraceRecorder{Max: *traceN}

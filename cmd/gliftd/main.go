@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -50,10 +51,16 @@ func main() {
 	cache := flag.Int("cache", 1024, "content-addressed result cache entries")
 	deadline := flag.Duration("deadline", 0, "default per-job deadline (0: none)")
 	engineWorkers := flag.Int("engine-workers", 1, "exploration workers per engine run (0: GOMAXPROCS); service workers multiply with engine workers")
+	engineBackend := flag.String("engine-backend", "", "gate-evaluation backend for jobs that do not request one: compiled (default) or interp")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: gliftd [flags] (see -help)")
+		os.Exit(2)
+	}
+	backend, err := sim.ParseBackend(*engineBackend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gliftd: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -63,6 +70,7 @@ func main() {
 		CacheEntries:    *cache,
 		DefaultDeadline: *deadline,
 		EngineWorkers:   *engineWorkers,
+		EngineBackend:   backend,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

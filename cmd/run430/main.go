@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Uint("seed", 0xACE1, "LFSR seed for port inputs")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform here")
 	taintP1 := flag.Bool("taint-p1", false, "drive P1IN as tainted unknown (symbolic)")
+	backendName := flag.String("backend", "", "gate-evaluation backend: compiled (default) or interp; results are identical either way")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: run430 [flags] app.s43")
@@ -47,7 +48,11 @@ func main() {
 		fatal(err)
 	}
 
-	sys, err := mcu.NewSystem(glift.SharedDesign())
+	backend, err := sim.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := mcu.NewSystemBackend(glift.SharedDesign(), backend)
 	if err != nil {
 		fatal(err)
 	}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/transform"
 )
 
@@ -58,6 +59,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace covering all rounds to this file")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for all rounds together (0: none); expiry exits 3")
 	workers := flag.Int("workers", 0, "engine exploration workers per round (0: GOMAXPROCS, 1: sequential); the report is identical either way")
+	backendName := flag.String("backend", "", "gate-evaluation backend: compiled (default) or interp; the report is byte-identical either way")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: secure430 [flags] app.s43 (see -help)")
@@ -103,8 +105,12 @@ func main() {
 		defer cancel()
 	}
 
+	backend, err := sim.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
 	var xt *obs.ExplorationTrace
-	opts := &glift.Options{Workers: *workers}
+	opts := &glift.Options{Workers: *workers, Backend: backend}
 	if *traceFile != "" {
 		xt = obs.NewExplorationTrace(0)
 		opts.Tracer = xt.Record

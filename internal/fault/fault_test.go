@@ -2,12 +2,14 @@ package fault
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/logic"
+	"repro/internal/sim"
 )
 
 // maskedSrc is the Figure 5 protected program as a tainted task: a tainted
@@ -155,6 +157,32 @@ func TestInjectedFaultsNeverVerify(t *testing.T) {
 	}
 	if v := rep.Verdict(); v != glift.Verified {
 		t.Fatalf("shared design polluted by fault injection: verdict %v, %v", v, rep.Violations)
+	}
+}
+
+// Faulted systems are analyzed identically by both evaluation backends:
+// a mutated netlist (stuck flip-flop) is lowered and explored by the
+// compiled backend exactly as the interpreter sweeps it, modulo wall time.
+func TestFaultBackendsAgree(t *testing.T) {
+	img := mustImage(t, maskedSrc)
+	pol := maskedPolicy(img)
+	fault := StuckFF{FF: "r14:10", Value: logic.Zero}
+	norm := func(b sim.BackendKind) string {
+		res, err := Analyze(context.Background(), img, pol, &glift.Options{Backend: b}, fault)
+		if err != nil {
+			t.Fatalf("analyze (%s): %v", b, err)
+		}
+		j := res.Report.JSON()
+		j.Stats.WallNanos = 0
+		out, err := json.MarshalIndent(j, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(out)
+	}
+	interp, compiled := norm(sim.BackendInterp), norm(sim.BackendCompiled)
+	if interp != compiled {
+		t.Errorf("faulted-system reports differ between backends:\n--- interp ---\n%s\n--- compiled ---\n%s", interp, compiled)
 	}
 }
 

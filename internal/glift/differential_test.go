@@ -1,11 +1,12 @@
 package glift_test
 
-// Differential testing of the parallel exploration mode: the engine
-// guarantees that Options.Workers changes wall-clock time and nothing else,
-// and the content-addressed job cache in internal/service relies on that
-// guarantee (Workers is excluded from job keys). This harness enforces it
-// the strong way — every scaffold benchmark is analyzed sequentially and
-// with a worker pool, and the two reports must serialize byte-identically
+// Differential testing of the engine's "performance knobs change nothing"
+// contract: Options.Workers and Options.Backend change wall-clock time and
+// nothing else, and the content-addressed job cache in internal/service
+// relies on that guarantee (both are excluded from job keys). This harness
+// enforces it the strong way — every scaffold benchmark is analyzed under a
+// sweep of (backend, workers) configurations and every report must
+// serialize byte-identically to the reference (interpreter, sequential)
 // once the wall-time field (the one documented exception) is zeroed.
 
 import (
@@ -16,10 +17,11 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/glift"
+	"repro/internal/sim"
 )
 
 // normalizedReportJSON serializes a report with wall-time zeroed, the only
-// field allowed to differ between worker counts.
+// field allowed to differ between configurations.
 func normalizedReportJSON(t *testing.T, rep *glift.Report) []byte {
 	t.Helper()
 	j := rep.JSON()
@@ -41,20 +43,42 @@ func violationSet(rep *glift.Report) []string {
 	return out
 }
 
-func analyzeWorkers(t *testing.T, bt *bench.Built, workers int) *glift.Report {
+// analysisConfig is one point in the (backend, workers) sweep.
+type analysisConfig struct {
+	backend sim.BackendKind
+	workers int
+}
+
+func (c analysisConfig) String() string {
+	return fmt.Sprintf("%s/workers=%d", c.backend, c.workers)
+}
+
+// refConfig is the differential reference: the interpreter backend run
+// sequentially, the simplest configuration the engine supports.
+var refConfig = analysisConfig{backend: sim.BackendInterp, workers: 1}
+
+// sweepConfigs are the configurations compared against refConfig: the
+// parallel interpreter and the compiled backend at both worker counts.
+var sweepConfigs = []analysisConfig{
+	{backend: sim.BackendInterp, workers: 4},
+	{backend: sim.BackendCompiled, workers: 1},
+	{backend: sim.BackendCompiled, workers: 4},
+}
+
+func analyzeConfig(t *testing.T, bt *bench.Built, c analysisConfig) *glift.Report {
 	t.Helper()
-	rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: workers})
+	rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: c.workers, Backend: c.backend})
 	if err != nil {
-		t.Fatalf("analyze %s (workers=%d): %v", bt.Bench.Name, workers, err)
+		t.Fatalf("analyze %s (%s): %v", bt.Bench.Name, c, err)
 	}
 	return rep
 }
 
-// TestDifferentialScaffoldBenchmarks runs every scaffold benchmark with
-// Workers=1 and Workers=4 and asserts identical verdicts, order-normalized
-// violation sets, conservative-table sizes, and finally byte-identical
-// reports modulo wall time (which subsumes the weaker checks; they run
-// first only to localize a failure).
+// TestDifferentialScaffoldBenchmarks runs every scaffold benchmark under the
+// full (backend, workers) sweep and asserts identical verdicts,
+// order-normalized violation sets, conservative-table sizes, and finally
+// byte-identical reports modulo wall time (which subsumes the weaker checks;
+// they run first only to localize a failure).
 func TestDifferentialScaffoldBenchmarks(t *testing.T) {
 	for _, b := range bench.All() {
 		b := b
@@ -64,29 +88,33 @@ func TestDifferentialScaffoldBenchmarks(t *testing.T) {
 			if err != nil {
 				t.Fatalf("build: %v", err)
 			}
-			seq := analyzeWorkers(t, bt, 1)
-			par := analyzeWorkers(t, bt, 4)
+			ref := analyzeConfig(t, bt, refConfig)
+			refJSON := normalizedReportJSON(t, ref)
+			for _, c := range sweepConfigs {
+				got := analyzeConfig(t, bt, c)
 
-			if sv, pv := seq.Verdict(), par.Verdict(); sv != pv {
-				t.Errorf("verdict mismatch: sequential %v, parallel %v", sv, pv)
-			}
-			svs, pvs := violationSet(seq), violationSet(par)
-			if len(svs) != len(pvs) {
-				t.Errorf("violation count mismatch: sequential %d, parallel %d", len(svs), len(pvs))
-			} else {
-				for i := range svs {
-					if svs[i] != pvs[i] {
-						t.Errorf("violation set mismatch at %d:\n  sequential: %s\n  parallel:   %s", i, svs[i], pvs[i])
+				if rv, gv := ref.Verdict(), got.Verdict(); rv != gv {
+					t.Errorf("%s: verdict mismatch: %s %v, %s %v", c, refConfig, rv, c, gv)
+				}
+				rvs, gvs := violationSet(ref), violationSet(got)
+				if len(rvs) != len(gvs) {
+					t.Errorf("%s: violation count mismatch: %s %d, %s %d", c, refConfig, len(rvs), c, len(gvs))
+				} else {
+					for i := range rvs {
+						if rvs[i] != gvs[i] {
+							t.Errorf("%s: violation set mismatch at %d:\n  %s: %s\n  %s: %s", c, i, refConfig, rvs[i], c, gvs[i])
+						}
 					}
 				}
-			}
-			if st, pt := seq.Stats.TableStates, par.Stats.TableStates; st != pt {
-				t.Errorf("table size mismatch: sequential %d, parallel %d", st, pt)
-			}
+				if rt, gt := ref.Stats.TableStates, got.Stats.TableStates; rt != gt {
+					t.Errorf("%s: table size mismatch: %s %d, %s %d", c, refConfig, rt, c, gt)
+				}
 
-			sj, pj := normalizedReportJSON(t, seq), normalizedReportJSON(t, par)
-			if string(sj) != string(pj) {
-				t.Errorf("reports differ beyond wall time:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", sj, pj)
+				gotJSON := normalizedReportJSON(t, got)
+				if string(refJSON) != string(gotJSON) {
+					t.Errorf("%s: report differs beyond wall time:\n--- %s ---\n%s\n--- %s ---\n%s",
+						c, refConfig, refJSON, c, gotJSON)
+				}
 			}
 		})
 	}
@@ -94,17 +122,20 @@ func TestDifferentialScaffoldBenchmarks(t *testing.T) {
 
 // TestDifferentialWorkerSweep covers worker counts beyond the canonical
 // 1-vs-4 pair on a fork-heavy benchmark, including pools larger than the
-// path count.
+// path count, on both backends.
 func TestDifferentialWorkerSweep(t *testing.T) {
 	bt, err := bench.BuildUnmodified(bench.ByName("binSearch"))
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
-	want := normalizedReportJSON(t, analyzeWorkers(t, bt, 1))
-	for _, w := range []int{2, 3, 8} {
-		got := normalizedReportJSON(t, analyzeWorkers(t, bt, w))
-		if string(got) != string(want) {
-			t.Errorf("workers=%d report differs from sequential:\n%s\nvs\n%s", w, got, want)
+	want := normalizedReportJSON(t, analyzeConfig(t, bt, refConfig))
+	for _, be := range sim.Backends() {
+		for _, w := range []int{2, 3, 8} {
+			c := analysisConfig{backend: be, workers: w}
+			got := normalizedReportJSON(t, analyzeConfig(t, bt, c))
+			if string(got) != string(want) {
+				t.Errorf("%s report differs from %s:\n%s\nvs\n%s", c, refConfig, got, want)
+			}
 		}
 	}
 }

@@ -42,6 +42,14 @@ type Options struct {
 	// content-addressed job keys. Runs with a per-cycle Trace hook are
 	// forced sequential (the hook observes live simulation state).
 	Workers int
+	// Backend selects the gate-evaluation backend for every simulation
+	// instance of the run, including the speculation pool's private
+	// systems (zero value: sim.BackendCompiled). Backends are
+	// observationally identical — the differential suite byte-compares
+	// reports across them — so like Workers, Backend changes only wall
+	// time and is excluded from Normalized() and content-addressed job
+	// keys.
+	Backend sim.BackendKind
 	// MaxPathCycles bounds cycles on one path segment without a merge point
 	// (0: default 200k) — a straight-line runaway guard.
 	MaxPathCycles uint64
@@ -103,13 +111,15 @@ func (o *Options) withDefaults() Options {
 // Normalized returns the options with every default applied — the canonical
 // form used for content-addressed job keys, so an explicitly spelled-out
 // default and an omitted field hash identically. The callback fields do not
-// participate in normalization, and Workers is zeroed: the worker count
-// changes only wall time, never the report (the parallel mode's determinism
-// guarantee), so two submissions differing only in Workers must share one
-// cache entry.
+// participate in normalization, and Workers and Backend are zeroed: neither
+// the worker count nor the evaluation backend can change the report (the
+// parallel mode's determinism guarantee and the backend differential
+// guarantee), so submissions differing only in them must share one cache
+// entry.
 func (o *Options) Normalized() Options {
 	out := o.withDefaults()
 	out.Workers = 0
+	out.Backend = sim.BackendCompiled
 	return out
 }
 
@@ -214,14 +224,15 @@ func NewEngineOn(d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Eng
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
-	sys, err := buildSystem(d, img, pol)
+	o := opt.withDefaults()
+	sys, err := buildSystem(d, img, pol, o.Backend)
 	if err != nil {
 		return nil, err
 	}
 	eng := &Engine{
 		Sys:      sys,
 		Pol:      pol,
-		opt:      opt.withDefaults(),
+		opt:      o,
 		table:    make(map[forkKey]*tableEntry),
 		seen:     make(map[Violation]bool),
 		report:   &Report{Policy: pol.Name},
@@ -234,13 +245,14 @@ func NewEngineOn(d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Eng
 	return eng, nil
 }
 
-// buildSystem prepares one simulation instance: program loaded, policy
-// taints applied. The speculation pool uses it to give each worker a
-// private system whose ROM, port inputs and reset line are identical to the
-// committer's — everything else (flip-flops, RAM) arrives via Restore, so
-// two systems built here evaluate any snapshot bit-identically.
-func buildSystem(d *mcu.Design, img *asm.Image, pol *Policy) (*mcu.System, error) {
-	sys, err := mcu.NewSystem(d)
+// buildSystem prepares one simulation instance on the selected evaluation
+// backend: program loaded, policy taints applied. The speculation pool uses
+// it to give each worker a private system whose ROM, port inputs and reset
+// line are identical to the committer's — everything else (flip-flops, RAM)
+// arrives via Restore, so two systems built here evaluate any snapshot
+// bit-identically.
+func buildSystem(d *mcu.Design, img *asm.Image, pol *Policy, backend sim.BackendKind) (*mcu.System, error) {
+	sys, err := mcu.NewSystemBackend(d, backend)
 	if err != nil {
 		return nil, err
 	}

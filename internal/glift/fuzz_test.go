@@ -1,13 +1,14 @@
 package glift
 
-// Randomized differential fuzzing of the parallel exploration mode. A
-// seeded generator emits small legal MSP430 programs exercising the
-// constructs the parallel engine must replay exactly — branches on tainted
-// inputs (forks), stores to RAM and ports (violation checks), concrete
-// loops (merge points), and watchdog arming/resets (POR forks) — and each
-// program is analyzed with Workers=1 and Workers=4. The two reports must
-// serialize identically modulo wall time. A failing program is dumped to
-// testdata/ so it can be replayed:
+// Randomized differential fuzzing of the parallel exploration mode and the
+// evaluation backends. A seeded generator emits small legal MSP430 programs
+// exercising the constructs the engine must replay exactly — branches on
+// tainted inputs (forks), stores to RAM and ports (violation checks),
+// concrete loops (merge points), and watchdog arming/resets (POR forks) —
+// and each program is analyzed under a (backend, workers) sweep. Every
+// report must serialize identically modulo wall time to the reference
+// (interpreter, Workers=1). A failing program is dumped to testdata/ so it
+// can be replayed:
 //
 //	go test ./internal/glift -run Fuzz -seed <n>
 //
@@ -22,6 +23,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 var (
@@ -131,11 +134,33 @@ func genProgram(r *rand.Rand) string {
 	return sb.String()
 }
 
+// fuzzConfig is one point in the (backend, workers) sweep.
+type fuzzConfig struct {
+	backend sim.BackendKind
+	workers int
+}
+
+func (c fuzzConfig) String() string {
+	return fmt.Sprintf("%s/workers=%d", c.backend, c.workers)
+}
+
+// fuzzRef is the reference configuration; fuzzSweep holds the ones compared
+// against it.
+var (
+	fuzzRef   = fuzzConfig{backend: sim.BackendInterp, workers: 1}
+	fuzzSweep = []fuzzConfig{
+		{backend: sim.BackendInterp, workers: 4},
+		{backend: sim.BackendCompiled, workers: 1},
+		{backend: sim.BackendCompiled, workers: 4},
+	}
+)
+
 // fuzzOptions bounds one analysis tightly so a fuzz run stays fast while
 // still exercising widening, budgets, and fork-heavy exploration.
-func fuzzOptions(workers int) *Options {
+func fuzzOptions(c fuzzConfig) *Options {
 	return &Options{
-		Workers:       workers,
+		Workers:       c.workers,
+		Backend:       c.backend,
 		MaxCycles:     40_000,
 		MaxPathCycles: 4_000,
 		WidenAfter:    16,
@@ -143,15 +168,15 @@ func fuzzOptions(workers int) *Options {
 }
 
 // fuzzReport analyzes src and returns the wall-time-normalized report JSON.
-func fuzzReport(t *testing.T, src string, workers int) []byte {
+func fuzzReport(t *testing.T, src string, c fuzzConfig) []byte {
 	t.Helper()
 	rep, err := Analyze(mustImage(t, src), &Policy{
 		Name:            "integrity",
 		TaintedInPorts:  []int{0},
 		TaintedOutPorts: []int{1},
-	}, fuzzOptions(workers))
+	}, fuzzOptions(c))
 	if err != nil {
-		t.Fatalf("analyze (workers=%d): %v", workers, err)
+		t.Fatalf("analyze (%s): %v", c, err)
 	}
 	j := rep.JSON()
 	j.Stats.WallNanos = 0
@@ -164,16 +189,16 @@ func fuzzReport(t *testing.T, src string, workers int) []byte {
 
 // dumpFailure writes a mismatching program (plus both reports) under
 // testdata/ and returns the path for the failure message.
-func dumpFailure(t *testing.T, seed int64, idx int, src string, seq, par []byte) string {
+func dumpFailure(t *testing.T, seed int64, idx int, src string, c fuzzConfig, ref, got []byte) string {
 	t.Helper()
 	if err := os.MkdirAll("testdata", 0o755); err != nil {
 		t.Fatalf("mkdir testdata: %v", err)
 	}
 	path := filepath.Join("testdata", fmt.Sprintf("fuzz_seed%d_prog%d.s", seed, idx))
-	body := fmt.Sprintf("; differential fuzz failure: seed=%d program=%d\n; repro: go test ./internal/glift -run Fuzz -seed %d\n%s\n; --- workers=1 report ---\n; %s\n; --- workers=4 report ---\n; %s\n",
-		seed, idx, seed, src,
-		strings.ReplaceAll(string(seq), "\n", "\n; "),
-		strings.ReplaceAll(string(par), "\n", "\n; "))
+	body := fmt.Sprintf("; differential fuzz failure: seed=%d program=%d config=%s\n; repro: go test ./internal/glift -run Fuzz -seed %d\n%s\n; --- %s report ---\n; %s\n; --- %s report ---\n; %s\n",
+		seed, idx, c, seed, src,
+		fuzzRef, strings.ReplaceAll(string(ref), "\n", "\n; "),
+		c, strings.ReplaceAll(string(got), "\n", "\n; "))
 	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 		t.Fatalf("write %s: %v", path, err)
 	}
@@ -184,18 +209,20 @@ func fuzzOneSeed(t *testing.T, seed int64) {
 	r := rand.New(rand.NewSource(seed))
 	for i := 0; i < *fuzzProgs; i++ {
 		src := genProgram(r)
-		seq := fuzzReport(t, src, 1)
-		par := fuzzReport(t, src, 4)
-		if string(seq) != string(par) {
-			path := dumpFailure(t, seed, i, src, seq, par)
-			t.Errorf("seed %d program %d: parallel report differs from sequential (program dumped to %s)\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
-				seed, i, path, seq, par)
+		ref := fuzzReport(t, src, fuzzRef)
+		for _, c := range fuzzSweep {
+			got := fuzzReport(t, src, c)
+			if string(ref) != string(got) {
+				path := dumpFailure(t, seed, i, src, c, ref, got)
+				t.Errorf("seed %d program %d: %s report differs from %s (program dumped to %s)\n--- %s ---\n%s\n--- %s ---\n%s",
+					seed, i, c, fuzzRef, path, fuzzRef, ref, c, got)
+			}
 		}
 	}
 }
 
 // TestFuzzDifferentialPrograms generates random legal MSP430 programs and
-// requires parallel and sequential exploration to agree on every one.
+// requires every (backend, workers) configuration to agree on every one.
 func TestFuzzDifferentialPrograms(t *testing.T) {
 	if *fuzzSeed != 0 {
 		fuzzOneSeed(t, *fuzzSeed)

@@ -292,7 +292,7 @@ func (p *specPool) worker() {
 			return
 		}
 		if sys == nil {
-			s, err := buildSystem(p.e.design, p.e.img, p.e.Pol)
+			s, err := buildSystem(p.e.design, p.e.img, p.e.Pol, p.e.opt.Backend)
 			if err != nil {
 				// Cannot build a private system: release the claim so the
 				// committer simulates live, and retire this worker.

@@ -387,6 +387,32 @@ func EvalMux(sel, a, b Packed) Packed {
 	return lut3[(int(sel)*NumPacked+int(a))*NumPacked+int(b)]
 }
 
+// LUT1 returns the dense lookup row of a 1-input op: NumPacked entries
+// indexed by the packed input. The slice aliases the live table and must be
+// treated as read-only. Compiled evaluation backends concatenate these rows
+// into one flat table addressed by per-instruction offsets.
+func LUT1(o Op) []Packed {
+	if o.Arity() != 1 {
+		panic(fmt.Sprintf("logic: LUT1(%s): not a 1-input op", o))
+	}
+	return lut1[o][:]
+}
+
+// LUT2 returns the dense lookup row of a 2-input op: NumPacked*NumPacked
+// entries indexed by a*NumPacked+b. Read-only, like LUT1.
+func LUT2(o Op) []Packed {
+	if o.Arity() != 2 {
+		panic(fmt.Sprintf("logic: LUT2(%s): not a 2-input op", o))
+	}
+	return lut2[o][:]
+}
+
+// LUTMux returns the dense mux lookup table: NumPacked^3 entries indexed by
+// (sel*NumPacked+a)*NumPacked+b. Read-only, like LUT1.
+func LUTMux() []Packed {
+	return lut3[:]
+}
+
 // NANDRow is one row of the Figure 1 GLIFT truth table for a NAND gate.
 type NANDRow struct {
 	A, AT, B, BT, O, OT uint8

@@ -50,9 +50,15 @@ type CycleInfo struct {
 	IrqTkn    logic.Sig
 }
 
-// NewSystem builds the design (or wraps a provided one) and its memories.
+// NewSystem builds the design (or wraps a provided one) and its memories,
+// simulating on the default evaluation backend.
 func NewSystem(d *Design) (*System, error) {
-	c, err := sim.NewCircuit(d.NL)
+	return NewSystemBackend(d, sim.BackendCompiled)
+}
+
+// NewSystemBackend is NewSystem on an explicit gate-evaluation backend.
+func NewSystemBackend(d *Design, kind sim.BackendKind) (*System, error) {
+	c, err := sim.NewCircuitBackend(d.NL, kind)
 	if err != nil {
 		return nil, err
 	}

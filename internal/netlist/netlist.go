@@ -81,7 +81,7 @@ type Netlist struct {
 
 	driver []int32 // per net: gate index, or dffBase+i, or srcInput/srcConst
 
-	level []int32 // levelized gate evaluation order (lazily built)
+	level *Levels // levelized evaluation structure (lazily built)
 }
 
 const (
@@ -236,23 +236,8 @@ func (n *Netlist) ComputeStats() Stats {
 	for _, g := range n.Gates {
 		s.ByOp[g.Op]++
 	}
-	if order, err := n.Levelize(); err == nil {
-		depth := make(map[NetID]int)
-		maxd := 0
-		for _, gi := range order {
-			g := n.Gates[gi]
-			d := 0
-			for i := 0; i < g.NIn(); i++ {
-				if dd := depth[g.In[i]]; dd > d {
-					d = dd
-				}
-			}
-			depth[g.Out] = d + 1
-			if d+1 > maxd {
-				maxd = d + 1
-			}
-		}
-		s.Levels = maxd
+	if lv, err := n.Levelize(); err == nil {
+		s.Levels = lv.NumLevels()
 	}
 	return s
 }
@@ -289,45 +274,94 @@ func (n *Netlist) checkDriven(id NetID, ctx string) error {
 	return nil
 }
 
-// Levelize returns gate indices in a topological order such that each gate
-// appears after all gates driving its inputs. DFF outputs, primary inputs
-// and constants are sources. The order is cached until the netlist changes.
-func (n *Netlist) Levelize() ([]int32, error) {
+// Levels is the levelized evaluation structure of a netlist's combinational
+// logic: a topological gate order grouped into levels (level 0 gates read
+// only sources — DFF outputs, primary inputs, constants; a level-l gate has
+// at least one input driven by a level l-1 gate), plus the net-level
+// adjacency that change-driven evaluation and structural optimization need.
+type Levels struct {
+	// Order holds gate indices in topological order, grouped by level:
+	// Order[Bounds[l]:Bounds[l+1]] are the level-l gates, in ascending gate
+	// index within a level.
+	Order []int32
+	// Bounds has NumLevels()+1 entries delimiting the levels inside Order.
+	Bounds []int32
+	// GateLevel maps a gate index to its level.
+	GateLevel []int32
+	// DriverGate maps a net to the index of the combinational gate driving
+	// it, or -1 for sources (primary inputs, constants, DFF outputs) and
+	// undriven nets.
+	DriverGate []int32
+
+	// FanoutIndex/fanout form a CSR adjacency from nets to the gates that
+	// consume them: fanout[FanoutIndex[id]:FanoutIndex[id+1]] are the
+	// indices of gates reading net id, ascending. A gate listing one net on
+	// two input pins appears twice.
+	FanoutIndex []int32
+	fanout      []int32
+}
+
+// NumLevels returns the number of combinational levels (the netlist's logic
+// depth in gates).
+func (l *Levels) NumLevels() int { return len(l.Bounds) - 1 }
+
+// Level returns the gate indices of one level.
+func (l *Levels) Level(lev int) []int32 { return l.Order[l.Bounds[lev]:l.Bounds[lev+1]] }
+
+// NetFanout returns the indices of the gates consuming a net.
+func (l *Levels) NetFanout(id NetID) []int32 {
+	return l.fanout[l.FanoutIndex[id]:l.FanoutIndex[id+1]]
+}
+
+// Levelize computes the Levels structure: a topological order such that each
+// gate appears after all gates driving its inputs, with per-level boundaries
+// and per-net fanout/driver adjacency. DFF outputs, primary inputs and
+// constants are sources. The result is cached until the netlist changes.
+func (n *Netlist) Levelize() (*Levels, error) {
 	if n.level != nil {
 		return n.level, nil
 	}
-	// Kahn's algorithm over gates.
+	// Kahn's algorithm over gates, also assigning each gate its level
+	// (1 + the maximum level of its gate-driven inputs).
 	indeg := make([]int32, len(n.Gates))
-	// fanout: driving gate -> consuming gates
-	fanout := make([][]int32, len(n.Gates))
+	// gateFan: driving gate -> consuming gates
+	gateFan := make([][]int32, len(n.Gates))
 	for gi, g := range n.Gates {
 		for i := 0; i < g.NIn(); i++ {
 			d := n.driver[g.In[i]]
 			if d >= 0 && d < 1<<30 { // driven by a gate
 				indeg[gi]++
-				fanout[d] = append(fanout[d], int32(gi))
+				gateFan[d] = append(gateFan[d], int32(gi))
 			}
 		}
 	}
-	order := make([]int32, 0, len(n.Gates))
+	glevel := make([]int32, len(n.Gates))
+	popped := make([]int32, 0, len(n.Gates))
 	queue := make([]int32, 0, len(n.Gates))
 	for gi := range n.Gates {
 		if indeg[gi] == 0 {
 			queue = append(queue, int32(gi))
 		}
 	}
+	maxLevel := int32(-1)
 	for len(queue) > 0 {
 		gi := queue[0]
 		queue = queue[1:]
-		order = append(order, gi)
-		for _, f := range fanout[gi] {
+		popped = append(popped, gi)
+		if glevel[gi] > maxLevel {
+			maxLevel = glevel[gi]
+		}
+		for _, f := range gateFan[gi] {
+			if glevel[gi]+1 > glevel[f] {
+				glevel[f] = glevel[gi] + 1
+			}
 			indeg[f]--
 			if indeg[f] == 0 {
 				queue = append(queue, f)
 			}
 		}
 	}
-	if len(order) != len(n.Gates) {
+	if len(popped) != len(n.Gates) {
 		// Identify one net on a cycle for the error message.
 		for gi := range n.Gates {
 			if indeg[gi] > 0 {
@@ -336,8 +370,57 @@ func (n *Netlist) Levelize() ([]int32, error) {
 		}
 		return nil, fmt.Errorf("netlist: combinational cycle")
 	}
-	n.level = order
-	return order, nil
+
+	// Regroup by level. Gates are binned in ascending index (the range order
+	// below), which makes the within-level order deterministic regardless of
+	// the FIFO's interleaving.
+	lv := &Levels{GateLevel: glevel}
+	lv.Bounds = make([]int32, maxLevel+2)
+	for _, l := range glevel {
+		lv.Bounds[l+1]++
+	}
+	for l := 1; l < len(lv.Bounds); l++ {
+		lv.Bounds[l] += lv.Bounds[l-1]
+	}
+	lv.Order = make([]int32, len(n.Gates))
+	fill := append([]int32(nil), lv.Bounds...)
+	for gi := range n.Gates {
+		l := glevel[gi]
+		lv.Order[fill[l]] = int32(gi)
+		fill[l]++
+	}
+
+	// Net -> driving gate.
+	lv.DriverGate = make([]int32, n.NumNets())
+	for i := range lv.DriverGate {
+		lv.DriverGate[i] = -1
+	}
+	for gi, g := range n.Gates {
+		lv.DriverGate[g.Out] = int32(gi)
+	}
+
+	// Net -> consuming gates, CSR.
+	lv.FanoutIndex = make([]int32, n.NumNets()+1)
+	for _, g := range n.Gates {
+		for i := 0; i < g.NIn(); i++ {
+			lv.FanoutIndex[g.In[i]+1]++
+		}
+	}
+	for i := 1; i < len(lv.FanoutIndex); i++ {
+		lv.FanoutIndex[i] += lv.FanoutIndex[i-1]
+	}
+	lv.fanout = make([]int32, lv.FanoutIndex[n.NumNets()])
+	cursor := append([]int32(nil), lv.FanoutIndex...)
+	for gi, g := range n.Gates {
+		for i := 0; i < g.NIn(); i++ {
+			in := g.In[i]
+			lv.fanout[cursor[in]] = int32(gi)
+			cursor[in]++
+		}
+	}
+
+	n.level = lv
+	return lv, nil
 }
 
 // InputNets returns the nets of all primary inputs, sorted by name for

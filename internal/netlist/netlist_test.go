@@ -107,16 +107,118 @@ func TestLevelizeOrder(t *testing.T) {
 	n.AddGate(logic.Or, out, abn, a)
 	n.AddGate(logic.Not, abn, ab)
 	n.AddGate(logic.And, ab, a, b)
-	order, err := n.Levelize()
+	lv, err := n.Levelize()
 	if err != nil {
 		t.Fatal(err)
 	}
 	pos := map[NetID]int{}
-	for i, gi := range order {
+	for i, gi := range lv.Order {
 		pos[n.Gates[gi].Out] = i
 	}
 	if !(pos[ab] < pos[abn] && pos[abn] < pos[out]) {
 		t.Fatalf("bad topo order: %v", pos)
+	}
+}
+
+func TestLevelizeLevels(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	ab := n.NewNet("ab")
+	abn := n.NewNet("abn")
+	out := n.NewNet("out")
+	n.AddGate(logic.Or, out, abn, a) // gate 0, level 2
+	n.AddGate(logic.Not, abn, ab)    // gate 1, level 1
+	n.AddGate(logic.And, ab, a, b)   // gate 2, level 0
+	lv, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.NumLevels() != 3 {
+		t.Fatalf("NumLevels = %d, want 3", lv.NumLevels())
+	}
+	wantLevels := map[int32]int32{0: 2, 1: 1, 2: 0} // gate index -> level
+	for gi, l := range lv.GateLevel {
+		if wantLevels[int32(gi)] != l {
+			t.Fatalf("GateLevel[%d] = %d, want %d", gi, l, wantLevels[int32(gi)])
+		}
+	}
+	for l := 0; l < lv.NumLevels(); l++ {
+		gates := lv.Level(l)
+		if len(gates) != 1 {
+			t.Fatalf("level %d has %d gates, want 1", l, len(gates))
+		}
+		if lv.GateLevel[gates[0]] != int32(l) {
+			t.Fatalf("level %d contains gate %d of level %d", l, gates[0], lv.GateLevel[gates[0]])
+		}
+	}
+	// Every gate's inputs must come from strictly lower levels (or sources),
+	// and a level-l gate (l>0) must have at least one input at level l-1.
+	for gi, g := range n.Gates {
+		best := int32(-1)
+		for i := 0; i < g.NIn(); i++ {
+			if d := lv.DriverGate[g.In[i]]; d >= 0 {
+				if lv.GateLevel[d] >= lv.GateLevel[gi] {
+					t.Fatalf("gate %d (level %d) reads gate %d (level %d)", gi, lv.GateLevel[gi], d, lv.GateLevel[d])
+				}
+				if lv.GateLevel[d] > best {
+					best = lv.GateLevel[d]
+				}
+			}
+		}
+		if lv.GateLevel[gi] != best+1 {
+			t.Fatalf("gate %d level = %d, want %d", gi, lv.GateLevel[gi], best+1)
+		}
+	}
+}
+
+func TestLevelizeFanoutAndDrivers(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	ab := n.NewNet("ab")
+	aa := n.NewNet("aa")
+	out := n.NewNet("out")
+	n.AddGate(logic.And, ab, a, b)   // gate 0
+	n.AddGate(logic.Xor, aa, a, a)   // gate 1: net a on both pins
+	n.AddGate(logic.Or, out, ab, aa) // gate 2
+	lv, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFan := map[NetID][]int32{
+		a:   {0, 1, 1}, // duplicated pin appears twice
+		b:   {0},
+		ab:  {2},
+		aa:  {2},
+		out: nil,
+	}
+	for id, want := range wantFan {
+		got := lv.NetFanout(id)
+		if len(got) != len(want) {
+			t.Fatalf("NetFanout(%s) = %v, want %v", n.Name(id), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("NetFanout(%s) = %v, want %v", n.Name(id), got, want)
+			}
+		}
+	}
+	wantDrv := map[NetID]int32{a: -1, b: -1, ab: 0, aa: 1, out: 2, n.Const0(): -1, n.Const1(): -1}
+	for id, want := range wantDrv {
+		if got := lv.DriverGate[id]; got != want {
+			t.Fatalf("DriverGate[%s] = %d, want %d", n.Name(id), got, want)
+		}
+	}
+	// The cache must be invalidated by structural growth.
+	c := n.NewNet("c")
+	n.AddGate(logic.Not, c, out)
+	lv2, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv2.NetFanout(out)) != 1 || lv2.DriverGate[c] != 3 {
+		t.Fatal("Levelize cache not invalidated by AddGate")
 	}
 }
 

@@ -25,10 +25,11 @@ type OptStats struct {
 // taint in both the original and simplified forms, and select-independent
 // muxes pass exactly their data's taint.
 func Optimize(n *Netlist, keep ...string) (*Netlist, OptStats, error) {
-	order, err := n.Levelize()
+	lv, err := n.Levelize()
 	if err != nil {
 		return nil, OptStats{}, err
 	}
+	order := lv.Order
 	st := OptStats{GatesBefore: len(n.Gates)}
 
 	// alias maps a net to its replacement (possibly a constant net).

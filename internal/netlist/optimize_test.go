@@ -150,10 +150,11 @@ func randNetlist(rnd *rand.Rand, gates int) *Netlist {
 // assignments and returns the output port signals.
 func evalAll(t *testing.T, n *Netlist, inputs map[string]logic.Sig, dffQ []logic.Sig) []logic.Sig {
 	t.Helper()
-	order, err := n.Levelize()
+	lv, err := n.Levelize()
 	if err != nil {
 		t.Fatal(err)
 	}
+	order := lv.Order
 	vals := make([]logic.Sig, n.NumNets())
 	for i := range vals {
 		vals[i] = logic.X0

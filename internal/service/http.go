@@ -204,6 +204,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.prom.cacheMisses.Inc()
 	j := s.newJobLocked(key)
 	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
+	j.backendSet = req.Options.Backend != ""
 	select {
 	case s.queue <- j:
 		s.inflight[key] = j

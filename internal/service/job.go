@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
+	"repro/internal/sim"
 )
 
 // Job states.
@@ -32,6 +33,9 @@ type job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	done     chan struct{}
+	// backendSet records whether the submission named a backend explicitly;
+	// if not, the server's Config.EngineBackend applies at run time.
+	backendSet bool
 
 	mu        sync.Mutex
 	state     string
@@ -101,6 +105,11 @@ type OptionsRequest struct {
 	// Reports are identical for every worker count, so this field does not
 	// participate in the job's cache key.
 	Workers int `json:"workers,omitempty"`
+	// Backend selects the gate-evaluation backend for this job: "compiled"
+	// or "interp" (empty: the server's Config.EngineBackend, then the
+	// compiled default). Reports are byte-identical across backends, so
+	// like Workers this field does not participate in the job's cache key.
+	Backend string `json:"backend,omitempty"`
 }
 
 // JobRequest is one analysis submission: a program (exactly one of Source
@@ -161,6 +170,10 @@ func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.D
 	if err := pol.Validate(); err != nil {
 		return nil, nil, nil, 0, err
 	}
+	backend, err := sim.ParseBackend(req.Options.Backend)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
 	opt := &glift.Options{
 		MaxCycles:     req.Options.MaxCycles,
 		MaxPathCycles: req.Options.MaxPathCycles,
@@ -168,6 +181,7 @@ func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.D
 		SoftMemBytes:  req.Options.SoftMemBytes,
 		HardMemBytes:  req.Options.HardMemBytes,
 		Workers:       req.Options.Workers,
+		Backend:       backend,
 	}
 	if req.Options.DeadlineMS < 0 {
 		return nil, nil, nil, 0, fmt.Errorf("negative deadline_ms")

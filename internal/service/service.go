@@ -31,6 +31,7 @@ import (
 	"repro/internal/glift"
 	"repro/internal/mcu"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Config tunes a Server.
@@ -51,6 +52,12 @@ type Config struct {
 	// Service workers multiply with engine workers, so hosts running
 	// several concurrent jobs usually want this pinned low.
 	EngineWorkers int
+	// EngineBackend is the gate-evaluation backend applied to jobs that do
+	// not request one (zero value: the compiled default). Like
+	// EngineWorkers it never affects results — backends are byte-identical
+	// by the differential contract — so it participates in neither job
+	// keys nor caching.
+	EngineBackend sim.BackendKind
 }
 
 func (c Config) withDefaults() Config {
@@ -178,10 +185,12 @@ func (s *Server) jobKey(img *asm.Image, pol *glift.Policy, opt *glift.Options, d
 		put(seg.Words)
 	}
 	h.Write(pol.CanonicalJSON())
-	// Normalized() zeroes Options.Workers: the parallel engine guarantees
-	// byte-identical reports for every worker count (the differential suite
-	// in internal/glift enforces it), so hashing it would only split the
-	// cache and defeat coalescing between equivalent submissions.
+	// Normalized() zeroes Options.Workers and Options.Backend: the parallel
+	// engine guarantees byte-identical reports for every worker count, and
+	// the evaluation backends are byte-identical by the same differential
+	// contract (the suite in internal/glift enforces both), so hashing
+	// either would only split the cache and defeat coalescing between
+	// equivalent submissions.
 	n := opt.Normalized()
 	put(n.MaxCycles)
 	put(n.MaxPathCycles)
@@ -220,6 +229,9 @@ func (s *Server) runJob(j *job) {
 	opt := j.opt
 	if opt.Workers == 0 {
 		opt.Workers = s.cfg.EngineWorkers
+	}
+	if !j.backendSet {
+		opt.Backend = s.cfg.EngineBackend
 	}
 	opt.Progress = (&engineProgress{m: s.prom, next: j.setProgress}).observe
 

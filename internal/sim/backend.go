@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Backend is a gate-evaluation engine for one netlist instance. Circuit owns
+// exactly one and drives it through the per-cycle protocol: Set primary
+// inputs, Eval the combinational logic (possibly several times with forced
+// nets), Clock the flip-flops, snapshot/restore DFF state.
+//
+// Every backend must produce bit-identical net values for identical stimulus
+// — the analysis engine's reports are byte-compared across backends by the
+// differential suite — and identical Clock toggle counts, which feed the
+// energy model. The unexported vals method closes the interface to this
+// package: the wrapper reads the dense value array directly for its
+// word-level accessors.
+type Backend interface {
+	// InitX resets every net — including all flip-flop outputs — to
+	// untainted X, except the constant nets (Algorithm 1, line 2).
+	InitX()
+	// Get returns the packed signal on a net (valid after Eval).
+	Get(id netlist.NetID) logic.Packed
+	// Set drives a net, normally a primary input.
+	Set(id netlist.NetID, p logic.Packed)
+	// Eval propagates values through the combinational logic. forced maps
+	// net IDs to values that override whatever their driver would produce;
+	// nil for a normal evaluation.
+	Eval(forced map[netlist.NetID]logic.Sig)
+	// Clock commits flip-flop next states and returns the number of
+	// flip-flop output value transitions (taint-only changes excluded).
+	Clock() uint64
+	// DFFState returns a copy of the flip-flop output values.
+	DFFState() []logic.Packed
+	// RestoreDFFState installs previously captured flip-flop outputs. The
+	// host must Eval before reading any combinational net.
+	RestoreDFFState(st []logic.Packed)
+
+	// vals exposes the backend's dense per-net value array for the
+	// wrapper's bulk reads. The host must treat it as read-only.
+	vals() []logic.Packed
+}
+
+// BackendKind selects a Backend implementation.
+type BackendKind uint8
+
+const (
+	// BackendCompiled is the default: the netlist is lowered once into a
+	// flat instruction stream and evaluated change-driven — only gates
+	// whose inputs actually changed are re-evaluated.
+	BackendCompiled BackendKind = iota
+	// BackendInterp is the reference interpreter: a full sweep of the
+	// levelized gate list through a per-gate switch on every Eval.
+	BackendInterp
+)
+
+// String returns the parseable name of the backend kind.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendCompiled:
+		return "compiled"
+	case BackendInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("backend(%d)", uint8(k))
+}
+
+// ParseBackend resolves a backend name: "compiled" (or empty, the default)
+// and "interp"/"interpreter".
+func ParseBackend(s string) (BackendKind, error) {
+	switch s {
+	case "", "compiled":
+		return BackendCompiled, nil
+	case "interp", "interpreter":
+		return BackendInterp, nil
+	}
+	return 0, fmt.Errorf("sim: unknown backend %q (want compiled or interp)", s)
+}
+
+// Backends lists every backend kind, for differential sweeps.
+func Backends() []BackendKind { return []BackendKind{BackendCompiled, BackendInterp} }
+
+// newBackend constructs the selected backend implementation.
+func newBackend(nl *netlist.Netlist, kind BackendKind) (Backend, error) {
+	switch kind {
+	case BackendCompiled:
+		return newCompiled(nl)
+	case BackendInterp:
+		return newInterp(nl)
+	}
+	return nil, fmt.Errorf("sim: unknown backend kind %d", kind)
+}

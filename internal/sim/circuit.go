@@ -14,31 +14,36 @@ import (
 // set primary inputs, call Eval (possibly several times, interleaved with
 // behavioural memory reads that feed results back into inputs), then Clock
 // to commit flip-flop state.
+//
+// The actual gate evaluation is delegated to a pluggable Backend; see
+// BackendKind for the available engines. All backends are observationally
+// identical — same net values, same toggle counts — so the choice only
+// affects speed.
 type Circuit struct {
-	nl    *netlist.Netlist
-	order []int32
-	vals  []logic.Packed // current value of every net
-	tmp   []logic.Packed // scratch for DFF next-state computation
+	nl   *netlist.Netlist
+	be   Backend
+	kind BackendKind
+	v    []logic.Packed // the backend's dense value array (read-only here)
 
 	// Toggles counts flip-flop output bit transitions across Clock calls,
 	// the activity measure used by the energy model.
 	Toggles uint64
 }
 
-// NewCircuit levelizes and wraps the netlist. The initial state follows the
-// paper's Algorithm 1: every flip-flop holds an untainted X; inputs default
-// to untainted X.
+// NewCircuit wraps the netlist with the default (compiled) backend. The
+// initial state follows the paper's Algorithm 1: every flip-flop holds an
+// untainted X; inputs default to untainted X.
 func NewCircuit(nl *netlist.Netlist) (*Circuit, error) {
-	order, err := nl.Levelize()
+	return NewCircuitBackend(nl, BackendCompiled)
+}
+
+// NewCircuitBackend wraps the netlist with an explicit evaluation backend.
+func NewCircuitBackend(nl *netlist.Netlist, kind BackendKind) (*Circuit, error) {
+	be, err := newBackend(nl, kind)
 	if err != nil {
 		return nil, err
 	}
-	c := &Circuit{
-		nl:    nl,
-		order: order,
-		vals:  make([]logic.Packed, nl.NumNets()),
-		tmp:   make([]logic.Packed, len(nl.DFFs)),
-	}
+	c := &Circuit{nl: nl, be: be, kind: kind, v: be.vals()}
 	c.InitX()
 	return c, nil
 }
@@ -46,26 +51,22 @@ func NewCircuit(nl *netlist.Netlist) (*Circuit, error) {
 // Netlist returns the underlying netlist.
 func (c *Circuit) Netlist() *netlist.Netlist { return c.nl }
 
+// Backend returns the evaluation backend kind this circuit runs on.
+func (c *Circuit) Backend() BackendKind { return c.kind }
+
 // InitX resets every net — including all flip-flop outputs — to untainted X
 // (Algorithm 1, line 2).
-func (c *Circuit) InitX() {
-	xp := logic.Pack(logic.X0)
-	for i := range c.vals {
-		c.vals[i] = xp
-	}
-	c.vals[c.nl.Const0()] = logic.Pack(logic.Zero0)
-	c.vals[c.nl.Const1()] = logic.Pack(logic.One0)
-}
+func (c *Circuit) InitX() { c.be.InitX() }
 
 // SetInput drives a primary input (or, in forced evaluations, any net; for
 // ordinary use only inputs should be set).
 func (c *Circuit) SetInput(id netlist.NetID, s logic.Sig) {
-	c.vals[id] = logic.Pack(s)
+	c.be.Set(id, logic.Pack(s))
 }
 
 // Get returns the current signal on a net (valid after Eval).
 func (c *Circuit) Get(id netlist.NetID) logic.Sig {
-	return logic.Unpack(c.vals[id])
+	return logic.Unpack(c.v[id])
 }
 
 // GetWord assembles a multi-bit value from nets (LSB first). The second
@@ -74,7 +75,7 @@ func (c *Circuit) Get(id netlist.NetID) logic.Sig {
 func (c *Circuit) GetWord(bits []netlist.NetID) (val uint64, known bool, tainted bool) {
 	known = true
 	for i, b := range bits {
-		s := logic.Unpack(c.vals[b])
+		s := logic.Unpack(c.v[b])
 		switch s.V {
 		case logic.One:
 			val |= 1 << uint(i)
@@ -91,84 +92,28 @@ func (c *Circuit) GetWord(bits []netlist.NetID) (val uint64, known bool, tainted
 // SetWord drives a vector of nets with the bits of val and a common taint.
 func (c *Circuit) SetWord(bits []netlist.NetID, val uint64, t bool) {
 	for i, b := range bits {
-		c.vals[b] = logic.Pack(logic.S(logic.FromBool(val>>uint(i)&1 == 1), t))
+		c.be.Set(b, logic.Pack(logic.S(logic.FromBool(val>>uint(i)&1 == 1), t)))
 	}
 }
 
-// Eval propagates values through the combinational logic in levelized
-// order. forced maps net IDs to values that override whatever their driver
-// would produce; pass nil for a normal evaluation. Forcing is how the
-// symbolic execution engine concretizes an unknown branch decision when the
-// PC becomes X (Section 4.1 of the paper).
-func (c *Circuit) Eval(forced map[netlist.NetID]logic.Sig) {
-	gates := c.nl.Gates
-	vals := c.vals
-	if forced != nil {
-		for id, s := range forced {
-			vals[id] = logic.Pack(s)
-		}
-	}
-	for _, gi := range c.order {
-		g := &gates[gi]
-		if forced != nil {
-			if _, ok := forced[g.Out]; ok {
-				continue
-			}
-		}
-		switch g.Op.Arity() {
-		case 1:
-			vals[g.Out] = logic.Eval1(g.Op, vals[g.In[0]])
-		case 2:
-			vals[g.Out] = logic.Eval2(g.Op, vals[g.In[0]], vals[g.In[1]])
-		case 3:
-			vals[g.Out] = logic.EvalMux(vals[g.In[0]], vals[g.In[1]], vals[g.In[2]])
-		default: // constants
-			if g.Op == logic.Const1 {
-				vals[g.Out] = logic.Pack(logic.One0)
-			} else {
-				vals[g.Out] = logic.Pack(logic.Zero0)
-			}
-		}
-	}
-}
+// Eval propagates values through the combinational logic. forced maps net
+// IDs to values that override whatever their driver would produce; pass nil
+// for a normal evaluation. Forcing is how the symbolic execution engine
+// concretizes an unknown branch decision when the PC becomes X (Section 4.1
+// of the paper).
+func (c *Circuit) Eval(forced map[netlist.NetID]logic.Sig) { c.be.Eval(forced) }
 
 // Clock commits flip-flop next states, implementing the synchronous
 // semantics  q' = mux(rst, mux(en, q, d), rstval)  with the GLIFT mux rule,
 // which gives exactly the tainted-reset behaviour of Figure 7: an asserted
 // untainted reset fully cleans a bit, an asserted tainted reset forces the
 // value but keeps it tainted.
-func (c *Circuit) Clock() {
-	dffs := c.nl.DFFs
-	vals := c.vals
-	for i := range dffs {
-		d := &dffs[i]
-		held := logic.EvalMux(vals[d.En], vals[d.Q], vals[d.D])
-		rv := logic.Pack(logic.S(d.RstVal, false))
-		c.tmp[i] = logic.EvalMux(vals[d.Rst], held, rv)
-	}
-	for i := range dffs {
-		q := dffs[i].Q
-		if (vals[q]^c.tmp[i])&3 != 0 {
-			c.Toggles++
-		}
-		vals[q] = c.tmp[i]
-	}
-}
+func (c *Circuit) Clock() { c.Toggles += c.be.Clock() }
 
 // DFFState returns a copy of the current flip-flop output values, the
 // register portion of a machine state snapshot.
-func (c *Circuit) DFFState() []logic.Packed {
-	out := make([]logic.Packed, len(c.nl.DFFs))
-	for i, d := range c.nl.DFFs {
-		out[i] = c.vals[d.Q]
-	}
-	return out
-}
+func (c *Circuit) DFFState() []logic.Packed { return c.be.DFFState() }
 
 // RestoreDFFState installs previously captured flip-flop outputs. The host
 // must Eval afterwards before reading any combinational net.
-func (c *Circuit) RestoreDFFState(st []logic.Packed) {
-	for i, d := range c.nl.DFFs {
-		c.vals[d.Q] = st[i]
-	}
-}
+func (c *Circuit) RestoreDFFState(st []logic.Packed) { c.be.RestoreDFFState(st) }

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Instruction kinds of the compiled stream.
+const (
+	ckConst uint8 = iota
+	ckUnary
+	ckBinary
+	ckMux
+)
+
+// Lookup tables of all ops concatenated into one flat array, shared by every
+// compiled backend instance: per-instruction offsets into it replace the
+// per-gate op switch of the interpreter.
+var (
+	flatOnce sync.Once
+	flatTab  []logic.Packed
+	flatOff  map[logic.Op]int32
+)
+
+func flatLUT() ([]logic.Packed, map[logic.Op]int32) {
+	flatOnce.Do(func() {
+		flatOff = make(map[logic.Op]int32)
+		add := func(op logic.Op, row []logic.Packed) {
+			flatOff[op] = int32(len(flatTab))
+			flatTab = append(flatTab, row...)
+		}
+		for _, op := range []logic.Op{logic.Buf, logic.Not} {
+			add(op, logic.LUT1(op))
+		}
+		for _, op := range []logic.Op{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor} {
+			add(op, logic.LUT2(op))
+		}
+		add(logic.Mux, logic.LUTMux())
+	})
+	return flatTab, flatOff
+}
+
+// compiled is the default evaluation backend. Construction lowers the
+// netlist once into a flat struct-of-arrays instruction stream in level
+// order (one instruction per gate: kind, LUT offset, input net indices,
+// output net index), plus a CSR fanout adjacency from nets to the
+// instructions consuming them, both derived from netlist.Levelize.
+//
+// Eval is change-driven: a per-level dirty worklist is seeded by the nets
+// that changed since the last Eval (host Sets, Clocked flip-flop outputs,
+// forced nets, and nets whose forcing was released), and only instructions
+// whose inputs actually changed value are re-evaluated. Because a gate's
+// consumers always sit at a strictly higher level, draining the buckets in
+// level order evaluates every dirty gate exactly once, after all its dirty
+// inputs settled — the fixpoint is identical to the interpreter's full
+// sweep, which is what keeps analysis reports byte-identical across
+// backends.
+//
+// InitX and RestoreDFFState invalidate incremental knowledge wholesale (the
+// whole state changed); the next Eval then runs one full sweep of the
+// stream and incremental evaluation resumes from there.
+type compiled struct {
+	nl   *netlist.Netlist
+	v    []logic.Packed // current value of every net
+	tmp  []logic.Packed // scratch for DFF next-state computation
+	rstv []logic.Packed // per-DFF packed (untainted) reset value
+
+	// The instruction stream, index = position in level order.
+	kind   []uint8
+	tab    []int32 // offset into flat; for ckConst, the packed value itself
+	in0    []int32
+	in1    []int32
+	in2    []int32
+	out    []int32
+	ilevel []int32
+	flat   []logic.Packed
+
+	fanIdx    []int32 // CSR: net -> consuming instruction positions
+	fan       []int32
+	driverPos []int32 // net -> driving instruction position, or -1
+
+	// Dirty-worklist state. Epoch stamps make per-Eval membership tests
+	// (already queued? forced this Eval?) single array reads with no
+	// clearing between calls.
+	epoch      uint64
+	queuedEp   []uint64 // per instruction: enqueued at this epoch
+	forcedEp   []uint64 // per net: forced at this epoch
+	buckets    [][]int32
+	pending    []netlist.NetID // nets changed since the last Eval
+	prevForced []netlist.NetID // nets forced by the previous Eval
+	needFull   bool
+}
+
+func newCompiled(nl *netlist.Netlist) (*compiled, error) {
+	lv, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	ng, nn := len(nl.Gates), nl.NumNets()
+	flat, off := flatLUT()
+	c := &compiled{
+		nl:        nl,
+		v:         make([]logic.Packed, nn),
+		tmp:       make([]logic.Packed, len(nl.DFFs)),
+		rstv:      make([]logic.Packed, len(nl.DFFs)),
+		kind:      make([]uint8, ng),
+		tab:       make([]int32, ng),
+		in0:       make([]int32, ng),
+		in1:       make([]int32, ng),
+		in2:       make([]int32, ng),
+		out:       make([]int32, ng),
+		ilevel:    make([]int32, ng),
+		flat:      flat,
+		driverPos: make([]int32, nn),
+		queuedEp:  make([]uint64, ng),
+		forcedEp:  make([]uint64, nn),
+		buckets:   make([][]int32, lv.NumLevels()),
+		needFull:  true,
+	}
+	for i, d := range nl.DFFs {
+		c.rstv[i] = logic.Pack(logic.S(d.RstVal, false))
+	}
+	pos := make([]int32, ng) // gate index -> instruction position
+	for p, gi := range lv.Order {
+		g := &nl.Gates[gi]
+		pos[gi] = int32(p)
+		c.out[p] = int32(g.Out)
+		c.ilevel[p] = lv.GateLevel[gi]
+		switch g.Op.Arity() {
+		case 0:
+			c.kind[p] = ckConst
+			if g.Op == logic.Const1 {
+				c.tab[p] = int32(logic.Pack(logic.One0))
+			} else {
+				c.tab[p] = int32(logic.Pack(logic.Zero0))
+			}
+		case 1:
+			c.kind[p] = ckUnary
+			c.tab[p] = off[g.Op]
+			c.in0[p] = int32(g.In[0])
+		case 2:
+			c.kind[p] = ckBinary
+			c.tab[p] = off[g.Op]
+			c.in0[p] = int32(g.In[0])
+			c.in1[p] = int32(g.In[1])
+		default:
+			c.kind[p] = ckMux
+			c.tab[p] = off[logic.Mux]
+			c.in0[p] = int32(g.In[0]) // select
+			c.in1[p] = int32(g.In[1])
+			c.in2[p] = int32(g.In[2])
+		}
+	}
+	c.fanIdx = make([]int32, nn+1)
+	copy(c.fanIdx, lv.FanoutIndex)
+	c.fan = make([]int32, c.fanIdx[nn])
+	for id := 0; id < nn; id++ {
+		dst := c.fan[c.fanIdx[id]:c.fanIdx[id+1]]
+		for i, gi := range lv.NetFanout(netlist.NetID(id)) {
+			dst[i] = pos[gi]
+		}
+		if g := lv.DriverGate[id]; g >= 0 {
+			c.driverPos[id] = pos[g]
+		} else {
+			c.driverPos[id] = -1
+		}
+	}
+	return c, nil
+}
+
+func (c *compiled) vals() []logic.Packed { return c.v }
+
+func (c *compiled) Get(id netlist.NetID) logic.Packed { return c.v[id] }
+
+func (c *compiled) Set(id netlist.NetID, p logic.Packed) {
+	if c.v[id] != p {
+		c.v[id] = p
+		if !c.needFull {
+			c.pending = append(c.pending, id)
+		}
+	}
+}
+
+func (c *compiled) InitX() {
+	xp := logic.Pack(logic.X0)
+	for i := range c.v {
+		c.v[i] = xp
+	}
+	c.v[c.nl.Const0()] = logic.Pack(logic.Zero0)
+	c.v[c.nl.Const1()] = logic.Pack(logic.One0)
+	c.pending = c.pending[:0]
+	c.needFull = true
+}
+
+func (c *compiled) Eval(forced map[netlist.NetID]logic.Sig) {
+	c.epoch++
+	ep := c.epoch
+	for id, s := range forced {
+		c.forcedEp[id] = ep
+		c.Set(id, logic.Pack(s))
+	}
+	if c.needFull {
+		c.fullSweep(ep)
+		c.needFull = false
+		c.pending = c.pending[:0]
+	} else {
+		// A net forced last Eval but not this one reverts to whatever its
+		// combinational driver computes (sourceless nets — inputs, DFF
+		// outputs — simply hold their value, like in the interpreter).
+		for _, id := range c.prevForced {
+			if c.forcedEp[id] != ep {
+				if dp := c.driverPos[id]; dp >= 0 {
+					c.enqueue(dp, ep)
+				}
+			}
+		}
+		for _, id := range c.pending {
+			c.seed(id, ep)
+		}
+		c.pending = c.pending[:0]
+		c.drain(ep)
+	}
+	c.prevForced = c.prevForced[:0]
+	for id := range forced {
+		c.prevForced = append(c.prevForced, id)
+	}
+}
+
+// enqueue marks one instruction dirty, once per epoch.
+func (c *compiled) enqueue(p int32, ep uint64) {
+	if c.queuedEp[p] != ep {
+		c.queuedEp[p] = ep
+		l := c.ilevel[p]
+		c.buckets[l] = append(c.buckets[l], p)
+	}
+}
+
+// seed marks every consumer of a changed net dirty.
+func (c *compiled) seed(id netlist.NetID, ep uint64) {
+	for _, p := range c.fan[c.fanIdx[id]:c.fanIdx[id+1]] {
+		c.enqueue(p, ep)
+	}
+}
+
+// drain evaluates the dirty instructions level by level. Instructions only
+// ever enqueue into strictly higher levels (a gate's consumers are deeper),
+// so each bucket is complete when its level is reached.
+func (c *compiled) drain(ep uint64) {
+	for l := range c.buckets {
+		b := c.buckets[l]
+		for i := 0; i < len(b); i++ {
+			c.step(b[i], ep)
+		}
+		c.buckets[l] = b[:0]
+	}
+}
+
+// step re-evaluates one dirty instruction and propagates on actual change.
+func (c *compiled) step(p int32, ep uint64) {
+	o := c.out[p]
+	if c.forcedEp[o] == ep {
+		return // the forced value wins over the driver this Eval
+	}
+	nv := c.evalInstr(p)
+	if nv != c.v[o] {
+		c.v[o] = nv
+		c.seed(netlist.NetID(o), ep)
+	}
+}
+
+func (c *compiled) evalInstr(p int32) logic.Packed {
+	switch c.kind[p] {
+	case ckUnary:
+		return c.flat[c.tab[p]+int32(c.v[c.in0[p]])]
+	case ckBinary:
+		return c.flat[c.tab[p]+int32(c.v[c.in0[p]])*logic.NumPacked+int32(c.v[c.in1[p]])]
+	case ckMux:
+		return c.flat[c.tab[p]+(int32(c.v[c.in0[p]])*logic.NumPacked+int32(c.v[c.in1[p]]))*logic.NumPacked+int32(c.v[c.in2[p]])]
+	default:
+		return logic.Packed(c.tab[p])
+	}
+}
+
+// fullSweep evaluates the whole stream in level order, used for the first
+// Eval and after InitX/RestoreDFFState.
+func (c *compiled) fullSweep(ep uint64) {
+	for p := range c.kind {
+		o := c.out[p]
+		if c.forcedEp[o] == ep {
+			continue
+		}
+		c.v[o] = c.evalInstr(int32(p))
+	}
+}
+
+func (c *compiled) Clock() uint64 {
+	dffs := c.nl.DFFs
+	v := c.v
+	for i := range dffs {
+		d := &dffs[i]
+		held := logic.EvalMux(v[d.En], v[d.Q], v[d.D])
+		c.tmp[i] = logic.EvalMux(v[d.Rst], held, c.rstv[i])
+	}
+	var toggles uint64
+	for i := range dffs {
+		q := dffs[i].Q
+		old := v[q]
+		nv := c.tmp[i]
+		if (old^nv)&3 != 0 {
+			toggles++
+		}
+		if old != nv {
+			v[q] = nv
+			if !c.needFull {
+				c.pending = append(c.pending, q)
+			}
+		}
+	}
+	return toggles
+}
+
+func (c *compiled) DFFState() []logic.Packed {
+	out := make([]logic.Packed, len(c.nl.DFFs))
+	for i, d := range c.nl.DFFs {
+		out[i] = c.v[d.Q]
+	}
+	return out
+}
+
+func (c *compiled) RestoreDFFState(st []logic.Packed) {
+	for i, d := range c.nl.DFFs {
+		c.v[d.Q] = st[i]
+	}
+	c.pending = c.pending[:0]
+	c.needFull = true
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// interp is the reference evaluation backend: every Eval sweeps the full
+// levelized gate list through a per-gate switch. It is the original
+// simulator core, kept as the semantic baseline the compiled backend is
+// byte-compared against.
+type interp struct {
+	nl    *netlist.Netlist
+	order []int32
+	v     []logic.Packed // current value of every net
+	tmp   []logic.Packed // scratch for DFF next-state computation
+
+	// forcedStamp/epoch implement the forced-net overlay: nets forced in
+	// the current Eval carry the current epoch, so skipping a forced gate
+	// output costs one array read instead of a map probe per gate.
+	forcedStamp []uint64
+	epoch       uint64
+}
+
+func newInterp(nl *netlist.Netlist) (*interp, error) {
+	lv, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	return &interp{
+		nl:          nl,
+		order:       lv.Order,
+		v:           make([]logic.Packed, nl.NumNets()),
+		tmp:         make([]logic.Packed, len(nl.DFFs)),
+		forcedStamp: make([]uint64, nl.NumNets()),
+	}, nil
+}
+
+func (c *interp) vals() []logic.Packed { return c.v }
+
+func (c *interp) Get(id netlist.NetID) logic.Packed { return c.v[id] }
+
+func (c *interp) Set(id netlist.NetID, p logic.Packed) { c.v[id] = p }
+
+func (c *interp) InitX() {
+	xp := logic.Pack(logic.X0)
+	for i := range c.v {
+		c.v[i] = xp
+	}
+	c.v[c.nl.Const0()] = logic.Pack(logic.Zero0)
+	c.v[c.nl.Const1()] = logic.Pack(logic.One0)
+}
+
+func (c *interp) Eval(forced map[netlist.NetID]logic.Sig) {
+	gates := c.nl.Gates
+	vals := c.v
+	hasForced := len(forced) > 0
+	ep := c.epoch
+	if hasForced {
+		c.epoch++
+		ep = c.epoch
+		for id, s := range forced {
+			c.forcedStamp[id] = ep
+			vals[id] = logic.Pack(s)
+		}
+	}
+	stamp := c.forcedStamp
+	for _, gi := range c.order {
+		g := &gates[gi]
+		if hasForced && stamp[g.Out] == ep {
+			continue
+		}
+		switch g.Op.Arity() {
+		case 1:
+			vals[g.Out] = logic.Eval1(g.Op, vals[g.In[0]])
+		case 2:
+			vals[g.Out] = logic.Eval2(g.Op, vals[g.In[0]], vals[g.In[1]])
+		case 3:
+			vals[g.Out] = logic.EvalMux(vals[g.In[0]], vals[g.In[1]], vals[g.In[2]])
+		default: // constants
+			if g.Op == logic.Const1 {
+				vals[g.Out] = logic.Pack(logic.One0)
+			} else {
+				vals[g.Out] = logic.Pack(logic.Zero0)
+			}
+		}
+	}
+}
+
+func (c *interp) Clock() uint64 {
+	dffs := c.nl.DFFs
+	vals := c.v
+	for i := range dffs {
+		d := &dffs[i]
+		held := logic.EvalMux(vals[d.En], vals[d.Q], vals[d.D])
+		rv := logic.Pack(logic.S(d.RstVal, false))
+		c.tmp[i] = logic.EvalMux(vals[d.Rst], held, rv)
+	}
+	var toggles uint64
+	for i := range dffs {
+		q := dffs[i].Q
+		if (vals[q]^c.tmp[i])&3 != 0 {
+			toggles++
+		}
+		vals[q] = c.tmp[i]
+	}
+	return toggles
+}
+
+func (c *interp) DFFState() []logic.Packed {
+	out := make([]logic.Packed, len(c.nl.DFFs))
+	for i, d := range c.nl.DFFs {
+		out[i] = c.v[d.Q]
+	}
+	return out
+}
+
+func (c *interp) RestoreDFFState(st []logic.Packed) {
+	for i, d := range c.nl.DFFs {
+		c.v[d.Q] = st[i]
+	}
+}
