@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-observability differential backend-differential fault trace bench-json bench-check serve clean
+.PHONY: check build fmt vet test race race-observability differential backend-differential fault trace bench-json bench-check serve soak clean
 
 # check is the CI gate: formatting, vet, build, and the full suite under
 # the race detector (the engine itself is single-threaded, but bench
@@ -87,6 +87,16 @@ bench-json:
 # than 20% against the committed baseline for either backend.
 bench-check:
 	$(GO) run ./cmd/benchjson -workers 1 -compare BENCH_1.json -threshold 0.20
+
+# soak runs the chaos harness storm (gliftload -chaos: kill -9 mid-write,
+# disk-full store, injected 503s) through the integration suite under the
+# race detector — the daemon binaries are race-instrumented too — and fails
+# on any integrity violation: a torn record served, a lost fsynced result,
+# or a verdict differing from a cold run (see DESIGN.md "Durability &
+# admission").
+soak:
+	GLIFT_SOAK=1 $(GO) test -race -timeout $(TEST_TIMEOUT) ./integration \
+		-run 'TestChaos|TestGliftdSIGTERMDrain' -v
 
 # serve builds and launches the analysis daemon (see README "Running as
 # a service").

@@ -1,29 +1,41 @@
 // gliftd is the long-running analysis daemon: the glift engine behind an
 // HTTP API with a bounded worker pool, per-job deadlines, live progress,
-// cancellation, and a content-addressed result cache that serves repeated
-// (program, policy, options) submissions without re-running the engine.
+// cancellation, a content-addressed result cache, and an optional
+// crash-safe persistent result store that survives restarts.
 //
 // Usage:
 //
-//	gliftd -addr :8430 -workers 4 -queue 64 -cache 1024 -deadline 2m
+//	gliftd -addr :8430 -workers 4 -queue 64 -cache 1024 -deadline 2m \
+//	       -store-dir /var/lib/gliftd -store-max-bytes 1073741824 \
+//	       -tenant-rate 50 -tenant-burst 100
 //
 // API (see README.md "Running as a service" for curl examples):
 //
 //	POST   /jobs          submit {source|ihex, policy, options}; ?wait=1 blocks
 //	GET    /jobs/{id}     status + live progress, report when done
 //	DELETE /jobs/{id}     cancel; the job completes with verdict incomplete
-//	GET    /metrics       Prometheus text exposition (service + engine series);
-//	                      the legacy JSON shape via Accept: application/json
-//	GET    /metrics.json  jobs by verdict, cache hits/misses, queue depth, ...
+//	GET    /metrics       Prometheus text exposition (service + engine + store
+//	                      series); the legacy JSON shape via Accept: application/json
+//	GET    /metrics.json  jobs by verdict, cache/store hits, queue depth, ...
 //	GET    /healthz       liveness
 //
-// -pprof additionally mounts net/http/pprof under /debug/pprof/; engine
-// runs carry pprof labels (glift_job, glift_policy), so profiles attribute
-// CPU and heap to the jobs that burned them.
+// Durability: with -store-dir set, completed Verified/Violations reports are
+// fsynced to a content-addressed on-disk store before the submitter is
+// answered, and startup recovery re-validates (SHA-256) and re-indexes every
+// surviving record — a torn or corrupt record is quarantined, never served.
+//
+// Admission: per-tenant token buckets (X-Tenant header) reject over-quota
+// submissions 429 + Retry-After; deadline-aware shedding rejects jobs whose
+// deadline cannot be met at the predicted queue wait 503 + Retry-After; a
+// full queue rejects 503 + Retry-After.
 //
 // Completed jobs map the CLI verdict/exit-code taxonomy onto HTTP statuses:
 // verified → 200, violations → 409, incomplete → 504, internal error → 500;
-// malformed submissions → 400. SIGINT/SIGTERM drain the pool and exit.
+// malformed submissions → 400.
+//
+// Shutdown (SIGINT/SIGTERM) is ordered and bounded by -drain-timeout:
+// stop accepting connections and drain in-flight HTTP, then drain the job
+// queue and workers (persisting completed results), then stop the pool.
 package main
 
 import (
@@ -52,6 +64,13 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-job deadline (0: none)")
 	engineWorkers := flag.Int("engine-workers", 1, "exploration workers per engine run (0: GOMAXPROCS); service workers multiply with engine workers")
 	engineBackend := flag.String("engine-backend", "", "gate-evaluation backend for jobs that do not request one: compiled (default) or interp")
+	storeDir := flag.String("store-dir", "", "crash-safe persistent result store directory (empty: memory-only cache)")
+	storeMax := flag.Int64("store-max-bytes", 0, "persistent store byte cap, oldest evicted first (0: unbounded)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/sec, keyed by X-Tenant (0: unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0: ceil(rate))")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: HTTP drain, then job-queue drain, then stop")
+	chaos503 := flag.Int("chaos-inject-503", 0, "TESTING: percent of submissions answered with a spurious 503 + Retry-After")
+	chaosSlowWrite := flag.Duration("chaos-slow-write", 0, "TESTING: hold every store write half-written this long before fsync+rename")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -64,14 +83,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cache,
-		DefaultDeadline: *deadline,
-		EngineWorkers:   *engineWorkers,
-		EngineBackend:   backend,
+	srv, err := service.New(service.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cache,
+		DefaultDeadline:    *deadline,
+		EngineWorkers:      *engineWorkers,
+		EngineBackend:      backend,
+		StoreDir:           *storeDir,
+		StoreMaxBytes:      *storeMax,
+		StoreWriteDelay:    *chaosSlowWrite,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
+		ChaosRejectPercent: *chaos503,
 	})
+	if err != nil {
+		log.Fatalf("gliftd: %v", err)
+	}
+	if st := srv.Store(); st != nil {
+		stats := st.Stats()
+		log.Printf("gliftd: result store %s: recovered %d entries (%d bytes), quarantined %d, cleaned %d abandoned writes",
+			st.Dir(), stats.Recovered, st.Bytes(), stats.Quarantined, stats.TmpCleaned)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if *pprofOn {
@@ -88,18 +121,39 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		log.Printf("gliftd: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		hs.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain
-	}()
 
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
 	log.Printf("gliftd: serving on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+
+	select {
+	case err := <-serveErr:
+		// The listener failed before any signal (bad address, port in use).
+		srv.Close()
 		log.Fatalf("gliftd: %v", err)
+	case <-ctx.Done():
 	}
-	srv.Close() // cancel in-flight jobs and drain the pool
+
+	// Ordered, bounded shutdown. One deadline covers all three stages so a
+	// hung client or a long-running job cannot stall the exit forever:
+	//  1. stop accepting connections and drain in-flight HTTP requests;
+	//  2. drain the job queue and workers — completed results are persisted
+	//     to the store before their waiters are released;
+	//  3. stop the pool (anything still running after the deadline has been
+	//     cancelled and completes Incomplete, which is never persisted).
+	log.Printf("gliftd: shutting down (drain bound %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("gliftd: http drain incomplete: %v", err)
+		hs.Close() //nolint:errcheck // connections past the drain bound are cut, not waited on
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		log.Printf("gliftd: job drain incomplete, cancelling stragglers: %v", err)
+	}
+	srv.Close()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("gliftd: listener: %v", err)
+	}
 	log.Printf("gliftd: stopped")
 }

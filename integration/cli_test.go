@@ -63,8 +63,16 @@ func tool(t *testing.T, name string) string {
 		if buildErr != nil {
 			return
 		}
-		cmd := exec.Command("go", "build", "-o", binDir,
-			"./cmd/gliftcheck", "./cmd/secure430", "./cmd/gliftd")
+		// When the test harness runs under the race detector, build the
+		// binaries with it too: the soak job's kill -9 storms then race-check
+		// the daemon itself, not just the harness.
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", binDir,
+			"./cmd/gliftcheck", "./cmd/secure430", "./cmd/gliftd", "./cmd/gliftload")
+		cmd := exec.Command("go", args...)
 		cmd.Dir = ".." // repo root
 		if out, err := cmd.CombinedOutput(); err != nil {
 			buildErr = fmt.Errorf("building CLIs: %v\n%s", err, out)

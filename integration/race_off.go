@@ -1,0 +1,5 @@
+//go:build !race
+
+package integration
+
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package integration
+
+// raceEnabled mirrors the harness's -race flag into the binaries it builds.
+const raceEnabled = true

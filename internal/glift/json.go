@@ -1,6 +1,9 @@
 package glift
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // This file defines the one JSON serialization of an analysis report shared
 // by every surface that emits reports: the gliftcheck/secure430 -json flags
@@ -96,4 +99,72 @@ func (r *Report) JSON() ReportJSON {
 		out.Err = ej
 	}
 	return out
+}
+
+// KindFromString inverts Kind.String for the named kinds.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Report reconstructs the engine report a ReportJSON was serialized from.
+// It is the inverse of Report.JSON for everything that shapes a verdict:
+// round-tripping a report and re-serializing it yields byte-identical JSON,
+// which is what lets the persistent result store prove that a recovered
+// entry is exactly the report a cold engine run would have produced. The
+// derived fields (verdict, exit code, secure, violated conditions, masked
+// stores) are recomputed from the reconstructed violations rather than
+// trusted, and a mismatch against the serialized verdict is reported as an
+// error — a store entry that fails this check is corrupt, not stale.
+//
+// One field is deliberately lossy: RunError.Stack is never serialized, so
+// an internal-error report does not round-trip its stack trace. Such
+// reports are never cached or persisted (the verdict reflects the run, not
+// the inputs), so the store never observes the loss.
+func (rj *ReportJSON) Report() (*Report, error) {
+	rep := &Report{
+		Policy: rj.Policy,
+		Stats: Stats{
+			Cycles:       rj.Stats.Cycles,
+			Paths:        rj.Stats.Paths,
+			Forks:        rj.Stats.Forks,
+			Prunes:       rj.Stats.Prunes,
+			Merges:       rj.Stats.Merges,
+			TableStates:  rj.Stats.TableStates,
+			WallNanos:    rj.Stats.WallNanos,
+			PeakMemBytes: rj.Stats.PeakMemBytes,
+			Escalations:  rj.Stats.Escalations,
+		},
+	}
+	for i, v := range rj.Violations {
+		kind, ok := KindFromString(v.Kind)
+		if !ok {
+			return nil, fmt.Errorf("glift: violation %d: unknown kind %q", i, v.Kind)
+		}
+		pc, err := strconv.ParseUint(v.PC, 0, 16)
+		if err != nil {
+			return nil, fmt.Errorf("glift: violation %d: bad pc %q: %v", i, v.PC, err)
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Kind:   kind,
+			PC:     uint16(pc),
+			Cycle:  v.Cycle,
+			Detail: v.Detail,
+		})
+	}
+	if rj.Err != nil {
+		re := &RunError{Reason: rj.Err.Reason}
+		if rj.Err.Panic != "" {
+			re.Panic = rj.Err.Panic
+		}
+		rep.Err = re
+	}
+	if got := rep.Verdict().String(); got != rj.Verdict {
+		return nil, fmt.Errorf("glift: reconstructed verdict %q does not match serialized %q", got, rj.Verdict)
+	}
+	return rep, nil
 }

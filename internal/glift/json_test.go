@@ -99,6 +99,83 @@ func TestReportJSONShape(t *testing.T) {
 	}
 }
 
+// TestReportJSONRoundTrip: ReportJSON.Report inverts Report.JSON and the
+// re-serialized bytes are identical — the integrity contract the persistent
+// result store builds on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	reports := []*Report{
+		{Policy: "clean", Stats: Stats{Cycles: 10, Paths: 1, WallNanos: 123, PeakMemBytes: 1 << 20}},
+		{
+			Policy: "viol",
+			Violations: []Violation{
+				{Kind: C2MemoryEscape, PC: 0xf01c, Cycle: 42, Detail: "store escapes"},
+				{Kind: C1TaintedState, PC: 0xf020, Cycle: 50, Detail: "sr tainted"},
+				{Kind: WatchdogTainted, PC: 0x0120, Cycle: 7, Detail: "wdt strobe"},
+			},
+			Stats: Stats{Cycles: 100, Paths: 3, Forks: 2, Merges: 1, TableStates: 4, Escalations: 1},
+		},
+		{
+			Policy:     "cancelled",
+			Violations: []Violation{{Kind: AnalysisIncomplete, PC: 0xf000, Cycle: 9, Detail: "cancelled"}},
+			Stats:      Stats{Cycles: 9},
+		},
+	}
+	for _, rep := range reports {
+		want, err := json.Marshal(rep.JSON())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rj ReportJSON
+		if err := json.Unmarshal(want, &rj); err != nil {
+			t.Fatal(err)
+		}
+		back, err := rj.Report()
+		if err != nil {
+			t.Fatalf("%s: reconstructing: %v", rep.Policy, err)
+		}
+		got, err := json.Marshal(back.JSON())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: round trip not byte-identical:\n got %s\nwant %s", rep.Policy, got, want)
+		}
+		if back.Verdict() != rep.Verdict() {
+			t.Errorf("%s: verdict %v != %v", rep.Policy, back.Verdict(), rep.Verdict())
+		}
+	}
+
+	// Corrupt wire forms are rejected, never silently reinterpreted.
+	viol := reports[1].JSON()
+	viol.Violations[0].Kind = "no-such-kind"
+	if _, err := viol.Report(); err == nil {
+		t.Error("unknown violation kind must fail reconstruction")
+	}
+	viol = reports[1].JSON()
+	viol.Violations[0].PC = "not-hex"
+	if _, err := viol.Report(); err == nil {
+		t.Error("unparsable pc must fail reconstruction")
+	}
+	viol = reports[1].JSON()
+	viol.Verdict = "verified" // derived field tampered with
+	if _, err := viol.Report(); err == nil {
+		t.Error("verdict mismatch must fail reconstruction")
+	}
+}
+
+// TestKindFromString: every named kind round-trips.
+func TestKindFromString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("bogus kind should not parse")
+	}
+}
+
 // TestOptionsNormalized: normalization fills every default, so an explicit
 // default and an omitted field are indistinguishable (the property the
 // content-addressed cache key relies on).

@@ -1,0 +1,241 @@
+// Package client is the Go client for the gliftd HTTP API with the retry
+// discipline the daemon's admission control assumes: bounded exponential
+// backoff with full jitter, honoring Retry-After on 429/503, and absorbing
+// connection errors across daemon restarts. It is the substrate for
+// cmd/gliftload and for embedding gliftd access in other tools.
+//
+// The client deliberately does NOT retry on semantic outcomes: a 409
+// (violations) or 504 (incomplete) is a final verdict, not backpressure.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Config tunes the retry discipline. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8430".
+	BaseURL string
+	// Tenant, when non-empty, is sent as the X-Tenant header on every
+	// request — the key the daemon's per-tenant quotas bucket by.
+	Tenant string
+	// MaxAttempts bounds tries per call (first attempt included).
+	// Default 8.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule. Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single sleep. Default 5s.
+	MaxBackoff time.Duration
+	// HTTPClient overrides the transport (tests). Default: a client with
+	// a 2-minute request timeout.
+	HTTPClient *http.Client
+}
+
+// Client talks to one gliftd instance.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+}
+
+// New builds a Client, applying defaults to zero Config fields.
+func New(cfg Config) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Client{cfg: cfg, hc: hc}
+}
+
+// Result is one finished (or rejected) call.
+type Result struct {
+	// Code is the final HTTP status.
+	Code int
+	// Status is the decoded job payload (zero for non-JSON errors).
+	Status service.JobStatusJSON
+	// RawReport preserves the report's exact bytes as served — the unit
+	// of the soak harness's byte-identity differential check.
+	RawReport json.RawMessage
+	// Attempts is how many tries the call took.
+	Attempts int
+
+	body []byte // full response body, for non-job endpoints
+}
+
+// retryable reports whether a status is backpressure (retry) rather than an
+// outcome (stop). 429 and 503 are the daemon's documented shed/quota/chaos
+// signals.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the sleep before attempt n (0-based), preferring the
+// server's Retry-After when present, else exponential with full jitter.
+func (c *Client) backoff(n int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			d := time.Duration(secs) * time.Second
+			if d > c.cfg.MaxBackoff {
+				d = c.cfg.MaxBackoff
+			}
+			return d
+		}
+	}
+	d := c.cfg.BaseBackoff << uint(n)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	// Full jitter: uniform in (0, d] decorrelates a retrying fleet.
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// call runs one HTTP exchange with the retry loop. Connection errors are
+// retried (the daemon may be restarting — the soak harness depends on
+// riding through kill -9); retryable statuses honor Retry-After.
+func (c *Client) call(ctx context.Context, method, path string, body []byte) (*Result, error) {
+	var lastErr error
+	for n := 0; n < c.cfg.MaxAttempts; n++ {
+		if n > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.backoff(n-1, headerOf(lastErr))):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.cfg.Tenant != "" {
+			req.Header.Set("X-Tenant", c.cfg.Tenant)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = &retryErr{err: err} // connection refused/reset: daemon restarting
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = &retryErr{err: err}
+			continue
+		}
+		if retryable(resp.StatusCode) {
+			lastErr = &retryErr{
+				err:        fmt.Errorf("%s %s: %s", method, path, resp.Status),
+				retryAfter: resp.Header.Get("Retry-After"),
+			}
+			continue
+		}
+		res := &Result{Code: resp.StatusCode, Attempts: n + 1, body: data}
+		if len(data) > 0 && json.Valid(data) {
+			// Tolerate non-JSON bodies; report extraction must not lose
+			// bytes, so RawReport comes from a raw re-decode, not from
+			// re-marshaling Status.
+			if err := json.Unmarshal(data, &res.Status); err != nil {
+				return nil, fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+			}
+			var shell struct {
+				Report json.RawMessage `json:"report"`
+			}
+			if err := json.Unmarshal(data, &shell); err == nil {
+				res.RawReport = shell.Report
+			}
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// retryErr carries the server's Retry-After hint between attempts.
+type retryErr struct {
+	err        error
+	retryAfter string
+}
+
+func (e *retryErr) Error() string { return e.err.Error() }
+func (e *retryErr) Unwrap() error { return e.err }
+
+func headerOf(err error) string {
+	if re, ok := err.(*retryErr); ok {
+		return re.retryAfter
+	}
+	return ""
+}
+
+// Submit posts a job and, with wait, blocks server-side for its verdict.
+func (c *Client) Submit(ctx context.Context, req *service.JobRequest, wait bool) (*Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	path := "/jobs"
+	if wait {
+		path += "?wait=1"
+	}
+	return c.call(ctx, http.MethodPost, path, body)
+}
+
+// Get fetches a job's status by ID.
+func (c *Client) Get(ctx context.Context, id string) (*Result, error) {
+	return c.call(ctx, http.MethodGet, "/jobs/"+id, nil)
+}
+
+// Cancel requests cancellation of a job by ID.
+func (c *Client) Cancel(ctx context.Context, id string) (*Result, error) {
+	return c.call(ctx, http.MethodDelete, "/jobs/"+id, nil)
+}
+
+// MetricsJSON fetches the daemon's JSON metrics snapshot (with the same
+// retry discipline as job calls — metrics polls ride through restarts too).
+func (c *Client) MetricsJSON(ctx context.Context) (service.MetricsJSON, error) {
+	var m service.MetricsJSON
+	res, err := c.call(ctx, http.MethodGet, "/metrics.json", nil)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(res.body, &m); err != nil {
+		return m, fmt.Errorf("decoding metrics: %w", err)
+	}
+	return m, nil
+}
+
+// Healthy reports whether the daemon answers /healthz, without retries —
+// the probe restart loops poll.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

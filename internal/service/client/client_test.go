@@ -1,0 +1,201 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func fastClient(url string, attempts int) *Client {
+	return New(Config{
+		BaseURL:     url,
+		MaxAttempts: attempts,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+}
+
+// TestClientRetriesBackpressure: 429/503 are retried until success; the
+// verdict statuses are final.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(service.JobStatusJSON{ID: "job-1", Verdict: "verified"})
+		}
+	}))
+	defer ts.Close()
+
+	// Retry-After: 1 would sleep a full second; MaxBackoff must cap it for
+	// the test to stay fast — and that cap is itself part of the contract.
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond})
+	res, err := c.Submit(context.Background(), &service.JobRequest{Source: "x"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != http.StatusOK || res.Attempts != 3 || res.Status.Verdict != "verified" {
+		t.Errorf("result: code=%d attempts=%d verdict=%q", res.Code, res.Attempts, res.Status.Verdict)
+	}
+}
+
+// TestClientVerdictsAreFinal: 409 (violations) and 504 (incomplete) return
+// immediately — they are outcomes, not backpressure.
+func TestClientVerdictsAreFinal(t *testing.T) {
+	for _, code := range []int{http.StatusConflict, http.StatusGatewayTimeout, http.StatusBadRequest} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(code)
+		}))
+		c := fastClient(ts.URL, 5)
+		res, err := c.Submit(context.Background(), &service.JobRequest{Source: "x"}, true)
+		if err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		if res.Code != code || calls.Load() != 1 {
+			t.Errorf("code %d: got %d after %d calls, want 1 call", code, res.Code, calls.Load())
+		}
+		ts.Close()
+	}
+}
+
+// TestClientGivesUp: persistent backpressure exhausts MaxAttempts with an
+// error naming the last failure.
+func TestClientGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL, 3)
+	_, err := c.Get(context.Background(), "job-1")
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestClientRidesThroughRestart: connection errors (dead listener) are
+// retried, so a call issued while the daemon is down succeeds once it is
+// back — the property the chaos harness's kill -9 loop leans on.
+func TestClientRidesThroughRestart(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.JobStatusJSON{ID: "job-9", Verdict: "verified"})
+	}))
+	addr := ts.Listener.Addr().String()
+	ts.Close() // daemon "killed"
+
+	c := New(Config{BaseURL: "http://" + addr, MaxAttempts: 50,
+		BaseBackoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond})
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := c.Get(context.Background(), "job-9")
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- res
+	}()
+
+	// "Restart" the daemon on the same address after a few failed attempts.
+	time.Sleep(50 * time.Millisecond)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	ts2 := &httptest.Server{Listener: l, Config: &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.JobStatusJSON{ID: "job-9", Verdict: "verified"})
+	})}}
+	ts2.Start()
+	defer ts2.Close()
+
+	select {
+	case res := <-done:
+		if res.Status.ID != "job-9" {
+			t.Errorf("status = %+v", res.Status)
+		}
+		if res.Attempts < 2 {
+			t.Errorf("attempts = %d, want >1 (must have ridden through the outage)", res.Attempts)
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("call never completed after restart")
+	}
+}
+
+// TestClientContextCancellation: a cancelled context aborts the retry loop
+// promptly with ctx.Err().
+func TestClientContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Get(ctx, "job-1")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+// TestClientBackoffSchedule: Retry-After wins when present (capped at
+// MaxBackoff); otherwise exponential-with-jitter stays within (0, base<<n].
+func TestClientBackoffSchedule(t *testing.T) {
+	c := New(Config{BaseURL: "http://x", BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second})
+	if d := c.backoff(0, "3"); d != time.Second {
+		t.Errorf("Retry-After 3s with 1s cap: %s", d)
+	}
+	if d := c.backoff(0, "1"); d != time.Second {
+		t.Errorf("Retry-After 1s: %s", d)
+	}
+	for n, max := range map[int]time.Duration{0: 10 * time.Millisecond, 2: 40 * time.Millisecond, 30: time.Second} {
+		for i := 0; i < 20; i++ {
+			if d := c.backoff(n, ""); d <= 0 || d > max {
+				t.Errorf("backoff(%d) = %s, want (0, %s]", n, d, max)
+			}
+		}
+	}
+}
+
+// TestClientTenantHeader: the configured tenant rides on every request.
+func TestClientTenantHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Tenant"))
+		json.NewEncoder(w).Encode(service.JobStatusJSON{})
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, Tenant: "acme"})
+	if _, err := c.Get(context.Background(), "j"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "acme" {
+		t.Errorf("X-Tenant = %q", got.Load())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -62,11 +63,25 @@ type MetricsJSON struct {
 	JobsCoalesced   int64            `json:"jobs_coalesced"`
 	EngineRuns      int64            `json:"engine_runs"`
 	JobsRejected    int64            `json:"jobs_rejected"`
+	DeadlineShed    int64            `json:"deadline_shed"`
+	QuotaRejected   int64            `json:"quota_rejected"`
+	ChaosInjected   int64            `json:"chaos_injected,omitempty"`
 	CancelRequests  int64            `json:"cancel_requests"`
 	QueueDepth      int              `json:"queue_depth"`
 	Workers         int              `json:"workers"`
 	BusyWorkers     int              `json:"busy_workers"`
 	CyclesSimulated uint64           `json:"cycles_simulated_total"`
+	Draining        bool             `json:"draining,omitempty"`
+
+	// Persistent-store metrics (all zero when persistence is disabled).
+	StoreHits        int64 `json:"store_hits"`
+	StoreEntries     int   `json:"store_entries"`
+	StoreBytes       int64 `json:"store_bytes"`
+	StoreRecovered   int64 `json:"store_recovered"`
+	StoreQuarantined int64 `json:"store_quarantined"`
+	StorePuts        int64 `json:"store_puts"`
+	StorePutErrors   int64 `json:"store_put_errors"`
+	StoreEvictions   int64 `json:"store_evictions"`
 }
 
 func (s *Server) routes() {
@@ -149,7 +164,48 @@ func (s *Server) newJobLocked(key string) *job {
 	return j
 }
 
+// tryServeExistingLocked answers a submission from the memory cache or
+// coalesces it onto an identical in-flight job. The caller holds s.mu; when
+// it returns true the lock has been released and the response written.
+func (s *Server) tryServeExistingLocked(w http.ResponseWriter, r *http.Request, key string, wait bool) bool {
+	// Content-addressed reuse: a completed identical job answers instantly.
+	if rep, ok := s.cache.get(key); ok {
+		s.m.cacheHits++
+		s.prom.cacheHits.Inc()
+		j := s.newJobLocked(key)
+		j.cacheHit = true
+		s.mu.Unlock()
+		j.finish(rep)
+		s.respond(w, r, j, wait)
+		return true
+	}
+	// In-flight dedup: an identical job already queued or running serves
+	// this submission too; the engine executes once.
+	if ex, ok := s.inflight[key]; ok {
+		s.m.coalesced++
+		s.prom.coalesced.Inc()
+		s.mu.Unlock()
+		ex.mu.Lock()
+		ex.coalesced++
+		ex.mu.Unlock()
+		s.respond(w, r, ex, wait)
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Fault injection (chaos harness): a spurious overload answer that a
+	// well-behaved client absorbs by honoring Retry-After and retrying.
+	if p := s.cfg.ChaosRejectPercent; p > 0 && rand.IntN(100) < p {
+		s.mu.Lock()
+		s.m.chaosInjected++
+		s.mu.Unlock()
+		s.prom.chaosInjected.Inc()
+		setRetryAfter(w, time.Second)
+		writeError(w, http.StatusServiceUnavailable, "chaos: injected overload")
+		return
+	}
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -162,6 +218,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Per-tenant admission: an exhausted token bucket rejects before any
+	// queue or cache state is touched.
+	if s.quotas != nil {
+		if ok, retry := s.quotas.admit(tenantOf(r)); !ok {
+			s.mu.Lock()
+			s.m.quotaRejected++
+			s.mu.Unlock()
+			s.prom.quotaRejected.Inc()
+			setRetryAfter(w, retry)
+			writeError(w, http.StatusTooManyRequests, "tenant %q over submission quota", tenantOf(r))
+			return
+		}
+	}
 	if deadline == 0 {
 		deadline = s.cfg.DefaultDeadline
 	}
@@ -169,18 +238,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := s.jobKey(img, pol, opt, deadline)
 
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		setRetryAfter(w, time.Second)
+		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	s.m.submitted++
 	s.prom.jobsSubmitted.Inc()
+	if s.tryServeExistingLocked(w, r, key, wait) {
+		return
+	}
+	s.mu.Unlock()
 
-	// Content-addressed reuse: a completed identical job answers instantly.
-	if rep, ok := s.cache.get(key); ok {
+	// Persistent-store probe, outside the server lock (it reads and
+	// integrity-checks a record on disk). A validated hit is promoted into
+	// the memory cache so the next identical submission skips the disk.
+	if rep := s.lookupStore(key); rep != nil {
+		s.mu.Lock()
 		s.m.cacheHits++
+		s.m.storeHits++
 		s.prom.cacheHits.Inc()
+		s.prom.storeHits.Inc()
+		s.cache.put(key, rep)
 		j := s.newJobLocked(key)
 		j.cacheHit = true
 		s.mu.Unlock()
@@ -188,34 +268,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, r, j, wait)
 		return
 	}
-	// In-flight dedup: an identical job already queued or running serves
-	// this submission too; the engine executes once.
-	if ex, ok := s.inflight[key]; ok {
-		s.m.coalesced++
-		s.prom.coalesced.Inc()
-		s.mu.Unlock()
-		ex.mu.Lock()
-		ex.coalesced++
-		ex.mu.Unlock()
-		s.respond(w, r, ex, wait)
+
+	s.mu.Lock()
+	// Re-check after the unlocked disk probe: an identical submission may
+	// have completed or enqueued meanwhile.
+	if s.tryServeExistingLocked(w, r, key, wait) {
 		return
 	}
 	s.m.cacheMisses++
 	s.prom.cacheMisses.Inc()
+	// Deadline-aware shedding: a job that would time out waiting for a
+	// worker is refused now, with the predicted wait as Retry-After,
+	// instead of burning a worker on a result nobody can use.
+	if estWait := s.estimatedQueueWaitLocked(); deadline > 0 && estWait > deadline {
+		s.m.shed++
+		s.m.submitted-- // not accepted (the prom counter stays monotonic)
+		s.mu.Unlock()
+		s.prom.jobsShed.Inc()
+		setRetryAfter(w, estWait)
+		writeError(w, http.StatusServiceUnavailable,
+			"deadline %s cannot be met: estimated queue wait %s", deadline, estWait.Round(time.Millisecond))
+		return
+	}
 	j := s.newJobLocked(key)
 	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
 	j.backendSet = req.Options.Backend != ""
 	select {
 	case s.queue <- j:
 		s.inflight[key] = j
+		s.m.queueDepth++
 		s.mu.Unlock()
+		s.prom.queueDepth.Add(1)
 	default:
 		s.m.rejected++
 		s.m.submitted-- // not accepted (the prom counter stays monotonic)
 		s.prom.jobsRejected.Inc()
 		delete(s.jobs, j.id)
+		retry := s.estimatedQueueWaitLocked()
 		s.mu.Unlock()
 		j.cancel()
+		setRetryAfter(w, retry)
 		writeError(w, http.StatusServiceUnavailable, "queue full (%d jobs pending)", s.cfg.QueueDepth)
 		return
 	}
@@ -288,11 +380,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.handleMetricsJSON(w, r)
 		return
 	}
-	// Derivable gauges are synced at scrape time rather than on every
-	// queue/cache transition.
-	s.prom.queueDepth.Set(float64(len(s.queue)))
+	// The queue-depth gauge is maintained at enqueue/dequeue transitions
+	// (sampling len(s.queue) here would race against concurrent senders
+	// and receivers); only genuinely scrape-derived series sync here.
 	s.mu.Lock()
 	s.prom.cacheEntries.Set(float64(s.cache.len()))
+	s.syncStoreMetricsLocked()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", obs.PromContentType)
 	s.prom.reg.WritePrometheus(w) //nolint:errcheck // a broken client connection is not recoverable here
@@ -310,15 +403,30 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		JobsCoalesced:   s.m.coalesced,
 		EngineRuns:      s.m.engineRuns,
 		JobsRejected:    s.m.rejected,
+		DeadlineShed:    s.m.shed,
+		QuotaRejected:   s.m.quotaRejected,
+		ChaosInjected:   s.m.chaosInjected,
 		CancelRequests:  s.m.cancels,
-		QueueDepth:      len(s.queue),
+		QueueDepth:      s.m.queueDepth,
 		Workers:         s.cfg.Workers,
 		BusyWorkers:     s.m.busyWorkers,
 		CyclesSimulated: s.m.cyclesTotal,
+		Draining:        s.draining,
+		StoreHits:       s.m.storeHits,
 	}
 	for k, v := range s.m.byVerdict {
 		m.JobsByVerdict[k] = v
 	}
 	s.mu.Unlock()
+	if s.store != nil {
+		st := s.store.Stats()
+		m.StoreEntries = s.store.Len()
+		m.StoreBytes = s.store.Bytes()
+		m.StoreRecovered = st.Recovered
+		m.StoreQuarantined = st.Quarantined
+		m.StorePuts = st.Puts
+		m.StorePutErrors = st.PutErrors
+		m.StoreEvictions = st.Evictions
+	}
 	writeJSON(w, http.StatusOK, m)
 }

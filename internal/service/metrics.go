@@ -8,7 +8,11 @@ import (
 
 	"repro/internal/glift"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
+
+// storeStats aliases store.Stats for the scrape-time delta sync below.
+type storeStats = store.Stats
 
 // promMetrics bundles every Prometheus series gliftd exports: the service
 // series (request latency, queue/worker/cache state, job outcomes) and the
@@ -21,6 +25,9 @@ type promMetrics struct {
 	httpDur       *obs.HistogramVec // {route, code}
 	jobsSubmitted *obs.Counter
 	jobsRejected  *obs.Counter
+	jobsShed      *obs.Counter
+	quotaRejected *obs.Counter
+	chaosInjected *obs.Counter
 	jobsCompleted *obs.CounterVec // {verdict}
 	cancels       *obs.Counter
 	cacheHits     *obs.Counter
@@ -30,6 +37,18 @@ type promMetrics struct {
 	queueDepth    *obs.Gauge
 	workers       *obs.Gauge
 	workersBusy   *obs.Gauge
+
+	storeHits        *obs.Counter
+	storePuts        *obs.Counter
+	storePutErrors   *obs.Counter
+	storeQuarantined *obs.Counter
+	storeEvictions   *obs.Counter
+	storeRecovered   *obs.Counter
+	storeEntries     *obs.Gauge
+	storeBytes       *obs.Gauge
+	// prevStore is the last store.Stats snapshot folded into the counters
+	// above (scrape-time delta sync); guarded by Server.mu.
+	prevStore storeStats
 
 	runDur          *obs.HistogramVec // {verdict}
 	engCycles       *obs.Counter
@@ -59,6 +78,12 @@ func newPromMetrics(workers int) *promMetrics {
 			"Job submissions received, including later-rejected ones."),
 		jobsRejected: reg.Counter("gliftd_jobs_rejected_total",
 			"Submissions rejected because the queue was full."),
+		jobsShed: reg.Counter("gliftd_jobs_shed_total",
+			"Submissions shed because their deadline could not be met at the predicted queue wait."),
+		quotaRejected: reg.Counter("gliftd_quota_rejected_total",
+			"Submissions rejected by a tenant's exhausted token bucket."),
+		chaosInjected: reg.Counter("gliftd_chaos_injected_total",
+			"Spurious 503 responses injected by the chaos fault-injection hook."),
 		jobsCompleted: reg.CounterVec("gliftd_jobs_completed_total",
 			"Engine executions finished, by fail-closed verdict.", "verdict"),
 		cancels: reg.Counter("gliftd_cancel_requests_total",
@@ -77,6 +102,22 @@ func newPromMetrics(workers int) *promMetrics {
 			"Configured analysis worker count."),
 		workersBusy: reg.Gauge("gliftd_workers_busy",
 			"Workers currently running an engine execution."),
+		storeHits: reg.Counter("gliftd_store_hits_total",
+			"Submissions answered from the persistent result store after full integrity validation."),
+		storePuts: reg.Counter("gliftd_store_puts_total",
+			"Completed reports durably written (fsynced) to the persistent store."),
+		storePutErrors: reg.Counter("gliftd_store_put_errors_total",
+			"Store writes that failed (capacity or I/O); the result stayed memory-only."),
+		storeQuarantined: reg.Counter("gliftd_store_quarantined_total",
+			"Records that failed integrity validation and were quarantined instead of served."),
+		storeEvictions: reg.Counter("gliftd_store_evictions_total",
+			"Records evicted oldest-first to respect the store byte cap."),
+		storeRecovered: reg.Counter("gliftd_store_recovered_total",
+			"Valid records re-indexed by startup recovery."),
+		storeEntries: reg.Gauge("gliftd_store_entries",
+			"Records currently indexed in the persistent store."),
+		storeBytes: reg.Gauge("gliftd_store_bytes",
+			"Total bytes of records currently indexed in the persistent store."),
 		runDur: reg.HistogramVec("glift_engine_run_seconds",
 			"Wall time of one complete engine exploration, by verdict.", obs.RunBuckets, "verdict"),
 		engCycles: reg.Counter("glift_engine_cycles_total",
@@ -171,6 +212,25 @@ func (ep *engineProgress) observe(p glift.Progress) {
 	if ep.next != nil {
 		ep.next(p)
 	}
+}
+
+// syncStoreMetricsLocked folds the store's cumulative activity counters
+// into the registry as deltas and refreshes the size gauges. The caller
+// holds Server.mu, which guards prevStore.
+func (s *Server) syncStoreMetricsLocked() {
+	if s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	p := &s.prom.prevStore
+	s.prom.storePuts.Add(counterDelta(st.Puts, p.Puts))
+	s.prom.storePutErrors.Add(counterDelta(st.PutErrors, p.PutErrors))
+	s.prom.storeQuarantined.Add(counterDelta(st.Quarantined, p.Quarantined))
+	s.prom.storeEvictions.Add(counterDelta(st.Evictions, p.Evictions))
+	s.prom.storeRecovered.Add(counterDelta(st.Recovered, p.Recovered))
+	*p = st
+	s.prom.storeEntries.Set(float64(s.store.Len()))
+	s.prom.storeBytes.Set(float64(s.store.Bytes()))
 }
 
 // instrument wraps the API with the request-latency histogram.

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// rawReport extracts the raw "report" bytes from one job-status response so
+// served reports can be compared byte-for-byte, not structurally.
+func (c *testClient) rawReport(method, path string, body any) (int, json.RawMessage) {
+	c.t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.srv.URL+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var shell struct {
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shell); err != nil {
+		c.t.Fatalf("%s %s: decoding: %v", method, path, err)
+	}
+	return resp.StatusCode, shell.Report
+}
+
+// TestServicePersistenceAcrossRestart: a restarted server recovers every
+// fsynced result and serves it byte-identically to the cold run, without
+// re-running the engine.
+func TestServicePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, QueueDepth: 8, StoreDir: dir}
+	c1, _ := newTestClient(t, cfg)
+	vp := violPolicy(t)
+
+	cleanReq := &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "clean"}}
+	violReq := &JobRequest{Source: violSrc, Policy: vp}
+	code, coldClean := c1.rawReport("POST", "/jobs?wait=1", cleanReq)
+	if code != http.StatusOK {
+		t.Fatalf("cold clean run: code=%d", code)
+	}
+	code, coldViol := c1.rawReport("POST", "/jobs?wait=1", violReq)
+	if code != http.StatusConflict {
+		t.Fatalf("cold violating run: code=%d", code)
+	}
+	if m := c1.metrics(); m.StorePuts != 2 || m.StorePutErrors != 0 {
+		t.Fatalf("store puts = %d (errors %d), want 2/0", m.StorePuts, m.StorePutErrors)
+	}
+	c1.close()
+
+	// Fresh process, same store dir: recovery must re-index both records.
+	c2, _ := newTestClient(t, cfg)
+	m := c2.metrics()
+	if m.StoreRecovered != 2 || m.StoreQuarantined != 0 {
+		t.Fatalf("recovery: recovered=%d quarantined=%d, want 2/0", m.StoreRecovered, m.StoreQuarantined)
+	}
+
+	code, warmClean := c2.rawReport("POST", "/jobs?wait=1", cleanReq)
+	if code != http.StatusOK {
+		t.Fatalf("recovered clean: code=%d", code)
+	}
+	code, warmViol := c2.rawReport("POST", "/jobs?wait=1", violReq)
+	if code != http.StatusConflict {
+		t.Fatalf("recovered violating: code=%d", code)
+	}
+	if !bytes.Equal(coldClean, warmClean) {
+		t.Errorf("recovered clean report differs from cold run:\n cold %s\n warm %s", coldClean, warmClean)
+	}
+	if !bytes.Equal(coldViol, warmViol) {
+		t.Errorf("recovered violating report differs from cold run:\n cold %s\n warm %s", coldViol, warmViol)
+	}
+	m = c2.metrics()
+	if m.EngineRuns != 0 {
+		t.Errorf("recovered submissions re-ran the engine %d times", m.EngineRuns)
+	}
+	if m.StoreHits != 2 || m.CacheHits != 2 {
+		t.Errorf("store_hits=%d cache_hits=%d, want 2/2", m.StoreHits, m.CacheHits)
+	}
+	// Promoted into the memory cache: a third identical submission hits
+	// memory, not disk.
+	if code, _ := c2.rawReport("POST", "/jobs?wait=1", cleanReq); code != http.StatusOK {
+		t.Fatalf("third submission: code=%d", code)
+	}
+	if m = c2.metrics(); m.StoreHits != 2 || m.CacheHits != 3 {
+		t.Errorf("after memory promotion: store_hits=%d cache_hits=%d, want 2/3", m.StoreHits, m.CacheHits)
+	}
+}
+
+// TestServiceCorruptEntryIsMissNeverServed: byte-level corruption under the
+// running service and at recovery both quarantine the record; the engine
+// re-runs and the verdict is unchanged.
+func TestServiceCorruptEntryIsMissNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 8, StoreDir: dir}
+	c1, _ := newTestClient(t, cfg)
+
+	code, st := c1.do("POST", "/jobs?wait=1", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "p"}})
+	if code != http.StatusOK {
+		t.Fatalf("cold run: code=%d", code)
+	}
+	key := st.Key
+	c1.close()
+
+	// Flip one payload byte — simulated bit rot / torn write.
+	path := filepath.Join(dir, "objects", key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := newTestClient(t, cfg)
+	m := c2.metrics()
+	if m.StoreRecovered != 0 || m.StoreQuarantined != 1 {
+		t.Fatalf("recovery stats: recovered=%d quarantined=%d, want 0/1", m.StoreRecovered, m.StoreQuarantined)
+	}
+	code, st = c2.do("POST", "/jobs?wait=1", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "p"}})
+	if code != http.StatusOK || st.CacheHit || st.Verdict != "verified" {
+		t.Fatalf("after corruption: code=%d hit=%v verdict=%q (must re-run, not serve the torn record)",
+			code, st.CacheHit, st.Verdict)
+	}
+	if m = c2.metrics(); m.EngineRuns != 1 {
+		t.Errorf("engine_runs = %d, want 1", m.EngineRuns)
+	}
+}
+
+// TestServiceSemanticCorruptionRejected: a record that passes the store's
+// checksum but decodes to a report whose derived verdict disagrees with its
+// serialized verdict is quarantined by the service's reconstruction check.
+func TestServiceSemanticCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 8, StoreDir: dir}
+	c1, _ := newTestClient(t, cfg)
+	code, st := c1.do("POST", "/jobs?wait=1", &JobRequest{Source: violSrc, Policy: violPolicy(t)})
+	if code != http.StatusConflict {
+		t.Fatalf("cold run: code=%d", code)
+	}
+	key := st.Key
+	c1.close()
+
+	// Rewrite the record with internally-consistent framing (valid
+	// checksum) but a tampered verdict field.
+	raw, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, ok := raw.Get(key)
+	if !ok {
+		t.Fatal("record missing")
+	}
+	tampered := bytes.Replace(payload, []byte(`"verdict":"violations"`), []byte(`"verdict":"verified"`), 1)
+	if bytes.Equal(tampered, payload) {
+		t.Fatal("tampering had no effect; test setup broken")
+	}
+	if err := raw.Put(key, tampered); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := newTestClient(t, cfg)
+	code, st = c2.do("POST", "/jobs?wait=1", &JobRequest{Source: violSrc, Policy: violPolicy(t)})
+	if code != http.StatusConflict || st.CacheHit || st.Verdict != "violations" {
+		t.Fatalf("tampered record: code=%d hit=%v verdict=%q (must re-run with the true verdict)",
+			code, st.CacheHit, st.Verdict)
+	}
+	if m := c2.metrics(); m.StoreQuarantined != 1 {
+		t.Errorf("store_quarantined = %d, want 1", m.StoreQuarantined)
+	}
+}
+
+// TestServiceStoreCapDegradesGracefully: a store too small for any record
+// turns durability off (put errors counted) without affecting results.
+func TestServiceStoreCapDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 8, StoreDir: dir, StoreMaxBytes: 16}
+	c, _ := newTestClient(t, cfg)
+	code, st := c.do("POST", "/jobs?wait=1", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "p"}})
+	if code != http.StatusOK || st.Verdict != "verified" {
+		t.Fatalf("capped store run: code=%d verdict=%q", code, st.Verdict)
+	}
+	m := c.metrics()
+	if m.StorePutErrors != 1 || m.StoreEntries != 0 {
+		t.Errorf("put_errors=%d entries=%d, want 1/0", m.StorePutErrors, m.StoreEntries)
+	}
+	// Served from memory regardless.
+	if code, st = c.do("POST", "/jobs?wait=1", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "p"}}); code != http.StatusOK || !st.CacheHit {
+		t.Errorf("memory cache must still serve: code=%d hit=%v", code, st.CacheHit)
+	}
+}
+
+// TestServiceDrainPersistsAndRejects: Drain refuses new submissions with
+// 503 + Retry-After, waits for in-flight jobs (whose results are durable
+// before their waiters are released), and leaves the store recoverable.
+func TestServiceDrainPersistsAndRejects(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 8, StoreDir: dir}
+	c1, s1 := newTestClient(t, cfg)
+	code, _ := c1.do("POST", "/jobs?wait=1", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "p"}})
+	if code != http.StatusOK {
+		t.Fatalf("run: code=%d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+	resp, err := http.Post(c1.srv.URL+"/jobs", "application/json",
+		bytes.NewReader([]byte(`{"source":"start: jmp start","policy":{"name":"p"}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("draining submission: code=%d retry-after=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	c1.close()
+
+	c2, _ := newTestClient(t, cfg)
+	if m := c2.metrics(); m.StoreRecovered != 1 {
+		t.Errorf("store_recovered = %d, want 1", m.StoreRecovered)
+	}
+}
+
+// TestServiceDrainCancelsStragglers: a drain whose context expires cancels
+// the running jobs instead of hanging; the cancelled run ends Incomplete
+// and is never persisted.
+func TestServiceDrainCancelsStragglers(t *testing.T) {
+	dir := t.TempDir()
+	c, s := newTestClient(t, Config{Workers: 1, QueueDepth: 8, StoreDir: dir})
+	_, sub := c.do("POST", "/jobs", &JobRequest{
+		Source: slowSrc, Policy: PolicyRequest{Name: "slow"}, Options: slowOptions(),
+	})
+	// Ensure it is running before draining.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		_, st := c.do("GET", "/jobs/"+sub.ID, nil)
+		if st.State == stateRunning && st.Progress.Cycles > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain of a stuck job should report the expired context")
+	}
+	st := c.awaitDone(sub.ID, 2*time.Minute)
+	if st.Verdict != "incomplete" {
+		t.Errorf("drained straggler verdict = %q", st.Verdict)
+	}
+	if m := c.metrics(); m.StorePuts != 0 {
+		t.Errorf("incomplete result persisted: puts=%d", m.StorePuts)
+	}
+}

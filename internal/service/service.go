@@ -17,10 +17,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime/pprof"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Config tunes a Server.
@@ -58,6 +61,34 @@ type Config struct {
 	// by the differential contract — so it participates in neither job
 	// keys nor caching.
 	EngineBackend sim.BackendKind
+
+	// StoreDir enables the crash-safe persistent result store: completed
+	// Verified/Violations reports are fsynced there before the submitter is
+	// answered, and startup recovery re-indexes every surviving record
+	// ("" disables persistence; the in-memory cache still applies).
+	StoreDir string
+	// StoreMaxBytes caps the on-disk store; the oldest records are evicted
+	// first (0: unbounded).
+	StoreMaxBytes int64
+	// StoreWriteDelay is a chaos-test hook holding every store write
+	// half-written for the given duration before its fsync and rename —
+	// widening the kill -9 window the atomic-write protocol must absorb.
+	// Production use leaves it 0.
+	StoreWriteDelay time.Duration
+
+	// TenantRate enables per-tenant token-bucket admission, in jobs per
+	// second of sustained refill keyed by the X-Tenant header (0 disables).
+	// An exhausted bucket rejects 429 with Retry-After.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity (default: ceil(TenantRate),
+	// at least 1).
+	TenantBurst int
+
+	// ChaosRejectPercent injects spurious 503 + Retry-After responses on
+	// that percentage of submissions — a fault-injection hook for proving
+	// client backoff and end-to-end verdict integrity under overload.
+	// Production use leaves it 0.
+	ChaosRejectPercent int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,17 +106,27 @@ func (c Config) withDefaults() Config {
 
 // counters aggregates service metrics; all fields are guarded by Server.mu.
 type counters struct {
-	submitted   int64
-	completed   int64
-	byVerdict   map[string]int64
-	cacheHits   int64
-	cacheMisses int64
-	coalesced   int64
-	engineRuns  int64
-	rejected    int64
-	cancels     int64
-	cyclesTotal uint64
-	busyWorkers int
+	submitted     int64
+	completed     int64
+	byVerdict     map[string]int64
+	cacheHits     int64
+	cacheMisses   int64
+	storeHits     int64
+	coalesced     int64
+	engineRuns    int64
+	rejected      int64
+	shed          int64
+	quotaRejected int64
+	chaosInjected int64
+	cancels       int64
+	cyclesTotal   uint64
+	busyWorkers   int
+	// queueDepth tracks enqueue/dequeue transitions (never sampled from the
+	// channel, which would race against concurrent senders and receivers).
+	queueDepth int
+	// avgRunNanos is the completed-job duration EWMA pricing queue
+	// admission for deadline-aware shedding.
+	avgRunNanos float64
 }
 
 // Server is the analysis service: a job registry, a bounded worker pool and
@@ -97,6 +138,8 @@ type Server struct {
 	mux      *http.ServeMux
 	queue    chan *job
 	wg       sync.WaitGroup
+	store    *store.Store  // nil: persistence disabled
+	quotas   *tenantQuotas // nil: per-tenant admission disabled
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -104,19 +147,22 @@ type Server struct {
 	cache    *resultCache
 	nextID   uint64
 	closed   bool
+	draining bool
 	m        counters
 	prom     *promMetrics
 }
 
 // New builds a Server analyzing on the shared processor design and starts
 // its worker pool. Callers must Close it to stop the workers.
-func New(cfg Config) *Server {
+func New(cfg Config) (*Server, error) {
 	return NewOn(glift.SharedDesign(), cfg)
 }
 
 // NewOn is New on an explicit design (the hook for tests and for serving
-// analyses of modified netlists).
-func NewOn(d *mcu.Design, cfg Config) *Server {
+// analyses of modified netlists). Opening the persistent store — including
+// its scan-validate-index recovery pass — happens here, so a server that
+// starts is guaranteed to be serving only integrity-checked results.
+func NewOn(d *mcu.Design, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -128,6 +174,19 @@ func NewOn(d *mcu.Design, cfg Config) *Server {
 		cache:    newResultCache(cfg.CacheEntries),
 		prom:     newPromMetrics(cfg.Workers),
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{
+			MaxBytes:   cfg.StoreMaxBytes,
+			WriteDelay: cfg.StoreWriteDelay,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening result store: %w", err)
+		}
+		s.store = st
+	}
+	if cfg.TenantRate > 0 {
+		s.quotas = newTenantQuotas(cfg.TenantRate, cfg.TenantBurst)
+	}
 	s.m.byVerdict = make(map[string]int64)
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -135,8 +194,12 @@ func NewOn(d *mcu.Design, cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
+
+// Store exposes the persistent result store (nil when persistence is
+// disabled) — the hook for tests and operational tooling.
+func (s *Server) Store() *store.Store { return s.store }
 
 // Handler returns the HTTP API, instrumented with the request-latency
 // histogram.
@@ -161,6 +224,39 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+}
+
+// Drain is the graceful half of shutdown: it stops admitting new jobs
+// (submissions are rejected 503 + Retry-After) and waits for every queued
+// and running job to complete through the normal path — which persists
+// completed results to the store before their waiters are released — until
+// ctx expires, at which point the stragglers are cancelled and Drain
+// returns ctx's error. Callers still Close afterwards; Drain followed by
+// Close is the SIGTERM sequence, Close alone is the abrupt one.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := s.m.queueDepth == 0 && s.m.busyWorkers == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				j.cancel()
+			}
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // jobKey computes the canonical content address of a job: the SHA-256 of
@@ -201,10 +297,18 @@ func (s *Server) jobKey(img *asm.Image, pol *glift.Policy, opt *glift.Options, d
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// worker drains the queue until Close.
+// worker drains the queue until Close. The queued→busy transition is one
+// critical section so an observer (Drain, /metrics) never sees a claimed
+// job as neither queued nor running.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		s.mu.Lock()
+		s.m.queueDepth--
+		s.m.busyWorkers++
+		s.mu.Unlock()
+		s.prom.queueDepth.Add(-1)
+		s.prom.workersBusy.Add(1)
 		s.runJob(j)
 	}
 }
@@ -214,11 +318,7 @@ func (s *Server) worker() {
 // profiles taken through gliftd's -pprof endpoint attribute samples to the
 // job that burned them.
 func (s *Server) runJob(j *job) {
-	s.mu.Lock()
-	s.m.busyWorkers++
-	s.mu.Unlock()
-	s.prom.workersBusy.Add(1)
-
+	started := time.Now()
 	j.setState(stateRunning)
 	ctx := j.ctx
 	if j.deadline > 0 {
@@ -247,12 +347,21 @@ func (s *Server) runJob(j *job) {
 	}
 	verdict := rep.Verdict()
 
+	// Persist before publishing: once any waiter sees the completed result,
+	// the result has been fsynced, so an acknowledged verdict survives
+	// kill -9. Only completed explorations persist — like the in-memory
+	// cache, Incomplete/InternalError reflect the run, not the inputs.
+	if verdict == glift.Verified || verdict == glift.Violations {
+		s.persist(j.key, rep)
+	}
+
 	s.mu.Lock()
 	s.m.busyWorkers--
 	s.m.engineRuns++
 	s.m.completed++
 	s.m.byVerdict[verdict.String()]++
 	s.m.cyclesTotal += rep.Stats.Cycles
+	s.observeRunLocked(time.Since(started))
 	delete(s.inflight, j.key)
 	if verdict == glift.Verified || verdict == glift.Violations {
 		s.cache.put(j.key, rep)
@@ -262,4 +371,50 @@ func (s *Server) runJob(j *job) {
 	s.prom.jobsCompleted.With(verdict.String()).Inc()
 	s.prom.runDur.With(verdict.String()).Observe(float64(rep.Stats.WallNanos) / 1e9)
 	j.finish(rep)
+}
+
+// persist writes one completed report durably. A store failure (cap
+// exceeded, disk error) is absorbed: the result stays served from memory
+// and is simply not durable, which the store's own PutErrors counter
+// surfaces — durability degrades, correctness never does.
+func (s *Server) persist(key string, rep *glift.Report) {
+	if s.store == nil {
+		return
+	}
+	payload, err := json.Marshal(rep.JSON())
+	if err != nil {
+		return
+	}
+	s.store.Put(key, payload) //nolint:errcheck // see above; counted in store stats
+}
+
+// lookupStore probes the persistent store for a completed report. A hit is
+// trusted only after full reconstruction: the payload must parse, rebuild
+// into a report, and re-serialize byte-identically — the same bytes a cold
+// engine run would produce. Any failure quarantines the record and reads
+// as a miss, extending the fail-closed contract to storage.
+func (s *Server) lookupStore(key string) *glift.Report {
+	if s.store == nil {
+		return nil
+	}
+	payload, ok := s.store.Get(key)
+	if !ok {
+		return nil
+	}
+	var rj glift.ReportJSON
+	if err := json.Unmarshal(payload, &rj); err != nil {
+		s.store.Quarantine(key)
+		return nil
+	}
+	rep, err := rj.Report()
+	if err != nil {
+		s.store.Quarantine(key)
+		return nil
+	}
+	canon, err := json.Marshal(rep.JSON())
+	if err != nil || !bytes.Equal(canon, payload) {
+		s.store.Quarantine(key)
+		return nil
+	}
+	return rep
 }

@@ -74,17 +74,29 @@ func slowOptions() OptionsRequest {
 type testClient struct {
 	t   *testing.T
 	srv *httptest.Server
+	s   *Server
 }
 
 func newTestClient(t *testing.T, cfg Config) (*testClient, *Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()
 		s.Close()
 	})
-	return &testClient{t: t, srv: hs}, s
+	return &testClient{t: t, srv: hs, s: s}, s
+}
+
+// close shuts the frontend and the service down early; tests that model a
+// process restart call this before reopening the same store directory.
+// Safe with the registered Cleanup — both closes are idempotent.
+func (c *testClient) close() {
+	c.srv.Close()
+	c.s.Close()
 }
 
 func (c *testClient) do(method, path string, body any) (int, JobStatusJSON) {
@@ -430,7 +442,10 @@ func TestServiceBadRequests(t *testing.T) {
 // TestJobKeySensitivity: the content address is stable for identical inputs
 // and sensitive to every semantic component — but not to display names.
 func TestJobKeySensitivity(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 
 	img, err := asm.AssembleSource(cleanSrc)

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustPut(t *testing.T, s *Store, key string, report []byte) {
+	t.Helper()
+	if err := s.Put(key, report); err != nil {
+		t.Fatalf("Put(%s): %v", key[:8], err)
+	}
+}
+
+func report(i int) []byte {
+	return []byte(fmt.Sprintf(`{"policy":"p%d","verdict":"verified","stats":{"cycles":%d}}`, i, i))
+}
+
+// TestPutGetRoundTrip: stored payloads come back byte-identical.
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	mustPut(t, s, k, report(1))
+	got, ok := s.Get(k)
+	if !ok || string(got) != string(report(1)) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, report(1))
+	}
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Error("missing key should miss")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Overwrite refreshes, does not duplicate.
+	mustPut(t, s, k, report(1))
+	if s.Len() != 1 {
+		t.Errorf("len after overwrite = %d", s.Len())
+	}
+}
+
+// TestRecovery: a reopened store indexes exactly the fsynced records and
+// removes abandoned in-progress writes.
+func TestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustPut(t, s, testKey(i), report(i))
+	}
+	// Simulate a crash mid-write: an orphaned temp file from a Put that
+	// never reached its rename.
+	if err := os.WriteFile(filepath.Join(dir, "tmp", "orphan.123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Recovered != 5 || st.Quarantined != 0 || st.TmpCleaned != 1 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s2.Get(testKey(i))
+		if !ok || string(got) != string(report(i)) {
+			t.Errorf("recovered Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp", "orphan.123")); !os.IsNotExist(err) {
+		t.Error("orphaned temp file should have been removed")
+	}
+}
+
+// corruptions is the torn/rotted-record matrix: every mutation of a valid
+// record on disk must be quarantined, never served.
+var corruptions = []struct {
+	name   string
+	mutate func(data []byte) []byte
+}{
+	{"empty", func(data []byte) []byte { return nil }},
+	{"truncated-header", func(data []byte) []byte { return data[:headerSize/2] }},
+	{"truncated-payload", func(data []byte) []byte { return data[:len(data)-3] }},
+	{"bit-flip-payload", func(data []byte) []byte {
+		out := append([]byte(nil), data...)
+		out[len(out)-1] ^= 0x40
+		return out
+	}},
+	{"bit-flip-checksum", func(data []byte) []byte {
+		out := append([]byte(nil), data...)
+		out[len(magic)] ^= 0x01
+		return out
+	}},
+	{"bad-magic", func(data []byte) []byte {
+		out := append([]byte(nil), data...)
+		out[0] = 'X'
+		return out
+	}},
+	{"extra-trailing-bytes", func(data []byte) []byte { return append(append([]byte(nil), data...), "junk"...) }},
+}
+
+// TestCorruptRecordsQuarantinedOnGet: a record corrupted after indexing is
+// detected by the per-read checksum and quarantined.
+func TestCorruptRecordsQuarantinedOnGet(t *testing.T) {
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(0)
+			mustPut(t, s, k, report(0))
+			path := filepath.Join(dir, "objects", k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(k); ok {
+				t.Fatalf("corrupt record served: %q", got)
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Errorf("quarantined = %d, want 1", st.Quarantined)
+			}
+			if s.Len() != 0 {
+				t.Errorf("len = %d after quarantine", s.Len())
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt record should have been moved out of objects/")
+			}
+			// The quarantined copy is preserved for post-mortem inspection.
+			q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if err != nil || len(q) != 1 {
+				t.Errorf("quarantine dir entries = %d (%v)", len(q), err)
+			}
+			// A subsequent Get stays a miss; the miss is stable.
+			if _, ok := s.Get(k); ok {
+				t.Error("quarantined key served on second read")
+			}
+		})
+	}
+}
+
+// TestCorruptRecordsQuarantinedOnOpen: recovery validates every surviving
+// record, so a torn write (or bit rot) present at startup never enters the
+// index.
+func TestCorruptRecordsQuarantinedOnOpen(t *testing.T) {
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			good, bad := testKey(0), testKey(1)
+			mustPut(t, s, good, report(0))
+			mustPut(t, s, bad, report(1))
+			path := filepath.Join(dir, "objects", bad)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s2.Stats()
+			if st.Recovered != 1 || st.Quarantined != 1 {
+				t.Fatalf("recovery stats = %+v", st)
+			}
+			if _, ok := s2.Get(bad); ok {
+				t.Error("corrupt record recovered into the index")
+			}
+			if got, ok := s2.Get(good); !ok || string(got) != string(report(0)) {
+				t.Errorf("good record lost: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestEnvelopeKeyBinding: a record copied under another name (or a swapped
+// pair) cannot answer for the wrong key.
+func TestEnvelopeKeyBinding(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := testKey(0), testKey(1)
+	mustPut(t, s, a, report(0))
+	data, err := os.ReadFile(filepath.Join(dir, "objects", a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The record is internally consistent (checksum valid) but bound to a.
+	if err := os.WriteFile(filepath.Join(dir, "objects", b), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(b); ok {
+		t.Error("record bound to key a served for key b")
+	}
+	if _, ok := s2.Get(a); !ok {
+		t.Error("original record should survive")
+	}
+}
+
+// TestEviction: the byte cap evicts oldest-first, and a record larger than
+// the whole cap fails with ErrFull instead of evicting everything.
+func TestEviction(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := Open(filepath.Join(dir, "probe"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, probe, testKey(0), report(0))
+	one := probe.Bytes() // size of one record at this payload shape
+
+	s, err := Open(filepath.Join(dir, "capped"), Options{MaxBytes: 3*one + one/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustPut(t, s, testKey(i), report(i))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3 under cap", s.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(testKey(i)); ok {
+			t.Errorf("oldest record %d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if got, ok := s.Get(testKey(i)); !ok || string(got) != string(report(i)) {
+			t.Errorf("record %d missing after eviction: %v", i, ok)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if s.Bytes() > 3*one+one/2 {
+		t.Errorf("bytes = %d over cap", s.Bytes())
+	}
+
+	huge := make([]byte, 4*one)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	if err := s.Put(testKey(9), []byte(`{"pad":"`+string(huge)+`"}`)); err != ErrFull {
+		t.Errorf("oversized Put = %v, want ErrFull", err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("oversized Put disturbed the index: len = %d", s.Len())
+	}
+
+	// A reopened store under a smaller cap evicts down at recovery.
+	s2, err := Open(filepath.Join(dir, "capped"), Options{MaxBytes: one + one/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("reopen under smaller cap: len = %d, want 1", s2.Len())
+	}
+	if _, ok := s2.Get(testKey(4)); !ok {
+		t.Error("newest record should survive the cap shrink")
+	}
+}
+
+// TestInvalidKeys: keys that are not safe flat filenames are rejected on
+// Put, and alien files in objects/ are quarantined at recovery.
+func TestInvalidKeys(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "../escape", "a/b", ".hidden", "key with space"} {
+		if err := s.Put(k, report(0)); err == nil {
+			t.Errorf("Put(%q) should fail", k)
+		}
+	}
+}
+
+// TestConcurrentAccess: concurrent Put/Get across overlapping keys stays
+// consistent (run with -race).
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				k := testKey(i % 4)
+				if (i+g)%2 == 0 {
+					if err := s.Put(k, report(i%4)); err != nil {
+						t.Errorf("goroutine %d: Put: %v", g, err)
+					}
+				} else if got, ok := s.Get(k); ok && string(got) != string(report(i%4)) {
+					t.Errorf("goroutine %d: stale or torn read: %q", g, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Errorf("len = %d, want 4", s.Len())
+	}
+}
