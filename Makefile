@@ -46,16 +46,17 @@ differential:
 		-run 'TestDifferential|TestTableContention|TestParallel|TestFuzz'
 
 # backend-differential isolates the evaluation-backend contract: the
-# randomized interpreter-vs-compiled equivalence tests in internal/sim, the
-# scaffold-benchmark backend sweep, and the faulted-system agreement check,
-# all under the race detector.
+# randomized interpreter/compiled/bitslice equivalence tests in internal/sim
+# (including the lane-packed BatchBackend sweep), the scaffold-benchmark
+# backend sweep with bitsliced speculation lanes, and the faulted-system
+# agreement checks (sequential and batched), all under the race detector.
 backend-differential:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/sim \
-		-run 'TestBackend|TestParseBackend'
+		-run 'TestBackend|TestParseBackend|TestBitslice|TestBatch'
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift \
 		-run 'TestDifferential|TestFuzz'
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/fault \
-		-run 'TestFaultBackendsAgree'
+		-run 'TestFaultBackendsAgree|TestFaultBatch'
 
 # fault runs just the fail-closed surface: runtime budgets/cancellation
 # and the fault-injection matrix.
@@ -75,18 +76,23 @@ trace:
 		if [ $$st -gt 1 ]; then echo "gliftcheck failed ($$st)" >&2; exit $$st; fi
 	./bin/traceview bin/trace-sample.json
 
-# bench-json regenerates the committed throughput baseline: cycles/sec,
-# peak table size, peak memory and wall time for every scaffold benchmark
-# per backend at Workers=1 and Workers=4, plus per-backend machine-speed
-# calibration probes.
+# bench-json regenerates the committed throughput baselines: BENCH_1.json
+# (cycles/sec, peak table size, peak memory and wall time for every scaffold
+# benchmark per backend at Workers=1 and Workers=4, plus per-backend
+# machine-speed calibration probes) and BENCH_2.json (the batched
+# fault-campaign lane-count probes: aggregate throughput and speedup of
+# fault.RunBatch at 1/8/64 lanes over sequential fault.Run).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_1.json
+	$(GO) run ./cmd/benchjson -fault-campaign -o BENCH_2.json
 
 # bench-check re-measures and fails when sequential (Workers=1) throughput,
 # normalized by the matching backend's calibration probe, regressed more
-# than 20% against the committed baseline for either backend.
+# than 20% against the committed baseline for any backend — or when a
+# batched fault-campaign speedup ratio regressed more than 20%.
 bench-check:
 	$(GO) run ./cmd/benchjson -workers 1 -compare BENCH_1.json -threshold 0.20
+	$(GO) run ./cmd/benchjson -fault-campaign -compare BENCH_2.json -threshold 0.20
 
 # soak runs the chaos harness storm (gliftload -chaos: kill -9 mid-write,
 # disk-full store, injected 503s) through the integration suite under the

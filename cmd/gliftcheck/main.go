@@ -80,7 +80,8 @@ func main() {
 	traceN := flag.Int("taint-trace", 0, "print the first N per-cycle tainted-state entries")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout (the gliftd wire shape)")
 	workers := flag.Int("workers", 0, "engine exploration workers (0: GOMAXPROCS, 1: sequential); the report is identical either way")
-	backendName := flag.String("backend", "", "gate-evaluation backend: compiled (default) or interp; the report is byte-identical either way")
+	backendName := flag.String("backend", "", "gate-evaluation backend: "+backendHelp()+"; the report is byte-identical either way")
+	specLanes := flag.Int("spec-lanes", 0, "pack up to N queued paths per speculation worker onto bitsliced lanes (0 or 1: scalar, max 64); the report is identical either way")
 	verbose := flag.Bool("v", false, "print exploration statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -117,7 +118,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem, Workers: *workers, Backend: backend}
+	opts := &glift.Options{MaxCycles: *maxCycles, SoftMemBytes: *softMem, HardMemBytes: *hardMem, Workers: *workers, Backend: backend, SpecLanes: *specLanes}
 	var rec *glift.TraceRecorder
 	if *traceN > 0 {
 		rec = &glift.TraceRecorder{Max: *traceN}
@@ -249,6 +250,13 @@ func resolve(s string, img *asm.Image) (uint16, error) {
 		return 0, fmt.Errorf("cannot resolve %q as a symbol or address", s)
 	}
 	return uint16(n), nil
+}
+
+// backendHelp renders the registered backend names for flag help, with the
+// registry's first entry marked as the default.
+func backendHelp() string {
+	names := sim.BackendNames()
+	return names[0] + " (default), " + strings.Join(names[1:], ", ")
 }
 
 // fatal reports a usage/input error (exit code 2 in the documented

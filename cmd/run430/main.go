@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
@@ -33,7 +34,7 @@ func main() {
 	seed := flag.Uint("seed", 0xACE1, "LFSR seed for port inputs")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform here")
 	taintP1 := flag.Bool("taint-p1", false, "drive P1IN as tainted unknown (symbolic)")
-	backendName := flag.String("backend", "", "gate-evaluation backend: compiled (default) or interp; results are identical either way")
+	backendName := flag.String("backend", "", "gate-evaluation backend: "+backendHelp()+"; results are identical either way")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: run430 [flags] app.s43")
@@ -131,6 +132,13 @@ func main() {
 	for _, ev := range sys.Events() {
 		fmt.Println("event:", ev)
 	}
+}
+
+// backendHelp renders the registered backend names for flag help, with the
+// registry's first entry marked as the default.
+func backendHelp() string {
+	names := sim.BackendNames()
+	return names[0] + " (default), " + strings.Join(names[1:], ", ")
 }
 
 // fatal reports a usage/input error; exit code 2 matches the

@@ -59,7 +59,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace covering all rounds to this file")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for all rounds together (0: none); expiry exits 3")
 	workers := flag.Int("workers", 0, "engine exploration workers per round (0: GOMAXPROCS, 1: sequential); the report is identical either way")
-	backendName := flag.String("backend", "", "gate-evaluation backend: compiled (default) or interp; the report is byte-identical either way")
+	backendName := flag.String("backend", "", "gate-evaluation backend: "+backendHelp()+"; the report is byte-identical either way")
+	specLanes := flag.Int("spec-lanes", 0, "pack up to N queued paths per speculation worker onto bitsliced lanes (0 or 1: scalar, max 64); the report is identical either way")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: secure430 [flags] app.s43 (see -help)")
@@ -110,7 +111,7 @@ func main() {
 		fatal(err)
 	}
 	var xt *obs.ExplorationTrace
-	opts := &glift.Options{Workers: *workers, Backend: backend}
+	opts := &glift.Options{Workers: *workers, Backend: backend, SpecLanes: *specLanes}
 	if *traceFile != "" {
 		xt = obs.NewExplorationTrace(0)
 		opts.Tracer = xt.Record
@@ -301,6 +302,13 @@ func resolve(s string, img *asm.Image) (uint16, error) {
 		return 0, fmt.Errorf("cannot resolve %q as a symbol or address", s)
 	}
 	return uint16(n), nil
+}
+
+// backendHelp renders the registered backend names for flag help, with the
+// registry's first entry marked as the default.
+func backendHelp() string {
+	names := sim.BackendNames()
+	return names[0] + " (default), " + strings.Join(names[1:], ", ")
 }
 
 // writeChromeTrace dumps the recorded exploration trace to path.

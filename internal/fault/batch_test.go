@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/logic"
+)
+
+func errText(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// Batched concrete runs agree with sequential ones scenario-for-scenario:
+// cycle counts and error text from RunBatch match a fault.Run call per
+// scenario over the whole corpus — injected faults, multi-fault stacks,
+// clean runs and validation failures alike.
+func TestFaultBackendsAgreeBatched(t *testing.T) {
+	ctx := context.Background()
+	const maxCycles = 10_000
+
+	maskedImg := mustImage(t, maskedSrc)
+	secureImg := mustImage(t, secureSrc)
+	bisExt := stmtExtAddr(t, maskedImg, "bis")
+
+	progs := []struct {
+		name      string
+		img       *asm.Image
+		scenarios [][]Fault
+	}{
+		{
+			name: "masked",
+			img:  maskedImg,
+			scenarios: [][]Fault{
+				nil, // clean: parks on jmp $
+				{ROMCorrupt{Addr: bisExt, Xor: 0x0600}},
+				{ROMCorrupt{Addr: maskedImg.Entry, MakeX: 0xffff}},
+				{ROMCorrupt{Addr: bisExt, Taint: true}},
+				{StuckFF{FF: "r14:10", Value: logic.Zero}},
+				{StuckFF{FF: "r14:0", Value: logic.One}},
+				{PortX{Port: 0}},
+				{PortX{Port: 0, Taint: true}},
+				{PortX{Port: 0, Taint: true}, ROMCorrupt{Addr: bisExt, Xor: 0x0600}},
+				{StuckFF{FF: "r14:10", Value: logic.Zero}, StuckFF{FF: "r15:3", Value: logic.One}},
+				// Validation failures must surface identically per lane.
+				{StuckFF{FF: "r99:0", Value: logic.Zero}},
+				{StuckFF{FF: "r14:10", Value: logic.X}},
+				{PortX{Port: 9}},
+				{ROMCorrupt{Addr: 0x0100}},
+				{StuckFF{FF: "no_such_net", Value: logic.One}},
+			},
+		},
+		{
+			name: "secure",
+			img:  secureImg,
+			scenarios: [][]Fault{
+				nil,
+				{PortX{Port: 2}},
+				{PortX{Port: 2, Taint: true}},
+				{StuckFF{FF: "r5:0", Value: logic.One}},
+			},
+		},
+	}
+
+	for _, prog := range progs {
+		prog := prog
+		t.Run(prog.name, func(t *testing.T) {
+			batch, err := RunBatch(ctx, prog.img, maxCycles, prog.scenarios)
+			if err != nil {
+				t.Fatalf("RunBatch: %v", err)
+			}
+			if len(batch) != len(prog.scenarios) {
+				t.Fatalf("RunBatch returned %d results for %d scenarios", len(batch), len(prog.scenarios))
+			}
+			for i, faults := range prog.scenarios {
+				name := "clean"
+				if len(faults) > 0 {
+					name = faults[0].Describe()
+					for _, f := range faults[1:] {
+						name += " + " + f.Describe()
+					}
+				}
+				cycles, err := Run(ctx, prog.img, maxCycles, faults...)
+				want := fmt.Sprintf("cycles=%d err=%s", cycles, errText(err))
+				got := fmt.Sprintf("cycles=%d err=%s", batch[i].Cycles, errText(batch[i].Err))
+				if got != want {
+					t.Errorf("scenario %d (%s):\n  sequential: %s\n  batched:    %s", i, name, want, got)
+				}
+			}
+		})
+	}
+}
+
+// Chunking: more scenarios than lanes split transparently across batches.
+func TestFaultBatchChunks(t *testing.T) {
+	img := mustImage(t, maskedSrc)
+	scenarios := make([][]Fault, 70)
+	for i := range scenarios {
+		if i%3 == 1 {
+			scenarios[i] = []Fault{PortX{Port: 0}}
+		}
+		if i%3 == 2 {
+			scenarios[i] = []Fault{ROMCorrupt{Addr: img.Entry, MakeX: 0xffff}}
+		}
+	}
+	batch, err := RunBatch(context.Background(), img, 10_000, scenarios)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	cleanCycles, err := Run(context.Background(), img, 10_000)
+	if err != nil {
+		t.Fatalf("clean Run: %v", err)
+	}
+	for i, r := range batch {
+		switch i % 3 {
+		case 0:
+			if r.Err != nil || r.Cycles != cleanCycles {
+				t.Errorf("lane %d: clean run got cycles=%d err=%v, want cycles=%d", i, r.Cycles, r.Err, cleanCycles)
+			}
+		case 2:
+			if r.Err == nil {
+				t.Errorf("lane %d: X-word run completed as if healthy", i)
+			}
+		}
+	}
+}

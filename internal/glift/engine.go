@@ -50,6 +50,16 @@ type Options struct {
 	// time and is excluded from Normalized() and content-addressed job
 	// keys.
 	Backend sim.BackendKind
+	// SpecLanes packs queued path states into word-parallel speculation
+	// batches: each speculation worker claims up to SpecLanes states and
+	// simulates them in lockstep on one bitsliced sim.BatchBackend, one
+	// state per lane, instead of one at a time (0 or 1: scalar speculation;
+	// capped at sim.BatchLanes). Lanes that hit a fork retire with a
+	// truncated trace, which the committer finishes live — the standard
+	// truncation path — so like Workers and Backend this changes only wall
+	// time, never the report, and is excluded from Normalized() and
+	// content-addressed job keys. Ignored for sequential runs (Workers 1).
+	SpecLanes int
 	// MaxPathCycles bounds cycles on one path segment without a merge point
 	// (0: default 200k) — a straight-line runaway guard.
 	MaxPathCycles uint64
@@ -120,6 +130,7 @@ func (o *Options) Normalized() Options {
 	out := o.withDefaults()
 	out.Workers = 0
 	out.Backend = sim.BackendCompiled
+	out.SpecLanes = 0
 	return out
 }
 
@@ -760,12 +771,22 @@ func (e *Engine) violation(k Kind, pc uint16, detail string) {
 
 // ---- Per-cycle policy checking (Section 4.2 / 5.1) ----
 
+// machineView is the read-only probe surface the per-cycle policy checks
+// need from a simulation instance. *mcu.System implements it directly;
+// mcu.LaneView adapts one lane of a batched (bitsliced) system, so the same
+// checker runs unchanged on scalar and lane-packed speculation.
+type machineView interface {
+	Design() *mcu.Design
+	GetWord(nets []netlist.NetID) sim.Word
+	GetSig(id netlist.NetID) logic.Sig
+}
+
 // cycleChecker evaluates the per-cycle policy conditions against one
 // simulation instance, raising violations through a pluggable sink. The
 // live engine raises into its report; speculation workers record raises
 // into their segment trace for deterministic replay.
 type cycleChecker struct {
-	sys      *mcu.System
+	sys      machineView
 	pol      *Policy
 	ramRange AddrRange
 	raise    func(k Kind, pc uint16, detail string)
@@ -796,9 +817,10 @@ func (c *cycleChecker) check(ci *mcu.CycleInfo, curInstr uint16) {
 
 	// Watchdog integrity: the untainted-reset mechanism is sound only while
 	// the watchdog's state and write strobe stay untainted (Section 5.2).
-	if c.sys.C.Get(c.sys.D.WdtWe).T ||
-		c.sys.GetWord(c.sys.D.WdtCtl).Tainted() ||
-		c.sys.GetWord(c.sys.D.WdtCnt).Tainted() {
+	d := c.sys.Design()
+	if c.sys.GetSig(d.WdtWe).T ||
+		c.sys.GetWord(d.WdtCtl).Tainted() ||
+		c.sys.GetWord(d.WdtCnt).Tainted() {
 		c.raise(WatchdogTainted, curInstr, "watchdog control state or write strobe tainted")
 	}
 
@@ -807,7 +829,7 @@ func (c *cycleChecker) check(ci *mcu.CycleInfo, curInstr uint16) {
 		if c.pol.TaintedOutPort(i) {
 			continue
 		}
-		if c.sys.GetWord(c.sys.D.PortOut[i]).Tainted() {
+		if c.sys.GetWord(d.PortOut[i]).Tainted() {
 			c.raise(OutputPortTainted, curInstr, fmt.Sprintf("output port P%d is tainted", i+1))
 		}
 	}
@@ -820,7 +842,7 @@ func (c *cycleChecker) check(ci *mcu.CycleInfo, curInstr uint16) {
 // else can observe them), so residual taint there cannot influence a later
 // task — see DESIGN.md.
 func (c *cycleChecker) coreStateTainted() (string, bool) {
-	d := c.sys.D
+	d := c.sys.Design()
 	named := []struct {
 		name string
 		w    []netlist.NetID

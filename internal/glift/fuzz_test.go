@@ -134,13 +134,17 @@ func genProgram(r *rand.Rand) string {
 	return sb.String()
 }
 
-// fuzzConfig is one point in the (backend, workers) sweep.
+// fuzzConfig is one point in the (backend, workers, spec-lanes) sweep.
 type fuzzConfig struct {
 	backend sim.BackendKind
 	workers int
+	lanes   int
 }
 
 func (c fuzzConfig) String() string {
+	if c.lanes > 0 {
+		return fmt.Sprintf("%s/workers=%d/lanes=%d", c.backend, c.workers, c.lanes)
+	}
 	return fmt.Sprintf("%s/workers=%d", c.backend, c.workers)
 }
 
@@ -152,6 +156,8 @@ var (
 		{backend: sim.BackendInterp, workers: 4},
 		{backend: sim.BackendCompiled, workers: 1},
 		{backend: sim.BackendCompiled, workers: 4},
+		{backend: sim.BackendBitslice, workers: 1},
+		{backend: sim.BackendCompiled, workers: 4, lanes: 64},
 	}
 )
 
@@ -161,6 +167,7 @@ func fuzzOptions(c fuzzConfig) *Options {
 	return &Options{
 		Workers:       c.workers,
 		Backend:       c.backend,
+		SpecLanes:     c.lanes,
 		MaxCycles:     40_000,
 		MaxPathCycles: 4_000,
 		WidenAfter:    16,

@@ -1,0 +1,294 @@
+package glift
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/mcu"
+	"repro/internal/sim"
+)
+
+// Lane-packed speculation (Options.SpecLanes > 1).
+//
+// A batch worker claims up to SpecLanes queued path states at once and
+// simulates them in lockstep on one bitsliced mcu.BatchSystem, one state per
+// lane: every gate evaluation advances all packed paths for the cost of a
+// few word operations. Each lane records exactly the specTrace a scalar
+// worker would have recorded — same ops, same snapshots, same events — and
+// publishes it the moment the lane retires, so the unchanged sequential
+// committer replays it through the same table protocol.
+//
+// The one divergence from scalar speculation is the fork cycle: forking
+// needs per-combination forced re-evaluation, which cannot be done for one
+// lane without disturbing the others. A lane that reaches an unknown-PC
+// cycle therefore retires with endTruncated, the standard "resume live from
+// the last recorded op" path — the committer re-simulates the short stretch
+// to the fork and performs the fork itself. Truncation is correctness-
+// neutral by construction, so reports stay byte-identical at every
+// worker/lane count (TestDifferentialSpecLanes).
+
+// nextBatch claims up to max unclaimed items, most recently queued first
+// (the ones the committer will reach soonest). It blocks while the queue is
+// empty and returns nil once the pool stops.
+func (p *specPool) nextBatch(max int) []*specItem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		var out []*specItem
+		for len(p.pending) > 0 && len(out) < max {
+			it := p.pending[len(p.pending)-1]
+			p.pending = p.pending[:len(p.pending)-1]
+			if it.state.CompareAndSwap(specPending, specClaimed) {
+				p.steals.Add(1)
+				out = append(out, it)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+		if p.stopped {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// batchWorker is one lane-packed speculation goroutine.
+func (p *specPool) batchWorker() {
+	var bs *mcu.BatchSystem
+	for {
+		its := p.nextBatch(p.lanes)
+		if its == nil {
+			return
+		}
+		if bs == nil {
+			b, err := buildBatchSystem(p.e, p.lanes)
+			if err != nil {
+				// Cannot build the batch machine: release the claims so the
+				// committer simulates live, and retire this worker.
+				for _, it := range its {
+					it.state.CompareAndSwap(specClaimed, specTaken)
+				}
+				return
+			}
+			bs = b
+		}
+		p.busy.Add(1)
+		p.speculateBatchSafe(bs, its)
+		p.busy.Add(-1)
+	}
+}
+
+// buildBatchSystem prepares one lane-packed simulation instance whose every
+// lane is equivalent to a buildSystem scalar worker system: trap-padded
+// shared ROM with the image and reset vector (and tainted code partitions),
+// policy port taints on every lane. Per-path state (flip-flops, RAM)
+// arrives via RestoreLane.
+func buildBatchSystem(e *Engine, lanes int) (*mcu.BatchSystem, error) {
+	bs, err := mcu.NewBatchSystem(e.design, lanes)
+	if err != nil {
+		return nil, err
+	}
+	rom := sim.NewTaintMem(isa.ROMStart, 0x10000-isa.ROMStart)
+	trap, _ := (&isa.Instr{Op: isa.JMP, Off: -1}).Encode()
+	for a := uint32(isa.ROMStart); a < 0x10000; a += 2 {
+		rom.StoreWord(uint16(a), sim.ConcreteWord(trap[0]))
+	}
+	e.img.Place(func(a, w uint16) { rom.StoreWord(a, sim.ConcreteWord(w)) })
+	rom.StoreWord(isa.ResetVec, sim.ConcreteWord(e.img.Entry))
+	if e.Pol.TaintCodeWords {
+		for _, r := range e.Pol.TaintedCode {
+			rom.SetTaint(r.Lo, r.Hi)
+		}
+	}
+	bs.ShareROM(rom)
+	for lane := 0; lane < lanes; lane++ {
+		for i := 0; i < mcu.NumPorts; i++ {
+			w := sim.Word{XM: 0xffff}
+			if e.Pol.TaintedInPort(i) {
+				w.TT = 0xffff
+			}
+			bs.SetLanePortIn(lane, i, w)
+		}
+	}
+	return bs, nil
+}
+
+// speculateBatchSafe runs speculateBatch under a recover barrier: on panic,
+// every lane whose trace was not yet published releases its claim, and the
+// committer reproduces the panic live inside RunContext's fail-closed
+// recover — the scalar speculateSafe contract, batch-wide.
+func (p *specPool) speculateBatchSafe(bs *mcu.BatchSystem, its []*specItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, it := range its {
+				it.state.CompareAndSwap(specClaimed, specTaken)
+			}
+		}
+	}()
+	p.speculateBatch(bs, its)
+}
+
+// specLaneCtx is one lane's private speculation state: the scalar
+// speculate()'s locals, per lane.
+type specLaneCtx struct {
+	it       *specItem
+	tr       *specTrace
+	cycles   uint64
+	curInstr uint16
+	pending  []specEvent
+	seen     map[Violation]bool
+	selfTab  map[forkKey]*mcu.Snapshot
+	chk      cycleChecker
+}
+
+// speculateBatch simulates the claimed path states in lockstep, one per
+// lane, publishing each lane's trace as it retires. It mirrors the scalar
+// speculate() cycle for cycle; see the file comment for the fork-cycle
+// truncation that is the only behavioural difference.
+func (p *specPool) speculateBatch(bs *mcu.BatchSystem, its []*specItem) {
+	e := p.e
+	p.laneBatches.Add(1)
+	p.lanesPacked.Add(uint64(len(its)))
+
+	lanes := make([]specLaneCtx, len(its))
+	active := uint64(0)
+	for i := range lanes {
+		lc := &lanes[i]
+		lc.it = its[i]
+		lc.tr = &specTrace{}
+		lc.curInstr = its[i].curInstr
+		lc.seen = make(map[Violation]bool)
+		lc.selfTab = make(map[forkKey]*mcu.Snapshot)
+		raise := func(k Kind, pc uint16, detail string) {
+			key := violationDedupKey(k, pc)
+			if lc.seen[key] {
+				return
+			}
+			lc.seen[key] = true
+			lc.pending = append(lc.pending, specEvent{cycles: lc.cycles, kind: k, pc: pc, detail: detail})
+		}
+		lc.chk = cycleChecker{sys: bs.Lane(i), pol: e.Pol, ramRange: e.ramRange, raise: raise}
+		bs.RestoreLane(i, its[i].snap)
+		active |= 1 << i
+	}
+
+	retire := func(lane int, tr *specTrace) {
+		active &^= 1 << lane
+		if tr == nil {
+			p.lanesWasted.Add(1)
+		}
+		p.publish(lanes[lane].it, tr)
+	}
+	truncated := func(lc *specLaneCtx) *specTrace {
+		lc.tr.end = endTruncated
+		lc.tr.endCycles = lc.cycles
+		lc.tr.endInstr = lc.curInstr
+		return lc.tr
+	}
+	pathDone := func(lc *specLaneCtx) *specTrace {
+		lc.tr.preEnd, lc.tr.end = lc.pending, endPathDone
+		lc.tr.endCycles, lc.tr.endInstr = lc.cycles, lc.curInstr
+		return lc.tr
+	}
+
+	for active != 0 {
+		if p.done.Load() {
+			for m := active; m != 0; m &= m - 1 {
+				retire(bits.TrailingZeros64(m), nil)
+			}
+			return
+		}
+		// Abandon lanes whose item the committer already passed; their word
+		// slots keep evaluating (rides along for free) but nothing reads them.
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			if lanes[lane].it.state.Load() == specTaken {
+				retire(lane, nil)
+			}
+		}
+		if active == 0 {
+			return
+		}
+
+		cis := bs.EvalCycle(active)
+		commit := active
+		for m := active; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			lc := &lanes[lane]
+			ci := &cis[lane]
+			if ci.StateOK && ci.State == mcu.StFetch && ci.PmemOK {
+				lc.curInstr = ci.PmemAddr
+			}
+			if !ci.PmemOK {
+				lc.chk.raise(PCUnresolved, lc.curInstr, fmt.Sprintf("fetch address is unknown (pc=%s)", ci.PC))
+				retire(lane, pathDone(lc))
+				commit &^= 1 << lane
+				continue
+			}
+			lc.chk.check(ci, lc.curInstr)
+			if ci.PCNext.XM != 0 || ci.POR.V == logic.X || ci.IrqTkn.V == logic.X {
+				// Fork cycle: retire truncated without committing it; the
+				// committer resumes live from the last op and forks there.
+				retire(lane, truncated(lc))
+				commit &^= 1 << lane
+				continue
+			}
+		}
+		bs.CommitLanes(commit, cis)
+
+		for m := commit; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			lc := &lanes[lane]
+			ci := &cis[lane]
+			lc.cycles++
+			// The control-flow recovery rule of commitOn, per lane: once the
+			// PC is tainted only a clean reset may untaint it.
+			if ci.PC.TT != 0 && !(ci.POR.V == logic.One && !ci.POR.T) {
+				for _, bit := range e.design.PC {
+					sg := bs.LaneSig(lane, bit)
+					sg.T = true
+					bs.B.SetLane(lane, bit, sg)
+				}
+			}
+			if modifiesPC(ci) {
+				k := forkKey{pc: ci.PC.Val, state: stateCode(ci), dir: dirCode(ci.BranchTkn.V, ci.POR.V, ci.IrqTkn.V)}
+				post := bs.SnapshotLane(lane)
+				lc.tr.ops = append(lc.tr.ops, specOp{key: k, post: post, curInstr: lc.curInstr, cycles: lc.cycles, events: lc.pending})
+				lc.pending = nil
+				lc.tr.bytes += e.snapBytes
+				if e.tableCovers(k, post) {
+					retire(lane, truncated(lc))
+					continue
+				}
+				if prev, ok := lc.selfTab[k]; ok && post.SubstateOf(prev) {
+					retire(lane, truncated(lc))
+					continue
+				}
+				lc.selfTab[k] = post
+				if len(lc.tr.ops) >= maxSpecOps || p.specBytes.Load()+lc.tr.bytes > p.budget {
+					retire(lane, truncated(lc))
+					continue
+				}
+			}
+			if lc.cycles > e.opt.MaxPathCycles {
+				lc.pending = append(lc.pending, specEvent{
+					cycles: lc.cycles, pc: lc.curInstr, detail: "straight-line path cycle budget", budget: true,
+				})
+				lc.chk.raise(AnalysisIncomplete, lc.curInstr, "path exceeded straight-line cycle budget")
+				retire(lane, pathDone(lc))
+				continue
+			}
+			if lc.cycles >= e.opt.MaxCycles {
+				retire(lane, truncated(lc))
+				continue
+			}
+		}
+	}
+	// Drain lane event logs so a reused batch machine cannot grow unbounded.
+	for i := range lanes {
+		bs.LaneEvents(i)
+	}
+}

@@ -1,0 +1,189 @@
+package mcu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// memIO is the behavioural memory model of one machine context: program
+// fetch, load dispatch with conservative unknown-address semantics, MMIO
+// reads and the data-store commit. System binds one to its circuit; the
+// batched system (batch.go) binds one per lane over the shared bitsliced
+// backend. Keeping this logic in one place is what guarantees batched runs
+// are cycle-exact against scalar ones.
+type memIO struct {
+	d    *Design
+	rom  *sim.TaintMem
+	ram  *sim.TaintMem
+	get  func([]netlist.NetID) sim.Word           // probe-word read from the circuit
+	logf func(format string, args ...interface{}) // unusual-access log, "cycle N: " prefixed
+}
+
+// readMMIO returns the word visible at a peripheral address, if any.
+func (m *memIO) readMMIO(addr uint16) (sim.Word, bool) {
+	a := addr &^ 1
+	for i := 0; i < NumPorts; i++ {
+		if a == PortInAddr(i) {
+			return m.get(m.d.PortIn[i]), true
+		}
+		if a == PortOutAddr(i) {
+			return m.get(m.d.PortOut[i]), true
+		}
+	}
+	if a == isa.AddrWDTCTL {
+		w := m.get(m.d.WdtCtl)
+		return sim.Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff}, true
+	}
+	switch a {
+	case isa.AddrTACTL:
+		w := m.get(m.d.TaCtl)
+		return sim.Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff}, true
+	case isa.AddrTACCR0:
+		return m.get(m.d.TaCcr0), true
+	case isa.AddrTAR:
+		return m.get(m.d.TaR), true
+	}
+	return sim.Word{}, false
+}
+
+// mmioAddrs enumerates peripheral word addresses for X-address load merges.
+func mmioAddrs() []uint16 {
+	var as []uint16
+	for i := 0; i < NumPorts; i++ {
+		as = append(as, PortInAddr(i), PortOutAddr(i))
+	}
+	return append(as, isa.AddrWDTCTL, isa.AddrTACTL, isa.AddrTACCR0, isa.AddrTAR)
+}
+
+// fetch resolves a program-memory read for the (possibly unknown) address.
+func (m *memIO) fetch(paw sim.Word) sim.Word {
+	switch {
+	case paw.Concrete() && m.rom.Contains(paw.Val&^1):
+		// A tainted but concrete PC does NOT taint the fetched word: the
+		// application is known at analysis time, so which (known)
+		// instruction executes is a declassified leak — exactly the
+		// argument of Section 5.2 of the paper ("the only information this
+		// can leak is ... a known requirement"). The tainted-control-flow
+		// fact itself is tracked by the PC's taint and enforced by the
+		// checker's condition 1. Program-memory words may still carry taint
+		// from an explicit tainted-code-word label (Figure 8's experiment).
+		return m.rom.LoadWord(paw.Val)
+	case paw.Concrete():
+		m.logf("fetch outside ROM at %#04x", paw.Val)
+		return sim.Word{XM: 0xffff}
+	default:
+		// Unknown fetch address: conservatively merge every possibly
+		// fetched word (this is what degrades an application-agnostic
+		// *-logic analysis once the PC goes unknown — Footnote 8).
+		f := sim.Word{XM: 0xffff}
+		if paw.Tainted() {
+			f.TT = 0xffff
+		}
+		return f
+	}
+}
+
+// loadDispatch resolves a data-memory read for a (possibly partially
+// unknown, possibly tainted) address.
+func (m *memIO) loadDispatch(addr sim.Word, re logic.Sig) sim.Word {
+	free := addr.XM | addr.TT
+	if free == 0 {
+		w := m.readAt(addr.Val)
+		if re.T {
+			w.TT = 0xffff
+		}
+		return w
+	}
+	// Conservative merge over every possibly-addressed location.
+	out := sim.Word{}
+	first := true
+	join := func(w sim.Word) {
+		if first {
+			out, first = w, false
+		} else {
+			out = sim.MergeWords(out, w)
+		}
+	}
+	fixed := ^free
+	want := addr.Val & fixed
+	match := func(a uint16) bool { return a&fixed == want || (a+1)&fixed == want }
+	m.ram.ForEachMatchRelaxed(free, want, func(a uint16) { join(m.ram.LoadWord(a)) })
+	m.rom.ForEachMatchRelaxed(free, want, func(a uint16) { join(m.rom.LoadWord(a)) })
+	for _, ma := range mmioAddrs() {
+		if match(ma) {
+			if w, ok := m.readMMIO(ma); ok {
+				join(w)
+			}
+		}
+	}
+	if first {
+		out = sim.Word{XM: 0xffff}
+	}
+	out.TT |= addr.TT // unknown *which* location: the choice itself leaks
+	if addr.TT != 0 || re.T {
+		out.TT = 0xffff
+	}
+	return out
+}
+
+func (m *memIO) readAt(addr uint16) sim.Word {
+	if w, ok := m.readMMIO(addr); ok {
+		return w
+	}
+	if m.ram.Contains(addr) {
+		return m.ram.LoadWord(addr)
+	}
+	if m.rom.Contains(addr) {
+		return m.rom.LoadWord(addr)
+	}
+	m.logf("read from unmapped %#04x", addr)
+	return sim.Word{XM: 0xffff}
+}
+
+// commitStore applies the evaluated cycle's data-memory store with
+// conservative unknown-address/width semantics.
+func (m *memIO) commitStore(ci *CycleInfo) {
+	addr, data := ci.Addr, ci.WData
+	free := addr.XM | addr.TT
+	uncertainWrite := ci.We.V != logic.One || ci.We.T
+	if addr.TT != 0 || ci.We.T {
+		data.TT = 0xffff
+	}
+	byteStore := ci.BW.V == logic.One
+	if ci.BW.V == logic.X || ci.BW.T {
+		// Unknown width: conservatively merge a full word.
+		byteStore = false
+		uncertainWrite = true
+	}
+
+	store := func(a uint16, merge bool) {
+		if !m.ram.Contains(a) {
+			// Peripheral writes are handled inside the netlist (WDTCTL, port
+			// registers decode the same address/wdata nets); ROM is not
+			// writable at runtime. Log everything else.
+			if _, mm := m.readMMIO(a); !mm && !m.rom.Contains(a) {
+				m.logf("write to unmapped %#04x", a)
+			}
+			return
+		}
+		switch {
+		case byteStore && merge:
+			m.ram.MergeStoreByte(a, sim.Word{Val: data.Val & 0xff, XM: data.XM & 0xff, TT: data.TT & 0xff})
+		case byteStore:
+			m.ram.StoreByte(a, sim.Word{Val: data.Val & 0xff, XM: data.XM & 0xff, TT: data.TT & 0xff})
+		case merge:
+			m.ram.MergeStoreWord(a, data)
+		default:
+			m.ram.StoreWord(a, data)
+		}
+	}
+
+	if free == 0 {
+		store(addr.Val, uncertainWrite)
+		return
+	}
+	want := addr.Val &^ free
+	m.ram.ForEachMatchRelaxed(free, want, func(a uint16) { store(a, true) })
+}

@@ -30,6 +30,7 @@ type System struct {
 	events []string       // unusual accesses (unmapped, fetch outside ROM, ...)
 	pcDFF  []int          // lazily built PC bit -> DFF index map (diagnostics)
 	vcd    *sim.VCDWriter // optional waveform dump, sampled at each commit
+	mem    memIO          // behavioural memory model bound to C/ROM/RAM
 }
 
 // CycleInfo describes one evaluated (not yet committed) cycle.
@@ -69,11 +70,16 @@ func NewSystemBackend(d *Design, kind sim.BackendKind) (*System, error) {
 		RAM: sim.NewTaintMem(isa.RAMStart, isa.RAMEnd-isa.RAMStart),
 		rst: logic.Zero0,
 	}
+	s.mem = memIO{d: d, rom: s.ROM, ram: s.RAM, get: s.getWord, logf: s.logf}
 	// Port inputs default to untainted X.
 	for i := 0; i < NumPorts; i++ {
 		s.SetPortIn(i, sim.Word{XM: 0xffff})
 	}
 	return s, nil
+}
+
+func (s *System) logf(format string, args ...interface{}) {
+	s.events = append(s.events, fmt.Sprintf("cycle %d: ", s.Cycle)+fmt.Sprintf(format, args...))
 }
 
 // LoadProgram writes machine words into program memory, untainted.
@@ -145,105 +151,22 @@ func (s *System) setWord(w []netlist.NetID, v sim.Word) {
 // GetWord exposes a probe word's current signals (after EvalCycle).
 func (s *System) GetWord(w []netlist.NetID) sim.Word { return s.getWord(w) }
 
-// mmioEntry describes one word-wide memory-mapped register for load
-// dispatch.
-type mmioEntry struct {
-	addr uint16
-	nets []netlist.NetID // nil: port input / special
-}
+// GetSig exposes one net's current signal (after EvalCycle).
+func (s *System) GetSig(id netlist.NetID) logic.Sig { return s.C.Get(id) }
+
+// Design returns the machine's design, shared with batched lane views.
+func (s *System) Design() *Design { return s.D }
 
 // readMMIO returns the word visible at a peripheral address, if any.
-func (s *System) readMMIO(addr uint16) (sim.Word, bool) {
-	a := addr &^ 1
-	for i := 0; i < NumPorts; i++ {
-		if a == PortInAddr(i) {
-			return s.getWord(s.D.PortIn[i]), true
-		}
-		if a == PortOutAddr(i) {
-			return s.getWord(s.D.PortOut[i]), true
-		}
-	}
-	if a == isa.AddrWDTCTL {
-		w := s.getWord(s.D.WdtCtl)
-		return sim.Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff}, true
-	}
-	switch a {
-	case isa.AddrTACTL:
-		w := s.getWord(s.D.TaCtl)
-		return sim.Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff}, true
-	case isa.AddrTACCR0:
-		return s.getWord(s.D.TaCcr0), true
-	case isa.AddrTAR:
-		return s.getWord(s.D.TaR), true
-	}
-	return sim.Word{}, false
-}
-
-// mmioAddrs enumerates peripheral word addresses for X-address load merges.
-func mmioAddrs() []uint16 {
-	var as []uint16
-	for i := 0; i < NumPorts; i++ {
-		as = append(as, PortInAddr(i), PortOutAddr(i))
-	}
-	return append(as, isa.AddrWDTCTL, isa.AddrTACTL, isa.AddrTACCR0, isa.AddrTAR)
-}
+func (s *System) readMMIO(addr uint16) (sim.Word, bool) { return s.mem.readMMIO(addr) }
 
 // loadDispatch resolves a data-memory read for a (possibly partially
 // unknown, possibly tainted) address.
 func (s *System) loadDispatch(addr sim.Word, re logic.Sig) sim.Word {
-	free := addr.XM | addr.TT
-	if free == 0 {
-		w := s.readAt(addr.Val)
-		if re.T {
-			w.TT = 0xffff
-		}
-		return w
-	}
-	// Conservative merge over every possibly-addressed location.
-	out := sim.Word{}
-	first := true
-	join := func(w sim.Word) {
-		if first {
-			out, first = w, false
-		} else {
-			out = sim.MergeWords(out, w)
-		}
-	}
-	fixed := ^free
-	want := addr.Val & fixed
-	match := func(a uint16) bool { return a&fixed == want || (a+1)&fixed == want }
-	s.RAM.ForEachMatchRelaxed(free, want, func(a uint16) { join(s.RAM.LoadWord(a)) })
-	s.ROM.ForEachMatchRelaxed(free, want, func(a uint16) { join(s.ROM.LoadWord(a)) })
-	for _, ma := range mmioAddrs() {
-		if match(ma) {
-			if w, ok := s.readMMIO(ma); ok {
-				join(w)
-			}
-		}
-	}
-	if first {
-		out = sim.Word{XM: 0xffff}
-	}
-	out.TT |= addr.TT // unknown *which* location: the choice itself leaks
-	if addr.TT != 0 || re.T {
-		out.TT = 0xffff
-	}
-	return out
+	return s.mem.loadDispatch(addr, re)
 }
 
-func (s *System) readAt(addr uint16) sim.Word {
-	if w, ok := s.readMMIO(addr); ok {
-		return w
-	}
-	if s.RAM.Contains(addr) {
-		return s.RAM.LoadWord(addr)
-	}
-	if s.ROM.Contains(addr) {
-		return s.ROM.LoadWord(addr)
-	}
-	s.events = append(s.events, fmt.Sprintf("cycle %d: read from unmapped %#04x", s.Cycle, addr))
-	return sim.Word{XM: 0xffff}
-}
+func (s *System) readAt(addr uint16) sim.Word { return s.mem.readAt(addr) }
 
 // EvalCycle evaluates one full cycle (multi-pass, feeding the behavioural
 // memories) without committing flip-flops or stores. forced overrides nets
@@ -257,30 +180,7 @@ func (s *System) EvalCycle(forced map[netlist.NetID]logic.Sig) *CycleInfo {
 	s.C.Eval(forced)
 	paw := s.getWord(s.D.PmemAddr)
 	ci.PmemAddr, ci.PmemOK = paw.Val, paw.Concrete()
-	var fetch sim.Word
-	switch {
-	case ci.PmemOK && s.ROM.Contains(paw.Val&^1):
-		// A tainted but concrete PC does NOT taint the fetched word: the
-		// application is known at analysis time, so which (known)
-		// instruction executes is a declassified leak — exactly the
-		// argument of Section 5.2 of the paper ("the only information this
-		// can leak is ... a known requirement"). The tainted-control-flow
-		// fact itself is tracked by the PC's taint and enforced by the
-		// checker's condition 1. Program-memory words may still carry taint
-		// from an explicit tainted-code-word label (Figure 8's experiment).
-		fetch = s.ROM.LoadWord(paw.Val)
-	case ci.PmemOK:
-		fetch = sim.Word{XM: 0xffff}
-		s.events = append(s.events, fmt.Sprintf("cycle %d: fetch outside ROM at %#04x", s.Cycle, paw.Val))
-	default:
-		// Unknown fetch address: conservatively merge every possibly
-		// fetched word (this is what degrades an application-agnostic
-		// *-logic analysis once the PC goes unknown — Footnote 8).
-		fetch = sim.Word{XM: 0xffff}
-		if paw.Tainted() {
-			fetch.TT = 0xffff
-		}
-	}
+	fetch := s.mem.fetch(paw)
 	ci.Fetch = fetch
 	s.setWord(s.D.PmemRdata, fetch)
 
@@ -336,49 +236,7 @@ func (s *System) AttachVCD(w io.Writer, names []string) (*sim.VCDWriter, error) 
 	return v, nil
 }
 
-func (s *System) commitStore(ci *CycleInfo) {
-	addr, data := ci.Addr, ci.WData
-	free := addr.XM | addr.TT
-	uncertainWrite := ci.We.V != logic.One || ci.We.T
-	if addr.TT != 0 || ci.We.T {
-		data.TT = 0xffff
-	}
-	byteStore := ci.BW.V == logic.One
-	if ci.BW.V == logic.X || ci.BW.T {
-		// Unknown width: conservatively merge a full word.
-		byteStore = false
-		uncertainWrite = true
-	}
-
-	store := func(a uint16, merge bool) {
-		if !s.RAM.Contains(a) {
-			// Peripheral writes are handled inside the netlist (WDTCTL, port
-			// registers decode the same address/wdata nets); ROM is not
-			// writable at runtime. Log everything else.
-			if _, mm := s.readMMIO(a); !mm && !s.ROM.Contains(a) {
-				s.events = append(s.events, fmt.Sprintf("cycle %d: write to unmapped %#04x", s.Cycle, a))
-			}
-			return
-		}
-		switch {
-		case byteStore && merge:
-			s.RAM.MergeStoreByte(a, sim.Word{Val: data.Val & 0xff, XM: data.XM & 0xff, TT: data.TT & 0xff})
-		case byteStore:
-			s.RAM.StoreByte(a, sim.Word{Val: data.Val & 0xff, XM: data.XM & 0xff, TT: data.TT & 0xff})
-		case merge:
-			s.RAM.MergeStoreWord(a, data)
-		default:
-			s.RAM.StoreWord(a, data)
-		}
-	}
-
-	if free == 0 {
-		store(addr.Val, uncertainWrite)
-		return
-	}
-	want := addr.Val &^ free
-	s.RAM.ForEachMatchRelaxed(free, want, func(a uint16) { store(a, true) })
-}
+func (s *System) commitStore(ci *CycleInfo) { s.mem.commitStore(ci) }
 
 // Step evaluates and commits one cycle; the caller must ensure the PC next
 // value is concrete (concrete-input runs always are).

@@ -105,11 +105,18 @@ type OptionsRequest struct {
 	// Reports are identical for every worker count, so this field does not
 	// participate in the job's cache key.
 	Workers int `json:"workers,omitempty"`
-	// Backend selects the gate-evaluation backend for this job: "compiled"
-	// or "interp" (empty: the server's Config.EngineBackend, then the
-	// compiled default). Reports are byte-identical across backends, so
-	// like Workers this field does not participate in the job's cache key.
+	// Backend selects the gate-evaluation backend for this job by its
+	// registered name — "compiled", "interp", or "bitslice" (empty: the
+	// server's Config.EngineBackend, then the compiled default). Reports
+	// are byte-identical across backends, so like Workers this field does
+	// not participate in the job's cache key.
 	Backend string `json:"backend,omitempty"`
+	// SpecLanes packs up to N queued exploration paths per speculation
+	// worker onto bitsliced lanes (0 or 1: scalar speculation, max 64;
+	// 0 falls back to the server's Config.EngineSpecLanes). Like Workers
+	// it only changes wall time, never the report, so it does not
+	// participate in the job's cache key.
+	SpecLanes int `json:"spec_lanes,omitempty"`
 }
 
 // JobRequest is one analysis submission: a program (exactly one of Source
@@ -182,12 +189,16 @@ func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.D
 		HardMemBytes:  req.Options.HardMemBytes,
 		Workers:       req.Options.Workers,
 		Backend:       backend,
+		SpecLanes:     req.Options.SpecLanes,
 	}
 	if req.Options.DeadlineMS < 0 {
 		return nil, nil, nil, 0, fmt.Errorf("negative deadline_ms")
 	}
 	if req.Options.Workers < 0 {
 		return nil, nil, nil, 0, fmt.Errorf("negative workers")
+	}
+	if req.Options.SpecLanes < 0 {
+		return nil, nil, nil, 0, fmt.Errorf("negative spec_lanes")
 	}
 	return img, pol, opt, time.Duration(req.Options.DeadlineMS) * time.Millisecond, nil
 }

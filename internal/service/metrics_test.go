@@ -120,9 +120,13 @@ func TestEngineProgressNonMonotonic(t *testing.T) {
 
 	grow := glift.Progress{
 		Stats: glift.Stats{Cycles: 1000, Paths: 10, Forks: 5, WallNanos: 100},
-		Sched: glift.SchedStats{Workers: 3, Busy: 2, DequeDepth: 4, Steals: 7, SpecUsed: 5, SpecWasted: 1},
+		Sched: glift.SchedStats{Workers: 3, Busy: 2, DequeDepth: 4, Steals: 7, SpecUsed: 5, SpecWasted: 1,
+			SpecLanes: 8, LaneBatches: 4, LanesPacked: 24, LanesWasted: 8},
 	}
 	ep.observe(grow)
+	if v := m.engLaneOccup.Value(); v != 24.0/(4*8) {
+		t.Errorf("lane-occupancy gauge = %v, want %v", v, 24.0/(4*8))
+	}
 
 	// A regressed snapshot: every cumulative field below its predecessor.
 	defer func() {

@@ -61,6 +61,12 @@ type Config struct {
 	// by the differential contract — so it participates in neither job
 	// keys nor caching.
 	EngineBackend sim.BackendKind
+	// EngineSpecLanes is the bitsliced speculation lane count per engine
+	// worker applied to jobs that do not request one (0 or 1: scalar
+	// speculation, max 64). Like EngineWorkers and EngineBackend it only
+	// changes wall time, never results, so it participates in neither job
+	// keys nor caching.
+	EngineSpecLanes int
 
 	// StoreDir enables the crash-safe persistent result store: completed
 	// Verified/Violations reports are fsynced there before the submitter is
@@ -332,6 +338,9 @@ func (s *Server) runJob(j *job) {
 	}
 	if !j.backendSet {
 		opt.Backend = s.cfg.EngineBackend
+	}
+	if opt.SpecLanes == 0 {
+		opt.SpecLanes = s.cfg.EngineSpecLanes
 	}
 	opt.Progress = (&engineProgress{m: s.prom, next: j.setProgress}).observe
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -55,41 +56,81 @@ const (
 	// BackendInterp is the reference interpreter: a full sweep of the
 	// levelized gate list through a per-gate switch on every Eval.
 	BackendInterp
+	// BackendBitslice evaluates the netlist as three uint64 bit-planes per
+	// net (64 lanes per word op, all lanes broadcast-identical behind the
+	// scalar Backend interface); see bitslice.go and BatchBackend for the
+	// per-lane batched form.
+	BackendBitslice
 )
+
+// backendRegistry is the single source of backend names: every CLI flag,
+// gliftd option and differential sweep derives its name list from it, so a
+// new backend registers exactly once. Order is the sweep order; the first
+// entry is the default.
+var backendRegistry = []struct {
+	kind BackendKind
+	name string
+	ctor func(nl *netlist.Netlist) (Backend, error)
+}{
+	{BackendCompiled, "compiled", func(nl *netlist.Netlist) (Backend, error) { return newCompiled(nl) }},
+	{BackendInterp, "interp", func(nl *netlist.Netlist) (Backend, error) { return newInterp(nl) }},
+	{BackendBitslice, "bitslice", func(nl *netlist.Netlist) (Backend, error) { return newBitslice(nl) }},
+}
 
 // String returns the parseable name of the backend kind.
 func (k BackendKind) String() string {
-	switch k {
-	case BackendCompiled:
-		return "compiled"
-	case BackendInterp:
-		return "interp"
+	for _, e := range backendRegistry {
+		if e.kind == k {
+			return e.name
+		}
 	}
 	return fmt.Sprintf("backend(%d)", uint8(k))
 }
 
-// ParseBackend resolves a backend name: "compiled" (or empty, the default)
-// and "interp"/"interpreter".
-func ParseBackend(s string) (BackendKind, error) {
-	switch s {
-	case "", "compiled":
-		return BackendCompiled, nil
-	case "interp", "interpreter":
-		return BackendInterp, nil
+// BackendNames lists the registered backend names in registry order — the
+// valid values for every -backend flag and the gliftd options.backend field.
+func BackendNames() []string {
+	names := make([]string, len(backendRegistry))
+	for i, e := range backendRegistry {
+		names[i] = e.name
 	}
-	return 0, fmt.Errorf("sim: unknown backend %q (want compiled or interp)", s)
+	return names
 }
 
-// Backends lists every backend kind, for differential sweeps.
-func Backends() []BackendKind { return []BackendKind{BackendCompiled, BackendInterp} }
+// ParseBackend resolves a backend name from the registry: empty selects the
+// default (compiled); "interpreter" is accepted as an alias for "interp".
+// Unknown names error with the full list of valid ones.
+func ParseBackend(s string) (BackendKind, error) {
+	if s == "" {
+		return backendRegistry[0].kind, nil
+	}
+	if s == "interpreter" {
+		s = "interp"
+	}
+	for _, e := range backendRegistry {
+		if e.name == s {
+			return e.kind, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown backend %q (want one of: %s)", s, strings.Join(BackendNames(), ", "))
+}
+
+// Backends lists every backend kind in registry order, for differential
+// sweeps.
+func Backends() []BackendKind {
+	kinds := make([]BackendKind, len(backendRegistry))
+	for i, e := range backendRegistry {
+		kinds[i] = e.kind
+	}
+	return kinds
+}
 
 // newBackend constructs the selected backend implementation.
 func newBackend(nl *netlist.Netlist, kind BackendKind) (Backend, error) {
-	switch kind {
-	case BackendCompiled:
-		return newCompiled(nl)
-	case BackendInterp:
-		return newInterp(nl)
+	for _, e := range backendRegistry {
+		if e.kind == kind {
+			return e.ctor(nl)
+		}
 	}
 	return nil, fmt.Errorf("sim: unknown backend kind %d", kind)
 }

@@ -57,82 +57,91 @@ func compareAllNets(t *testing.T, n *netlist.Netlist, ref, got *Circuit, step st
 		r := ref.Get(netlist.NetID(id))
 		g := got.Get(netlist.NetID(id))
 		if r != g {
-			t.Fatalf("%s: net %q: interp=%s compiled=%s", step, n.Name(netlist.NetID(id)), r, g)
+			t.Fatalf("%s: net %q: ref=%s got=%s", step, n.Name(netlist.NetID(id)), r, g)
 		}
 	}
 }
 
-// TestBackendEquivalence drives the interpreter and the compiled backend
-// through identical randomized stimulus — input changes, evaluations, forced
-// evaluations (including repeated and released forcings), clocks, snapshot
-// restores and re-inits — and demands bit-identical values on every net plus
-// identical toggle counts after every operation.
+// TestBackendEquivalence drives the reference interpreter and every other
+// registered backend through identical randomized stimulus — input changes,
+// evaluations, forced evaluations (including repeated and released
+// forcings), clocks, snapshot restores and re-inits — and demands
+// bit-identical values on every net plus identical toggle counts after
+// every operation.
 func TestBackendEquivalence(t *testing.T) {
-	for seed := int64(0); seed < 40; seed++ {
-		rnd := rand.New(rand.NewSource(seed))
-		n, inputs := randBackendNetlist(rnd, 60)
-		ref, err := NewCircuitBackend(n, BackendInterp)
-		if err != nil {
-			t.Fatal(err)
+	for _, kind := range Backends() {
+		if kind == BackendInterp {
+			continue
 		}
-		got, err := NewCircuitBackend(n, BackendCompiled)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Forcing candidates: any gate-driven net or DFF output.
-		var forceable []netlist.NetID
-		lv, _ := n.Levelize()
-		for id := 0; id < n.NumNets(); id++ {
-			if lv.DriverGate[id] >= 0 || n.IsDFFOutput(netlist.NetID(id)) {
-				forceable = append(forceable, netlist.NetID(id))
-			}
-		}
-		var snaps [][]logic.Packed
-		for step := 0; step < 120; step++ {
-			switch op := rnd.Intn(10); {
-			case op < 4: // drive some inputs, then eval
-				for _, in := range inputs {
-					if rnd.Intn(2) == 0 {
-						s := backendSigs[rnd.Intn(len(backendSigs))]
-						ref.SetInput(in, s)
-						got.SetInput(in, s)
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 40; seed++ {
+				rnd := rand.New(rand.NewSource(seed))
+				n, inputs := randBackendNetlist(rnd, 60)
+				ref, err := NewCircuitBackend(n, BackendInterp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := NewCircuitBackend(n, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Forcing candidates: any gate-driven net or DFF output.
+				var forceable []netlist.NetID
+				lv, _ := n.Levelize()
+				for id := 0; id < n.NumNets(); id++ {
+					if lv.DriverGate[id] >= 0 || n.IsDFFOutput(netlist.NetID(id)) {
+						forceable = append(forceable, netlist.NetID(id))
 					}
 				}
-				ref.Eval(nil)
-				got.Eval(nil)
-			case op < 6: // forced evaluation
-				forced := map[netlist.NetID]logic.Sig{}
-				for k := 0; k < 1+rnd.Intn(3); k++ {
-					forced[forceable[rnd.Intn(len(forceable))]] = backendSigs[rnd.Intn(len(backendSigs))]
+				var snaps [][]logic.Packed
+				for step := 0; step < 120; step++ {
+					switch op := rnd.Intn(10); {
+					case op < 4: // drive some inputs, then eval
+						for _, in := range inputs {
+							if rnd.Intn(2) == 0 {
+								s := backendSigs[rnd.Intn(len(backendSigs))]
+								ref.SetInput(in, s)
+								got.SetInput(in, s)
+							}
+						}
+						ref.Eval(nil)
+						got.Eval(nil)
+					case op < 6: // forced evaluation
+						forced := map[netlist.NetID]logic.Sig{}
+						for k := 0; k < 1+rnd.Intn(3); k++ {
+							forced[forceable[rnd.Intn(len(forceable))]] = backendSigs[rnd.Intn(len(backendSigs))]
+						}
+						ref.Eval(forced)
+						got.Eval(forced)
+					case op < 8: // clock, then settle
+						ref.Clock()
+						got.Clock()
+						if ref.Toggles != got.Toggles {
+							t.Fatalf("seed %d step %d: toggles ref=%d got=%d", seed, step, ref.Toggles, got.Toggles)
+						}
+						ref.Eval(nil)
+						got.Eval(nil)
+					case op < 9: // snapshot or restore
+						if len(snaps) == 0 || rnd.Intn(2) == 0 {
+							snaps = append(snaps, ref.DFFState())
+						} else {
+							st := snaps[rnd.Intn(len(snaps))]
+							ref.RestoreDFFState(st)
+							got.RestoreDFFState(st)
+							ref.Eval(nil)
+							got.Eval(nil)
+						}
+					default: // re-init
+						ref.InitX()
+						got.InitX()
+						ref.Eval(nil)
+						got.Eval(nil)
+					}
+					compareAllNets(t, n, ref, got, "seed/step")
 				}
-				ref.Eval(forced)
-				got.Eval(forced)
-			case op < 8: // clock, then settle
-				ref.Clock()
-				got.Clock()
-				if ref.Toggles != got.Toggles {
-					t.Fatalf("seed %d step %d: toggles interp=%d compiled=%d", seed, step, ref.Toggles, got.Toggles)
-				}
-				ref.Eval(nil)
-				got.Eval(nil)
-			case op < 9: // snapshot or restore
-				if len(snaps) == 0 || rnd.Intn(2) == 0 {
-					snaps = append(snaps, ref.DFFState())
-				} else {
-					st := snaps[rnd.Intn(len(snaps))]
-					ref.RestoreDFFState(st)
-					got.RestoreDFFState(st)
-					ref.Eval(nil)
-					got.Eval(nil)
-				}
-			default: // re-init
-				ref.InitX()
-				got.InitX()
-				ref.Eval(nil)
-				got.Eval(nil)
 			}
-			compareAllNets(t, n, ref, got, "seed/step")
-		}
+		})
 	}
 }
 
