@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-observability differential backend-differential fault trace bench-json bench-check serve soak clean
+.PHONY: check build fmt vet test race race-observability differential backend-differential fault trace bench-json bench-check serve soak stream clean
 
 # check is the CI gate: formatting, vet, build, and the full suite under
 # the race detector (the engine itself is single-threaded, but bench
@@ -99,10 +99,30 @@ bench-check:
 # race detector — the daemon binaries are race-instrumented too — and fails
 # on any integrity violation: a torn record served, a lost fsynced result,
 # or a verdict differing from a cold run (see DESIGN.md "Durability &
-# admission").
+# admission"). The streaming latency gate rides along: gliftload -stream
+# consumes every job's SSE event stream and fails the job when the
+# submit-to-verdict p99 exceeds its budget.
 soak:
 	GLIFT_SOAK=1 $(GO) test -race -timeout $(TEST_TIMEOUT) ./integration \
-		-run 'TestChaos|TestGliftdSIGTERMDrain' -v
+		-run 'TestChaos|TestGliftdSIGTERMDrain|TestStreamLatencyGate' -v
+
+# stream demonstrates the live-telemetry loop end to end on a throwaway
+# daemon: gliftload in streaming mode consumes each job's SSE stream to its
+# verdict, reports per-stage p50/p90/p99 latencies, enforces a p99 budget,
+# and the NDJSON event dump is validated by traceview.
+stream:
+	$(GO) build -o bin/gliftd ./cmd/gliftd
+	$(GO) build -o bin/gliftload ./cmd/gliftload
+	$(GO) build -o bin/traceview ./cmd/traceview
+	@rm -f bin/stream-events.ndjson
+	./bin/gliftd -addr 127.0.0.1:8437 -workers 2 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS -o /dev/null http://127.0.0.1:8437/healthz 2>/dev/null && break; sleep 0.1; \
+	done; \
+	./bin/gliftload -addr http://127.0.0.1:8437 -stream -n 24 -distinct 6 -c 4 \
+		-stream-trace 4 -p99-budget 60s -stream-dump bin/stream-events.ndjson && \
+	./bin/traceview bin/stream-events.ndjson
 
 # serve builds and launches the analysis daemon (see README "Running as
 # a service").

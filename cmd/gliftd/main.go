@@ -13,6 +13,8 @@
 //
 //	POST   /jobs          submit {source|ihex, policy, options}; ?wait=1 blocks
 //	GET    /jobs/{id}     status + live progress, report when done
+//	GET    /jobs/{id}/events  live SSE stream: state/progress/trace events,
+//	                      terminal verdict event, Last-Event-ID resume
 //	DELETE /jobs/{id}     cancel; the job completes with verdict incomplete
 //	GET    /metrics       Prometheus text exposition (service + engine + store
 //	                      series); the legacy JSON shape via Accept: application/json
@@ -33,6 +35,9 @@
 // verified → 200, violations → 409, incomplete → 504, internal error → 500;
 // malformed submissions → 400.
 //
+// Logs are structured JSON on stderr (-log-level debug|info|warn|error),
+// one line per event with job_id/tenant/verdict fields where applicable.
+//
 // Shutdown (SIGINT/SIGTERM) is ordered and bounded by -drain-timeout:
 // stop accepting connections and drain in-flight HTTP, then drain the job
 // queue and workers (persisting completed results), then stop the pool.
@@ -43,7 +48,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -53,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sim"
 )
@@ -71,6 +77,9 @@ func main() {
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/sec, keyed by X-Tenant (0: unlimited)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0: ceil(rate))")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: HTTP drain, then job-queue drain, then stop")
+	streamRing := flag.Int("stream-ring", obs.DefaultRingEvents, "per-job event ring bound for GET /jobs/{id}/events (slow readers see gap events past this)")
+	streamHeartbeat := flag.Duration("stream-heartbeat", 0, "SSE comment-heartbeat cadence on quiet streams (0: 15s default)")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
 	chaos503 := flag.Int("chaos-inject-503", 0, "TESTING: percent of submissions answered with a spurious 503 + Retry-After")
 	chaosSlowWrite := flag.Duration("chaos-slow-write", 0, "TESTING: hold every store write half-written this long before fsync+rename")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -79,6 +88,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: gliftd [flags] (see -help)")
 		os.Exit(2)
 	}
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gliftd: %v\n", err)
+		os.Exit(2)
+	}
+	// One JSON line per event on stderr: greppable by field (job_id, tenant,
+	// verdict), machine-parseable by log shippers.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	backend, err := sim.ParseBackend(*engineBackend)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gliftd: %v\n", err)
@@ -99,14 +116,19 @@ func main() {
 		TenantRate:         *tenantRate,
 		TenantBurst:        *tenantBurst,
 		ChaosRejectPercent: *chaos503,
+		StreamRingEvents:   *streamRing,
+		StreamHeartbeat:    *streamHeartbeat,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatalf("gliftd: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	if st := srv.Store(); st != nil {
 		stats := st.Stats()
-		log.Printf("gliftd: result store %s: recovered %d entries (%d bytes), quarantined %d, cleaned %d abandoned writes",
-			st.Dir(), stats.Recovered, st.Bytes(), stats.Quarantined, stats.TmpCleaned)
+		logger.Info("result store recovered",
+			"dir", st.Dir(), "entries", stats.Recovered, "bytes", st.Bytes(),
+			"quarantined", stats.Quarantined, "tmp_cleaned", stats.TmpCleaned)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -118,7 +140,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Printf("gliftd: pprof enabled on /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	hs := &http.Server{Addr: *addr, Handler: mux}
 
@@ -127,13 +149,14 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.ListenAndServe() }()
-	log.Printf("gliftd: serving on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queue, *cache)
+	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
 
 	select {
 	case err := <-serveErr:
 		// The listener failed before any signal (bad address, port in use).
 		srv.Close()
-		log.Fatalf("gliftd: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
@@ -144,21 +167,36 @@ func main() {
 	//     to the store before their waiters are released;
 	//  3. stop the pool (anything still running after the deadline has been
 	//     cancelled and completes Incomplete, which is never persisted).
-	log.Printf("gliftd: shutting down (drain bound %s)", *drainTimeout)
+	logger.Info("shutting down", "drain_bound", *drainTimeout)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("gliftd: http drain incomplete: %v", err)
+		logger.Warn("http drain incomplete", "err", err)
 		hs.Close() //nolint:errcheck // connections past the drain bound are cut, not waited on
 	}
 	if err := srv.Drain(shutdownCtx); err != nil {
-		log.Printf("gliftd: job drain incomplete, cancelling stragglers: %v", err)
+		logger.Warn("job drain incomplete, cancelling stragglers", "err", err)
 	}
 	srv.Close()
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("gliftd: listener: %v", err)
+		logger.Warn("listener error", "err", err)
 	}
-	log.Printf("gliftd: stopped")
+	logger.Info("stopped")
+}
+
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", s)
 }
 
 // backendHelp renders the registered backend names for flag help, with the

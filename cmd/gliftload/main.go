@@ -6,6 +6,15 @@
 //
 //	gliftload -addr http://127.0.0.1:8430 -n 500 -c 16 -tenants 4
 //
+// Stream mode (-stream) submits without server-side wait and instead
+// consumes each job's SSE event stream to its terminal verdict event,
+// reporting per-stage latency quantiles (p50/p90/p99) from the verdict
+// events' stage timings plus the client-observed submit-to-verdict total.
+// With -p99-budget the run exits non-zero when the observed
+// submit-to-verdict p99 exceeds the budget — the CI latency gate:
+//
+//	gliftload -addr http://127.0.0.1:8430 -stream -n 200 -p99-budget 2s
+//
 // Chaos mode (-chaos) spawns its own gliftd (-gliftd path to the binary)
 // and proves the daemon's durability and admission invariants under induced
 // faults, exiting non-zero on any integrity violation:
@@ -36,10 +45,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +73,11 @@ var (
 	killGap  = flag.Duration("kill-interval", 250*time.Millisecond, "chaos: pause between kill cycles")
 	storeDir = flag.String("store-dir", "", "chaos: store directory (default: a fresh temp dir)")
 	verbose  = flag.Bool("v", false, "log every acknowledgment")
+
+	stream      = flag.Bool("stream", false, "stream mode: consume each job's SSE event stream to its verdict")
+	p99Budget   = flag.Duration("p99-budget", 0, "stream mode: fail if submit-to-verdict p99 exceeds this (0: no gate)")
+	streamDump  = flag.String("stream-dump", "", "stream mode: append every received event to this file as NDJSON")
+	streamTrace = flag.Int("stream-trace", 0, "stream mode: request every N-th engine trace event per job (0: off)")
 )
 
 func main() {
@@ -78,6 +94,8 @@ func main() {
 			os.Exit(2)
 		}
 		err = runChaos()
+	case *addr != "" && *stream:
+		err = runStream(*addr)
 	case *addr != "":
 		err = runLoad(*addr)
 	default:
@@ -211,6 +229,179 @@ func runLoad(base string) error {
 		return true
 	})
 	fmt.Printf("  attempts: %d (%.2f per job)\n", attempts.Load(), float64(attempts.Load())/float64(*nJobs))
+	return nil
+}
+
+// ---- stream mode -----------------------------------------------------------
+
+// stageSamples accumulates latency samples per stage under one lock; the
+// stream workers feed it, the final report drains it.
+type stageSamples struct {
+	mu      sync.Mutex
+	samples map[string][]time.Duration
+	events  map[string]int
+	lost    uint64
+}
+
+func (s *stageSamples) add(stage string, d time.Duration) {
+	s.mu.Lock()
+	if s.samples == nil {
+		s.samples = make(map[string][]time.Duration)
+	}
+	s.samples[stage] = append(s.samples[stage], d)
+	s.mu.Unlock()
+}
+
+func (s *stageSamples) count(res *client.StreamResult) {
+	s.mu.Lock()
+	if s.events == nil {
+		s.events = make(map[string]int)
+	}
+	for typ, n := range res.Events {
+		s.events[typ] += n
+	}
+	s.lost += res.Lost
+	s.mu.Unlock()
+}
+
+// quantile returns the q-th sample by the nearest-rank method (exact over
+// the collected samples, not an estimate). sorted must be ascending.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// submitToVerdict is the synthetic stage for the client-observed total
+// (submission POST to verdict event received) — the quantity the p99
+// budget gates, because it is what a caller actually experiences.
+const submitToVerdict = "submit-to-verdict"
+
+func runStream(base string) error {
+	progs, err := corpus(*distinct)
+	if err != nil {
+		return err
+	}
+	var dump *json.Encoder
+	var dumpMu sync.Mutex
+	if *streamDump != "" {
+		f, err := os.OpenFile(*streamDump, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dump = json.NewEncoder(f)
+	}
+
+	agg := &stageSamples{}
+	var next, failures atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(client.Config{
+				BaseURL: base,
+				Tenant:  fmt.Sprintf("tenant-%d", w%*tenants),
+			})
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *nJobs {
+					return
+				}
+				req := progs[i%len(progs)].req
+				req.Options.StreamTrace = *streamTrace
+				t0 := time.Now()
+				res, err := cl.Submit(context.Background(), &req, false)
+				if err != nil || res.Status.ID == "" {
+					failures.Add(1)
+					continue
+				}
+				var sink func(client.StreamEvent) error
+				if dump != nil {
+					sink = func(ev client.StreamEvent) error {
+						dumpMu.Lock()
+						defer dumpMu.Unlock()
+						return dump.Encode(ev)
+					}
+				}
+				sr, err := cl.StreamToVerdict(context.Background(), res.Status.ID, sink)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				agg.add(submitToVerdict, time.Since(t0))
+				agg.count(sr)
+				st := sr.Verdict.Stages
+				for stage, ns := range map[string]int64{
+					service.StageQueueWait: st.QueueWaitNS,
+					service.StageEngineRun: st.EngineRunNS,
+					service.StagePersist:   st.PersistNS,
+					service.StageCacheHit:  st.CacheHitNS,
+				} {
+					if ns > 0 {
+						agg.add(stage, time.Duration(ns))
+					}
+				}
+				if *verbose {
+					total := 0
+					for _, n := range sr.Events {
+						total += n
+					}
+					fmt.Printf("  verdict %s: %s (%d events, %d lost)\n",
+						sr.Verdict.ID, sr.Verdict.Verdict, total, sr.Lost)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	done := len(agg.samples[submitToVerdict])
+	fmt.Printf("gliftload: stream: %d/%d jobs to verdict in %s (%.1f jobs/s, %d submitters)\n",
+		done, *nJobs, dur.Round(time.Millisecond), float64(done)/dur.Seconds(), *conc)
+	if n := failures.Load(); n > 0 {
+		fmt.Printf("  failed:   %d\n", n)
+	}
+	fmt.Printf("  events:  ")
+	for _, typ := range []string{service.EventState, service.EventProgress, service.EventTrace, service.EventGap, service.EventVerdict} {
+		fmt.Printf(" %s=%d", typ, agg.events[typ])
+	}
+	fmt.Printf(" (lost %d)\n", agg.lost)
+	stages := []string{service.StageQueueWait, service.StageEngineRun, service.StagePersist, service.StageCacheHit, submitToVerdict}
+	var p99Total time.Duration
+	for _, stage := range stages {
+		samples := agg.samples[stage]
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		p50, p90, p99 := quantile(samples, 0.50), quantile(samples, 0.90), quantile(samples, 0.99)
+		fmt.Printf("  %-17s n=%-5d p50=%-10s p90=%-10s p99=%s\n",
+			stage, len(samples), p50.Round(time.Microsecond), p90.Round(time.Microsecond), p99.Round(time.Microsecond))
+		if stage == submitToVerdict {
+			p99Total = p99
+		}
+	}
+	if done == 0 {
+		return fmt.Errorf("stream: no job ever reached its verdict")
+	}
+	if *p99Budget > 0 {
+		if p99Total > *p99Budget {
+			return fmt.Errorf("stream: submit-to-verdict p99 %s exceeds budget %s",
+				p99Total.Round(time.Microsecond), *p99Budget)
+		}
+		fmt.Printf("gliftload: p99 gate: %s within budget %s\n", p99Total.Round(time.Microsecond), *p99Budget)
+	}
 	return nil
 }
 

@@ -1,18 +1,31 @@
-// traceview validates and summarizes a Chrome trace_event JSON file as
-// written by gliftcheck/secure430 -trace (and readable by chrome://tracing
-// or Perfetto). It checks that the document parses, that every event is
-// well-formed (name, phase, non-negative timestamp) and that "B"/"E" path
-// spans balance, then prints per-event-name counts and the wall-clock span
-// the trace covers.
+// traceview validates and summarizes engine traces in three forms:
 //
-// Exit codes: 0 valid, 1 invalid trace, 2 usage error.
+//   - Chrome trace_event JSON as written by gliftcheck/secure430 -trace
+//     (readable by chrome://tracing or Perfetto): the document must parse,
+//     every event must be well-formed (name, phase, non-negative timestamp)
+//     and "B"/"E" path spans must balance.
+//   - A raw SSE capture of GET /jobs/{id}/events (e.g. `curl -N` output):
+//     id/event/data framing, strictly increasing sequence numbers with
+//     jumps exactly accounted for by gap events, and a terminal verdict
+//     event as the last event of the stream.
+//   - The same stream as NDJSON, one {"seq":N,"type":"...","data":{...}}
+//     object per line (the gliftload -stream-dump format), validated by the
+//     same rules minus the single-stream ordering checks when dumps from
+//     concurrent jobs are interleaved.
+//
+// The form is sniffed from the input; either way traceview prints per-event
+// counts and exits 0 valid, 1 invalid trace, 2 usage error.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -39,6 +52,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
 		os.Exit(2)
+	}
+
+	if evs, form, ok := sniffStream(data); ok {
+		validateStream(evs, form)
+		return
 	}
 
 	var tf traceFile
@@ -115,4 +133,181 @@ func main() {
 func invalid(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "traceview: invalid trace: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// ---- job event streams (SSE / NDJSON) --------------------------------------
+
+// streamEvent is one job telemetry event, in either capture form. Gap
+// events carry no seq by protocol.
+type streamEvent struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// sniffStream detects the two event-stream capture forms: SSE framing
+// (first meaningful line is an id:/event:/data:/comment field) and NDJSON
+// (every line a JSON object with a "type" field). Chrome trace JSON matches
+// neither and falls through to the document validator.
+func sniffStream(data []byte) ([]streamEvent, string, bool) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, "", false
+	}
+	first := trimmed
+	if i := bytes.IndexByte(first, '\n'); i >= 0 {
+		first = first[:i]
+	}
+	line := string(bytes.TrimSpace(first))
+	for _, p := range []string{"id:", "event:", "data:", ":"} {
+		if strings.HasPrefix(line, p) {
+			return parseSSE(data), "sse", true
+		}
+	}
+	if strings.HasPrefix(line, "{") && !bytes.Contains(trimmed, []byte("traceEvents")) {
+		if evs, ok := parseNDJSON(data); ok {
+			return evs, "ndjson", true
+		}
+	}
+	return nil, "", false
+}
+
+// parseSSE decodes an SSE capture with the same framing rules the client
+// uses: fields accumulate until a blank line dispatches the event, comments
+// (heartbeats) are skipped.
+func parseSSE(data []byte) []streamEvent {
+	var evs []streamEvent
+	var ev streamEvent
+	pending := false
+	flush := func() {
+		if pending {
+			evs = append(evs, ev)
+		}
+		ev, pending = streamEvent{}, false
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		switch {
+		case line == "":
+			flush()
+		case strings.HasPrefix(line, ":"):
+		case strings.HasPrefix(line, "id:"):
+			n, err := strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+			if err != nil {
+				invalid("line %d: bad SSE id %q", lineNo, line)
+			}
+			ev.Seq, pending = n, true
+		case strings.HasPrefix(line, "event:"):
+			ev.Type, pending = strings.TrimSpace(line[6:]), true
+		case strings.HasPrefix(line, "data:"):
+			ev.Data, pending = json.RawMessage(strings.TrimSpace(line[5:])), true
+		default:
+			invalid("line %d: not an SSE field: %q", lineNo, line)
+		}
+	}
+	flush()
+	return evs
+}
+
+// parseNDJSON decodes one stream event per line (gliftload -stream-dump).
+func parseNDJSON(data []byte) ([]streamEvent, bool) {
+	var evs []streamEvent
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev streamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Type == "" {
+			return nil, false
+		}
+		evs = append(evs, ev)
+	}
+	return evs, len(evs) > 0
+}
+
+// validateStream checks the job-stream invariants and prints the summary.
+// A single SSE capture is one subscription, so sequence numbers must be
+// strictly increasing with every jump exactly accounted for by a preceding
+// gap event's lost count, and the stream must end with its verdict event.
+// An NDJSON dump may interleave events from many concurrent jobs, so the
+// per-stream ordering checks are skipped there; payload shape, gap
+// accounting fields and verdict presence still apply.
+func validateStream(evs []streamEvent, form string) {
+	if len(evs) == 0 {
+		invalid("empty event stream")
+	}
+	ordered := form == "sse"
+	counts := map[string]int{}
+	var prevSeq, pendingLost, lostTotal uint64
+	verdicts := 0
+	for i, ev := range evs {
+		if ev.Type == "" {
+			invalid("event %d: missing type", i)
+		}
+		counts[ev.Type]++
+		if len(ev.Data) > 0 && !json.Valid(ev.Data) {
+			invalid("event %d (%s): data is not valid JSON", i, ev.Type)
+		}
+		switch ev.Type {
+		case "gap":
+			var gap struct {
+				Lost uint64 `json:"lost"`
+			}
+			if err := json.Unmarshal(ev.Data, &gap); err != nil || gap.Lost == 0 {
+				invalid("event %d: gap without a positive lost count: %s", i, ev.Data)
+			}
+			pendingLost += gap.Lost
+			lostTotal += gap.Lost
+			continue // gaps are synthesized per subscriber and carry no seq
+		case "verdict":
+			verdicts++
+			var v struct {
+				Verdict string `json:"verdict"`
+			}
+			if err := json.Unmarshal(ev.Data, &v); err != nil || v.Verdict == "" {
+				invalid("event %d: verdict without a verdict field: %s", i, ev.Data)
+			}
+		}
+		if !ordered {
+			continue
+		}
+		if ev.Seq == 0 {
+			invalid("event %d (%s): missing sequence number", i, ev.Type)
+		}
+		if prevSeq != 0 && ev.Seq != prevSeq+pendingLost+1 {
+			invalid("event %d: seq %d after seq %d with %d lost — %d events unaccounted for",
+				i, ev.Seq, prevSeq, pendingLost, ev.Seq-prevSeq-pendingLost-1)
+		}
+		prevSeq, pendingLost = ev.Seq, 0
+	}
+	if verdicts == 0 {
+		invalid("stream has no terminal verdict event")
+	}
+	if ordered {
+		if verdicts > 1 {
+			invalid("%d verdict events in one stream", verdicts)
+		}
+		if evs[len(evs)-1].Type != "verdict" {
+			invalid("stream does not end with its verdict event (last: %s)", evs[len(evs)-1].Type)
+		}
+	}
+
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d stream events (%s)\n", os.Args[1], len(evs), form)
+	for _, n := range names {
+		fmt.Printf("  %-24s %d\n", n, counts[n])
+	}
+	if lostTotal > 0 {
+		fmt.Printf("lost to backpressure: %d (accounted by gap events)\n", lostTotal)
+	}
+	fmt.Printf("verdicts: %d\n", verdicts)
 }

@@ -71,7 +71,7 @@ func tool(t *testing.T, name string) string {
 			args = append(args, "-race")
 		}
 		args = append(args, "-o", binDir,
-			"./cmd/gliftcheck", "./cmd/secure430", "./cmd/gliftd", "./cmd/gliftload")
+			"./cmd/gliftcheck", "./cmd/secure430", "./cmd/gliftd", "./cmd/gliftload", "./cmd/traceview")
 		cmd := exec.Command("go", args...)
 		cmd.Dir = ".." // repo root
 		if out, err := cmd.CombinedOutput(); err != nil {

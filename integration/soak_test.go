@@ -177,11 +177,66 @@ func TestGliftdSIGTERMDrain(t *testing.T) {
 		cmd2.Process.Kill()
 		cmd2.Wait()
 	}()
-	if !strings.Contains(logs2.String(), "recovered 1 entries") {
+	if !strings.Contains(logs2.String(), "result store recovered") ||
+		!strings.Contains(logs2.String(), `"entries":1`) {
 		t.Errorf("restart log missing recovery line:\n%s", logs2.String())
 	}
 	if code, hit := submit(t, addrOf(cmd2), src); code != http.StatusOK || !hit {
 		t.Errorf("recovered submission: code=%d hit=%v, want 200/true", code, hit)
+	}
+}
+
+// TestStreamLatencyGate drives the full telemetry loop against a real
+// daemon: gliftload in streaming mode consumes every job's SSE stream to
+// its verdict, the per-stage latency report lands within a generous p99
+// budget, the NDJSON event dump validates under traceview, and — the
+// negative half the gate exists for — an impossibly tight budget fails the
+// run with a non-zero exit.
+func TestStreamLatencyGate(t *testing.T) {
+	addr := freePort(t)
+	cmd, logs := startDaemon(t, addr, "-workers", "2", "-log-level", "debug")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	gl := tool(t, "gliftload")
+	dump := filepath.Join(t.TempDir(), "events.ndjson")
+
+	out, err := exec.Command(gl, "-addr", "http://"+addr, "-stream",
+		"-n", "24", "-distinct", "6", "-c", "4", "-stream-trace", "4",
+		"-p99-budget", "120s", "-stream-dump", dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gliftload -stream: %v\n%s", err, out)
+	}
+	for _, want := range []string{"gliftload: OK", "p99 gate", "submit-to-verdict"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stream report missing %q:\n%s", want, out)
+		}
+	}
+
+	tv := tool(t, "traceview")
+	tvOut, err := exec.Command(tv, dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("traceview rejected the stream dump: %v\n%s", err, tvOut)
+	}
+	if !strings.Contains(string(tvOut), "verdict") {
+		t.Errorf("traceview summary missing verdict counts:\n%s", tvOut)
+	}
+
+	// The gate must bite: a 1ns budget cannot be met by any real run.
+	out, err = exec.Command(gl, "-addr", "http://"+addr, "-stream",
+		"-n", "6", "-distinct", "3", "-c", "2", "-p99-budget", "1ns").CombinedOutput()
+	if err == nil {
+		t.Fatalf("a 1ns p99 budget did not fail the run:\n%s", out)
+	}
+	if !strings.Contains(string(out), "exceeds budget") {
+		t.Errorf("budget failure not reported:\n%s", out)
+	}
+
+	// Structured logs: per-job completion lines with job_id/verdict fields.
+	if !strings.Contains(logs.String(), `"msg":"job completed"`) ||
+		!strings.Contains(logs.String(), `"verdict":`) {
+		t.Errorf("daemon logs missing structured job-completion lines:\n%.2000s", logs.String())
 	}
 }
 

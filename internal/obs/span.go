@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// StageBuckets suit per-stage service latencies: queue waits and persist
+// fsyncs live in the sub-millisecond to tens-of-milliseconds range while
+// engine runs stretch to minutes, so the spread covers 100µs to 5 minutes.
+var StageBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Spans records named per-stage latencies into one fixed-bucket histogram
+// family labeled by stage — the primitive behind the service's
+// queue-wait / engine-run / persist / cache-hit timing. A Spans is cheap to
+// share: it is a thin handle over a registry HistogramVec.
+type Spans struct {
+	hv *HistogramVec
+}
+
+// Spans registers (or fetches) a stage-labeled histogram family on the
+// registry using StageBuckets.
+func (r *Registry) Spans(name, help string) *Spans {
+	return &Spans{hv: r.HistogramVec(name, help, StageBuckets, "stage")}
+}
+
+// Start opens a span for one stage; End records it.
+func (s *Spans) Start(stage string) *Span {
+	return &Span{spans: s, stage: stage, start: time.Now()}
+}
+
+// Observe records an already-measured stage duration.
+func (s *Spans) Observe(stage string, d time.Duration) {
+	s.hv.With(stage).Observe(d.Seconds())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of one stage's recorded
+// distribution; see Histogram.Quantile.
+func (s *Spans) Quantile(stage string, q float64) float64 {
+	return s.hv.With(stage).Quantile(q)
+}
+
+// Count returns how many spans one stage has recorded.
+func (s *Spans) Count(stage string) uint64 {
+	return s.hv.With(stage).Count()
+}
+
+// Span is one in-flight stage measurement.
+type Span struct {
+	spans *Spans
+	stage string
+	start time.Time
+}
+
+// End records the span and returns its duration. Recording twice would
+// double-count, so End is one-shot by convention (the service calls it
+// exactly once per stage).
+func (sp *Span) End() time.Duration {
+	d := time.Since(sp.start)
+	sp.spans.Observe(sp.stage, d)
+	return d
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the recorded
+// distribution by linear interpolation within the bucket that contains it,
+// the standard Prometheus histogram_quantile estimate. With no
+// observations it returns NaN; a quantile landing in the overflow bucket
+// (beyond the last upper bound) returns the last upper bound — fixed-bucket
+// histograms cannot resolve further, which is why budget gates compare
+// against exact client-side samples and use this only as a server-side
+// cross-check.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.c.count.Load()
+	if total == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum, prevCum uint64
+	for i, ub := range h.f.buckets {
+		prevCum = cum
+		cum += h.c.bucketCounts[i].Load()
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.f.buckets[i-1]
+			}
+			if cum == prevCum {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(prevCum))/float64(cum-prevCum)
+		}
+	}
+	// The quantile falls in the implicit +Inf bucket.
+	return h.f.buckets[len(h.f.buckets)-1]
+}

@@ -1,0 +1,207 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// StreamEvent is one Server-Sent Event from GET /jobs/{id}/events.
+type StreamEvent struct {
+	// ID is the event's topic sequence number (the SSE id field, the
+	// Last-Event-ID resume cursor). Gap markers carry no ID.
+	ID uint64 `json:"seq,omitempty"`
+	// Type is the event type: state, progress, trace, gap, or verdict.
+	Type string `json:"type"`
+	// Data is the event's JSON payload.
+	Data json.RawMessage `json:"data"`
+}
+
+// fnError marks a callback failure as terminal: the consumer rejected the
+// stream, so reconnecting would be wrong.
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+func (e *fnError) Unwrap() error { return e.err }
+
+// Stream consumes one job's event stream, invoking fn for every event in
+// order. It implements the full SSE client discipline the daemon's
+// streaming endpoint assumes: heartbeat comments are absorbed, and a
+// connection loss (daemon restart, cut idle stream) reconnects with
+// Last-Event-ID resume so no event is delivered twice and loss windows
+// surface as server-sent gap events rather than silent holes.
+//
+// Stream returns nil once the terminal verdict event has been delivered and
+// the server closed the stream; fn's error if fn fails (no reconnect);
+// ctx.Err on cancellation; and a give-up error after MaxAttempts
+// consecutive connection failures with no event progress.
+func (c *Client) Stream(ctx context.Context, id string, fn func(StreamEvent) error) error {
+	var lastID uint64
+	sawVerdict := false
+	failures := 0
+	for {
+		progressed, err := c.streamOnce(ctx, id, lastID, func(ev StreamEvent) error {
+			if ev.ID > 0 {
+				lastID = ev.ID
+			}
+			if ev.Type == service.EventVerdict {
+				sawVerdict = true
+			}
+			return fn(ev)
+		})
+		switch {
+		case err == nil && sawVerdict:
+			return nil // clean terminal close
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		if fe, ok := err.(*fnError); ok {
+			return fe.err
+		}
+		if te, ok := err.(*terminalErr); ok {
+			return te.err
+		}
+		// Either a connection failure or a stream that ended without its
+		// verdict (e.g. the daemon was killed mid-stream): reconnect and
+		// resume after lastID.
+		if progressed {
+			failures = 0
+		} else {
+			failures++
+			if failures >= c.cfg.MaxAttempts {
+				return fmt.Errorf("stream %s: giving up after %d attempts: %w", id, failures, err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoff(failures, "")):
+		}
+	}
+}
+
+// terminalErr marks a server answer that retrying cannot change (404: the
+// job does not exist on this daemon).
+type terminalErr struct{ err error }
+
+func (e *terminalErr) Error() string { return e.err.Error() }
+
+// streamOnce runs a single SSE connection until the server closes it or the
+// connection drops, reporting whether any event was delivered.
+func (c *Client) streamOnce(ctx context.Context, id string, lastID uint64, fn func(StreamEvent) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	}
+	if c.cfg.Tenant != "" {
+		req.Header.Set("X-Tenant", c.cfg.Tenant)
+	}
+	// Streams outlive any sane request timeout: strip the transport-level
+	// deadline and rely on ctx plus the server's heartbeat discipline.
+	hc := &http.Client{Transport: c.hc.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return false, &terminalErr{err: fmt.Errorf("stream %s: %s", id, resp.Status)}
+	default:
+		return false, fmt.Errorf("stream %s: %s", id, resp.Status)
+	}
+
+	progressed := false
+	var ev StreamEvent
+	flush := func() error {
+		if ev.Type == "" && ev.Data == nil {
+			return nil
+		}
+		progressed = true
+		err := fn(ev)
+		ev = StreamEvent{}
+		if err != nil {
+			return &fnError{err: err}
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return progressed, err
+			}
+		case strings.HasPrefix(line, ":"):
+			// Comment (heartbeat): keepalive only.
+		case strings.HasPrefix(line, "id:"):
+			n, err := strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+			if err == nil {
+				ev.ID = n
+			}
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			ev.Data = json.RawMessage(strings.TrimSpace(line[5:]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return progressed, err
+	}
+	if err := flush(); err != nil { // stream ended on a non-blank line
+		return progressed, err
+	}
+	return progressed, nil
+}
+
+// StreamResult aggregates one job's stream for callers that just want the
+// outcome: the terminal verdict event plus event counts by type.
+type StreamResult struct {
+	Verdict service.VerdictEventJSON
+	// Events counts delivered events by type (gap markers included).
+	Events map[string]int
+	// Lost totals the events skipped across all gap markers.
+	Lost uint64
+}
+
+// StreamToVerdict consumes a job's stream to its terminal event and returns
+// the aggregate. Events are optionally forwarded to sink (nil: discarded).
+func (c *Client) StreamToVerdict(ctx context.Context, id string, sink func(StreamEvent) error) (*StreamResult, error) {
+	res := &StreamResult{Events: make(map[string]int)}
+	err := c.Stream(ctx, id, func(ev StreamEvent) error {
+		res.Events[ev.Type]++
+		switch ev.Type {
+		case service.EventVerdict:
+			if err := json.Unmarshal(ev.Data, &res.Verdict); err != nil {
+				return fmt.Errorf("decoding verdict event: %w", err)
+			}
+		case service.EventGap:
+			var gap service.GapEventJSON
+			if err := json.Unmarshal(ev.Data, &gap); err == nil {
+				res.Lost += gap.Lost
+			}
+		}
+		if sink != nil {
+			return sink(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

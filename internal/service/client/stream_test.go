@@ -1,0 +1,142 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// wireEvent is one scripted server-side event for the reconnect tests.
+type wireEvent struct {
+	Seq  uint64
+	Type string
+	Data []byte
+}
+
+// scriptedStream serves a fixed event sequence over SSE, honoring
+// Last-Event-ID, and cuts the connection after at most perConn events —
+// forcing the client through its reconnect/resume path.
+func scriptedStream(t *testing.T, events []wireEvent, perConn int) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var after uint64
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				t.Errorf("bad Last-Event-ID %q", v)
+			}
+			after = n
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, ": hb\n\n") // clients must absorb heartbeats anywhere
+		sent := 0
+		for _, ev := range events {
+			if ev.Seq <= after {
+				continue
+			}
+			if sent == perConn {
+				return // cut mid-stream, verdict not yet delivered
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data)
+			fl.Flush()
+			sent++
+		}
+	}))
+}
+
+// TestStreamReconnectResume: a server that drops every connection after two
+// events still yields the full, duplicate-free sequence through
+// Last-Event-ID resume, ending cleanly on the verdict.
+func TestStreamReconnectResume(t *testing.T) {
+	events := []wireEvent{
+		{Seq: 1, Type: service.EventState, Data: []byte(`{"id":"j","state":"queued"}`)},
+		{Seq: 2, Type: service.EventState, Data: []byte(`{"id":"j","state":"running"}`)},
+		{Seq: 3, Type: service.EventProgress, Data: []byte(`{"cycles":8192}`)},
+		{Seq: 4, Type: service.EventProgress, Data: []byte(`{"cycles":16384}`)},
+		{Seq: 5, Type: service.EventVerdict, Data: []byte(`{"id":"j","verdict":"verified","stages":{"total_ns":7}}`)},
+	}
+	ts := scriptedStream(t, events, 2)
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, 8)
+	var got []StreamEvent
+	err := cl.Stream(context.Background(), "j", func(ev StreamEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("delivered %d events, want %d: %+v", len(got), len(events), got)
+	}
+	for i, ev := range got {
+		if ev.ID != events[i].Seq || ev.Type != events[i].Type {
+			t.Fatalf("event %d = {%d %s}, want {%d %s}", i, ev.ID, ev.Type, events[i].Seq, events[i].Type)
+		}
+	}
+}
+
+// TestStreamGivesUp: a job the server has never heard of is a terminal
+// error — the client must not reconnect-loop on 404.
+func TestStreamGivesUp(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, 8)
+	err := cl.Stream(context.Background(), "ghost", func(StreamEvent) error { return nil })
+	if err == nil {
+		t.Fatal("Stream of an unknown job returned nil")
+	}
+	if calls != 1 {
+		t.Fatalf("client retried a 404 %d times; it is terminal", calls)
+	}
+}
+
+// TestStreamToVerdictEndToEnd drives the real service: submit without wait,
+// stream to the verdict, and check the aggregate matches the job.
+func TestStreamToVerdictEndToEnd(t *testing.T) {
+	srv, err := service.New(service.Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, 8)
+	res, err := cl.Submit(context.Background(), &service.JobRequest{
+		Source: "start: mov #0x0280, sp\n        clr r10\nloop:   jmp loop\n",
+		Policy: service.PolicyRequest{Name: "clean"},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := cl.StreamToVerdict(context.Background(), res.Status.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Verdict.Verdict != "verified" || sr.Verdict.ID != res.Status.ID {
+		t.Fatalf("verdict event = %+v", sr.Verdict)
+	}
+	if sr.Events[service.EventVerdict] != 1 || sr.Events[service.EventState] < 1 {
+		t.Fatalf("event counts = %v", sr.Events)
+	}
+	if sr.Lost != 0 {
+		t.Fatalf("default ring lost %d events on a tiny job", sr.Lost)
+	}
+	if sr.Verdict.Stages.TotalNS <= 0 {
+		t.Fatalf("stage timings = %+v", sr.Verdict.Stages)
+	}
+}

@@ -73,6 +73,10 @@ type MetricsJSON struct {
 	CyclesSimulated uint64           `json:"cycles_simulated_total"`
 	Draining        bool             `json:"draining,omitempty"`
 
+	// Event-stream state (GET /jobs/{id}/events).
+	StreamSubscribers int `json:"stream_subscribers"`
+	StreamTopics      int `json:"stream_topics"`
+
 	// Persistent-store metrics (all zero when persistence is disabled).
 	StoreHits        int64 `json:"store_hits"`
 	StoreEntries     int   `json:"store_entries"`
@@ -87,6 +91,7 @@ type MetricsJSON struct {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
@@ -132,14 +137,7 @@ func (j *job) status() JobStatusJSON {
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,
 		Cancelled: j.cancelled,
-		Progress: ProgressJSON{
-			Cycles:      j.progress.Stats.Cycles,
-			Paths:       j.progress.Stats.Paths,
-			TableStates: j.progress.Stats.TableStates,
-			Pending:     j.progress.Pending,
-			WallNanos:   j.progress.Stats.WallNanos,
-			Done:        j.progress.Done,
-		},
+		Progress:  progressJSON(j.progress),
 	}
 	if j.report != nil {
 		rj := j.report.JSON()
@@ -149,7 +147,8 @@ func (j *job) status() JobStatusJSON {
 	return st
 }
 
-// newJobLocked allocates a job record; the caller holds s.mu.
+// newJobLocked allocates a job record and its event-stream topic; the
+// caller holds s.mu.
 func (s *Server) newJobLocked(key string) *job {
 	s.nextID++
 	j := &job{
@@ -161,21 +160,24 @@ func (s *Server) newJobLocked(key string) *job {
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	s.jobs[j.id] = j
+	s.broker.Open(j.id)
 	return j
 }
 
 // tryServeExistingLocked answers a submission from the memory cache or
-// coalesces it onto an identical in-flight job. The caller holds s.mu; when
-// it returns true the lock has been released and the response written.
-func (s *Server) tryServeExistingLocked(w http.ResponseWriter, r *http.Request, key string, wait bool) bool {
+// coalesces it onto an identical in-flight job. start is when the
+// submission began (the cache-hit latency span). The caller holds s.mu;
+// when it returns true the lock has been released and the response written.
+func (s *Server) tryServeExistingLocked(w http.ResponseWriter, r *http.Request, key string, wait bool, start time.Time) bool {
 	// Content-addressed reuse: a completed identical job answers instantly.
 	if rep, ok := s.cache.get(key); ok {
 		s.m.cacheHits++
 		s.prom.cacheHits.Inc()
 		j := s.newJobLocked(key)
 		j.cacheHit = true
+		j.tenant = tenantOf(r)
 		s.mu.Unlock()
-		j.finish(rep)
+		s.finishHit(j, rep, start)
 		s.respond(w, r, j, wait)
 		return true
 	}
@@ -195,6 +197,7 @@ func (s *Server) tryServeExistingLocked(w http.ResponseWriter, r *http.Request, 
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	submitStart := time.Now()
 	// Fault injection (chaos harness): a spurious overload answer that a
 	// well-behaved client absorbs by honoring Retry-After and retrying.
 	if p := s.cfg.ChaosRejectPercent; p > 0 && rand.IntN(100) < p {
@@ -246,7 +249,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.submitted++
 	s.prom.jobsSubmitted.Inc()
-	if s.tryServeExistingLocked(w, r, key, wait) {
+	if s.tryServeExistingLocked(w, r, key, wait, submitStart) {
 		return
 	}
 	s.mu.Unlock()
@@ -263,8 +266,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, rep)
 		j := s.newJobLocked(key)
 		j.cacheHit = true
+		j.tenant = tenantOf(r)
 		s.mu.Unlock()
-		j.finish(rep)
+		s.finishHit(j, rep, submitStart)
 		s.respond(w, r, j, wait)
 		return
 	}
@@ -272,7 +276,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	// Re-check after the unlocked disk probe: an identical submission may
 	// have completed or enqueued meanwhile.
-	if s.tryServeExistingLocked(w, r, key, wait) {
+	if s.tryServeExistingLocked(w, r, key, wait, submitStart) {
 		return
 	}
 	s.m.cacheMisses++
@@ -293,12 +297,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := s.newJobLocked(key)
 	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
 	j.backendSet = req.Options.Backend != ""
+	j.tenant = tenantOf(r)
+	j.streamTrace = req.Options.StreamTrace
+	j.enqueued = time.Now()
 	select {
 	case s.queue <- j:
 		s.inflight[key] = j
 		s.m.queueDepth++
 		s.mu.Unlock()
 		s.prom.queueDepth.Add(1)
+		s.publish(j.id, EventState, StateEventJSON{ID: j.id, State: stateQueued})
+		s.log.Debug("job queued", "job_id", j.id, "tenant", j.tenant, "key", j.key)
 	default:
 		s.m.rejected++
 		s.m.submitted-- // not accepted (the prom counter stays monotonic)
@@ -307,6 +316,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		retry := s.estimatedQueueWaitLocked()
 		s.mu.Unlock()
 		j.cancel()
+		s.broker.CloseTopic(j.id)
 		setRetryAfter(w, retry)
 		writeError(w, http.StatusServiceUnavailable, "queue full (%d jobs pending)", s.cfg.QueueDepth)
 		return
@@ -387,6 +397,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.prom.cacheEntries.Set(float64(s.cache.len()))
 	s.syncStoreMetricsLocked()
 	s.mu.Unlock()
+	s.prom.streamSubs.Set(float64(s.broker.Subscribers()))
+	s.prom.streamTopics.Set(float64(s.broker.Topics()))
 	w.Header().Set("Content-Type", obs.PromContentType)
 	s.prom.reg.WritePrometheus(w) //nolint:errcheck // a broken client connection is not recoverable here
 }
@@ -413,6 +425,9 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		CyclesSimulated: s.m.cyclesTotal,
 		Draining:        s.draining,
 		StoreHits:       s.m.storeHits,
+
+		StreamSubscribers: s.broker.Subscribers(),
+		StreamTopics:      s.broker.Topics(),
 	}
 	for k, v := range s.m.byVerdict {
 		m.JobsByVerdict[k] = v

@@ -36,6 +36,15 @@ type job struct {
 	// backendSet records whether the submission named a backend explicitly;
 	// if not, the server's Config.EngineBackend applies at run time.
 	backendSet bool
+	// tenant is the submitting X-Tenant value, carried for structured logs.
+	tenant string
+	// enqueued is when the job entered the worker queue (the start of its
+	// queue-wait span).
+	enqueued time.Time
+	// streamTrace > 0 publishes every streamTrace-th engine exploration
+	// event to the job's event stream (opt-in sampling; 0 disables). Like
+	// Workers it never affects results, so it is not part of the job key.
+	streamTrace int
 
 	mu        sync.Mutex
 	state     string
@@ -117,6 +126,13 @@ type OptionsRequest struct {
 	// it only changes wall time, never the report, so it does not
 	// participate in the job's cache key.
 	SpecLanes int `json:"spec_lanes,omitempty"`
+	// StreamTrace opts this job into engine trace streaming: every N-th
+	// exploration event (1: all of them) is published as a `trace` event
+	// on GET /jobs/{id}/events. Tracing observes the run without changing
+	// the report, so like Workers it does not participate in the job's
+	// cache key — a traced submission may coalesce onto an untraced
+	// execution, in which case no trace events flow (0: off).
+	StreamTrace int `json:"stream_trace,omitempty"`
 }
 
 // JobRequest is one analysis submission: a program (exactly one of Source
@@ -199,6 +215,9 @@ func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.D
 	}
 	if req.Options.SpecLanes < 0 {
 		return nil, nil, nil, 0, fmt.Errorf("negative spec_lanes")
+	}
+	if req.Options.StreamTrace < 0 {
+		return nil, nil, nil, 0, fmt.Errorf("negative stream_trace")
 	}
 	return img, pol, opt, time.Duration(req.Options.DeadlineMS) * time.Millisecond, nil
 }

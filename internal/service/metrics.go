@@ -23,6 +23,11 @@ type promMetrics struct {
 	reg *obs.Registry
 
 	httpDur       *obs.HistogramVec // {route, code}
+	stages        *obs.Spans        // {stage}: queue-wait, engine-run, persist, cache-hit
+	streamEvents  *obs.CounterVec   // {type}
+	streamGaps    *obs.Counter
+	streamSubs    *obs.Gauge
+	streamTopics  *obs.Gauge
 	jobsSubmitted *obs.Counter
 	jobsRejected  *obs.Counter
 	jobsShed      *obs.Counter
@@ -79,6 +84,16 @@ func newPromMetrics(workers int) *promMetrics {
 		reg: reg,
 		httpDur: reg.HistogramVec("gliftd_http_request_duration_seconds",
 			"HTTP request latency by route pattern and status code.", obs.DefBuckets, "route", "code"),
+		stages: reg.Spans("gliftd_stage_duration_seconds",
+			"Per-stage job latency: queue-wait, engine-run, persist, cache-hit."),
+		streamEvents: reg.CounterVec("gliftd_stream_events_total",
+			"Events published to job event streams, by event type.", "type"),
+		streamGaps: reg.Counter("gliftd_stream_gap_events_total",
+			"Gap markers delivered to stream subscribers that fell behind a job's event ring."),
+		streamSubs: reg.Gauge("gliftd_stream_subscribers",
+			"Open GET /jobs/{id}/events subscriptions."),
+		streamTopics: reg.Gauge("gliftd_stream_topics",
+			"Job event-stream topics held by the broker."),
 		jobsSubmitted: reg.Counter("gliftd_jobs_submitted_total",
 			"Job submissions received, including later-rejected ones."),
 		jobsRejected: reg.Counter("gliftd_jobs_rejected_total",
@@ -275,12 +290,22 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE streams flush through the
+// instrumentation layer instead of buffering until the job ends.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
 // routeLabel normalizes the request path to its route pattern so the
 // histogram's label set stays bounded — neither job IDs nor arbitrary
 // not-found paths may mint new series.
 func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
+	case strings.HasPrefix(p, "/jobs/") && strings.HasSuffix(p, "/events"):
+		p = "/jobs/{id}/events"
 	case strings.HasPrefix(p, "/jobs/"):
 		p = "/jobs/{id}"
 	case p == "/jobs", p == "/metrics", p == "/metrics.json", p == "/healthz":

@@ -24,6 +24,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime/pprof"
 	"sync"
@@ -95,6 +97,18 @@ type Config struct {
 	// client backoff and end-to-end verdict integrity under overload.
 	// Production use leaves it 0.
 	ChaosRejectPercent int
+
+	// StreamRingEvents bounds the per-job event ring behind
+	// GET /jobs/{id}/events; a reader that falls further behind sees a gap
+	// marker (default obs.DefaultRingEvents).
+	StreamRingEvents int
+	// StreamHeartbeat is the SSE comment-heartbeat cadence on quiet
+	// streams (default 15s).
+	StreamHeartbeat time.Duration
+	// Logger receives structured per-job logs — submissions and
+	// completions carry job_id/tenant/verdict attributes so server logs
+	// correlate with stream events by job ID (nil: logs are discarded).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +120,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1024
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -146,6 +166,8 @@ type Server struct {
 	wg       sync.WaitGroup
 	store    *store.Store  // nil: persistence disabled
 	quotas   *tenantQuotas // nil: per-tenant admission disabled
+	broker   *obs.Broker   // per-job event streams (GET /jobs/{id}/events)
+	log      *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -179,6 +201,8 @@ func NewOn(d *mcu.Design, cfg Config) (*Server, error) {
 		inflight: make(map[string]*job),
 		cache:    newResultCache(cfg.CacheEntries),
 		prom:     newPromMetrics(cfg.Workers),
+		broker:   obs.NewBroker(cfg.StreamRingEvents),
+		log:      cfg.Logger,
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{
@@ -230,6 +254,10 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	// Workers have drained every admitted job, so each topic already ended
+	// with its verdict event; closing the rest releases any subscriber
+	// still parked on a stream.
+	s.broker.CloseAll()
 }
 
 // Drain is the graceful half of shutdown: it stops admitting new jobs
@@ -319,13 +347,18 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job on the engine and publishes its result. The
-// engine run carries pprof labels (job id, policy), so CPU and heap
-// profiles taken through gliftd's -pprof endpoint attribute samples to the
-// job that burned them.
+// runJob executes one job on the engine and publishes its result — to the
+// job record (waiters), the job's event stream (terminal verdict event with
+// per-stage latencies), the per-stage latency histograms, and the
+// structured log. The engine run carries pprof labels (job id, policy), so
+// CPU and heap profiles taken through gliftd's -pprof endpoint attribute
+// samples to the job that burned them.
 func (s *Server) runJob(j *job) {
 	started := time.Now()
+	queueWait := started.Sub(j.enqueued)
+	s.prom.stages.Observe(StageQueueWait, queueWait)
 	j.setState(stateRunning)
+	s.publish(j.id, EventState, StateEventJSON{ID: j.id, State: stateRunning})
 	ctx := j.ctx
 	if j.deadline > 0 {
 		var cancel context.CancelFunc
@@ -342,9 +375,16 @@ func (s *Server) runJob(j *job) {
 	if opt.SpecLanes == 0 {
 		opt.SpecLanes = s.cfg.EngineSpecLanes
 	}
-	opt.Progress = (&engineProgress{m: s.prom, next: j.setProgress}).observe
+	opt.Progress = (&engineProgress{m: s.prom, next: func(p glift.Progress) {
+		j.setProgress(p)
+		s.publish(j.id, EventProgress, progressJSON(p))
+	}}).observe
+	if j.streamTrace > 0 {
+		opt.Tracer = s.traceSampler(j, j.streamTrace)
+	}
 
 	var rep *glift.Report
+	engStart := time.Now()
 	eng, err := glift.NewEngineOn(s.design, j.img, j.pol, &opt)
 	if err != nil {
 		// Policy validation happens at submission time, so this is an
@@ -354,14 +394,20 @@ func (s *Server) runJob(j *job) {
 		pprof.Do(ctx, pprof.Labels("glift_job", j.id, "glift_policy", j.pol.Name),
 			func(ctx context.Context) { rep = eng.RunContext(ctx) })
 	}
+	engineRun := time.Since(engStart)
+	s.prom.stages.Observe(StageEngineRun, engineRun)
 	verdict := rep.Verdict()
 
 	// Persist before publishing: once any waiter sees the completed result,
 	// the result has been fsynced, so an acknowledged verdict survives
 	// kill -9. Only completed explorations persist — like the in-memory
 	// cache, Incomplete/InternalError reflect the run, not the inputs.
+	var persistDur time.Duration
 	if verdict == glift.Verified || verdict == glift.Violations {
+		pStart := time.Now()
 		s.persist(j.key, rep)
+		persistDur = time.Since(pStart)
+		s.prom.stages.Observe(StagePersist, persistDur)
 	}
 
 	s.mu.Lock()
@@ -379,7 +425,16 @@ func (s *Server) runJob(j *job) {
 	s.prom.workersBusy.Add(-1)
 	s.prom.jobsCompleted.With(verdict.String()).Inc()
 	s.prom.runDur.With(verdict.String()).Observe(float64(rep.Stats.WallNanos) / 1e9)
-	j.finish(rep)
+	s.finishJob(j, rep, false, StageTimesJSON{
+		QueueWaitNS: queueWait.Nanoseconds(),
+		EngineRunNS: engineRun.Nanoseconds(),
+		PersistNS:   persistDur.Nanoseconds(),
+		TotalNS:     time.Since(j.created).Nanoseconds(),
+	})
+	s.log.Info("job completed",
+		"job_id", j.id, "tenant", j.tenant, "verdict", verdict.String(),
+		"cycles", rep.Stats.Cycles, "queue_wait_ms", queueWait.Milliseconds(),
+		"engine_run_ms", engineRun.Milliseconds())
 }
 
 // persist writes one completed report durably. A store failure (cap

@@ -1,0 +1,356 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed frame from GET /jobs/{id}/events.
+type sseEvent struct {
+	id   uint64
+	typ  string
+	data []byte
+}
+
+// openStream connects to a job's SSE endpoint, optionally resuming after a
+// cursor via the Last-Event-ID header.
+func openStream(t *testing.T, c *testClient, id string, lastID uint64) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequest("GET", c.srv.URL+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/events: %s", id, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+// nextEvent reads one SSE event, skipping comment heartbeats. ok is false
+// when the server ended the stream.
+func nextEvent(t *testing.T, br *bufio.Reader) (sseEvent, bool) {
+	t.Helper()
+	var ev sseEvent
+	pending := false
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && !pending {
+			return sseEvent{}, false
+		}
+		if err != nil && err != io.EOF {
+			return sseEvent{}, false // connection cut mid-stream
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if pending {
+				return ev, true
+			}
+		case strings.HasPrefix(line, ":"):
+		case strings.HasPrefix(line, "id:"):
+			n, perr := strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+			if perr != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, perr)
+			}
+			ev.id, pending = n, true
+		case strings.HasPrefix(line, "event:"):
+			ev.typ, pending = strings.TrimSpace(line[6:]), true
+		case strings.HasPrefix(line, "data:"):
+			ev.data, pending = []byte(strings.TrimSpace(line[5:])), true
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+		if err == io.EOF {
+			if pending {
+				return ev, true
+			}
+			return sseEvent{}, false
+		}
+	}
+}
+
+// drainStream reads to the end of a stream, enforcing the sequencing
+// contract as it goes: sequence numbers strictly increase, every jump is
+// explained by a preceding gap event, and gap events themselves carry no id.
+func drainStream(t *testing.T, br *bufio.Reader, after uint64) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	prev, pendingLost := after, uint64(0)
+	for {
+		ev, ok := nextEvent(t, br)
+		if !ok {
+			return evs
+		}
+		evs = append(evs, ev)
+		if ev.typ == EventGap {
+			if ev.id != 0 {
+				t.Fatalf("gap event carries SSE id %d; gaps must not advance the resume cursor", ev.id)
+			}
+			var gap GapEventJSON
+			if err := json.Unmarshal(ev.data, &gap); err != nil || gap.Lost == 0 {
+				t.Fatalf("gap event without positive lost count: %s", ev.data)
+			}
+			pendingLost += gap.Lost
+			continue
+		}
+		if want := prev + pendingLost + 1; ev.id != want {
+			t.Fatalf("seq %d after seq %d with %d lost (want %d)", ev.id, prev, pendingLost, want)
+		}
+		prev, pendingLost = ev.id, 0
+	}
+}
+
+// TestStreamLifecycle: a submitted job's stream delivers its lifecycle in
+// order — queued, running, progress—, and always terminates with the
+// verdict event, after which the server closes the stream.
+func TestStreamLifecycle(t *testing.T) {
+	c, _ := newTestClient(t, Config{Workers: 1, QueueDepth: 8})
+	code, st := c.do("POST", "/jobs", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "clean"}})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	resp, br := openStream(t, c, st.ID, 0)
+	defer resp.Body.Close()
+	evs := drainStream(t, br, 0)
+	if len(evs) < 2 {
+		t.Fatalf("stream delivered %d events, want at least queued+verdict", len(evs))
+	}
+	var state StateEventJSON
+	if evs[0].typ != EventState {
+		t.Fatalf("first event is %s, want state", evs[0].typ)
+	}
+	if err := json.Unmarshal(evs[0].data, &state); err != nil || state.State != stateQueued {
+		t.Fatalf("first state event = %s, want queued", evs[0].data)
+	}
+	sawRunning := false
+	for _, ev := range evs {
+		if ev.typ == EventState && json.Unmarshal(ev.data, &state) == nil && state.State == stateRunning {
+			sawRunning = true
+		}
+	}
+	if !sawRunning {
+		t.Fatal("stream never delivered the running state transition")
+	}
+	last := evs[len(evs)-1]
+	if last.typ != EventVerdict {
+		t.Fatalf("stream ended with %s, want verdict", last.typ)
+	}
+	var v VerdictEventJSON
+	if err := json.Unmarshal(last.data, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Verdict != "verified" || v.ID != st.ID || v.CacheHit {
+		t.Fatalf("terminal verdict event = %+v", v)
+	}
+	if v.Stages.EngineRunNS <= 0 || v.Stages.TotalNS < v.Stages.EngineRunNS {
+		t.Fatalf("implausible stage timings: %+v", v.Stages)
+	}
+}
+
+// TestStreamResume: a second subscription with Last-Event-ID resumes
+// exactly after the acknowledged event — no duplicates, no holes — and a
+// late subscriber to a finished job still receives the full replay ending
+// in the verdict.
+func TestStreamResume(t *testing.T) {
+	c, _ := newTestClient(t, Config{Workers: 1, QueueDepth: 8})
+	code, st := c.do("POST", "/jobs?wait=1", &JobRequest{Source: cleanSrc, Policy: PolicyRequest{Name: "clean"}})
+	if code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	// Full replay of the finished job's stream.
+	resp, br := openStream(t, c, st.ID, 0)
+	full := drainStream(t, br, 0)
+	resp.Body.Close()
+	if len(full) < 3 {
+		t.Fatalf("replay delivered %d events, want at least 3 (queued, running, verdict)", len(full))
+	}
+
+	// Resume after the second event: exactly the tail, nothing twice.
+	resume := full[1].id
+	resp2, br2 := openStream(t, c, st.ID, resume)
+	tail := drainStream(t, br2, resume)
+	resp2.Body.Close()
+	if want := len(full) - 2; len(tail) != want {
+		t.Fatalf("resume after seq %d delivered %d events, want %d", resume, len(tail), want)
+	}
+	for i, ev := range tail {
+		orig := full[i+2]
+		if ev.id != orig.id || ev.typ != orig.typ || string(ev.data) != string(orig.data) {
+			t.Fatalf("resumed event %d = {%d %s %s}, want {%d %s %s}",
+				i, ev.id, ev.typ, ev.data, orig.id, orig.typ, orig.data)
+		}
+	}
+	if tail[len(tail)-1].typ != EventVerdict {
+		t.Fatalf("resumed stream ended with %s, want verdict", tail[len(tail)-1].typ)
+	}
+}
+
+// TestStreamGapOnOverflow: with a tiny per-job ring, a subscriber that
+// arrives after the ring has wrapped gets an explicit gap event accounting
+// for every evicted event, then a contiguous tail through the terminal
+// verdict — loss is visible, never silent.
+func TestStreamGapOnOverflow(t *testing.T) {
+	c, _ := newTestClient(t, Config{Workers: 1, QueueDepth: 8, StreamRingEvents: 4})
+	code, st := c.do("POST", "/jobs", &JobRequest{
+		Source: slowSrc, Policy: PolicyRequest{Name: "slow"}, Options: slowOptions(),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	// Let the running engine push enough events to wrap the ring before
+	// anyone subscribes: queued + running + 3 progress snapshots is 5
+	// events against a ring of 4.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, js := c.do("GET", "/jobs/"+st.ID, nil)
+		if js.Progress.Cycles >= 8192*3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("engine never produced enough progress events")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, br := openStream(t, c, st.ID, 0)
+	defer resp.Body.Close()
+	ev, ok := nextEvent(t, br)
+	if !ok || ev.typ != EventGap {
+		t.Fatalf("late subscriber's first event = %+v, want a gap marker", ev)
+	}
+	var gap GapEventJSON
+	if err := json.Unmarshal(ev.data, &gap); err != nil || gap.Lost == 0 {
+		t.Fatalf("gap event payload = %s", ev.data)
+	}
+	ev, ok = nextEvent(t, br)
+	if !ok {
+		t.Fatal("stream ended right after the gap marker")
+	}
+	if want := gap.Lost + 1; ev.id != want {
+		t.Fatalf("first event after gap has seq %d, want %d (cursor 0 + %d lost)", ev.id, want, gap.Lost)
+	}
+
+	// Cancellation completes the job Incomplete through the normal path;
+	// the stream must still end with its verdict event.
+	if code, _ := c.do("DELETE", "/jobs/"+st.ID, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d", code)
+	}
+	evs := drainStream(t, br, ev.id)
+	if len(evs) == 0 {
+		t.Fatal("no events after cancellation")
+	}
+	last := evs[len(evs)-1]
+	if last.typ != EventVerdict {
+		t.Fatalf("stream ended with %s, want verdict", last.typ)
+	}
+	var v VerdictEventJSON
+	if err := json.Unmarshal(last.data, &v); err != nil || v.Verdict != "incomplete" {
+		t.Fatalf("cancelled job's terminal event = %s", last.data)
+	}
+}
+
+// TestStreamSubscriberCleanup: a client that disconnects mid-stream is
+// reaped — the server notices within a heartbeat interval and releases the
+// subscription.
+func TestStreamSubscriberCleanup(t *testing.T) {
+	c, s := newTestClient(t, Config{Workers: 1, QueueDepth: 8, StreamHeartbeat: 25 * time.Millisecond})
+	code, st := c.do("POST", "/jobs", &JobRequest{
+		Source: slowSrc, Policy: PolicyRequest{Name: "slow"}, Options: slowOptions(),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	resp, br := openStream(t, c, st.ID, 0)
+	if _, ok := nextEvent(t, br); !ok {
+		t.Fatal("no first event")
+	}
+	if n := s.broker.Subscribers(); n != 1 {
+		t.Fatalf("subscribers = %d, want 1", n)
+	}
+	resp.Body.Close() // client walks away mid-stream
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.broker.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription leaked after client disconnect: %d live", s.broker.Subscribers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if code, _ := c.do("DELETE", "/jobs/"+st.ID, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d", code)
+	}
+	c.awaitDone(st.ID, 30*time.Second)
+}
+
+// TestStreamDrainTerminal: Server.Drain past its deadline cancels running
+// jobs; a live stream still receives the terminal verdict event (verdict
+// incomplete) and ends cleanly rather than hanging or being cut.
+func TestStreamDrainTerminal(t *testing.T) {
+	c, s := newTestClient(t, Config{Workers: 1, QueueDepth: 8})
+	code, st := c.do("POST", "/jobs", &JobRequest{
+		Source: slowSrc, Policy: PolicyRequest{Name: "slow"}, Options: slowOptions(),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	resp, br := openStream(t, c, st.ID, 0)
+	defer resp.Body.Close()
+
+	// Wait for the running transition so the drain provably lands mid-job.
+	sawRunning := false
+	var prev uint64
+	for !sawRunning {
+		ev, ok := nextEvent(t, br)
+		if !ok {
+			t.Fatal("stream ended before the job started running")
+		}
+		prev = ev.id
+		var state StateEventJSON
+		if ev.typ == EventState && json.Unmarshal(ev.data, &state) == nil && state.State == stateRunning {
+			sawRunning = true
+		}
+	}
+
+	// An already-expired drain context: cancel stragglers immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain with a cancelled context returned nil; wanted the straggler-cancelling path")
+	}
+
+	evs := drainStream(t, br, prev)
+	if len(evs) == 0 {
+		t.Fatal("no events after drain")
+	}
+	last := evs[len(evs)-1]
+	if last.typ != EventVerdict {
+		t.Fatalf("drained stream ended with %s, want verdict", last.typ)
+	}
+	var v VerdictEventJSON
+	if err := json.Unmarshal(last.data, &v); err != nil || v.Verdict != "incomplete" {
+		t.Fatalf("drained job's terminal event = %s", last.data)
+	}
+}
