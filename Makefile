@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-observability differential backend-differential fault trace bench-json bench-check serve soak stream clean
+.PHONY: check build fmt vet test race race-observability differential backend-differential repair-differential fault trace bench-json bench-check serve soak stream clean
 
-# check is the CI gate: formatting, vet, build, and the full suite under
-# the race detector (the engine itself is single-threaded, but bench
-# fan-out, the service and the CLIs are not).
-check: fmt vet build race
+# check is the CI gate: formatting, vet, build, the full suite under the
+# race detector (the engine itself is single-threaded, but bench fan-out,
+# the service and the CLIs are not), and the repair differential.
+check: fmt vet build race repair-differential
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,18 @@ backend-differential:
 		-run 'TestDifferential|TestFuzz'
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/fault \
 		-run 'TestFaultBackendsAgree|TestFaultBatch'
+
+# repair-differential pins the repair-job contract under the race detector:
+# the shared round loop and its golden wire shape, the transform property
+# corpus (mask idempotence, partition confinement, PC round-trips), every
+# scaffold benchmark through gliftd-vs-reference byte equality including the
+# workers × backend × spec-lanes knob sweep that justifies excluding those
+# knobs from the repair cache key, and the binary-level secure430-vs-daemon
+# and kill -9 recovery tests (see DESIGN.md "Repair as a service").
+repair-differential:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/repair ./internal/transform
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/service -run 'TestRepair'
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./integration -run 'TestRepair'
 
 # fault runs just the fail-closed surface: runtime budgets/cancellation
 # and the fault-injection matrix.

@@ -3,6 +3,13 @@
 // cancellation, a content-addressed result cache, and an optional
 // crash-safe persistent result store that survives restarts.
 //
+// Besides one-shot analysis, a submission with "mode": "repair" runs the
+// secure430 analyze→mask→re-verify round loop (internal/repair — literally
+// the same code the CLI runs) server-side: the result carries the patched
+// assembly, per-round counts, the targeted-vs-always-on overhead comparison
+// and the final report, with a round event on the job's SSE stream at every
+// round boundary. See README.md "Repair as a service".
+//
 // Usage:
 //
 //	gliftd -addr :8430 -workers 4 -queue 64 -cache 1024 -deadline 2m \
@@ -11,10 +18,12 @@
 //
 // API (see README.md "Running as a service" for curl examples):
 //
-//	POST   /jobs          submit {source|ihex, policy, options}; ?wait=1 blocks
-//	GET    /jobs/{id}     status + live progress, report when done
-//	GET    /jobs/{id}/events  live SSE stream: state/progress/trace events,
-//	                      terminal verdict event, Last-Event-ID resume
+//	POST   /jobs          submit {source|ihex, policy, options}; ?wait=1 blocks;
+//	                      {mode: "repair", repair: {...}} runs the repair loop
+//	GET    /jobs/{id}     status + live progress, report (and, for repair
+//	                      jobs, the repair payload) when done
+//	GET    /jobs/{id}/events  live SSE stream: state/progress/trace/round
+//	                      events, terminal verdict event, Last-Event-ID resume
 //	DELETE /jobs/{id}     cancel; the job completes with verdict incomplete
 //	GET    /metrics       Prometheus text exposition (service + engine + store
 //	                      series); the legacy JSON shape via Accept: application/json

@@ -6,6 +6,10 @@
 // removes the conservative violations it induced), reports whether the
 // watchdog-reset mechanism is required, and emits the modified assembly.
 //
+// The round loop itself lives in internal/repair and is shared with the
+// gliftd repair-job mode, so the CLI and the daemon produce byte-identical
+// patched assembly for identical inputs.
+//
 // Usage:
 //
 //	secure430 -tainted-in 1 -tainted-out 2 \
@@ -36,13 +40,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/obs"
+	"repro/internal/repair"
 	"repro/internal/sim"
 	"repro/internal/transform"
 )
@@ -70,31 +74,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	baseStmts, err := asm.Parse(string(srcBytes))
-	if err != nil {
-		fatal(err)
-	}
-	partition, err := parsePartition(*part)
+	partition, err := repair.ParsePartition(*part)
 	if err != nil {
 		fatal(err)
 	}
 
-	// The policy is resolved against the original image's symbols.
+	// The policy is resolved against the original image's symbols; the
+	// tainted-code ranges are additionally re-resolved by the repair loop
+	// against each round's (mask-shifted) image.
+	baseStmts, err := asm.Parse(string(srcBytes))
+	if err != nil {
+		fatal(err)
+	}
 	img0, err := asm.Assemble(baseStmts)
 	if err != nil {
 		fatal(err)
 	}
-	pol := &glift.Policy{Name: "secure430"}
-	if pol.TaintedInPorts, err = parsePorts(*taintedIn); err != nil {
+	pol := glift.Policy{Name: "secure430"}
+	if pol.TaintedInPorts, err = repair.ParsePorts(*taintedIn); err != nil {
 		fatal(err)
 	}
-	if pol.TaintedOutPorts, err = parsePorts(*taintedOut); err != nil {
+	if pol.TaintedOutPorts, err = repair.ParsePorts(*taintedOut); err != nil {
 		fatal(err)
 	}
-	if pol.TaintedCode, err = parseRanges(*taintedCode, img0); err != nil {
+	codeRanges := repair.SplitRangeList(*taintedCode)
+	if pol.TaintedCode, err = repair.ResolveRanges(codeRanges, img0); err != nil {
 		fatal(err)
 	}
-	if pol.TaintedData, err = parseRanges(*taintedData, img0); err != nil {
+	if pol.TaintedData, err = repair.ResolveRanges(repair.SplitRangeList(*taintedData), img0); err != nil {
 		fatal(err)
 	}
 
@@ -117,75 +124,27 @@ func main() {
 		opts.Tracer = xt.Record
 	}
 
-	flaggedLines := map[int]bool{}
-	var finalStmts []asm.Stmt
-	var rep *glift.Report
-	for round := 0; round < *rounds; round++ {
-		stmts, err := asm.Parse(string(srcBytes)) // fresh copy each round
-		if err != nil {
-			fatal(err)
-		}
-		flagged := map[int]bool{}
-		for i := range stmts {
-			if flaggedLines[stmts[i].Line] {
-				flagged[i] = true
-			}
-		}
-		masked := 0
-		if len(flagged) > 0 {
-			stmts, masked, err = transform.InsertMasks(stmts, flagged, partition)
-			if err != nil {
-				fatal(err)
-			}
-		}
-		img, err := asm.Assemble(stmts)
-		if err != nil {
-			fatal(err)
-		}
-		// The tainted-code symbols keep their names across mask insertion,
-		// so re-resolve policy ranges from the new image.
-		p2 := *pol
-		if p2.TaintedCode, err = parseRanges(*taintedCode, img); err != nil {
-			fatal(err)
-		}
-		rep, err = glift.AnalyzeContext(ctx, img, &p2, opts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "round %d: %d masked stores, %d violations (%s in %s)\n",
-			round, masked, len(rep.Violations), rep.Stats, time.Duration(rep.Stats.WallNanos))
-		if v := rep.Verdict(); v == glift.Incomplete || v == glift.InternalError {
-			// A truncated or crashed analysis proves nothing: repairing
-			// against its violation list would be guesswork, so stop here
-			// and let the verdict drive the (non-zero) exit code.
-			finalStmts = stmts
-			break
-		}
-		progress := false
-		for _, pc := range rep.ViolatingStorePCs() {
-			si, ok := img.AddrToStmt[pc]
-			if !ok {
-				continue
-			}
-			st := img.Stmts[si]
-			if st.Line == 0 {
-				continue
-			}
-			if _, maskable := transform.MaskableStoreTarget(&st); !maskable {
+	spec := &repair.Spec{
+		Source:     string(srcBytes),
+		Policy:     pol,
+		CodeRanges: codeRanges,
+		Partition:  partition,
+		MaxRounds:  *rounds,
+		Options:    opts,
+		OnRound: func(rr repair.Round) {
+			fmt.Fprintf(os.Stderr, "round %d: %d masked stores, %d violations (%s in %s)\n",
+				rr.Round, rr.MaskedStores, rr.Violations, rr.Stats, time.Duration(rr.Stats.WallNanos))
+			for _, um := range rr.Unmaskable {
 				fmt.Fprintf(os.Stderr, "  error: line %d (%s) violates the policy and cannot be masked; "+
-					"change the software or the labels (Footnote 6)\n", st.Line, strings.TrimSpace(st.String()))
-				continue
+					"change the software or the labels (Footnote 6)\n", um.Line, um.Text)
 			}
-			if !flaggedLines[st.Line] {
-				flaggedLines[st.Line] = true
-				progress = true
-			}
-		}
-		finalStmts = stmts
-		if !progress {
-			break
-		}
+		},
 	}
+	res, err := repair.Run(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	rep := res.Report
 
 	if xt != nil {
 		if err := writeChromeTrace(xt, *traceFile); err != nil {
@@ -218,13 +177,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "SECURE: the modified application guarantees the information flow policy")
 	}
 
-	text := asm.Print(finalStmts)
 	if *out != "" {
-		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		if err := os.WriteFile(*out, []byte(res.Asm), 0o644); err != nil {
 			fatal(err)
 		}
 	} else if !*jsonOut {
-		fmt.Print(text)
+		fmt.Print(res.Asm)
 	}
 	if *jsonOut {
 		// stdout carries exactly one JSON document in the gliftd wire shape;
@@ -236,72 +194,6 @@ func main() {
 		}
 	}
 	os.Exit(verdict.ExitCode())
-}
-
-func parsePartition(s string) (transform.Partition, error) {
-	lo, size, ok := strings.Cut(s, ":")
-	if !ok {
-		return transform.Partition{}, fmt.Errorf("bad partition %q (want base:size)", s)
-	}
-	l, err := strconv.ParseUint(strings.ToLower(lo), 0, 16)
-	if err != nil {
-		return transform.Partition{}, err
-	}
-	sz, err := strconv.ParseUint(strings.ToLower(size), 0, 17)
-	if err != nil {
-		return transform.Partition{}, err
-	}
-	p := transform.Partition{Lo: uint16(l), Size: uint16(sz)}
-	return p, p.Validate()
-}
-
-func parsePorts(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 || n > 4 {
-			return nil, fmt.Errorf("bad port %q (want 1-4)", part)
-		}
-		out = append(out, n-1)
-	}
-	return out, nil
-}
-
-func parseRanges(s string, img *asm.Image) ([]glift.AddrRange, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []glift.AddrRange
-	for _, part := range strings.Split(s, ",") {
-		lo, hi, ok := strings.Cut(strings.TrimSpace(part), ":")
-		if !ok {
-			return nil, fmt.Errorf("bad range %q (want lo:hi)", part)
-		}
-		l, err := resolve(lo, img)
-		if err != nil {
-			return nil, err
-		}
-		h, err := resolve(hi, img)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, glift.AddrRange{Lo: l, Hi: h})
-	}
-	return out, nil
-}
-
-func resolve(s string, img *asm.Image) (uint16, error) {
-	if v, ok := img.Symbol(s); ok {
-		return v, nil
-	}
-	n, err := strconv.ParseUint(strings.ToLower(s), 0, 16)
-	if err != nil {
-		return 0, fmt.Errorf("cannot resolve %q as a symbol or address", s)
-	}
-	return uint16(n), nil
 }
 
 // backendHelp renders the registered backend names for flag help, with the

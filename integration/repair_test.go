@@ -1,0 +1,207 @@
+// Binary-level tests for the repair-job mode: the daemon must produce the
+// same patched program as the secure430 CLI on the same input, and a repair
+// result acknowledged before a kill -9 must be served byte-identically from
+// the recovered store without re-running the engine.
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// repairBody is the HTTP form of the violSrc secure430 invocation: the CLI's
+// -tainted-in 1 is port index 0 on the wire, -tainted-data 0x0400:0x0800 is
+// the policy range, and -tainted-code tstart:tend moves into the repair
+// stanza (symbolic, re-resolved per round as masks shift the code).
+func repairBody(t *testing.T) []byte {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"source": violSrc,
+		"mode":   "repair",
+		"policy": map[string]any{
+			"name":             "secure430",
+			"tainted_in_ports": []int{0},
+			"tainted_data":     []map[string]any{{"lo": 0x0400, "hi": 0x0800}},
+		},
+		"repair": map[string]any{"tainted_code": []string{"tstart:tend"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// submitRepair posts the repair job with ?wait=1 and returns the status
+// code, the cache_hit flag, and the raw repair payload bytes.
+func submitRepair(t *testing.T, addr string) (int, bool, json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/jobs?wait=1", "application/json",
+		bytes.NewReader(repairBody(t)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		CacheHit bool            `json:"cache_hit"`
+		Repair   json.RawMessage `json:"repair"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("submit: decoding: %v", err)
+	}
+	return resp.StatusCode, st.CacheHit, st.Repair
+}
+
+// engineRuns reads the engine_runs counter from /metrics.json.
+func engineRuns(t *testing.T, addr string) int64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		EngineRuns int64 `json:"engine_runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics: decoding: %v", err)
+	}
+	return m.EngineRuns
+}
+
+// normalizeJSON reparses a JSON document and re-emits it with the volatile
+// wall-clock/memory stats zeroed, so CLI stdout and a nested daemon field
+// compare structurally rather than by indentation.
+func normalizeJSON(t *testing.T, raw []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("normalize: %v\n%s", err, raw)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return volatileStats.ReplaceAllString(string(out), `"$1": 0`)
+}
+
+// TestRepairDaemonMatchesSecure430: a gliftd repair job over HTTP and a
+// secure430 run on the same source must agree byte-for-byte — the patched
+// assembly the daemon returns equals the -o file, and the embedded final
+// report equals the -json document modulo wall-clock stats.
+func TestRepairDaemonMatchesSecure430(t *testing.T) {
+	sc := tool(t, "secure430")
+	viol := writeSrc(t, "viol.s43", violSrc)
+	fixed := filepath.Join(t.TempDir(), "fixed.s43")
+
+	code, cliJSON := run(t, sc, append(append([]string{"-json", "-o", fixed}, violFlags...), viol)...)
+	if code != 0 {
+		t.Fatalf("secure430: exit %d, want 0 after masking", code)
+	}
+	fixedBytes, err := os.ReadFile(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	cmd, logs := startDaemon(t, addr, "-workers", "2")
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	httpCode, hit, repairRaw := submitRepair(t, addr)
+	if httpCode != http.StatusOK || hit {
+		t.Fatalf("repair job: code=%d hit=%v, want 200/false\n%s", httpCode, hit, logs.String())
+	}
+	var rj struct {
+		PatchedAsm string          `json:"patched_asm"`
+		Report     json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal(repairRaw, &rj); err != nil {
+		t.Fatalf("repair payload: %v\n%s", err, repairRaw)
+	}
+	if rj.PatchedAsm != string(fixedBytes) {
+		t.Errorf("daemon patched assembly differs from secure430 -o:\n--- daemon ---\n%s\n--- secure430 ---\n%s",
+			rj.PatchedAsm, fixedBytes)
+	}
+	if got, want := normalizeJSON(t, rj.Report), normalizeJSON(t, []byte(cliJSON)); got != want {
+		t.Errorf("daemon final report differs from secure430 -json:\n--- daemon ---\n%s\n--- secure430 ---\n%s",
+			got, want)
+	}
+}
+
+// TestRepairKill9Recovery: a repair result acknowledged with 200 survives a
+// kill -9 — the restarted daemon recovers it from the store and serves the
+// identical bytes as a cache hit with zero engine re-runs.
+func TestRepairKill9Recovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	addr := freePort(t)
+	cmd, _ := startDaemon(t, addr, "-store-dir", dir, "-workers", "2")
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	code, hit, first := submitRepair(t, addr)
+	if code != http.StatusOK || hit {
+		t.Fatalf("first submission: code=%d hit=%v, want 200/false", code, hit)
+	}
+	if len(first) == 0 {
+		t.Fatal("first submission returned no repair payload")
+	}
+
+	// The 200 is the durability acknowledgement: SIGKILL leaves no chance
+	// to flush anything that is not already on disk.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	cmd2, logs2 := startDaemon(t, freePortReuse(t, addr), "-store-dir", dir, "-workers", "2")
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	if !strings.Contains(logs2.String(), "result store recovered") ||
+		!strings.Contains(logs2.String(), `"entries":1`) {
+		t.Errorf("restart log missing recovery line:\n%s", logs2.String())
+	}
+
+	code, hit, second := submitRepair(t, addrOf(cmd2))
+	if code != http.StatusOK || !hit {
+		t.Fatalf("recovered submission: code=%d hit=%v, want 200/true\n%s", code, hit, logs2.String())
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("recovered repair payload differs from the pre-kill bytes:\n--- before ---\n%s\n--- after ---\n%s",
+			first, second)
+	}
+	if n := engineRuns(t, addrOf(cmd2)); n != 0 {
+		t.Errorf("engine ran %d times after recovery, want 0 (store hit only)", n)
+	}
+
+	// Paranoia: the hit is not an in-memory artifact of this process — a
+	// second restart recovers and serves the same bytes again.
+	cmd2.Process.Kill()
+	cmd2.Wait()
+	time.Sleep(50 * time.Millisecond)
+	cmd3, _ := startDaemon(t, freePortReuse(t, addrOf(cmd2)), "-store-dir", dir, "-workers", "2")
+	defer func() {
+		cmd3.Process.Kill()
+		cmd3.Wait()
+	}()
+	code, hit, third := submitRepair(t, addrOf(cmd3))
+	if code != http.StatusOK || !hit || !bytes.Equal(first, third) {
+		t.Errorf("second recovery: code=%d hit=%v equal=%v, want 200/true/true",
+			code, hit, bytes.Equal(first, third))
+	}
+}

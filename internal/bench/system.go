@@ -93,6 +93,13 @@ func buildSource(b *Benchmark, armed bool, wdtval uint16) string {
 	return header(armed, wdtval) + b.Task + trailer(armed)
 }
 
+// Source is the unarmed full system text for a benchmark — the program the
+// repair toolflow (secure430 and gliftd repair jobs) takes as input. The
+// differential suites feed the same text to both paths.
+func Source(b *Benchmark) string {
+	return buildSource(b, false, 0)
+}
+
 // policyFor labels the system: P1IN tainted source, P2OUT legal tainted
 // sink, the task's code partition tainted, the data partition allocated.
 func policyFor(img *asm.Image) *glift.Policy {

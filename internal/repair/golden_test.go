@@ -1,0 +1,62 @@
+package repair
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestResultJSONGolden pins the repair-job wire shape — patched assembly,
+// per-round counts, the targeted-vs-always-on overhead comparison and the
+// embedded final report — against a committed golden file, mirroring the
+// ReportJSON golden test. Wall-clock and memory stats are zeroed (the only
+// non-deterministic fields); everything else must be byte-stable, which is
+// also what makes the persisted payload content-addressable.
+func TestResultJSONGolden(t *testing.T) {
+	res, err := Run(context.Background(), violSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := res.JSON()
+	rj.Report.Stats.WallNanos = 0
+	rj.Report.Stats.PeakMemBytes = 0
+
+	got, err := json.MarshalIndent(rj, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "repair.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("repair result JSON drifted from %s (run with -update to regenerate):\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+
+	// The golden payload must also pass the store's fail-closed read gate.
+	var back ResultJSON
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("golden payload fails the fail-closed gate: %v", err)
+	}
+}

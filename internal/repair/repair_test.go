@@ -1,0 +1,232 @@
+package repair
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/glift"
+	"repro/internal/transform"
+)
+
+// violSrc is the Figure 9 micro-benchmark: a tainted port value becomes a
+// store address, so the store can escape the partition (C2) until masked.
+const violSrc = "start:  jmp tstart\n" +
+	"tstart: mov &0x0020, r15\n" +
+	"        mov #0x0200, r14\n" +
+	"        add r15, r14\n" +
+	"        mov #500, 0(r14)\n" +
+	"done:   jmp done\n" +
+	"tend:   nop\n"
+
+func violSpec() *Spec {
+	return &Spec{
+		Source: violSrc,
+		Policy: glift.Policy{
+			Name:           "test",
+			TaintedInPorts: []int{0},
+			TaintedData:    []glift.AddrRange{{Lo: 0x0400, Hi: 0x0800}},
+		},
+		CodeRanges: []string{"tstart:tend"},
+		Options:    &glift.Options{Workers: 1},
+	}
+}
+
+// TestRunFigure9 drives the repair loop end to end on the Figure 9 program:
+// round 0 finds the escaping store, round 1 verifies the masked rebuild,
+// and the result carries the patched text plus the overhead comparison.
+func TestRunFigure9(t *testing.T) {
+	res, err := Run(context.Background(), violSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.Verdict(); got != glift.Verified {
+		t.Fatalf("verdict = %v, want verified", got)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+	}
+	r0, r1 := res.Rounds[0], res.Rounds[1]
+	if r0.MaskedStores != 0 || r0.ViolatingPCs == 0 || r0.NewlyFlagged != 1 {
+		t.Errorf("round 0 = %+v, want unmasked with one newly flagged store", r0)
+	}
+	if r1.MaskedStores != 1 || r1.Violations != 0 || r1.Verdict != glift.Verified {
+		t.Errorf("round 1 = %+v, want one masked store and a verified rerun", r1)
+	}
+	if !strings.Contains(res.Asm, "and #0x3ff, r14") || !strings.Contains(res.Asm, "bis #0x400, r14") {
+		t.Errorf("patched asm lacks the mask pair:\n%s", res.Asm)
+	}
+	if len(res.Unmaskable) != 0 {
+		t.Errorf("unexpected unmaskable stores: %+v", res.Unmaskable)
+	}
+
+	o := res.Overheads
+	if o.Targeted.MaskedStores != 1 || o.Targeted.Watchdog {
+		t.Errorf("targeted = %+v, want 1 masked store and no watchdog", o.Targeted)
+	}
+	if !o.AlwaysOn.Watchdog || o.AlwaysOn.MaskedStores < o.Targeted.MaskedStores {
+		t.Errorf("always-on = %+v, want watchdog armed and at least the targeted masks", o.AlwaysOn)
+	}
+	if o.ReductionFactor <= 1 {
+		t.Errorf("reduction factor = %v, want > 1 (always-on strictly costlier)", o.ReductionFactor)
+	}
+}
+
+// TestRunDeterministic: two runs of the same spec produce byte-identical
+// patched assembly and identical round records (modulo wall-clock stats) —
+// the property the CLI/daemon differential contract is built on.
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(context.Background(), violSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), violSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Asm != b.Asm {
+		t.Errorf("patched asm differs between identical runs")
+	}
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if ra.MaskedStores != rb.MaskedStores || ra.Violations != rb.Violations ||
+			ra.ViolatingPCs != rb.ViolatingPCs || ra.NewlyFlagged != rb.NewlyFlagged ||
+			ra.Verdict != rb.Verdict {
+			t.Errorf("round %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestRunOnRoundOrder: the OnRound hook sees every round, in order, and the
+// per-round progress factory is invoked once per round.
+func TestRunOnRoundOrder(t *testing.T) {
+	spec := violSpec()
+	var hookRounds []int
+	spec.OnRound = func(rr Round) { hookRounds = append(hookRounds, rr.Round) }
+	progressRounds := 0
+	spec.RoundProgress = func(round int) func(glift.Progress) {
+		if round != progressRounds {
+			t.Errorf("RoundProgress(%d) out of order, want %d", round, progressRounds)
+		}
+		progressRounds++
+		return func(glift.Progress) {}
+	}
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hookRounds) != len(res.Rounds) {
+		t.Fatalf("OnRound fired %d times for %d rounds", len(hookRounds), len(res.Rounds))
+	}
+	for i, r := range hookRounds {
+		if r != i {
+			t.Errorf("OnRound order: got round %d at position %d", r, i)
+		}
+	}
+	if progressRounds != len(res.Rounds) {
+		t.Errorf("RoundProgress called %d times for %d rounds", progressRounds, len(res.Rounds))
+	}
+}
+
+// TestRunCancelled: a pre-cancelled context stops the loop fail-closed with
+// an Incomplete final verdict, not an error.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, violSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Report.Verdict(); got != glift.Incomplete {
+		t.Fatalf("verdict = %v, want incomplete", got)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1 (the loop must stop on an unproven round)", len(res.Rounds))
+	}
+}
+
+// TestSpecValidate: user-input errors are caught before any engine run.
+func TestSpecValidate(t *testing.T) {
+	cases := map[string]*Spec{
+		"empty source":      {Source: "   \n"},
+		"unparsable source": {Source: "start: bogus r1, r2\n"},
+		"bad partition":     {Source: "start: nop\n", Partition: transform.Partition{Lo: 0x100, Size: 0x300}},
+		"bad range":         {Source: "start: nop\n", CodeRanges: []string{"nosuchsym:0x200"}},
+		"negative rounds":   {Source: "start: nop\n", MaxRounds: -1},
+	}
+	for name, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, spec)
+		}
+	}
+	if err := violSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestParsePartition mirrors the secure430 -partition contract.
+func TestParsePartition(t *testing.T) {
+	p, err := ParsePartition("0x0400:0x0400")
+	if err != nil || p.Lo != 0x0400 || p.Size != 0x0400 {
+		t.Fatalf("ParsePartition = %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", "0x0400", "zz:0x400", "0x0400:zz", "0x100:0x300", "0x0300:0x0200"} {
+		if _, err := ParsePartition(bad); err == nil {
+			t.Errorf("ParsePartition(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParsePorts mirrors the secure430 -tainted-in contract (1-based wire,
+// 0-based policy).
+func TestParsePorts(t *testing.T) {
+	ports, err := ParsePorts("1, 3")
+	if err != nil || len(ports) != 2 || ports[0] != 0 || ports[1] != 2 {
+		t.Fatalf("ParsePorts = %v, %v", ports, err)
+	}
+	if ports, err := ParsePorts(""); err != nil || ports != nil {
+		t.Errorf("ParsePorts(\"\") = %v, %v", ports, err)
+	}
+	for _, bad := range []string{"0", "5", "x", "1,,2"} {
+		if _, err := ParsePorts(bad); err == nil {
+			t.Errorf("ParsePorts(%q) accepted", bad)
+		}
+	}
+}
+
+// TestResultJSONValidate: the fail-closed gate rejects internally
+// inconsistent wire payloads.
+func TestResultJSONValidate(t *testing.T) {
+	res, err := Run(context.Background(), violSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := res.JSON()
+	if err := rj.Validate(); err != nil {
+		t.Fatalf("fresh result rejected: %v", err)
+	}
+
+	broken := res.JSON()
+	broken.Rounds = nil
+	if err := broken.Validate(); err == nil {
+		t.Error("no-rounds payload accepted")
+	}
+	broken = res.JSON()
+	broken.Rounds[len(broken.Rounds)-1].Verdict = "violations"
+	if err := broken.Validate(); err == nil {
+		t.Error("final-round/report verdict mismatch accepted")
+	}
+	broken = res.JSON()
+	broken.Rounds[0].Round = 7
+	if err := broken.Validate(); err == nil {
+		t.Error("renumbered rounds accepted")
+	}
+	broken = res.JSON()
+	broken.Report.Verdict = "violations"
+	if err := broken.Validate(); err == nil {
+		t.Error("tampered report verdict accepted")
+	}
+}

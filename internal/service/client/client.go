@@ -75,6 +75,9 @@ type Result struct {
 	// RawReport preserves the report's exact bytes as served — the unit
 	// of the soak harness's byte-identity differential check.
 	RawReport json.RawMessage
+	// RawRepair preserves the repair payload's exact bytes as served
+	// (repair-mode jobs only) — the unit of the repair differential check.
+	RawRepair json.RawMessage
 	// Attempts is how many tries the call took.
 	Attempts int
 
@@ -162,9 +165,11 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte) (*R
 			}
 			var shell struct {
 				Report json.RawMessage `json:"report"`
+				Repair json.RawMessage `json:"repair"`
 			}
 			if err := json.Unmarshal(data, &shell); err == nil {
 				res.RawReport = shell.Report
+				res.RawRepair = shell.Repair
 			}
 		}
 		return res, nil

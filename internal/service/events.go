@@ -43,6 +43,9 @@ const (
 	// EventTrace: one sampled engine exploration event (opt-in via
 	// options.stream_trace).
 	EventTrace = "trace"
+	// EventRound: a repair-job round boundary — the per-round masked-store
+	// and violation counts as the analyze→mask→re-verify loop iterates.
+	EventRound = "round"
 	// EventGap: events were evicted before this reader could see them
 	// (carries the count); synthesized per subscriber, never stored.
 	EventGap = "gap"
@@ -66,6 +69,18 @@ type TraceEventJSON struct {
 	PC     uint16 `json:"pc"`
 	Aux    int    `json:"aux,omitempty"`
 	Detail string `json:"detail,omitempty"`
+}
+
+// RoundEventJSON is the payload of a `round` event: one completed repair
+// round, mirroring the per-round line secure430 prints.
+type RoundEventJSON struct {
+	ID                string `json:"id"`
+	Round             int    `json:"round"`
+	MaskedStores      int    `json:"masked_stores"`
+	Violations        int    `json:"violations"`
+	ViolatingStorePCs int    `json:"violating_store_pcs"`
+	NewlyFlagged      int    `json:"newly_flagged"`
+	Verdict           string `json:"verdict"`
 }
 
 // GapEventJSON is the payload of a `gap` event.
@@ -124,16 +139,20 @@ func (s *Server) finishJob(j *job, rep *glift.Report, cacheHit bool, stages Stag
 
 // finishHit completes a cache- or store-served job: the lookup duration is
 // the job's cache-hit stage, and the stream carries the verdict as its
-// only event — late subscribers replay it from the ring.
-func (s *Server) finishHit(j *job, rep *glift.Report, start time.Time) {
+// only event — late subscribers replay it from the ring. Repair hits carry
+// the full repair payload back to the job record.
+func (s *Server) finishHit(j *job, c *cachedResult, start time.Time) {
 	d := time.Since(start)
 	s.prom.stages.Observe(StageCacheHit, d)
-	s.finishJob(j, rep, true, StageTimesJSON{
+	if c.rres != nil {
+		j.setRepair(c.rres)
+	}
+	s.finishJob(j, c.rep, true, StageTimesJSON{
 		CacheHitNS: d.Nanoseconds(),
 		TotalNS:    d.Nanoseconds(),
 	})
 	s.log.Info("job served from cache",
-		"job_id", j.id, "tenant", j.tenant, "verdict", rep.Verdict().String())
+		"job_id", j.id, "tenant", j.tenant, "verdict", c.rep.Verdict().String())
 }
 
 // progressJSON converts an engine progress snapshot to its wire form

@@ -9,8 +9,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/obs"
+	"repro/internal/repair"
 )
 
 // The HTTP API, mapping the fail-closed verdict taxonomy onto status codes
@@ -44,12 +46,16 @@ type JobStatusJSON struct {
 	ID        string            `json:"id"`
 	Key       string            `json:"key"`
 	State     string            `json:"state"`
+	Mode      string            `json:"mode,omitempty"` // "repair" for repair jobs
 	CacheHit  bool              `json:"cache_hit"`
 	Coalesced int64             `json:"coalesced,omitempty"`
 	Cancelled bool              `json:"cancelled,omitempty"`
 	Verdict   string            `json:"verdict,omitempty"`
 	Progress  ProgressJSON      `json:"progress"`
 	Report    *glift.ReportJSON `json:"report,omitempty"`
+	// Repair is the completed repair payload (patched assembly, per-round
+	// counts, targeted-vs-always-on overheads, final report).
+	Repair *repair.ResultJSON `json:"repair,omitempty"`
 }
 
 // MetricsJSON is the /metrics payload.
@@ -72,6 +78,11 @@ type MetricsJSON struct {
 	BusyWorkers     int              `json:"busy_workers"`
 	CyclesSimulated uint64           `json:"cycles_simulated_total"`
 	Draining        bool             `json:"draining,omitempty"`
+
+	// Repair-mode activity (mode: "repair" submissions).
+	RepairJobs         int64 `json:"repair_jobs"`
+	RepairRounds       int64 `json:"repair_rounds"`
+	RepairMaskedStores int64 `json:"repair_masked_stores"`
 
 	// Event-stream state (GET /jobs/{id}/events).
 	StreamSubscribers int `json:"stream_subscribers"`
@@ -134,10 +145,12 @@ func (j *job) status() JobStatusJSON {
 		ID:        j.id,
 		Key:       j.key,
 		State:     j.state,
+		Mode:      j.mode,
 		CacheHit:  j.cacheHit,
 		Coalesced: j.coalesced,
 		Cancelled: j.cancelled,
 		Progress:  progressJSON(j.progress),
+		Repair:    j.rres,
 	}
 	if j.report != nil {
 		rj := j.report.JSON()
@@ -168,16 +181,19 @@ func (s *Server) newJobLocked(key string) *job {
 // coalesces it onto an identical in-flight job. start is when the
 // submission began (the cache-hit latency span). The caller holds s.mu;
 // when it returns true the lock has been released and the response written.
-func (s *Server) tryServeExistingLocked(w http.ResponseWriter, r *http.Request, key string, wait bool, start time.Time) bool {
+func (s *Server) tryServeExistingLocked(w http.ResponseWriter, r *http.Request, key, mode string, wait bool, start time.Time) bool {
 	// Content-addressed reuse: a completed identical job answers instantly.
-	if rep, ok := s.cache.get(key); ok {
+	// Repair keys are domain-tagged, so a hit's shape always matches the
+	// submission's mode.
+	if c, ok := s.cache.get(key); ok {
 		s.m.cacheHits++
 		s.prom.cacheHits.Inc()
 		j := s.newJobLocked(key)
 		j.cacheHit = true
+		j.mode = mode
 		j.tenant = tenantOf(r)
 		s.mu.Unlock()
-		s.finishHit(j, rep, start)
+		s.finishHit(j, c, start)
 		s.respond(w, r, j, wait)
 		return true
 	}
@@ -216,7 +232,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	img, pol, opt, deadline, err := compile(&req)
+	var (
+		img      *asm.Image
+		pol      *glift.Policy
+		opt      *glift.Options
+		deadline time.Duration
+		rspec    *repair.Spec
+		err      error
+	)
+	mode := req.Mode
+	switch mode {
+	case "analyze":
+		mode = modeAnalyze // canonical form
+		fallthrough
+	case modeAnalyze:
+		img, pol, opt, deadline, err = compile(&req)
+	case modeRepair:
+		rspec, opt, deadline, err = compileRepair(&req)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want analyze or repair)", mode)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -238,7 +274,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		deadline = s.cfg.DefaultDeadline
 	}
 	wait := r.URL.Query().Get("wait") != "" && r.URL.Query().Get("wait") != "0"
-	key := s.jobKey(img, pol, opt, deadline)
+	var key string
+	if mode == modeRepair {
+		key = s.repairKey(rspec, opt, deadline)
+	} else {
+		key = s.jobKey(img, pol, opt, deadline)
+	}
 
 	s.mu.Lock()
 	if s.closed || s.draining {
@@ -249,7 +290,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.submitted++
 	s.prom.jobsSubmitted.Inc()
-	if s.tryServeExistingLocked(w, r, key, wait, submitStart) {
+	if s.tryServeExistingLocked(w, r, key, mode, wait, submitStart) {
 		return
 	}
 	s.mu.Unlock()
@@ -257,18 +298,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Persistent-store probe, outside the server lock (it reads and
 	// integrity-checks a record on disk). A validated hit is promoted into
 	// the memory cache so the next identical submission skips the disk.
-	if rep := s.lookupStore(key); rep != nil {
+	var stored *cachedResult
+	if mode == modeRepair {
+		stored = s.lookupStoreRepair(key)
+	} else if rep := s.lookupStore(key); rep != nil {
+		stored = &cachedResult{rep: rep}
+	}
+	if stored != nil {
 		s.mu.Lock()
 		s.m.cacheHits++
 		s.m.storeHits++
 		s.prom.cacheHits.Inc()
 		s.prom.storeHits.Inc()
-		s.cache.put(key, rep)
+		s.cache.put(key, stored)
 		j := s.newJobLocked(key)
 		j.cacheHit = true
+		j.mode = mode
 		j.tenant = tenantOf(r)
 		s.mu.Unlock()
-		s.finishHit(j, rep, submitStart)
+		s.finishHit(j, stored, submitStart)
 		s.respond(w, r, j, wait)
 		return
 	}
@@ -276,7 +324,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	// Re-check after the unlocked disk probe: an identical submission may
 	// have completed or enqueued meanwhile.
-	if s.tryServeExistingLocked(w, r, key, wait, submitStart) {
+	if s.tryServeExistingLocked(w, r, key, mode, wait, submitStart) {
 		return
 	}
 	s.m.cacheMisses++
@@ -296,6 +344,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJobLocked(key)
 	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
+	j.mode, j.rspec = mode, rspec
 	j.backendSet = req.Options.Backend != ""
 	j.tenant = tenantOf(r)
 	j.streamTrace = req.Options.StreamTrace
@@ -425,6 +474,10 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		CyclesSimulated: s.m.cyclesTotal,
 		Draining:        s.draining,
 		StoreHits:       s.m.storeHits,
+
+		RepairJobs:         s.m.repairJobs,
+		RepairRounds:       s.m.repairRounds,
+		RepairMaskedStores: s.m.repairMaskedStores,
 
 		StreamSubscribers: s.broker.Subscribers(),
 		StreamTopics:      s.broker.Topics(),

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
+	"repro/internal/repair"
 	"repro/internal/sim"
 )
 
@@ -18,6 +19,13 @@ const (
 	stateQueued  = "queued"
 	stateRunning = "running"
 	stateDone    = "done"
+)
+
+// Job modes: plain analysis (the zero value) or the analyze→mask→re-verify
+// repair loop shared with cmd/secure430 through internal/repair.
+const (
+	modeAnalyze = ""
+	modeRepair  = "repair"
 )
 
 // job is one tracked analysis execution. A single job may serve several
@@ -45,11 +53,16 @@ type job struct {
 	// event to the job's event stream (opt-in sampling; 0 disables). Like
 	// Workers it never affects results, so it is not part of the job key.
 	streamTrace int
+	// mode selects the execution path (modeAnalyze or modeRepair); repair
+	// jobs carry their spec in rspec instead of img/pol.
+	mode  string
+	rspec *repair.Spec
 
 	mu        sync.Mutex
 	state     string
 	progress  glift.Progress
 	report    *glift.Report
+	rres      *repair.ResultJSON // repair jobs: the full repair payload
 	cacheHit  bool
 	coalesced int64 // extra submissions served by this execution
 	cancelled bool
@@ -68,6 +81,14 @@ func (j *job) setState(st string) {
 func (j *job) setProgress(p glift.Progress) {
 	j.mu.Lock()
 	j.progress = p
+	j.mu.Unlock()
+}
+
+// setRepair attaches the completed repair payload; it must happen before
+// finish so waiters woken by the done channel see it.
+func (j *job) setRepair(rj *repair.ResultJSON) {
+	j.mu.Lock()
+	j.rres = rj
 	j.mu.Unlock()
 }
 
@@ -135,8 +156,29 @@ type OptionsRequest struct {
 	StreamTrace int `json:"stream_trace,omitempty"`
 }
 
+// RepairRequest tunes a repair-mode job, mirroring the secure430 flags.
+type RepairRequest struct {
+	// Rounds bounds the analyze/mask/re-verify iteration
+	// (0: repair.DefaultMaxRounds, the secure430 -rounds default).
+	Rounds int `json:"rounds,omitempty"`
+	// Partition is the mask partition as "base:size" (size a power of two,
+	// base size-aligned; default "0x0400:0x0400" — the -partition default).
+	Partition string `json:"partition,omitempty"`
+	// TaintedCode lists "lo:hi" tainted-code ranges whose endpoints are
+	// symbols of the program (or addresses), re-resolved against each
+	// round's mask-shifted image — the -tainted-code flag. Repair mode
+	// requires symbolic ranges here instead of numeric policy.tainted_code
+	// ranges, which cannot track the code movement mask insertion causes.
+	TaintedCode []string `json:"tainted_code,omitempty"`
+	// TaskCycles is the unprotected task period anchoring the
+	// targeted-vs-always-on overhead comparison
+	// (0: repair.DefaultTaskCycles).
+	TaskCycles uint64 `json:"task_cycles,omitempty"`
+}
+
 // JobRequest is one analysis submission: a program (exactly one of Source
-// assembly text or an Intel-hex image), a policy and options.
+// assembly text or an Intel-hex image), a policy and options. Mode "repair"
+// runs the analyze→mask→re-verify loop instead of a single analysis.
 type JobRequest struct {
 	// Source is MSP430 assembly for the repository's assembler.
 	Source string `json:"source,omitempty"`
@@ -147,6 +189,11 @@ type JobRequest struct {
 	Entry   uint16         `json:"entry,omitempty"`
 	Policy  PolicyRequest  `json:"policy"`
 	Options OptionsRequest `json:"options"`
+	// Mode selects the execution path: "" or "analyze" for one analysis,
+	// "repair" for the iterative repair loop (requires Source).
+	Mode string `json:"mode,omitempty"`
+	// Repair tunes repair mode (ignored otherwise).
+	Repair *RepairRequest `json:"repair,omitempty"`
 }
 
 func toRanges(rs []RangeRequest) []glift.AddrRange {
@@ -177,49 +224,68 @@ func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.D
 		return nil, nil, nil, 0, fmt.Errorf("missing program: give source or ihex")
 	}
 
-	name := req.Policy.Name
+	pol, err := compilePolicy(&req.Policy)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	opt, deadline, err := compileOptions(&req.Options)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return img, pol, opt, deadline, nil
+}
+
+// compilePolicy turns the wire policy into a validated engine policy.
+func compilePolicy(pr *PolicyRequest) (*glift.Policy, error) {
+	name := pr.Name
 	if name == "" {
 		name = "service"
 	}
 	pol := &glift.Policy{
 		Name:                 name,
-		TaintedInPorts:       req.Policy.TaintedInPorts,
-		TaintedOutPorts:      req.Policy.TaintedOutPorts,
-		TaintedCode:          toRanges(req.Policy.TaintedCode),
-		TaintedData:          toRanges(req.Policy.TaintedData),
-		InitiallyTaintedData: toRanges(req.Policy.InitiallyTaintedData),
-		TaintCodeWords:       req.Policy.TaintCodeWords,
+		TaintedInPorts:       pr.TaintedInPorts,
+		TaintedOutPorts:      pr.TaintedOutPorts,
+		TaintedCode:          toRanges(pr.TaintedCode),
+		TaintedData:          toRanges(pr.TaintedData),
+		InitiallyTaintedData: toRanges(pr.InitiallyTaintedData),
+		TaintCodeWords:       pr.TaintCodeWords,
 	}
 	if err := pol.Validate(); err != nil {
-		return nil, nil, nil, 0, err
+		return nil, err
 	}
-	backend, err := sim.ParseBackend(req.Options.Backend)
+	return pol, nil
+}
+
+// compileOptions turns the wire options into validated engine options and
+// the job deadline.
+func compileOptions(or *OptionsRequest) (*glift.Options, time.Duration, error) {
+	backend, err := sim.ParseBackend(or.Backend)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, 0, err
 	}
 	opt := &glift.Options{
-		MaxCycles:     req.Options.MaxCycles,
-		MaxPathCycles: req.Options.MaxPathCycles,
-		WidenAfter:    req.Options.WidenAfter,
-		SoftMemBytes:  req.Options.SoftMemBytes,
-		HardMemBytes:  req.Options.HardMemBytes,
-		Workers:       req.Options.Workers,
+		MaxCycles:     or.MaxCycles,
+		MaxPathCycles: or.MaxPathCycles,
+		WidenAfter:    or.WidenAfter,
+		SoftMemBytes:  or.SoftMemBytes,
+		HardMemBytes:  or.HardMemBytes,
+		Workers:       or.Workers,
 		Backend:       backend,
-		SpecLanes:     req.Options.SpecLanes,
+		SpecLanes:     or.SpecLanes,
 	}
-	if req.Options.DeadlineMS < 0 {
-		return nil, nil, nil, 0, fmt.Errorf("negative deadline_ms")
+	if or.DeadlineMS < 0 {
+		return nil, 0, fmt.Errorf("negative deadline_ms")
 	}
-	if req.Options.Workers < 0 {
-		return nil, nil, nil, 0, fmt.Errorf("negative workers")
+	if or.Workers < 0 {
+		return nil, 0, fmt.Errorf("negative workers")
 	}
-	if req.Options.SpecLanes < 0 {
-		return nil, nil, nil, 0, fmt.Errorf("negative spec_lanes")
+	if or.SpecLanes < 0 {
+		return nil, 0, fmt.Errorf("negative spec_lanes")
 	}
-	if req.Options.StreamTrace < 0 {
-		return nil, nil, nil, 0, fmt.Errorf("negative stream_trace")
+	if or.StreamTrace < 0 {
+		return nil, 0, fmt.Errorf("negative stream_trace")
 	}
-	return img, pol, opt, time.Duration(req.Options.DeadlineMS) * time.Millisecond, nil
+	return opt, time.Duration(or.DeadlineMS) * time.Millisecond, nil
 }
 
 // imageFromIHex reconstructs an assembled image from Intel-hex text: the

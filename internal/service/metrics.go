@@ -42,6 +42,9 @@ type promMetrics struct {
 	queueDepth    *obs.Gauge
 	workers       *obs.Gauge
 	workersBusy   *obs.Gauge
+	repairJobs    *obs.Counter
+	repairRounds  *obs.Counter
+	repairMasked  *obs.Counter
 
 	storeHits        *obs.Counter
 	storePuts        *obs.Counter
@@ -122,6 +125,12 @@ func newPromMetrics(workers int) *promMetrics {
 			"Configured analysis worker count."),
 		workersBusy: reg.Gauge("gliftd_workers_busy",
 			"Workers currently running an engine execution."),
+		repairJobs: reg.Counter("gliftd_repair_jobs_total",
+			"Repair-mode jobs executed (each runs the analyze/mask/re-verify loop)."),
+		repairRounds: reg.Counter("gliftd_repair_rounds_total",
+			"Analyze/mask/re-verify rounds run across all repair jobs."),
+		repairMasked: reg.Counter("gliftd_repair_masked_stores_total",
+			"Stores masked in the final patched builds of completed repair jobs."),
 		storeHits: reg.Counter("gliftd_store_hits_total",
 			"Submissions answered from the persistent result store after full integrity validation."),
 		storePuts: reg.Counter("gliftd_store_puts_total",

@@ -147,6 +147,11 @@ type counters struct {
 	cancels       int64
 	cyclesTotal   uint64
 	busyWorkers   int
+	// Repair-mode activity: jobs executed, rounds run across them, and
+	// stores masked in their final patched builds.
+	repairJobs         int64
+	repairRounds       int64
+	repairMaskedStores int64
 	// queueDepth tracks enqueue/dequeue transitions (never sampled from the
 	// channel, which would race against concurrent senders and receivers).
 	queueDepth int
@@ -343,7 +348,11 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 		s.prom.queueDepth.Add(-1)
 		s.prom.workersBusy.Add(1)
-		s.runJob(j)
+		if j.mode == modeRepair {
+			s.runRepairJob(j)
+		} else {
+			s.runJob(j)
+		}
 	}
 }
 
@@ -419,7 +428,7 @@ func (s *Server) runJob(j *job) {
 	s.observeRunLocked(time.Since(started))
 	delete(s.inflight, j.key)
 	if verdict == glift.Verified || verdict == glift.Violations {
-		s.cache.put(j.key, rep)
+		s.cache.put(j.key, &cachedResult{rep: rep})
 	}
 	s.mu.Unlock()
 	s.prom.workersBusy.Add(-1)

@@ -492,7 +492,7 @@ func TestJobKeySensitivity(t *testing.T) {
 // TestResultCacheEviction: the cache is bounded with FIFO eviction.
 func TestResultCacheEviction(t *testing.T) {
 	cache := newResultCache(2)
-	r := func(name string) *glift.Report { return &glift.Report{Policy: name} }
+	r := func(name string) *cachedResult { return &cachedResult{rep: &glift.Report{Policy: name}} }
 	cache.put("a", r("a"))
 	cache.put("b", r("b"))
 	cache.put("a", r("a2")) // overwrite does not grow or reorder

@@ -1,0 +1,247 @@
+package transform_test
+
+// Property tests for the masking transform, over a seeded pseudo-random
+// program corpus (fixed seeds: the corpus is deterministic, so a failure
+// reproduces). Three properties the repair loop leans on:
+//
+//  1. InsertMasks is idempotent — re-masking an already-masked program is a
+//     byte-for-byte no-op. The repair loop re-flags violating PCs every
+//     round; without idempotence each round would stack another AND/BIS
+//     pair in front of the same store.
+//  2. A masked address always lands inside the partition — exhaustively,
+//     for every 16-bit address and every legal partition geometry. This is
+//     the security property the inserted pair enforces at runtime.
+//  3. FlagStores round-trips every violating PC to exactly the flagged
+//     statement set — the PC→statement mapping is how analysis findings
+//     become rewrites, and an off-by-one here masks the wrong store.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/transform"
+)
+
+var testPartition = transform.Partition{Lo: 0x0400, Size: 0x0400}
+
+// genProgram emits a random but always-assemblable program: a straight-line
+// mix of register ALU ops, immediate loads, register-indexed stores (the
+// maskable kind), absolute stores (not maskable), and compares, ended with
+// an idle loop. Base registers stay in r4..r13, clear of pc/sp/sr/cg.
+func genProgram(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("start:  mov #0x0280, sp\n")
+	reg := func() string { return fmt.Sprintf("r%d", 4+rng.Intn(10)) }
+	n := 4 + rng.Intn(20)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			fmt.Fprintf(&sb, "        mov #0x%04x, %s\n", rng.Intn(0x10000), reg())
+		case 1:
+			fmt.Fprintf(&sb, "        add %s, %s\n", reg(), reg())
+		case 2: // register-indexed store: maskable
+			fmt.Fprintf(&sb, "        mov #%d, %d(%s)\n", rng.Intn(500), 2*rng.Intn(4), reg())
+		case 3: // another maskable store shape, sometimes labelled
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "l%d:     clr %d(%s)\n", i, 2*rng.Intn(4), reg())
+			} else {
+				fmt.Fprintf(&sb, "        add %s, %d(%s)\n", reg(), 2*rng.Intn(4), reg())
+			}
+		case 4: // absolute store: writes memory but has no base register
+			fmt.Fprintf(&sb, "        mov %s, &0x%04x\n", reg(), 0x0200+2*rng.Intn(16))
+		case 5:
+			fmt.Fprintf(&sb, "        cmp %s, %s\n", reg(), reg())
+		}
+	}
+	sb.WriteString("done:   jmp done\n")
+	return sb.String()
+}
+
+// corpus builds the deterministic program corpus shared by the properties.
+func corpus(t *testing.T, size int) [][]asm.Stmt {
+	t.Helper()
+	rng := rand.New(rand.NewSource(430))
+	out := make([][]asm.Stmt, 0, size)
+	for i := 0; i < size; i++ {
+		src := genProgram(rng)
+		stmts, err := asm.Parse(src)
+		if err != nil {
+			t.Fatalf("corpus program %d does not parse: %v\n%s", i, err, src)
+		}
+		out = append(out, stmts)
+	}
+	return out
+}
+
+// TestInsertMasksIdempotent: masking every maskable store, then masking the
+// result again, changes nothing — zero new masks, byte-identical text.
+func TestInsertMasksIdempotent(t *testing.T) {
+	for i, stmts := range corpus(t, 64) {
+		once, n1, err := transform.MaskAllStores(stmts, testPartition)
+		if err != nil {
+			t.Fatalf("program %d: first pass: %v", i, err)
+		}
+		twice, n2, err := transform.MaskAllStores(once, testPartition)
+		if err != nil {
+			t.Fatalf("program %d: second pass: %v", i, err)
+		}
+		if n2 != 0 {
+			t.Errorf("program %d: second pass inserted %d masks over the %d existing", i, n2, n1)
+		}
+		if a, b := asm.Print(once), asm.Print(twice); a != b {
+			t.Errorf("program %d: re-masking changed the program:\n--- once ---\n%s\n--- twice ---\n%s", i, a, b)
+		}
+		// Idempotence must also hold across a parse round-trip — the repair
+		// loop re-parses the patched text before re-flagging.
+		reparsed, err := asm.Parse(asm.Print(once))
+		if err != nil {
+			t.Fatalf("program %d: masked text does not re-parse: %v", i, err)
+		}
+		_, n3, err := transform.MaskAllStores(reparsed, testPartition)
+		if err != nil {
+			t.Fatalf("program %d: pass over re-parsed text: %v", i, err)
+		}
+		if n3 != 0 {
+			t.Errorf("program %d: re-parse broke idempotence: %d masks inserted", i, n3)
+		}
+	}
+}
+
+// TestMaskConfinesAddress: the AND/BIS pair's arithmetic confines every
+// 16-bit address into [Lo, Lo+Size), exhaustively, for every partition
+// geometry Validate accepts in the low half of memory.
+func TestMaskConfinesAddress(t *testing.T) {
+	for _, p := range []transform.Partition{
+		{Lo: 0x0400, Size: 0x0400},
+		{Lo: 0x0200, Size: 0x0200},
+		{Lo: 0x0800, Size: 0x0100},
+		{Lo: 0x0000, Size: 0x1000},
+		{Lo: 0x1000, Size: 0x0002},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("partition %+v: %v", p, err)
+		}
+		lo, hi := uint32(p.Lo), uint32(p.Lo)+uint32(p.Size)
+		for x := 0; x < 0x10000; x++ {
+			masked := uint32(uint16(x)&p.MaskAnd() | p.MaskOr())
+			if masked < lo || masked >= hi {
+				t.Fatalf("partition %+v: address %#04x masks to %#04x, outside [%#04x, %#04x)",
+					p, x, masked, lo, hi)
+			}
+			if uint16(x) >= p.Lo && uint32(uint16(x)) < hi && masked != uint32(uint16(x)) {
+				t.Fatalf("partition %+v: in-partition address %#04x rewritten to %#04x",
+					p, x, masked)
+			}
+		}
+	}
+}
+
+// TestMaskedStoresStayMaskable: after masking, every flagged store is still
+// a maskable register-indexed store immediately preceded by its exact
+// AND/BIS pair, and any label the store carried has moved to the AND so a
+// jump to the store still executes the mask.
+func TestMaskedStoresStayMaskable(t *testing.T) {
+	for i, stmts := range corpus(t, 64) {
+		labels := map[int]string{}
+		for si := range stmts {
+			if _, ok := transform.MaskableStoreTarget(&stmts[si]); ok && stmts[si].Label != "" {
+				labels[si] = stmts[si].Label
+			}
+		}
+		masked, n, err := transform.MaskAllStores(stmts, testPartition)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if want := len(transform.MaskableStoreIdxs(stmts)); n != want {
+			t.Errorf("program %d: masked %d stores, program has %d maskable", i, n, want)
+		}
+		for si := range masked {
+			reg, ok := transform.MaskableStoreTarget(&masked[si])
+			if !ok {
+				continue
+			}
+			if si < 2 {
+				t.Errorf("program %d: store at %d has no room for its mask pair", i, si)
+				continue
+			}
+			and, bis := masked[si-2], masked[si-1]
+			if and.Mnemonic != "and" || bis.Mnemonic != "bis" {
+				t.Errorf("program %d: store at %d preceded by %s/%s, want and/bis",
+					i, si, and.Mnemonic, bis.Mnemonic)
+				continue
+			}
+			if av, _ := and.Ops[0].Expr.ConstOnly(); av != int64(testPartition.MaskAnd()) {
+				t.Errorf("program %d: AND immediate %#x, want %#x", i, av, testPartition.MaskAnd())
+			}
+			if bv, _ := bis.Ops[0].Expr.ConstOnly(); bv != int64(testPartition.MaskOr()) {
+				t.Errorf("program %d: BIS immediate %#x, want %#x", i, bv, testPartition.MaskOr())
+			}
+			if and.Ops[1].Reg != reg || bis.Ops[1].Reg != reg {
+				t.Errorf("program %d: mask pair targets r%d/r%d, store uses r%d",
+					i, and.Ops[1].Reg, bis.Ops[1].Reg, reg)
+			}
+			if masked[si].Label != "" {
+				t.Errorf("program %d: masked store kept label %q; a jump would skip the mask",
+					i, masked[si].Label)
+			}
+		}
+		// Every label that sat on a store must survive, on the AND above it.
+		text := asm.Print(masked)
+		for _, lbl := range labels {
+			if !strings.Contains(text, lbl+":") {
+				t.Errorf("program %d: label %q lost during masking:\n%s", i, lbl, text)
+			}
+		}
+	}
+}
+
+// TestFlagStoresRoundTrip: for every program in the corpus, the set of
+// maskable-store PCs maps back through FlagStores to exactly the maskable-
+// store statement indices — no drops, no spurious flags — and the flagged
+// set feeds InsertMasks without error.
+func TestFlagStoresRoundTrip(t *testing.T) {
+	for i, stmts := range corpus(t, 64) {
+		img, err := asm.Assemble(stmts)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		want := map[int]bool{}
+		for _, si := range transform.MaskableStoreIdxs(stmts) {
+			want[si] = true
+		}
+		var pcs []uint16
+		for pc, si := range img.AddrToStmt {
+			if want[si] {
+				pcs = append(pcs, pc)
+			}
+		}
+		flagged, err := transform.FlagStores(img, pcs)
+		if err != nil {
+			t.Fatalf("program %d: FlagStores: %v", i, err)
+		}
+		if len(flagged) != len(want) {
+			t.Errorf("program %d: flagged %d statements from %d PCs, want %d",
+				i, len(flagged), len(pcs), len(want))
+		}
+		for si := range flagged {
+			if !want[si] {
+				t.Errorf("program %d: FlagStores flagged non-store statement %d", i, si)
+			}
+		}
+		for si := range want {
+			if !flagged[si] {
+				t.Errorf("program %d: store statement %d lost in the PC round-trip", i, si)
+			}
+		}
+		if _, _, err := transform.InsertMasks(stmts, flagged, testPartition); err != nil {
+			t.Errorf("program %d: round-tripped flags rejected by InsertMasks: %v", i, err)
+		}
+		// A PC that maps to no statement must error, never silently drop.
+		if _, err := transform.FlagStores(img, []uint16{0xfffe}); err == nil {
+			t.Errorf("program %d: unmapped PC accepted", i)
+		}
+	}
+}

@@ -79,6 +79,22 @@ func maskableStore(st *asm.Stmt) (isa.Reg, bool) {
 	return dst.Reg, true
 }
 
+// isMaskInstr reports whether a statement is exactly `mn #imm, reg` — one
+// half of a masking pair for the given base register.
+func isMaskInstr(st *asm.Stmt, mn string, imm int64, reg isa.Reg) bool {
+	if st.Kind != asm.SInstr || st.Mnemonic != mn || st.BW || len(st.Ops) != 2 {
+		return false
+	}
+	if st.Ops[0].Kind != asm.OpImm {
+		return false
+	}
+	v, ok := st.Ops[0].Expr.ConstOnly()
+	if !ok || v != imm {
+		return false
+	}
+	return st.Ops[1].Kind == asm.OpReg && st.Ops[1].Reg == reg
+}
+
 // maskStmts builds the two masking instructions for a base register.
 func maskStmts(r isa.Reg, p Partition, why string) []asm.Stmt {
 	and := asm.InstrStmt("and", asm.Imm(asm.Int(int64(p.MaskAnd()))), asm.RegOp(r))
@@ -92,6 +108,10 @@ func maskStmts(r isa.Reg, p Partition, why string) []asm.Stmt {
 // returns the rewritten statement list and the number of masked stores.
 // Flagged statements that are not maskable register-indexed stores are
 // reported as errors, mirroring the toolflow's compile errors (Section 6).
+//
+// InsertMasks is idempotent: a flagged store already immediately preceded
+// by its exact AND/BIS mask pair for this partition is left untouched (and
+// not counted), so re-masking an already-masked program is a no-op.
 func InsertMasks(stmts []asm.Stmt, flagged map[int]bool, p Partition) ([]asm.Stmt, int, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
@@ -107,6 +127,11 @@ func InsertMasks(stmts []asm.Stmt, flagged map[int]bool, p Partition) ([]asm.Stm
 		reg, ok := maskableStore(&st)
 		if !ok {
 			return nil, 0, fmt.Errorf("transform: line %d (%s) flagged but is not a maskable store", st.Line, st.String())
+		}
+		if i >= 2 && isMaskInstr(&stmts[i-2], "and", int64(p.MaskAnd()), reg) &&
+			isMaskInstr(&stmts[i-1], "bis", int64(p.MaskOr()), reg) {
+			out = append(out, st)
+			continue
 		}
 		ms := maskStmts(reg, p, "inserted by root-cause analysis")
 		// A label on the store must move to the first inserted instruction
