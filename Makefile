@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race race-observability differential backend-differential repair-differential fault trace bench-json bench-check serve soak stream clean
+.PHONY: check build fmt vet test race race-observability differential backend-differential repair-differential target-differential fault trace bench-json bench-check serve soak stream clean
 
 # check is the CI gate: formatting, vet, build, the full suite under the
 # race detector (the engine itself is single-threaded, but bench fan-out,
-# the service and the CLIs are not), and the repair differential.
-check: fmt vet build race repair-differential
+# the service and the CLIs are not), the repair differential, and the
+# target differential.
+check: fmt vet build race repair-differential target-differential
 
 build:
 	$(GO) build ./...
@@ -69,6 +70,25 @@ repair-differential:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/repair ./internal/transform
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/service -run 'TestRepair'
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./integration -run 'TestRepair'
+
+# target-differential pins the Target abstraction's two contracts, under
+# the race detector. First, refactor safety: every msp430 scaffold
+# benchmark's report must stay byte-identical to the committed golden
+# digests captured before the Target extraction (internal/glift
+# testdata/msp430_report_digests.json). Second, the rv32 target end to
+# end: the gate-level core locked step for step against its behavioural
+# interpreter oracle (handwritten + seeded random corpus), the registry
+# and per-target job-key separation in the service (identical programs on
+# different targets never coalesce; repair honestly rejected off msp430),
+# and the rv32 smoke workloads through the built gliftcheck binary and a
+# live gliftd daemon.
+target-differential:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/glift -run 'TestGoldenReportDigests'
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/target ./internal/rv32
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/service \
+		-run 'TestTargetsDoNotCoalesce|TestJobKeySeparatesTargets|TestUnknownTargetRejected|TestRepairRejectsAnalysisOnlyTarget|TestImageOutsideTargetROMRejected'
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./integration \
+		-run 'TestGliftcheckTargetRV32|TestSecure430TargetRejectsRV32|TestGliftdTargetRV32'
 
 # fault runs just the fail-closed surface: runtime budgets/cancellation
 # and the fault-injection matrix.

@@ -12,6 +12,13 @@
 // normalized by the matching backend's calibration probe, which cancels
 // machine speed and leaves only changes attributable to the engine.
 //
+// -target selects the processor target (default msp430). The msp430 target
+// measures the scaffold benchmarks; rv32 measures its smoke workloads on
+// the RV32I-subset core. Each target calibrates with its own probe program,
+// and non-default targets are recorded in the per-result "target" field so
+// baselines from different targets never silently compare against each
+// other.
+//
 // -fault-campaign switches to the batched fault-injection measurement
 // (BENCH_2.json at the repository root): a fixed corpus of fault scenarios
 // runs once sequentially (fault.Run, one compiled-backend system per
@@ -38,7 +45,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/glift"
 	"repro/internal/logic"
+	"repro/internal/rv32"
 	"repro/internal/sim"
+	"repro/internal/target"
 )
 
 // probeSrc is the calibration workload: one concrete path, no forks, no
@@ -54,7 +63,27 @@ loop:   dec r5
         jmp start
 `
 
+// rv32ProbeSrc is the same calibration shape transposed to the rv32 target:
+// nested concrete countdown loops, no taint, no forks.
+const rv32ProbeSrc = `
+start:  li x6, 200
+outer:  li x5, 50
+loop:   addi x5, x5, -1
+        bne x5, x0, loop
+        addi x6, x6, -1
+        bne x6, x0, outer
+        j start
+`
+
 const probeCycles = 20_000
+
+// probeSrcs maps each registered target to its calibration program. A
+// target without a probe cannot be measured: normalization would silently
+// compare against the wrong machine-speed reference.
+var probeSrcs = map[string]string{
+	"msp430": probeSrc,
+	"rv32":   rv32ProbeSrc,
+}
 
 // minCompareCycles is the floor below which a benchmark's wall time is
 // dominated by system construction rather than exploration; such
@@ -63,7 +92,10 @@ const minCompareCycles = 1000
 
 // Result is one (benchmark, backend, workers) measurement.
 type Result struct {
-	Name         string  `json:"name"`
+	Name string `json:"name"`
+	// Target is the processor target the benchmark ran on; empty means the
+	// default (msp430), which keeps pre-target baselines byte-compatible.
+	Target       string  `json:"target,omitempty"`
 	Backend      string  `json:"backend"`
 	Workers      int     `json:"workers"`
 	Cycles       uint64  `json:"cycles"`
@@ -117,8 +149,12 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-func measureProbe(backend sim.BackendKind, reps int) (float64, error) {
-	img, err := asm.AssembleSource(probeSrc)
+func measureProbe(tgt *target.Target, backend sim.BackendKind, reps int) (float64, error) {
+	src, ok := probeSrcs[tgt.Name]
+	if !ok {
+		return 0, fmt.Errorf("no calibration probe for target %q", tgt.Name)
+	}
+	img, err := tgt.Assemble(src)
 	if err != nil {
 		return 0, fmt.Errorf("assemble probe: %w", err)
 	}
@@ -126,7 +162,7 @@ func measureProbe(backend sim.BackendKind, reps int) (float64, error) {
 	best := 0.0
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		rep, err := glift.Analyze(img, &glift.Policy{Name: "probe"}, opt)
+		rep, err := glift.AnalyzeContextOn(context.Background(), tgt.Design(), img, &glift.Policy{Name: "probe"}, opt)
 		if err != nil {
 			return 0, fmt.Errorf("probe analysis (%s): %w", backend, err)
 		}
@@ -141,25 +177,92 @@ func measureProbe(backend sim.BackendKind, reps int) (float64, error) {
 	return best, nil
 }
 
+// benchCase is one assembled workload ready to measure, abstracted over
+// the benchmark suite that produced it (msp430 scaffold benchmarks or the
+// rv32 smoke workloads).
+type benchCase struct {
+	name string
+	img  *asm.Image
+	pol  *glift.Policy
+}
+
+// casesFor builds the benchmark suite for a target, optionally filtered to
+// a comma-separated name list.
+func casesFor(tgt *target.Target, filter string) ([]benchCase, error) {
+	var names []string
+	if filter != "" {
+		for _, n := range strings.Split(filter, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	var out []benchCase
+	switch tgt.Name {
+	case target.Default().Name:
+		var benches []*bench.Benchmark
+		if names == nil {
+			benches = bench.All()
+		} else {
+			for _, n := range names {
+				b := bench.ByName(n)
+				if b == nil {
+					return nil, fmt.Errorf("unknown benchmark %q", n)
+				}
+				benches = append(benches, b)
+			}
+		}
+		for _, b := range benches {
+			bt, err := bench.BuildUnmodified(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, benchCase{name: b.Name, img: bt.Img, pol: bt.Policy})
+		}
+	case "rv32":
+		var benches []*rv32.Benchmark
+		if names == nil {
+			benches = rv32.Benchmarks()
+		} else {
+			for _, n := range names {
+				b := rv32.BenchmarkByName(n)
+				if b == nil {
+					return nil, fmt.Errorf("unknown rv32 benchmark %q", n)
+				}
+				benches = append(benches, b)
+			}
+		}
+		for _, b := range benches {
+			img, err := b.Build()
+			if err != nil {
+				return nil, fmt.Errorf("assemble %s: %w", b.Name, err)
+			}
+			out = append(out, benchCase{name: b.Name, img: img, pol: b.Policy()})
+		}
+	default:
+		return nil, fmt.Errorf("no benchmark suite for target %q", tgt.Name)
+	}
+	return out, nil
+}
+
 // measure runs the analysis reps times and keeps the fastest repetition:
 // the minimum wall time is the least-noise estimate of the engine's cost,
 // since scheduling interference and cold caches only ever add time.
-func measure(b *bench.Benchmark, backend sim.BackendKind, workers, reps int) (Result, error) {
-	bt, err := bench.BuildUnmodified(b)
-	if err != nil {
-		return Result{}, err
+func measure(tgt *target.Target, c benchCase, backend sim.BackendKind, workers, reps int) (Result, error) {
+	tag := ""
+	if tgt.Name != target.Default().Name {
+		tag = tgt.Name
 	}
 	best := Result{}
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		rep, err := glift.Analyze(bt.Img, bt.Policy, &glift.Options{Workers: workers, Backend: backend})
+		rep, err := glift.AnalyzeContextOn(context.Background(), tgt.Design(), c.img, c.pol, &glift.Options{Workers: workers, Backend: backend})
 		if err != nil {
-			return Result{}, fmt.Errorf("bench %s (%s, workers=%d): %w", b.Name, backend, workers, err)
+			return Result{}, fmt.Errorf("bench %s (%s, workers=%d): %w", c.name, backend, workers, err)
 		}
 		el := time.Since(start)
 		if i == 0 || el.Nanoseconds() < best.WallNanos {
 			best = Result{
-				Name:         b.Name,
+				Name:         c.name,
+				Target:       tag,
 				Backend:      backend.String(),
 				Workers:      workers,
 				Cycles:       rep.Stats.Cycles,
@@ -342,6 +445,7 @@ func compareFault(cur, base *Baseline, threshold float64) int {
 // compareKey identifies one gated measurement in a baseline.
 type compareKey struct {
 	name    string
+	target  string
 	backend string
 }
 
@@ -367,7 +471,7 @@ func compare(cur *Baseline, baselinePath string, threshold float64) int {
 	baseBy := map[compareKey]Result{}
 	for _, r := range base.Results {
 		if r.Workers == 1 {
-			baseBy[compareKey{r.Name, r.Backend}] = r
+			baseBy[compareKey{r.Name, r.Target, r.Backend}] = r
 		}
 	}
 	regressions := 0
@@ -375,7 +479,7 @@ func compare(cur *Baseline, baselinePath string, threshold float64) int {
 		if r.Workers != 1 {
 			continue
 		}
-		b, ok := baseBy[compareKey{r.Name, r.Backend}]
+		b, ok := baseBy[compareKey{r.Name, r.Target, r.Backend}]
 		if !ok {
 			continue
 		}
@@ -425,6 +529,7 @@ func speedupSummary(doc *Baseline) {
 }
 
 func main() {
+	targetName := flag.String("target", "", target.FlagHelp())
 	workersList := flag.String("workers", "1,4", "comma-separated engine worker counts to measure")
 	backendsList := flag.String("backends", "compiled,interp", "comma-separated evaluation backends to measure")
 	out := flag.String("o", "", "write the JSON baseline to this file (default: stdout)")
@@ -456,17 +561,13 @@ func main() {
 		}
 		backends = append(backends, be)
 	}
-	var benches []*bench.Benchmark
-	if *filter == "" {
-		benches = bench.All()
-	} else {
-		for _, name := range strings.Split(*filter, ",") {
-			b := bench.ByName(strings.TrimSpace(name))
-			if b == nil {
-				fatal(fmt.Errorf("unknown benchmark %q", name))
-			}
-			benches = append(benches, b)
-		}
+	tgt, err := target.Parse(*targetName)
+	if err != nil {
+		fatal(err)
+	}
+	cases, err := casesFor(tgt, *filter)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *reps < 1 {
@@ -478,6 +579,9 @@ func main() {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	if *faultCampaign {
+		if tgt.Name != target.Default().Name {
+			fatal(fmt.Errorf("the fault campaign runs on the %s target only (internal/fault is tied to its design)", target.Default().Name))
+		}
 		var lanes []int
 		for _, f := range strings.Split(*faultLanes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -498,16 +602,16 @@ func main() {
 		// the benchmarks themselves use.
 		doc.ProbeCyclesPerSec = map[string]float64{}
 		for _, be := range backends {
-			probe, err := measureProbe(be, *reps)
+			probe, err := measureProbe(tgt, be, *reps)
 			if err != nil {
 				fatal(err)
 			}
 			doc.ProbeCyclesPerSec[be.String()] = probe
 		}
-		for _, b := range benches {
+		for _, c := range cases {
 			for _, be := range backends {
 				for _, w := range workers {
-					r, err := measure(b, be, w, *reps)
+					r, err := measure(tgt, c, be, w, *reps)
 					if err != nil {
 						fatal(err)
 					}
@@ -518,7 +622,7 @@ func main() {
 			}
 		}
 		for _, be := range backends {
-			probe, err := measureProbe(be, *reps)
+			probe, err := measureProbe(tgt, be, *reps)
 			if err != nil {
 				fatal(err)
 			}

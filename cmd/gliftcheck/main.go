@@ -13,6 +13,10 @@
 // Ports are numbered 1-4 (P1..P4). Code ranges may use symbols defined in
 // the program; data ranges are hex addresses.
 //
+// -target selects the processor target from the registry (default msp430;
+// rv32 is the RV32I-subset core). The source is assembled with the
+// target's assembler and analyzed on its gate-level design.
+//
 // The verdict enum (verified | violations | incomplete | internal-error)
 // is printed on stderr and the exit code follows a fail-closed contract:
 //
@@ -50,6 +54,7 @@ import (
 	"repro/internal/glift"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/target"
 )
 
 // writeChromeTrace dumps the recorded exploration trace to path.
@@ -66,6 +71,7 @@ func writeChromeTrace(xt *obs.ExplorationTrace, path string) error {
 }
 
 func main() {
+	targetName := flag.String("target", "", target.FlagHelp())
 	taintedIn := flag.String("tainted-in", "", "comma-separated tainted input ports (1-4)")
 	taintedOut := flag.String("tainted-out", "", "comma-separated output ports tainted code may use (1-4)")
 	taintedCode := flag.String("tainted-code", "", "comma-separated lo:hi tainted code ranges (symbols or hex)")
@@ -88,11 +94,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: gliftcheck [flags] app.s43 (see -help)")
 		os.Exit(2)
 	}
+	tgt, err := target.Parse(*targetName)
+	if err != nil {
+		fatal(err)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	img, err := asm.AssembleSource(string(src))
+	img, err := tgt.Assemble(string(src))
 	if err != nil {
 		fatal(err)
 	}
@@ -137,7 +147,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	rep, err := glift.AnalyzeContext(ctx, img, pol, opts)
+	rep, err := glift.AnalyzeContextOn(ctx, tgt.Design(), img, pol, opts)
 	if err != nil {
 		fatal(err)
 	}

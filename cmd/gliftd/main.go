@@ -70,10 +70,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/target"
 )
 
 func main() {
 	addr := flag.String("addr", ":8430", "listen address")
+	targetName := flag.String("target", "", "default "+target.FlagHelp()+" for jobs that omit the target field")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent analysis workers")
 	queue := flag.Int("queue", 64, "queued-job bound (a full queue rejects with 503)")
 	cache := flag.Int("cache", 1024, "content-addressed result cache entries")
@@ -110,6 +112,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gliftd: %v\n", err)
 		os.Exit(2)
 	}
+	if _, err := target.Parse(*targetName); err != nil {
+		fmt.Fprintf(os.Stderr, "gliftd: %v\n", err)
+		os.Exit(2)
+	}
 
 	srv, err := service.New(service.Config{
 		Workers:            *workers,
@@ -127,6 +133,7 @@ func main() {
 		ChaosRejectPercent: *chaos503,
 		StreamRingEvents:   *streamRing,
 		StreamHeartbeat:    *streamHeartbeat,
+		DefaultTarget:      *targetName,
 		Logger:             logger,
 	})
 	if err != nil {

@@ -1,7 +1,8 @@
-// run430 executes a program concretely on the gate-level microcontroller:
+// run430 executes a program concretely on a gate-level microcontroller:
 // deterministic pseudo-random (or fixed) port inputs, cycle/instruction
 // statistics, final register/memory state, and an optional VCD waveform
-// with per-net taint channels.
+// with per-net taint channels. -target selects the processor target
+// (default msp430).
 //
 // SIGINT or -deadline expiry stops the simulation cleanly: the statistics
 // and machine state accumulated so far are still printed (and the VCD, if
@@ -20,14 +21,14 @@ import (
 	"os/signal"
 	"strings"
 
-	"repro/internal/asm"
-	"repro/internal/glift"
-	"repro/internal/isa"
 	"repro/internal/mcu"
 	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/target"
 )
 
 func main() {
+	targetName := flag.String("target", "", target.FlagHelp())
 	cycles := flag.Uint64("cycles", 10_000, "cycles to run")
 	deadline := flag.Duration("deadline", 0, "wall-clock simulation deadline (0: none)")
 	p1 := flag.Int("p1", -1, "fixed P1IN value (default: LFSR per cycle)")
@@ -40,11 +41,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: run430 [flags] app.s43")
 		os.Exit(2)
 	}
+	tgt, err := target.Parse(*targetName)
+	if err != nil {
+		fatal(err)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	img, err := asm.AssembleSource(string(src))
+	img, err := tgt.Assemble(string(src))
 	if err != nil {
 		fatal(err)
 	}
@@ -53,7 +58,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := mcu.NewSystemBackend(glift.SharedDesign(), backend)
+	d := tgt.Design()
+	sys, err := mcu.NewSystemBackend(d, backend)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +74,10 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		nets := []string{"cpu.pc0", "cpu.pc1", "cpu.pc2", "cpu.pc3", "jump.branch_taken", "por", "wdt.wdt_we"}
+		nets := []string{"cpu.pc0", "cpu.pc1", "cpu.pc2", "cpu.pc3", "por", "wdt.wdt_we"}
+		if tgt.Name == "msp430" {
+			nets = append(nets, "jump.branch_taken")
+		}
 		v, err := sys.AttachVCD(f, nets)
 		if err != nil {
 			fatal(err)
@@ -120,18 +129,33 @@ func main() {
 		sys.Cycle, insns, float64(sys.Cycle)/float64(insns), sys.C.Toggles)
 	sys.EvalCycle(nil)
 	fmt.Println("registers:")
+	fmt.Printf("  %-3s %s\n", "pc", sys.GetWord(d.PC))
+	if d.SR != nil {
+		fmt.Printf("  %-3s %s\n", "sr", sys.GetWord(d.SR))
+	}
 	for r := 0; r < 16; r++ {
-		if r == int(isa.CG) {
+		// Slots without nets are aliased state (PC/SR) or constant
+		// generators; both are covered above or meaningless to print.
+		if d.Regs[r] == nil || d.RegName[r] == "" {
 			continue
 		}
-		fmt.Printf("  %-3s %s\n", isa.Reg(r), sys.RegWord(isa.Reg(r)))
+		fmt.Printf("  %-3s %s\n", d.RegName[r], regString(sys, d.Regs[r]))
 	}
-	if n := sys.RAM.TaintedBytes(isa.RAMStart, isa.RAMEnd); n > 0 {
+	if n := sys.RAM.TaintedBytes(d.Map.RAMStart, d.Map.RAMEnd); n > 0 {
 		fmt.Printf("tainted data-memory bytes: %d\n", n)
 	}
 	for _, ev := range sys.Events() {
 		fmt.Println("event:", ev)
 	}
+}
+
+// regString renders one architectural register; registers wider than a
+// simulation word print as hi:lo halves.
+func regString(sys *mcu.System, nets synth.Word) string {
+	if len(nets) <= 16 {
+		return sys.GetWord(nets).String()
+	}
+	return sys.GetWord(nets[16:]).String() + ":" + sys.GetWord(nets[:16]).String()
 }
 
 // backendHelp renders the registered backend names for flag help, with the

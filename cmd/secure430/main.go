@@ -48,10 +48,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/sim"
+	"repro/internal/target"
 	"repro/internal/transform"
 )
 
 func main() {
+	targetName := flag.String("target", "", target.FlagHelp()+"; repair requires a target with transform support")
 	taintedIn := flag.String("tainted-in", "", "comma-separated tainted input ports (1-4)")
 	taintedOut := flag.String("tainted-out", "", "comma-separated output ports tainted code may use (1-4)")
 	taintedCode := flag.String("tainted-code", "", "comma-separated lo:hi tainted code ranges (symbols or hex)")
@@ -69,6 +71,13 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: secure430 [flags] app.s43 (see -help)")
 		os.Exit(2)
+	}
+	tgt, err := target.Parse(*targetName)
+	if err != nil {
+		fatal(err)
+	}
+	if !tgt.SupportsRepair {
+		fatal(fmt.Errorf("target %q is analysis-only: the repair pipeline rewrites msp430 assembly (use gliftcheck -target %s instead)", tgt.Name, tgt.Name))
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

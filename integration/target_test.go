@@ -1,0 +1,164 @@
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The rv32 smoke programs mirror internal/rv32's benchmark suite: a
+// straight-line tainted task that must verify, and a branchy program whose
+// store address is steered by a tainted sample (a C2 memory escape). They
+// run here through the BUILT binaries and a LIVE daemon — the end-to-end
+// proof that the second target is reachable from the outside, not just
+// from unit tests.
+
+const rv32VerifiedSrc = `
+start:  li x8, 0x0010        # P1 input port
+        li x9, 0x0e00        # tainted partition base
+        li x10, 0x0016       # P2 output port
+        lh x5, 0(x8)
+        lh x6, 0(x8)
+        add x7, x5, x6
+        sh x7, 0(x9)
+        lh x4, 0(x9)
+        sh x4, 0(x10)
+done:   j done
+`
+
+const rv32LeakSrc = `
+start:  li x8, 0x0010        # P1 input port
+        li x9, 0x0e00        # tainted partition base
+        li x11, 0x0800       # untainted RAM
+        lh x5, 0(x8)
+        beq x5, x0, safe
+        sh x5, 0(x11)        # tainted store escaping the partition
+safe:   sh x5, 0(x9)
+done:   j done
+`
+
+// rv32ViolFlags is the Section 7 policy transposed to the rv32 memory map.
+var rv32ViolFlags = []string{
+	"-target", "rv32",
+	"-tainted-in", "1",
+	"-tainted-out", "2",
+	"-tainted-code", "0x4000:0x4400",
+	"-tainted-data", "0x0e00:0x1000",
+}
+
+// TestGliftcheckTargetRV32 pins the CLI surface of the target registry:
+// the rv32 core analyzes end to end with the same fail-closed exit-code
+// contract, and an unknown target is a usage error.
+func TestGliftcheckTargetRV32(t *testing.T) {
+	gc := tool(t, "gliftcheck")
+	clean := writeSrc(t, "clean.s", rv32VerifiedSrc)
+	leak := writeSrc(t, "leak.s", rv32LeakSrc)
+
+	if code, out := run(t, gc, append(append([]string{}, rv32ViolFlags...), clean)...); code != 0 {
+		t.Errorf("verified rv32 program: exit %d\n%s", code, out)
+	}
+	code, out := run(t, gc, append(append([]string{}, rv32ViolFlags...), leak)...)
+	if code != 1 {
+		t.Errorf("leaking rv32 program: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "C2-memory-escape") {
+		t.Errorf("leak report misses the C2 escape:\n%s", out)
+	}
+	// msp430 assembly under the rv32 assembler is a usage error, as is an
+	// unregistered target name.
+	if code, _ := run(t, gc, "-target", "rv32", writeSrc(t, "m.s43", cleanSrc)); code != 2 {
+		t.Errorf("msp430 source as rv32: exit %d, want 2", code)
+	}
+	if code, _ := run(t, gc, "-target", "z80", clean); code != 2 {
+		t.Errorf("unknown target: exit %d, want 2", code)
+	}
+}
+
+// TestSecure430TargetRejectsRV32: the repair pipeline is msp430-only; the
+// CLI must refuse analysis-only targets up front instead of silently
+// repairing on the wrong core.
+func TestSecure430TargetRejectsRV32(t *testing.T) {
+	sc := tool(t, "secure430")
+	src := writeSrc(t, "leak.s", rv32LeakSrc)
+	if code, _ := run(t, sc, "-target", "rv32", src); code != 2 {
+		t.Errorf("secure430 -target rv32: exit %d, want 2 (analysis-only target)", code)
+	}
+}
+
+// postJob submits one job to a live daemon and returns the HTTP status and
+// raw response body.
+func postJob(t *testing.T, addr string, req map[string]any) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+addr+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// rv32JobRequest is the daemon wire form of the CLI policy above.
+func rv32JobRequest(source string) map[string]any {
+	return map[string]any{
+		"target": "rv32",
+		"source": source,
+		"policy": map[string]any{
+			"name":              "rv32-smoke",
+			"tainted_in_ports":  []int{0},
+			"tainted_out_ports": []int{1},
+			"tainted_code":      []map[string]any{{"lo": 0x4000, "hi": 0x4400}},
+			"tainted_data":      []map[string]any{{"lo": 0x0e00, "hi": 0x1000}},
+		},
+	}
+}
+
+// TestGliftdTargetRV32 drives the rv32 target through a live gliftd: both
+// smoke verdicts over HTTP, honest rejection of rv32 repair jobs, and a
+// 400 naming the valid set for unknown targets.
+func TestGliftdTargetRV32(t *testing.T) {
+	addr := freePort(t)
+	cmd, logs := startDaemon(t, addr, "-workers", "2")
+	defer cmd.Process.Kill()
+
+	var st struct {
+		Verdict string `json:"verdict"`
+	}
+	code, raw := postJob(t, addr, rv32JobRequest(rv32VerifiedSrc))
+	if code != http.StatusOK {
+		t.Fatalf("verified job: status %d: %s\n%s", code, raw, logs.String())
+	}
+	if json.Unmarshal(raw, &st); st.Verdict != "verified" {
+		t.Errorf("verified job: verdict %q, want verified", st.Verdict)
+	}
+	// Completed jobs map verdicts onto statuses: violations → 409.
+	code, raw = postJob(t, addr, rv32JobRequest(rv32LeakSrc))
+	if code != http.StatusConflict {
+		t.Fatalf("leaking job: status %d, want 409: %s", code, raw)
+	}
+	if json.Unmarshal(raw, &st); st.Verdict != "violations" {
+		t.Errorf("leaking job: verdict %q, want violations", st.Verdict)
+	}
+
+	req := rv32JobRequest(rv32LeakSrc)
+	req["mode"] = "repair"
+	if code, raw = postJob(t, addr, req); code != http.StatusBadRequest {
+		t.Errorf("rv32 repair job: status %d, want 400: %s", code, raw)
+	} else if !strings.Contains(string(raw), "msp430") {
+		t.Errorf("rv32 repair rejection does not explain the msp430-only constraint: %s", raw)
+	}
+	req = rv32JobRequest(rv32VerifiedSrc)
+	req["target"] = "z80"
+	if code, raw = postJob(t, addr, req); code != http.StatusBadRequest {
+		t.Errorf("unknown target: status %d, want 400: %s", code, raw)
+	} else if !strings.Contains(string(raw), "rv32") || !strings.Contains(string(raw), "msp430") {
+		t.Errorf("unknown-target rejection does not list the valid set: %s", raw)
+	}
+}

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
-	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/mcu"
 	"repro/internal/netlist"
@@ -79,7 +78,7 @@ func runBatchChunk(ctx context.Context, img *asm.Image, maxCycles uint64, scenar
 	for lane, faults := range scenarios {
 		rom := bsys.LaneROM(lane)
 		img.Place(func(a, w uint16) { rom.StoreWord(a, sim.ConcreteWord(w)) })
-		rom.StoreWord(isa.ResetVec, sim.ConcreteWord(img.Entry))
+		rom.StoreWord(d.Map.ResetVec, sim.ConcreteWord(img.Entry))
 		laneErr := func() error {
 			for _, f := range faults {
 				switch ft := f.(type) {

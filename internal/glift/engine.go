@@ -8,24 +8,16 @@ import (
 	"time"
 
 	"repro/internal/asm"
-	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/mcu"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
 
-var (
-	designOnce sync.Once
-	design     *mcu.Design
-)
-
-// SharedDesign returns the singleton gate-level processor netlist. Building
-// it is moderately expensive and it holds no simulation state.
-func SharedDesign() *mcu.Design {
-	designOnce.Do(func() { design = mcu.Build() })
-	return design
-}
+// SharedDesign returns the singleton msp430 gate-level processor netlist,
+// shared with the target registry (internal/target) so both consumers
+// memoize one build.
+func SharedDesign() *mcu.Design { return mcu.Shared() }
 
 // Options tunes an analysis run.
 type Options struct {
@@ -247,7 +239,7 @@ func NewEngineOn(d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Eng
 		table:    make(map[forkKey]*tableEntry),
 		seen:     make(map[Violation]bool),
 		report:   &Report{Policy: pol.Name},
-		ramRange: AddrRange{Lo: isa.RAMStart, Hi: isa.RAMEnd},
+		ramRange: AddrRange{Lo: d.Map.RAMStart, Hi: d.Map.RAMEnd},
 		design:   d,
 		img:      img,
 	}
@@ -267,15 +259,13 @@ func buildSystem(d *mcu.Design, img *asm.Image, pol *Policy, backend sim.Backend
 	if err != nil {
 		return nil, err
 	}
-	// Pad all of program memory with self-jump traps before placing the
-	// image: conservative merging of return addresses can propose candidate
-	// PCs that were never actually pushed, and without padding those
-	// candidates would execute unknown (X) instruction words and cascade
-	// into spurious violations. A trapped candidate parks and is pruned.
-	trap, _ := (&isa.Instr{Op: isa.JMP, Off: -1}).Encode()
-	for a := uint32(isa.ROMStart); a < 0x10000; a += 2 {
-		sys.ROM.StoreWord(uint16(a), sim.ConcreteWord(trap[0]))
-	}
+	// Pad all of program memory with the target's self-parking traps before
+	// placing the image: conservative merging of return addresses can
+	// propose candidate PCs that were never actually pushed, and without
+	// padding those candidates would execute unknown (X) instruction words
+	// and cascade into spurious violations. A trapped candidate parks and
+	// is pruned.
+	d.FillTraps(func(a, w uint16) { sys.ROM.StoreWord(a, sim.ConcreteWord(w)) })
 	img.Place(func(a, w uint16) { sys.ROM.StoreWord(a, sim.ConcreteWord(w)) })
 	sys.SetResetVector(img.Entry)
 	if pol.TaintCodeWords {
@@ -305,7 +295,14 @@ func Analyze(img *asm.Image, pol *Policy, opt *Options) (*Report, error) {
 // deadline expiry aborts the exploration cleanly with a partial report
 // whose verdict is Incomplete.
 func AnalyzeContext(ctx context.Context, img *asm.Image, pol *Policy, opt *Options) (*Report, error) {
-	e, err := NewEngine(img, pol, opt)
+	return AnalyzeContextOn(ctx, SharedDesign(), img, pol, opt)
+}
+
+// AnalyzeContextOn is AnalyzeContext on an explicit design — the entry
+// point for analyzing non-default targets (the design carries all target
+// conventions the engine needs).
+func AnalyzeContextOn(ctx context.Context, d *mcu.Design, img *asm.Image, pol *Policy, opt *Options) (*Report, error) {
+	e, err := NewEngineOn(d, img, pol, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -461,7 +458,7 @@ func (e *Engine) runPathFrom(pathCycles uint64) {
 		}
 		e.commitCycle(ci)
 		pathCycles++
-		if modifiesPC(ci) {
+		if modifiesPC(e.design, ci) {
 			// Key the conservative state table on the committing cycle's PC
 			// (unique per commit site — including the reset vector load,
 			// whose PC is 0) plus the semantic control decisions.
@@ -530,15 +527,17 @@ func commitOn(sys *mcu.System, ci *mcu.CycleInfo, onCommitted func()) {
 
 // modifiesPC reports whether the committed cycle changed the PC
 // non-sequentially — a PC-changing instruction in Algorithm 1's sense.
-// These are the points where the conservative state table applies.
-func modifiesPC(ci *mcu.CycleInfo) bool {
+// These are the points where the conservative state table applies. The
+// target's conventions supply the sequential PC step and the jump-word
+// predicate (which catches taken self-jumps the delta test cannot see).
+func modifiesPC(d *mcu.Design, ci *mcu.CycleInfo) bool {
 	if ci.PCNext.XM != 0 || ci.PC.XM != 0 || ci.POR.V != logic.Zero || ci.IrqTkn.V != logic.Zero {
 		return true
 	}
-	if ci.StateOK && ci.State == mcu.StFetch && ci.Fetch.XM == 0 && ci.Fetch.Val>>13 == 1 {
+	if ci.StateOK && ci.State == mcu.StFetch && ci.Fetch.XM == 0 && d.JumpWord(ci.Fetch.Val) {
 		return true // a jump instruction, including a self-jump (jmp $)
 	}
-	return ci.PCNext.Val != ci.PC.Val && ci.PCNext.Val != ci.PC.Val+2
+	return ci.PCNext.Val != ci.PC.Val && ci.PCNext.Val != ci.PC.Val+d.PCStep
 }
 
 // tableOutcome classifies one application of the conservative state table
@@ -781,6 +780,19 @@ type machineView interface {
 	GetSig(id netlist.NetID) logic.Sig
 }
 
+// anyTainted scans a probe word bit by bit. Unlike GetWord(...).Tainted()
+// it is width-safe: GetWord packs into a 16-bit sim.Word and silently
+// drops bits 16 and up, which would make the scan unsound for a target
+// with registers wider than 16 bits (identical behaviour at width <= 16).
+func anyTainted(v machineView, nets []netlist.NetID) bool {
+	for _, id := range nets {
+		if v.GetSig(id).T {
+			return true
+		}
+	}
+	return false
+}
+
 // cycleChecker evaluates the per-cycle policy conditions against one
 // simulation instance, raising violations through a pluggable sink. The
 // live engine raises into its report; speculation workers record raises
@@ -819,8 +831,8 @@ func (c *cycleChecker) check(ci *mcu.CycleInfo, curInstr uint16) {
 	// the watchdog's state and write strobe stay untainted (Section 5.2).
 	d := c.sys.Design()
 	if c.sys.GetSig(d.WdtWe).T ||
-		c.sys.GetWord(d.WdtCtl).Tainted() ||
-		c.sys.GetWord(d.WdtCnt).Tainted() {
+		anyTainted(c.sys, d.WdtCtl) ||
+		anyTainted(c.sys, d.WdtCnt) {
 		c.raise(WatchdogTainted, curInstr, "watchdog control state or write strobe tainted")
 	}
 
@@ -829,7 +841,7 @@ func (c *cycleChecker) check(ci *mcu.CycleInfo, curInstr uint16) {
 		if c.pol.TaintedOutPort(i) {
 			continue
 		}
-		if c.sys.GetWord(d.PortOut[i]).Tainted() {
+		if anyTainted(c.sys, d.PortOut[i]) {
 			c.raise(OutputPortTainted, curInstr, fmt.Sprintf("output port P%d is tainted", i+1))
 		}
 	}
@@ -850,7 +862,7 @@ func (c *cycleChecker) coreStateTainted() (string, bool) {
 		{"pc", d.PC}, {"sr", d.SR},
 	}
 	for _, n := range named {
-		if c.sys.GetWord(n.w).Tainted() {
+		if anyTainted(c.sys, n.w) {
 			return n.name, true
 		}
 	}
@@ -858,8 +870,8 @@ func (c *cycleChecker) coreStateTainted() (string, bool) {
 		if d.Regs[r] == nil {
 			continue
 		}
-		if c.sys.GetWord(d.Regs[r]).Tainted() {
-			return isa.Reg(r).String(), true
+		if anyTainted(c.sys, d.Regs[r]) {
+			return d.RegName[r], true
 		}
 	}
 	return "", false
@@ -876,7 +888,7 @@ func (c *cycleChecker) checkLoad(ci *mcu.CycleInfo, curInstr uint16, taintedTask
 		if c.pol.InTaintedData(a) {
 			c.raise(C3LoadTainted, curInstr, fmt.Sprintf("untainted code loads from tainted partition address %#04x", a))
 		}
-		if i, ok := portInIndex(a); ok && c.pol.TaintedInPort(i) {
+		if i, ok := portInIndex(c.sys.Design(), a); ok && c.pol.TaintedInPort(i) {
 			c.raise(C4ReadTaintedPort, curInstr, fmt.Sprintf("untainted code reads tainted input port P%d", i+1))
 		}
 		return
@@ -889,7 +901,7 @@ func (c *cycleChecker) checkLoad(ci *mcu.CycleInfo, curInstr uint16, taintedTask
 		}
 	}
 	for i := 0; i < mcu.NumPorts; i++ {
-		if c.pol.TaintedInPort(i) && matchesPattern(mcu.PortInAddr(i), free, addr.Val) {
+		if c.pol.TaintedInPort(i) && matchesPattern(c.sys.Design().Map.PortIn[i], free, addr.Val) {
 			c.raise(C4ReadTaintedPort, curInstr, "unknown load address may reach a tainted input port")
 			break
 		}
@@ -897,6 +909,7 @@ func (c *cycleChecker) checkLoad(ci *mcu.CycleInfo, curInstr uint16, taintedTask
 }
 
 func (c *cycleChecker) checkStore(ci *mcu.CycleInfo, curInstr uint16, taintedTask bool) {
+	d := c.sys.Design()
 	addr, data := ci.Addr, ci.WData
 	free := addr.XM | addr.TT
 	taintsTarget := data.Tainted() || addr.TT != 0 || ci.We.T
@@ -908,12 +921,12 @@ func (c *cycleChecker) checkStore(ci *mcu.CycleInfo, curInstr uint16, taintedTas
 			if taintsTarget && !c.pol.InTaintedData(a) {
 				c.raise(C2MemoryEscape, curInstr, fmt.Sprintf("tainted store to untainted memory %#04x", a))
 			}
-		case a&^1 == isa.AddrWDTCTL:
+		case a&^1 == d.Map.WdtCtl:
 			if taintedTask || taintsTarget {
 				c.raise(WatchdogTainted, curInstr, "tainted code or tainted data writes WDTCTL")
 			}
 		default:
-			if i, ok := portOutIndex(a); ok && !c.pol.TaintedOutPort(i) {
+			if i, ok := portOutIndex(d, a); ok && !c.pol.TaintedOutPort(i) {
 				if taintedTask {
 					c.raise(C5WriteUntaintedPort, curInstr, fmt.Sprintf("tainted code writes untainted output port P%d", i+1))
 				} else if taintsTarget {
@@ -936,11 +949,11 @@ func (c *cycleChecker) checkStore(ci *mcu.CycleInfo, curInstr uint16, taintedTas
 	if c.pol.patternEscapes(free, addr.Val, c.ramRange) {
 		c.raise(C2MemoryEscape, curInstr, "store address unknown/tainted: may taint an untainted memory partition")
 	}
-	if matchesPattern(isa.AddrWDTCTL, free, addr.Val) {
+	if matchesPattern(d.Map.WdtCtl, free, addr.Val) {
 		c.raise(WatchdogTainted, curInstr, "unknown store address may reach WDTCTL")
 	}
 	for i := 0; i < mcu.NumPorts; i++ {
-		if !c.pol.TaintedOutPort(i) && matchesPattern(mcu.PortOutAddr(i), free, addr.Val) {
+		if !c.pol.TaintedOutPort(i) && matchesPattern(d.Map.PortOut[i], free, addr.Val) {
 			kind := OutputPortTainted
 			if taintedTask {
 				kind = C5WriteUntaintedPort
@@ -955,18 +968,18 @@ func matchesPattern(a, free, want uint16) bool {
 	return a&fixed == want&fixed || (a+1)&fixed == want&fixed
 }
 
-func portInIndex(a uint16) (int, bool) {
+func portInIndex(d *mcu.Design, a uint16) (int, bool) {
 	for i := 0; i < mcu.NumPorts; i++ {
-		if a&^1 == mcu.PortInAddr(i) {
+		if a&^1 == d.Map.PortIn[i] {
 			return i, true
 		}
 	}
 	return 0, false
 }
 
-func portOutIndex(a uint16) (int, bool) {
+func portOutIndex(d *mcu.Design, a uint16) (int, bool) {
 	for i := 0; i < mcu.NumPorts; i++ {
-		if a&^1 == mcu.PortOutAddr(i) {
+		if a&^1 == d.Map.PortOut[i] {
 			return i, true
 		}
 	}

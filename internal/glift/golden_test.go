@@ -1,0 +1,89 @@
+package glift_test
+
+// Byte-identity pinning for the msp430 target across refactors.
+//
+// The differential suite proves reports are identical across performance
+// knobs *within* one build; this test pins them across *builds*: the
+// committed digests in testdata/msp430_report_digests.json were captured
+// before the Target refactor, so any change to the engine, the mcu core,
+// or the target plumbing that perturbs a single report byte (beyond wall
+// time) fails here. Regenerate deliberately with:
+//
+//	go test ./internal/glift -run TestGoldenReportDigests -update-golden
+//
+// and justify the regeneration in the commit that carries it.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/msp430_report_digests.json from the current build")
+
+const goldenPath = "testdata/msp430_report_digests.json"
+
+func TestGoldenReportDigests(t *testing.T) {
+	got := map[string]string{}
+	for _, b := range bench.All() {
+		bt, err := bench.BuildUnmodified(b)
+		if err != nil {
+			t.Fatalf("build %s: %v", b.Name, err)
+		}
+		rep := analyzeConfig(t, bt, refConfig)
+		sum := sha256.Sum256(normalizedReportJSON(t, rep))
+		got[b.Name] = hex.EncodeToString(sum[:])
+	}
+
+	if *updateGolden {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden digests (regenerate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w, ok := want[n]
+		if !ok {
+			t.Errorf("%s: no committed digest (regenerate with -update-golden)", n)
+			continue
+		}
+		if got[n] != w {
+			t.Errorf("%s: report bytes changed: digest %s, committed %s", n, got[n], w)
+		}
+	}
+	for n := range want {
+		if _, ok := got[n]; !ok {
+			t.Errorf("%s: committed digest has no benchmark", n)
+		}
+	}
+}

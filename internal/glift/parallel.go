@@ -449,7 +449,7 @@ func (p *specPool) speculate(sys *mcu.System, it *specItem) *specTrace {
 			return tr
 		}
 		commitOn(sys, ci, func() { cycles++ })
-		if modifiesPC(ci) {
+		if modifiesPC(e.design, ci) {
 			k := forkKey{pc: ci.PC.Val, state: stateCode(ci), dir: dirCode(ci.BranchTkn.V, ci.POR.V, ci.IrqTkn.V)}
 			post := sys.Snapshot()
 			tr.ops = append(tr.ops, specOp{key: k, post: post, curInstr: curInstr, cycles: cycles, events: pending})

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/mcu"
 	"repro/internal/sim"
@@ -91,13 +90,11 @@ func buildBatchSystem(e *Engine, lanes int) (*mcu.BatchSystem, error) {
 	if err != nil {
 		return nil, err
 	}
-	rom := sim.NewTaintMem(isa.ROMStart, 0x10000-isa.ROMStart)
-	trap, _ := (&isa.Instr{Op: isa.JMP, Off: -1}).Encode()
-	for a := uint32(isa.ROMStart); a < 0x10000; a += 2 {
-		rom.StoreWord(uint16(a), sim.ConcreteWord(trap[0]))
-	}
+	d := e.design
+	rom := sim.NewTaintMem(d.Map.ROMStart, int(d.Map.ROMEnd)-int(d.Map.ROMStart))
+	d.FillTraps(func(a, w uint16) { rom.StoreWord(a, sim.ConcreteWord(w)) })
 	e.img.Place(func(a, w uint16) { rom.StoreWord(a, sim.ConcreteWord(w)) })
-	rom.StoreWord(isa.ResetVec, sim.ConcreteWord(e.img.Entry))
+	rom.StoreWord(d.Map.ResetVec, sim.ConcreteWord(e.img.Entry))
 	if e.Pol.TaintCodeWords {
 		for _, r := range e.Pol.TaintedCode {
 			rom.SetTaint(r.Lo, r.Hi)
@@ -253,7 +250,7 @@ func (p *specPool) speculateBatch(bs *mcu.BatchSystem, its []*specItem) {
 					bs.B.SetLane(lane, bit, sg)
 				}
 			}
-			if modifiesPC(ci) {
+			if modifiesPC(e.design, ci) {
 				k := forkKey{pc: ci.PC.Val, state: stateCode(ci), dir: dirCode(ci.BranchTkn.V, ci.POR.V, ci.IrqTkn.V)}
 				post := bs.SnapshotLane(lane)
 				lc.tr.ops = append(lc.tr.ops, specOp{key: k, post: post, curInstr: lc.curInstr, cycles: lc.cycles, events: lc.pending})

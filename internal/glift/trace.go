@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/isa"
 	"repro/internal/mcu"
 )
 
@@ -23,15 +22,23 @@ type TraceEntry struct {
 	PortsTainted uint8 // bitmask over output ports P1..P4
 }
 
-// String renders one trace line.
-func (e TraceEntry) String() string {
+// String renders one trace line. RegNames supplies per-target register
+// names; nil falls back to rN.
+func (e TraceEntry) String() string { return e.Render(nil) }
+
+// Render renders one trace line with the given register names (nil: rN).
+func (e TraceEntry) Render(regName *[16]string) string {
 	regs := ""
 	for r := 0; r < 16; r++ {
 		if e.TaintedRegs>>uint(r)&1 == 1 {
 			if regs != "" {
 				regs += ","
 			}
-			regs += isa.Reg(r).String()
+			if regName != nil && regName[r] != "" {
+				regs += regName[r]
+			} else {
+				regs += fmt.Sprintf("r%d", r)
+			}
 		}
 	}
 	if regs == "" {
@@ -51,6 +58,10 @@ type TraceRecorder struct {
 	Max int
 
 	Entries []TraceEntry
+
+	// regName is the analyzed target's register naming, captured from the
+	// engine on the first hook call so WriteTo renders target names.
+	regName *[16]string
 }
 
 // Hook returns the per-cycle callback to install in Options.Trace.
@@ -64,6 +75,9 @@ func (tr *TraceRecorder) Hook() func(e *Engine, ci *mcu.CycleInfo) {
 		max = 10000
 	}
 	return func(e *Engine, ci *mcu.CycleInfo) {
+		if tr.regName == nil {
+			tr.regName = &e.Sys.D.RegName
+		}
 		if len(tr.Entries) >= max {
 			return
 		}
@@ -77,7 +91,7 @@ func (tr *TraceRecorder) Hook() func(e *Engine, ci *mcu.CycleInfo) {
 			State:      ci.State,
 			PCTainted:  ci.PC.Tainted(),
 			SRTainted:  e.Sys.GetWord(e.Sys.D.SR).Tainted(),
-			TaintedRAM: e.Sys.RAM.TaintedBytes(isa.RAMStart, isa.RAMEnd),
+			TaintedRAM: e.Sys.RAM.TaintedBytes(e.Sys.D.Map.RAMStart, e.Sys.D.Map.RAMEnd),
 			WdtTainted: e.Sys.GetWord(e.Sys.D.WdtCtl).Tainted() || e.Sys.GetWord(e.Sys.D.WdtCnt).Tainted(),
 		}
 		for r := 0; r < 16; r++ {
@@ -101,7 +115,7 @@ func (tr *TraceRecorder) Hook() func(e *Engine, ci *mcu.CycleInfo) {
 func (tr *TraceRecorder) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	for _, e := range tr.Entries {
-		m, err := fmt.Fprintln(w, e.String())
+		m, err := fmt.Fprintln(w, e.Render(tr.regName))
 		n += int64(m)
 		if err != nil {
 			return n, err

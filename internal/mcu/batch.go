@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/sim"
@@ -59,8 +58,8 @@ func NewBatchSystem(d *Design, lanes int) (*BatchSystem, error) {
 		cis:    make([]CycleInfo, lanes),
 	}
 	for lane := 0; lane < lanes; lane++ {
-		b.rom[lane] = sim.NewTaintMem(isa.ROMStart, 0x10000-isa.ROMStart)
-		b.ram[lane] = sim.NewTaintMem(isa.RAMStart, isa.RAMEnd-isa.RAMStart)
+		b.rom[lane] = sim.NewTaintMem(d.Map.ROMStart, int(d.Map.ROMEnd)-int(d.Map.ROMStart))
+		b.ram[lane] = sim.NewTaintMem(d.Map.RAMStart, int(d.Map.RAMEnd)-int(d.Map.RAMStart))
 		b.rst[lane] = logic.Zero0
 		for i := 0; i < NumPorts; i++ {
 			b.portIn[lane][i] = sim.Word{XM: 0xffff}

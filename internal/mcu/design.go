@@ -12,6 +12,8 @@
 package mcu
 
 import (
+	"sync"
+
 	"repro/internal/isa"
 	"repro/internal/netlist"
 	"repro/internal/synth"
@@ -82,6 +84,28 @@ type Design struct {
 	WdtWe       netlist.NetID // write strobe of WDTCTL (integrity-check target)
 	WdtExpired  netlist.NetID
 	IrqTaken    netlist.NetID // interrupt entry decision at a fetch boundary
+
+	// Target conventions (see DESIGN.md "Target abstraction"). Every
+	// Design carries its own memory map, load-visible MMIO registers,
+	// trap-fill pattern, register names, sequential PC step and jump-word
+	// predicate, so the engine, checker and tracer never consult ISA
+	// constants directly.
+	Map  MemMap
+	MMIO []MMIOReg
+	// Trap is the repeating word pattern used to pad unused ROM (a
+	// self-parking instruction).
+	Trap []uint16
+	// RegName names the architectural register slots for diagnostics.
+	RegName [16]string
+	// PCStep is the sequential PC increment of one committed cycle; a
+	// committed PCNext that is neither PC nor PC+PCStep is a control
+	// transfer in the conservative state table's sense.
+	PCStep uint16
+	// JumpWord reports whether a concrete instruction word fetched in
+	// StFetch is a (possibly self-targeting) control transfer — the case
+	// the PCNext delta test cannot see, since a taken self-jump holds the
+	// PC exactly like a sequential mid-instruction cycle.
+	JumpWord func(w uint16) bool
 }
 
 // regfileSlots lists the register numbers held in the DFF register file
@@ -596,6 +620,35 @@ func Build() *Design {
 		b.OutputWord(portName("p", i, "out"), d.PortOut[i])
 	}
 
+	// ---- Target conventions ----
+	d.Map = MemMap{
+		ROMStart: isa.ROMStart, ROMEnd: 0x10000,
+		RAMStart: isa.RAMStart, RAMEnd: isa.RAMEnd,
+		ResetVec: isa.ResetVec,
+		WdtCtl:   isa.AddrWDTCTL,
+	}
+	for i := 0; i < NumPorts; i++ {
+		d.Map.PortIn[i] = PortInAddr(i)
+		d.Map.PortOut[i] = PortOutAddr(i)
+		d.MMIO = append(d.MMIO,
+			MMIOReg{Addr: PortInAddr(i), Nets: d.PortIn[i]},
+			MMIOReg{Addr: PortOutAddr(i), Nets: d.PortOut[i]})
+	}
+	d.MMIO = append(d.MMIO,
+		MMIOReg{Addr: isa.AddrWDTCTL, Nets: d.WdtCtl, Mask: 0xff},
+		MMIOReg{Addr: isa.AddrTACTL, Nets: d.TaCtl, Mask: 0xff},
+		MMIOReg{Addr: isa.AddrTACCR0, Nets: d.TaCcr0},
+		MMIOReg{Addr: isa.AddrTAR, Nets: d.TaR})
+	trap, _ := (&isa.Instr{Op: isa.JMP, Off: -1}).Encode()
+	d.Trap = []uint16{trap[0]}
+	for r := 0; r < 16; r++ {
+		d.RegName[r] = isa.Reg(r).String()
+	}
+	d.PCStep = 2
+	// Any MSP430 jump-format instruction (opcode field 001) can hold the
+	// PC, including "jmp $".
+	d.JumpWord = func(w uint16) bool { return w>>13 == 1 }
+
 	if err := nl.Validate(); err != nil {
 		panic("mcu: invalid netlist: " + err.Error())
 	}
@@ -618,4 +671,17 @@ func muxOptions(m map[int]synth.Word, def synth.Word) []synth.Word {
 		}
 	}
 	return opts
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Design
+)
+
+// Shared returns the memoized msp430 design. Building it is moderately
+// expensive and it holds no simulation state, so every consumer — the
+// analysis engine, the service, the target registry — shares one instance.
+func Shared() *Design {
+	sharedOnce.Do(func() { shared = Build() })
+	return shared
 }

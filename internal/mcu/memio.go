@@ -1,7 +1,6 @@
 package mcu
 
 import (
-	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/sim"
@@ -21,40 +20,22 @@ type memIO struct {
 	logf func(format string, args ...interface{}) // unusual-access log, "cycle N: " prefixed
 }
 
-// readMMIO returns the word visible at a peripheral address, if any.
+// readMMIO returns the word visible at a peripheral address, if any — a
+// lookup over the design's declared load-visible MMIO registers.
 func (m *memIO) readMMIO(addr uint16) (sim.Word, bool) {
 	a := addr &^ 1
-	for i := 0; i < NumPorts; i++ {
-		if a == PortInAddr(i) {
-			return m.get(m.d.PortIn[i]), true
+	for i := range m.d.MMIO {
+		r := &m.d.MMIO[i]
+		if a != r.Addr {
+			continue
 		}
-		if a == PortOutAddr(i) {
-			return m.get(m.d.PortOut[i]), true
+		w := m.get(r.Nets)
+		if r.Mask != 0 {
+			w = sim.Word{Val: w.Val & r.Mask, XM: w.XM & r.Mask, TT: w.TT & r.Mask}
 		}
-	}
-	if a == isa.AddrWDTCTL {
-		w := m.get(m.d.WdtCtl)
-		return sim.Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff}, true
-	}
-	switch a {
-	case isa.AddrTACTL:
-		w := m.get(m.d.TaCtl)
-		return sim.Word{Val: w.Val & 0xff, XM: w.XM & 0xff, TT: w.TT & 0xff}, true
-	case isa.AddrTACCR0:
-		return m.get(m.d.TaCcr0), true
-	case isa.AddrTAR:
-		return m.get(m.d.TaR), true
+		return w, true
 	}
 	return sim.Word{}, false
-}
-
-// mmioAddrs enumerates peripheral word addresses for X-address load merges.
-func mmioAddrs() []uint16 {
-	var as []uint16
-	for i := 0; i < NumPorts; i++ {
-		as = append(as, PortInAddr(i), PortOutAddr(i))
-	}
-	return append(as, isa.AddrWDTCTL, isa.AddrTACTL, isa.AddrTACCR0, isa.AddrTAR)
 }
 
 // fetch resolves a program-memory read for the (possibly unknown) address.
@@ -111,8 +92,8 @@ func (m *memIO) loadDispatch(addr sim.Word, re logic.Sig) sim.Word {
 	match := func(a uint16) bool { return a&fixed == want || (a+1)&fixed == want }
 	m.ram.ForEachMatchRelaxed(free, want, func(a uint16) { join(m.ram.LoadWord(a)) })
 	m.rom.ForEachMatchRelaxed(free, want, func(a uint16) { join(m.rom.LoadWord(a)) })
-	for _, ma := range mmioAddrs() {
-		if match(ma) {
+	for i := range m.d.MMIO {
+		if ma := m.d.MMIO[i].Addr; match(ma) {
 			if w, ok := m.readMMIO(ma); ok {
 				join(w)
 			}

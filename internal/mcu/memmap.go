@@ -1,0 +1,50 @@
+package mcu
+
+import (
+	"repro/internal/synth"
+)
+
+// MemMap is a target machine's memory geometry and address conventions —
+// everything the simulation harness, the analysis engine, and the policy
+// layer need to know about where things live, factored out of the netlist
+// so a second ISA's design can declare its own map without touching the
+// engine (see DESIGN.md "Target abstraction").
+type MemMap struct {
+	// Program memory [ROMStart, ROMEnd). ROMEnd is exclusive and a uint32
+	// so a map reaching the top of the 16-bit space can say 0x10000.
+	ROMStart uint16
+	ROMEnd   uint32
+	// Data memory [RAMStart, RAMEnd).
+	RAMStart uint16
+	RAMEnd   uint16
+	// ResetVec is the ROM word holding the boot entry address; the core
+	// fetches it in StReset.
+	ResetVec uint16
+	// WdtCtl is the watchdog control register's MMIO address — the
+	// integrity-check target of the paper's recovery mechanism.
+	WdtCtl uint16
+	// PortIn/PortOut are the MMIO addresses of the GPIO port pairs.
+	PortIn  [NumPorts]uint16
+	PortOut [NumPorts]uint16
+}
+
+// MMIOReg is one load-visible memory-mapped peripheral register: the
+// behavioural memory model resolves reads at Addr from the given nets.
+// Mask, when nonzero, limits the visible bits (byte-wide registers).
+type MMIOReg struct {
+	Addr uint16
+	Nets synth.Word
+	Mask uint16
+}
+
+// FillTraps invokes store for every word of unused-ROM trap padding: the
+// design's trap pattern (a self-parking instruction sequence) repeated
+// across [ROMStart, ROMEnd). The analysis pads program memory with it
+// before placing an image, so conservatively merged candidate PCs that
+// were never really pushed park and get pruned instead of executing
+// unknown instruction words.
+func (d *Design) FillTraps(store func(addr, word uint16)) {
+	for a, i := uint32(d.Map.ROMStart), 0; a < d.Map.ROMEnd; a, i = a+2, i+1 {
+		store(uint16(a), d.Trap[i%len(d.Trap)])
+	}
+}

@@ -66,8 +66,8 @@ func NewSystemBackend(d *Design, kind sim.BackendKind) (*System, error) {
 	s := &System{
 		D:   d,
 		C:   c,
-		ROM: sim.NewTaintMem(isa.ROMStart, 0x10000-isa.ROMStart),
-		RAM: sim.NewTaintMem(isa.RAMStart, isa.RAMEnd-isa.RAMStart),
+		ROM: sim.NewTaintMem(d.Map.ROMStart, int(d.Map.ROMEnd)-int(d.Map.ROMStart)),
+		RAM: sim.NewTaintMem(d.Map.RAMStart, int(d.Map.RAMEnd)-int(d.Map.RAMStart)),
 		rst: logic.Zero0,
 	}
 	s.mem = memIO{d: d, rom: s.ROM, ram: s.RAM, get: s.getWord, logf: s.logf}
@@ -91,7 +91,7 @@ func (s *System) LoadProgram(addr uint16, words []uint16) {
 
 // SetResetVector points the reset vector at entry.
 func (s *System) SetResetVector(entry uint16) {
-	s.ROM.StoreWord(isa.ResetVec, sim.ConcreteWord(entry))
+	s.ROM.StoreWord(s.D.Map.ResetVec, sim.ConcreteWord(entry))
 }
 
 // TaintCode marks the program-memory range [lo, hi) as tainted (a tainted

@@ -1,0 +1,517 @@
+package rv32
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+// AssembleSource assembles rv32 assembly into the shared image format
+// (halfword little-endian segments), so every consumer of *asm.Image — the
+// engine's ROM placement, the service's job schema, the benchmarks — works
+// on rv32 programs unchanged.
+//
+// Syntax, one instruction per line ("#" or ";" comments, "label:" labels):
+//
+//	lui/auipc rd, imm20
+//	addi/slti/sltiu/xori/ori/andi rd, rs1, imm
+//	add/sub/slt/sltu/xor/or/and rd, rs1, rs2
+//	lh/lhu rd, off(rs1)        sh rs2, off(rs1)
+//	beq/bne/blt/bge/bltu/bgeu rs1, rs2, label
+//	jal [rd,] label            jalr rd, rs1, imm
+//	nop | mv rd, rs | li rd, imm | j label | ret
+//	.org addr | .word imm16
+//
+// Registers are x0..x15. Programs originate at ROMStart; the entry point is
+// the "start" label when present, else the first instruction.
+func AssembleSource(src string) (*asm.Image, error) {
+	p := &parser{symbols: map[string]int64{}}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: lay out statements and record label addresses.
+	addr := uint16(ROMStart)
+	type stmt struct {
+		line  int
+		text  string
+		addr  uint16
+		words int
+	}
+	var stmts []stmt
+	for i, raw := range lines {
+		text := stripComment(raw)
+		for {
+			lab, rest, ok := splitLabel(text)
+			if !ok {
+				break
+			}
+			if _, dup := p.symbols[lab]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", i+1, lab)
+			}
+			p.symbols[lab] = int64(addr)
+			text = rest
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if next, ok, err := p.directiveAddr(text, addr); err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		} else if ok {
+			addr = next
+			continue
+		}
+		n, err := p.sizeWords(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		stmts = append(stmts, stmt{line: i + 1, text: text, addr: addr, words: n})
+		addr += uint16(2 * n)
+	}
+
+	// Pass 2: encode.
+	img := &asm.Image{
+		Symbols:    p.symbols,
+		AddrToStmt: map[uint16]int{},
+		StmtToAddr: map[int]uint16{},
+	}
+	segs := map[uint16][]uint16{} // start addr -> words, merged below
+	var order []uint16
+	var cur uint16
+	var curWords []uint16
+	flush := func() {
+		if curWords != nil {
+			segs[cur] = curWords
+			order = append(order, cur)
+			curWords = nil
+		}
+	}
+	expect := uint16(0)
+	for _, s := range stmts {
+		words, err := p.encode(s.text, s.addr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", s.line, err)
+		}
+		if curWords == nil || s.addr != expect {
+			flush()
+			cur = s.addr
+		}
+		curWords = append(curWords, words...)
+		expect = s.addr + uint16(2*len(words))
+	}
+	flush()
+	for _, a := range order {
+		img.Segments = append(img.Segments, asm.Segment{Addr: a, Words: segs[a]})
+	}
+
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("rv32: empty program")
+	}
+	img.Entry = stmts[0].addr
+	if e, ok := p.symbols["start"]; ok {
+		img.Entry = uint16(e)
+	}
+	return img, nil
+}
+
+// MustAssemble assembles a compiled-in program, panicking on error.
+func MustAssemble(src string) *asm.Image {
+	img, err := AssembleSource(src)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+type parser struct {
+	symbols map[string]int64
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func splitLabel(s string) (label, rest string, ok bool) {
+	t := strings.TrimSpace(s)
+	i := strings.Index(t, ":")
+	if i <= 0 {
+		return "", s, false
+	}
+	lab := strings.TrimSpace(t[:i])
+	if !isIdent(lab) {
+		return "", s, false
+	}
+	return lab, t[i+1:], true
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// directiveAddr handles .org/.word layout during pass 1 (and .word is also
+// re-handled in encode); returns the next layout address for .org.
+func (p *parser) directiveAddr(text string, addr uint16) (uint16, bool, error) {
+	f := strings.Fields(text)
+	if f[0] != ".org" {
+		return 0, false, nil
+	}
+	if len(f) != 2 {
+		return 0, false, fmt.Errorf(".org wants one operand")
+	}
+	v, err := p.immediate(f[1])
+	if err != nil {
+		return 0, false, err
+	}
+	return uint16(v), true, nil
+}
+
+// sizeWords returns the halfword count of one statement (li may expand).
+func (p *parser) sizeWords(text string) (int, error) {
+	op, args, err := splitOp(text)
+	if err != nil {
+		return 0, err
+	}
+	switch op {
+	case ".word":
+		return 1, nil
+	case "li":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("li wants rd, imm")
+		}
+		v, err := p.immediate(args[1])
+		if err != nil {
+			return 0, err
+		}
+		if fitsImm12(v) {
+			return 2, nil // addi rd, x0, imm
+		}
+		return 4, nil // lui + addi
+	default:
+		return 2, nil
+	}
+}
+
+func splitOp(text string) (string, []string, error) {
+	text = strings.TrimSpace(text)
+	i := strings.IndexAny(text, " \t")
+	if i < 0 {
+		return text, nil, nil
+	}
+	op := text[:i]
+	var args []string
+	for _, a := range strings.Split(text[i+1:], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("empty operand in %q", text)
+		}
+		args = append(args, a)
+	}
+	return op, args, nil
+}
+
+func fitsImm12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+func (p *parser) reg(s string) (uint32, error) {
+	if !strings.HasPrefix(s, "x") {
+		return 0, fmt.Errorf("bad register %q (want x0..x15)", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("bad register %q (want x0..x15)", s)
+	}
+	return uint32(n), nil
+}
+
+func (p *parser) immediate(s string) (int64, error) {
+	if v, ok := p.symbols[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate or undefined symbol %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "off(rs1)".
+func (p *parser) memOperand(s string) (off int64, rs1 uint32, err error) {
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want off(rs1))", s)
+	}
+	offS := strings.TrimSpace(s[:i])
+	if offS == "" {
+		offS = "0"
+	}
+	off, err = p.immediate(offS)
+	if err != nil {
+		return 0, 0, err
+	}
+	rs1, err = p.reg(strings.TrimSpace(s[i+1 : len(s)-1]))
+	return off, rs1, err
+}
+
+var opImmF3 = map[string]uint32{
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+var opF3 = map[string]uint32{
+	"add": 0, "sub": 0, "slt": 2, "sltu": 3, "xor": 4, "or": 6, "and": 7,
+}
+var branchF3 = map[string]uint32{
+	"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+
+// encode emits one statement's halfwords (instruction low half first).
+func (p *parser) encode(text string, addr uint16) ([]uint16, error) {
+	op, args, err := splitOp(text)
+	if err != nil {
+		return nil, err
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	halves := func(insns ...uint32) []uint16 {
+		var out []uint16
+		for _, v := range insns {
+			out = append(out, uint16(v), uint16(v>>16))
+		}
+		return out
+	}
+
+	switch op {
+	case ".word":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		v, err := p.immediate(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint16{uint16(v)}, nil
+
+	case "lui", "auipc":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err := p.reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.immediate(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 0xfffff {
+			return nil, fmt.Errorf("%s immediate %d out of range [0, 0xfffff]", op, v)
+		}
+		oc := uint32(opLUI)
+		if op == "auipc" {
+			oc = opAUIPC
+		}
+		return halves(uint32(v)<<12 | rd<<7 | oc), nil
+
+	case "addi", "slti", "sltiu", "xori", "ori", "andi":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := p.reg(args[0])
+		rs1, err2 := p.reg(args[1])
+		v, err3 := p.immediate(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if !fitsImm12(v) {
+			return nil, fmt.Errorf("%s immediate %d out of range [-2048, 2047]", op, v)
+		}
+		return halves(encI(opOpImm, rd, opImmF3[op], rs1, v)), nil
+
+	case "add", "sub", "slt", "sltu", "xor", "or", "and":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := p.reg(args[0])
+		rs1, err2 := p.reg(args[1])
+		rs2, err3 := p.reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		f7 := uint32(0)
+		if op == "sub" {
+			f7 = 0x20
+		}
+		return halves(f7<<25 | rs2<<20 | rs1<<15 | opF3[op]<<12 | rd<<7 | opOp), nil
+
+	case "lh", "lhu":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := p.reg(args[0])
+		off, rs1, err2 := p.memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		if !fitsImm12(off) {
+			return nil, fmt.Errorf("%s offset %d out of range", op, off)
+		}
+		f3 := uint32(1)
+		if op == "lhu" {
+			f3 = 5
+		}
+		return halves(encI(opLoad, rd, f3, rs1, off)), nil
+
+	case "sh":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rs2, err1 := p.reg(args[0])
+		off, rs1, err2 := p.memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		if !fitsImm12(off) {
+			return nil, fmt.Errorf("sh offset %d out of range", off)
+		}
+		imm := uint32(off) & 0xfff
+		return halves(imm>>5<<25 | rs2<<20 | rs1<<15 | 1<<12 | imm&0x1f<<7 | opStore), nil
+
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := p.reg(args[0])
+		rs2, err2 := p.reg(args[1])
+		tgt, err3 := p.immediate(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		off := int64(int16(uint16(tgt) - addr))
+		if off < -4096 || off > 4094 || off&1 != 0 {
+			return nil, fmt.Errorf("branch offset %d out of range or misaligned", off)
+		}
+		imm := uint32(off) & 0x1fff
+		enc := imm>>12<<31 | imm>>5&0x3f<<25 | rs2<<20 | rs1<<15 |
+			branchF3[op]<<12 | imm>>1&0xf<<8 | imm>>11&1<<7 | opBranch
+		return halves(enc), nil
+
+	case "jal", "j":
+		rd := uint32(1)
+		tgtArg := ""
+		switch {
+		case op == "j" && len(args) == 1:
+			rd, tgtArg = 0, args[0]
+		case op == "jal" && len(args) == 1:
+			tgtArg = args[0]
+		case op == "jal" && len(args) == 2:
+			var err error
+			if rd, err = p.reg(args[0]); err != nil {
+				return nil, err
+			}
+			tgtArg = args[1]
+		default:
+			return nil, fmt.Errorf("%s wants [rd,] target", op)
+		}
+		tgt, err := p.immediate(tgtArg)
+		if err != nil {
+			return nil, err
+		}
+		off := int64(int16(uint16(tgt) - addr))
+		if off < -(1<<20) || off >= 1<<20 || off&1 != 0 {
+			return nil, fmt.Errorf("jump offset %d out of range or misaligned", off)
+		}
+		imm := uint32(off) & 0x1fffff
+		enc := imm>>20<<31 | imm>>1&0x3ff<<21 | imm>>11&1<<20 | imm>>12&0xff<<12 | rd<<7 | uint32(opJAL)
+		return halves(enc), nil
+
+	case "jalr":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := p.reg(args[0])
+		rs1, err2 := p.reg(args[1])
+		v, err3 := p.immediate(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if !fitsImm12(v) {
+			return nil, fmt.Errorf("jalr immediate %d out of range", v)
+		}
+		return halves(encI(opJALR, rd, 0, rs1, v)), nil
+
+	case "ret":
+		if err := want(0); err != nil {
+			return nil, err
+		}
+		return halves(encI(opJALR, 0, 0, 1, 0)), nil
+
+	case "nop":
+		if err := want(0); err != nil {
+			return nil, err
+		}
+		return halves(encI(opOpImm, 0, 0, 0, 0)), nil
+
+	case "mv":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := p.reg(args[0])
+		rs1, err2 := p.reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return halves(encI(opOpImm, rd, 0, rs1, 0)), nil
+
+	case "li":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := p.reg(args[0])
+		v, err2 := p.immediate(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		if fitsImm12(v) {
+			return halves(encI(opOpImm, rd, 0, 0, v)), nil
+		}
+		v32 := uint32(v)
+		hi := (v32 + 0x800) >> 12
+		lo := int64(int32(v32) - int32(hi<<12))
+		return halves(
+			hi&0xfffff<<12|rd<<7|opLUI,
+			encI(opOpImm, rd, 0, rd, lo)), nil
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", op)
+}
+
+func encI(opcode, rd, f3, rs1 uint32, imm int64) uint32 {
+	return uint32(imm)&0xfff<<20 | rs1<<15 | f3<<12 | rd<<7 | opcode
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package rv32
+
+import (
+	"strings"
+	"testing"
+)
+
+// word32 reads the 32-bit instruction assembled at addr.
+func word32(t *testing.T, src string, addr uint16) uint32 {
+	t.Helper()
+	img := MustAssemble(src)
+	words := map[uint16]uint16{}
+	img.Place(func(a, w uint16) { words[a] = w })
+	lo, ok := words[addr]
+	if !ok {
+		t.Fatalf("nothing assembled at %#04x", addr)
+	}
+	return uint32(lo) | uint32(words[addr+2])<<16
+}
+
+// TestEncodings pins instruction encodings against independently computed
+// RV32I reference values.
+func TestEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"addi x1, x0, 5", 0x00500093},
+		{"addi x2, x1, -1", 0xfff08113},
+		{"add x3, x1, x2", 0x002081b3},
+		{"sub x3, x1, x2", 0x402081b3},
+		{"and x5, x6, x7", 0x007372b3},
+		{"lui x1, 0xabcde", 0xabcde0b7},
+		{"auipc x2, 0x10", 0x00010117},
+		{"lh x1, 4(x2)", 0x00411083},
+		{"lhu x1, 4(x2)", 0x00415083},
+		{"sh x1, 4(x2)", 0x00111223},
+		{"jalr x1, x2, 8", 0x008100e7},
+		{"nop", 0x00000013},
+	}
+	for _, c := range cases {
+		if got := word32(t, "start: "+c.src, ROMStart); got != c.want {
+			t.Errorf("%s: encoded %#08x, want %#08x", c.src, got, c.want)
+		}
+	}
+}
+
+// TestBranchAndJumpOffsets checks label-relative encodings round-trip
+// through the interpreter's immediate reconstruction.
+func TestBranchAndJumpOffsets(t *testing.T) {
+	src := `
+start:  beq x1, x2, fwd
+        nop
+        nop
+fwd:    jal x3, start
+back:   j back
+`
+	img := MustAssemble(src)
+	m := NewMachine()
+	img.Place(m.StoreHalf)
+	m.StoreHalf(ResetVec, img.Entry)
+	m.Reset()
+	m.X[1], m.X[2] = 7, 7 // taken
+	if err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC != ROMStart+12 {
+		t.Fatalf("beq taken landed at %#04x, want %#04x", m.PC, ROMStart+12)
+	}
+	if err := m.Step(); err != nil { // jal back to start
+		t.Fatal(err)
+	}
+	if m.PC != ROMStart {
+		t.Fatalf("jal landed at %#04x, want %#04x", m.PC, ROMStart)
+	}
+	if m.X[3] != uint32(ROMStart)+16 {
+		t.Fatalf("jal link = %#x, want %#x", m.X[3], ROMStart+16)
+	}
+}
+
+// TestLiExpansion checks both forms of the li pseudo-instruction.
+func TestLiExpansion(t *testing.T) {
+	m := NewMachine()
+	img := MustAssemble("start: li x1, -3\n li x2, 0x12345\n li x3, 0x7ffff800\ndone: j done\n")
+	img.Place(m.StoreHalf)
+	m.StoreHalf(ResetVec, img.Entry)
+	m.Reset()
+	if err := m.RunToPark(16); err != nil {
+		t.Fatal(err)
+	}
+	if m.X[1] != 0xfffffffd {
+		t.Errorf("li x1, -3 = %#x", m.X[1])
+	}
+	if m.X[2] != 0x12345 {
+		t.Errorf("li x2, 0x12345 = %#x", m.X[2])
+	}
+	if m.X[3] != 0x7ffff800 {
+		t.Errorf("li x3, 0x7ffff800 = %#x", m.X[3])
+	}
+}
+
+// TestAssembleErrors checks that malformed sources are rejected with
+// positioned diagnostics.
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad register":    "start: addi x16, x0, 1\ndone: j done\n",
+		"unknown label":   "start: beq x1, x2, nowhere\ndone: j done\n",
+		"imm range":       "start: addi x1, x0, 5000\ndone: j done\n",
+		"unknown op":      "start: mul x1, x2, x3\ndone: j done\n",
+		"duplicate label": "start: nop\nstart: nop\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := AssembleSource(src); err == nil {
+				t.Fatalf("assembled without error")
+			} else if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("diagnostic lacks position: %v", err)
+			}
+		})
+	}
+}

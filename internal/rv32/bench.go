@@ -1,0 +1,114 @@
+package rv32
+
+import (
+	"repro/internal/asm"
+	"repro/internal/glift"
+)
+
+// Tainted-partition geometry shared by the rv32 smoke benchmarks: the top
+// quarter of RAM holds tainted data, the rest stays untainted.
+const (
+	PartLo = 0x0e00
+	PartHi = RAMEnd
+)
+
+// Benchmark is one rv32 smoke workload: a complete program (not a task
+// fragment — the rv32 target has no system-code scaffolding yet) plus the
+// information flow policy it runs under.
+type Benchmark struct {
+	Name string
+	// Src is the full program; it must terminate by parking.
+	Src string
+	// Desc says what the workload demonstrates.
+	Desc string
+	// ExpectViolations is true when the workload is built to violate the
+	// sufficient conditions (the branchy leak), false for the verified
+	// straight-line workloads.
+	ExpectViolations bool
+}
+
+// Policy returns the benchmark's analysis policy. All three smoke
+// workloads share the paper's Section 7 setup transposed to the rv32
+// memory map: input port P1 and output port P2 are tainted, the program
+// is the tainted task, and the top of RAM is its data partition.
+func (b *Benchmark) Policy() *glift.Policy {
+	if b.Name == "portCopy" {
+		// Fully untainted control workload.
+		return &glift.Policy{Name: "rv32/" + b.Name}
+	}
+	return &glift.Policy{
+		Name:            "rv32/" + b.Name,
+		TaintedInPorts:  []int{0},
+		TaintedOutPorts: []int{1},
+		TaintedCode:     []glift.AddrRange{{Lo: ROMStart, Hi: ROMStart + 0x400}},
+		TaintedData:     []glift.AddrRange{{Lo: PartLo, Hi: PartHi}},
+	}
+}
+
+// Build assembles the benchmark.
+func (b *Benchmark) Build() (*asm.Image, error) { return AssembleSource(b.Src) }
+
+// Benchmarks returns the rv32 smoke workloads: two straight-line programs
+// that must verify and one branchy program whose store address depends on
+// tainted input (a sufficient-condition-2 escape).
+func Benchmarks() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name: "straightSum",
+			Desc: "tainted task: read P1 twice, sum, buffer in the partition, emit on P2",
+			Src: `
+start:  li x8, 0x0010        # P1 input port
+        li x9, 0x0e00        # tainted partition base
+        li x10, 0x0016       # P2 output port
+        lh x5, 0(x8)         # tainted sample
+        lh x6, 0(x8)         # second tainted sample
+        add x7, x5, x6
+        sh x7, 0(x9)         # buffer inside the partition
+        sh x7, 2(x9)
+        lh x4, 0(x9)
+        sh x4, 0(x10)        # tainted-allowed output port
+done:   j done
+`,
+		},
+		{
+			Name: "portCopy",
+			Desc: "untainted control: constant compute through RAM to an untainted port",
+			Src: `
+start:  li x9, 0x0800
+        li x5, 0x1234
+        sh x5, 0(x9)
+        lh x6, 0(x9)
+        add x7, x6, x6
+        sh x7, 2(x9)
+        li x10, 0x0012       # P1 output port (untainted is fine: data is untainted)
+        sh x7, 0(x10)
+done:   j done
+`,
+		},
+		{
+			Name:             "branchLeak",
+			ExpectViolations: true,
+			Desc:             "branch on a tainted sample steers a store outside the partition",
+			Src: `
+start:  li x8, 0x0010        # P1 input port
+        li x9, 0x0e00        # tainted partition base
+        li x11, 0x0800       # untainted RAM
+        lh x5, 0(x8)         # tainted, unknown sample
+        beq x5, x0, safe
+        sh x5, 0(x11)        # tainted store escaping the partition (C2)
+safe:   sh x5, 0(x9)         # inside the partition: allowed
+done:   j done
+`,
+		},
+	}
+}
+
+// BenchmarkByName finds a benchmark, or nil.
+func BenchmarkByName(name string) *Benchmark {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package rv32_test
+
+import (
+	"testing"
+
+	"repro/internal/glift"
+	"repro/internal/rv32"
+)
+
+// TestBenchmarkVerdicts runs each rv32 smoke benchmark end to end through
+// the GLIFT engine on the rv32 design and checks the expected verdict: the
+// straight-line workloads verify, the branchy leak reports a C2 escape.
+func TestBenchmarkVerdicts(t *testing.T) {
+	for _, b := range rv32.Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			img, err := b.Build()
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			eng, err := glift.NewEngineOn(rv32.Shared(), img, b.Policy(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := eng.Run()
+			for _, v := range rep.Violations {
+				t.Logf("violation: %s", v)
+			}
+			verdict := rep.Verdict()
+			if b.ExpectViolations {
+				if verdict != glift.Violations {
+					t.Fatalf("verdict = %s, want violations", verdict)
+				}
+				if len(rep.ByKind(glift.C2MemoryEscape)) == 0 {
+					t.Fatalf("expected a C2 memory escape, got %v", rep.Violations)
+				}
+			} else if verdict != glift.Verified {
+				t.Fatalf("verdict = %s, want verified", verdict)
+			}
+		})
+	}
+}

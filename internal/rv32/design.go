@@ -1,0 +1,401 @@
+// Package rv32 constructs a deliberately minimal RV32I-subset gate-level
+// core as a second analysis target. It produces the same *mcu.Design shape
+// as the msp430 build — memory map, MMIO list, trap pattern, register
+// names, PC step and jump-word predicate all carried on the design — so the
+// simulation harness (mcu.System / mcu.BatchSystem) and the GLIFT engine
+// run on it unchanged. The core exists to prove the Target abstraction is
+// real, not to be a complete RISC-V: no shifts, no byte accesses, no
+// interrupts, halfword loads/stores only.
+//
+// Conventions (see DESIGN.md "Target abstraction"):
+//   - 16-bit address space: ROM 0x4000..0x8000, RAM 0x0800..0x1000,
+//     reset vector at 0x7ffe, watchdog control at 0x0080, four GPIO
+//     input/output port pairs at 0x0010+4i / 0x0012+4i.
+//   - RV32E-style register file: x0 hardwired zero, x1..x15 are 32-bit
+//     flip-flops; register fields are interpreted mod 16 (bit 4 of the
+//     5-bit field is ignored — the assembler never emits x16..x31).
+//   - Two-cycle instructions: StFetch reads the low half at PC into IR,
+//     StExec reads the high half at PC+2 and executes, including the
+//     memory access (the harness's multi-pass EvalCycle resolves the
+//     load-use path combinationally within the cycle).
+//   - Instruction subset: LUI AUIPC JAL JALR, BEQ BNE BLT BGE BLTU BGEU,
+//     LH LHU SH, ADDI SLTI SLTIU XORI ORI ANDI, ADD SUB SLT SLTU XOR OR
+//     AND. Anything else parks the PC (the trap/containment behaviour).
+package rv32
+
+import (
+	"sync"
+
+	"repro/internal/mcu"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// FSM state encodings (2-bit state register). StReset and StFetch must keep
+// the shared cross-target encodings (mcu.StReset, mcu.StFetch): the engine
+// accounts instructions and applies jump-word detection at StFetch.
+const (
+	StReset = mcu.StReset // power-on: fetch the reset vector
+	StFetch = mcu.StFetch // read the instruction's low half into IR
+	StExec  = 2           // read the high half, execute, write back
+)
+
+// Memory-map geometry.
+const (
+	ROMStart = 0x4000
+	ROMEnd   = 0x8000
+	RAMStart = 0x0800
+	RAMEnd   = 0x1000
+	ResetVec = 0x7ffe
+
+	// AddrWDTCTL is the watchdog control register; writes must carry the
+	// password in the high byte.
+	AddrWDTCTL  = 0x0080
+	WdtPassword = 0xa5
+	WdtHold     = 0x80 // ctl bit 7: counting disabled (the reset value)
+)
+
+// PortInAddr returns the MMIO address of input port i (0-based).
+func PortInAddr(i int) uint16 { return uint16(0x0010 + 4*i) }
+
+// PortOutAddr returns the MMIO address of output port i (0-based).
+func PortOutAddr(i int) uint16 { return uint16(0x0012 + 4*i) }
+
+// straight-line major opcodes (low 7 bits of the instruction's low half).
+const (
+	opLUI    = 0x37
+	opAUIPC  = 0x17
+	opOpImm  = 0x13
+	opOp     = 0x33
+	opLoad   = 0x03
+	opStore  = 0x23
+	opBranch = 0x63
+	opJAL    = 0x6f
+	opJALR   = 0x67
+)
+
+// Build constructs the rv32 netlist.
+func Build() *mcu.Design {
+	nl := netlist.New()
+	b := synth.NewBuilder(nl)
+	d := &mcu.Design{NL: nl}
+
+	// ---- Primary inputs ----
+	d.Rst = nl.AddInput("rst")
+	d.PmemRdata = b.InputWord("pmem_rdata", 16)
+	d.DmemRdata = b.InputWord("dmem_rdata", 16)
+	for i := 0; i < mcu.NumPorts; i++ {
+		d.PortIn[i] = b.InputWord(portName("p", i, "in"), 16)
+	}
+
+	por := b.Named("por")
+	d.POR = por
+	high, low := b.High(), b.Low()
+	zero16 := b.Const(16, 0)
+	zero32 := b.Const(32, 0)
+
+	// The interrupt-entry probe exists on every target (the engine forces it
+	// during forks); this core never takes interrupts, so it is constant 0.
+	irqTaken := b.Named("irq_taken")
+	d.IrqTaken = irqTaken
+	b.DriveBit(irqTaken, low)
+
+	// ---- State registers ----
+	cb := b.Scope("cpu")
+	stateQ, stateD := cb.RegisterLoop("state", 2, por, high, StReset)
+	pcQ, pcD := cb.RegisterLoop("pc", 16, por, high, 0)
+	irQ, irD := cb.RegisterLoop("ir", 16, por, high, 0)
+	d.State, d.PC, d.IR = stateQ, pcQ, irQ
+	d.PCNext = pcD
+
+	// One scope per register: flat names would collide ("x1" bit 10 and
+	// "x11" bit 0 both flatten to "x110").
+	rb := b.Scope("regs")
+	var regQ, regD [16]synth.Word
+	for r := 1; r < 16; r++ {
+		regQ[r], regD[r] = rb.Scope(regName(r)).RegisterLoop("q", 32, por, high, 0)
+		d.Regs[r] = regQ[r]
+	}
+
+	// ---- State decode ----
+	stDec := b.Scope("st").Decode(stateQ)
+	stFetch, stExec := stDec[StFetch], stDec[StExec]
+
+	// ---- Instruction assembly and decode ----
+	// IR holds the low half (fetched at PC in StFetch); in StExec program
+	// memory is addressed at PC+2, so PmemRdata carries the high half.
+	db := b.Scope("dec")
+	insn := synth.Cat(irQ, d.PmemRdata) // 32 bits
+
+	opcode := synth.Slice(insn, 0, 7)
+	rdF := synth.Slice(insn, 7, 11) // register fields mod 16 (RV32E-style)
+	f3 := synth.Slice(insn, 12, 15)
+	rs1F := synth.Slice(insn, 15, 19)
+	rs2F := synth.Slice(insn, 20, 24)
+	f7 := synth.Slice(insn, 25, 32)
+
+	isLUI := db.EqConst(opcode, opLUI)
+	isAUIPC := db.EqConst(opcode, opAUIPC)
+	isOpImm := db.EqConst(opcode, opOpImm)
+	isOp := db.EqConst(opcode, opOp)
+	isLoad := db.EqConst(opcode, opLoad)
+	isStore := db.EqConst(opcode, opStore)
+	isBranch := db.EqConst(opcode, opBranch)
+	isJAL := db.EqConst(opcode, opJAL)
+	isJALR := db.EqConst(opcode, opJALR)
+
+	f3Dec := db.Decode(f3)
+
+	// Validity: the supported subset only. Invalid instructions park the PC
+	// (the containment behaviour the trap fill relies on).
+	aluF3Ok := db.OrN(f3Dec[0], f3Dec[2], f3Dec[3], f3Dec[4], f3Dec[6], f3Dec[7])
+	f7Zero := db.EqConst(f7, 0)
+	f7Sub := db.EqConst(f7, 0x20)
+	opOk := db.AndN(isOp, aluF3Ok, db.Or(f7Zero, db.And(f7Sub, f3Dec[0])))
+	opImmOk := db.And(isOpImm, aluF3Ok)
+	loadOk := db.And(isLoad, db.Or(f3Dec[1], f3Dec[5])) // LH / LHU
+	storeOk := db.And(isStore, f3Dec[1])                // SH
+	brF3Ok := db.OrN(f3Dec[0], f3Dec[1], f3Dec[4], f3Dec[5], f3Dec[6], f3Dec[7])
+	branchOk := db.And(isBranch, brF3Ok)
+	jalrOk := db.And(isJALR, f3Dec[0])
+	valid := db.OrN(isLUI, isAUIPC, opImmOk, opOk, loadOk, storeOk, branchOk, isJAL, jalrOk)
+
+	// ---- Immediates ----
+	immI := synth.SignExtend(synth.Slice(insn, 20, 32), 32)
+	immS := synth.SignExtend(synth.Cat(synth.Slice(insn, 7, 12), synth.Slice(insn, 25, 32)), 32)
+	immB := synth.SignExtend(synth.Cat(
+		synth.Word{low}, synth.Slice(insn, 8, 12), synth.Slice(insn, 25, 31),
+		synth.Word{insn[7]}, synth.Word{insn[31]}), 32)
+	immU := synth.Cat(b.Const(12, 0), synth.Slice(insn, 12, 32))
+	immJ := synth.SignExtend(synth.Cat(
+		synth.Word{low}, synth.Slice(insn, 21, 31), synth.Word{insn[20]},
+		synth.Slice(insn, 12, 20), synth.Word{insn[31]}), 32)
+
+	// ---- Register file read ----
+	regOpts := make([]synth.Word, 16)
+	regOpts[0] = zero32 // x0 reads as zero
+	for r := 1; r < 16; r++ {
+		regOpts[r] = regQ[r]
+	}
+	rs1Val := rb.MuxTree(rs1F, regOpts)
+	rs2Val := rb.MuxTree(rs2F, regOpts)
+
+	// ---- ALU ----
+	ab := b.Scope("alu")
+	useReg2 := ab.Or(isOp, isBranch)
+	cmpB := ab.MuxW(useReg2, immI, rs2Val)
+	sum, _, _ := ab.Add(rs1Val, cmpB, low)
+	diff, noBorrow, _ := ab.Add(rs1Val, ab.NotW(cmpB), high)
+	ltu := ab.Not(noBorrow)
+	ovf := ab.And(ab.Xor(rs1Val[31], cmpB[31]), ab.Xor(rs1Val[31], diff[31]))
+	ltS := ab.Xor(diff[31], ovf)
+	eq := ab.EqW(rs1Val, cmpB)
+
+	subSel := ab.And(isOp, insn[30]) // f7 bit 5: SUB (validity already checked)
+	addRes := ab.MuxW(subSel, sum, diff)
+	sltRes := ab.ZeroExtend(synth.Word{ltS}, 32)
+	sltuRes := ab.ZeroExtend(synth.Word{ltu}, 32)
+	aluRes := ab.MuxTree(f3, []synth.Word{
+		addRes, zero32, sltRes, sltuRes,
+		ab.XorW(rs1Val, cmpB), zero32, ab.OrW(rs1Val, cmpB), ab.AndW(rs1Val, cmpB),
+	})
+
+	takenRaw := ab.MuxTree(f3, []synth.Word{
+		{eq}, {ab.Not(eq)}, {low}, {low},
+		{ltS}, {ab.Not(ltS)}, {ltu}, {ab.Not(ltu)},
+	})[0]
+	branchTaken := ab.BufNamed("branch_taken", ab.AndN(stExec, isBranch, valid, takenRaw))
+	d.BranchTaken = branchTaken
+
+	// ---- Data-memory port ----
+	mb := b.Scope("mem")
+	notRst := mb.Not(d.Rst)
+	eaImm := mb.MuxW(isStore, immI, immS)
+	eaFull, _, _ := mb.Add(synth.Slice(rs1Val, 0, 16), synth.Slice(eaImm, 0, 16), low)
+	dmemAddr := eaFull
+	dmemRe := mb.AndN(notRst, stExec, isLoad, valid)
+	dmemWe := mb.AndN(notRst, stExec, isStore, valid)
+	dmemWdata := synth.Slice(rs2Val, 0, 16)
+
+	// f3 bit 2 distinguishes LHU (zero-extend) from LH (sign-extend).
+	loadVal := mb.MuxW(f3[2], synth.SignExtend(d.DmemRdata, 32), mb.ZeroExtend(d.DmemRdata, 32))
+
+	// ---- PC next ----
+	pb := b.Scope("pcnext")
+	pcPlus2 := pb.AddConst(pcQ, 2)
+	pcPlus4 := pb.AddConst(pcQ, 4)
+	brT, _, _ := pb.Add(pcQ, synth.Slice(immB, 0, 16), low)
+	jalT, _, _ := pb.Add(pcQ, synth.Slice(immJ, 0, 16), low)
+	jalrT := synth.Cat(synth.Word{low}, synth.Slice(eaFull, 1, 16)) // bit 0 cleared
+
+	execPC := pcPlus4
+	execPC = pb.MuxW(branchTaken, execPC, brT)
+	execPC = pb.MuxW(isJAL, execPC, jalT)
+	execPC = pb.MuxW(jalrOk, execPC, jalrT)
+	execPC = pb.MuxW(valid, pcQ, execPC) // invalid: park
+
+	pcNext := pb.MuxTree(stateQ, []synth.Word{
+		d.PmemRdata, // StReset: the fetched reset vector
+		pcQ,         // StFetch: hold
+		execPC,      // StExec
+		pcQ,
+	})
+	pb.Drive(pcD, pcNext)
+
+	// ---- Writeback ----
+	wb := b.Scope("wb")
+	pcU := wb.ZeroExtend(pcQ, 32)
+	auipcRes, _, _ := wb.Add(pcU, immU, low)
+	linkVal := wb.ZeroExtend(pcPlus4, 32)
+
+	wbVal := aluRes
+	wbVal = wb.MuxW(isLoad, wbVal, loadVal)
+	wbVal = wb.MuxW(wb.Or(isJAL, isJALR), wbVal, linkVal)
+	wbVal = wb.MuxW(isAUIPC, wbVal, auipcRes)
+	wbVal = wb.MuxW(isLUI, wbVal, immU)
+
+	writesRd := wb.OrN(isLUI, isAUIPC, isOpImm, isOp, isLoad, isJAL, isJALR)
+	regWEn := wb.AndN(stExec, valid, writesRd)
+	rdDec := rb.Decode(rdF)
+	for r := 1; r < 16; r++ {
+		en := rb.And(regWEn, rdDec[r])
+		rb.Drive(regD[r], rb.MuxW(en, regQ[r], wbVal))
+	}
+
+	// ---- IR latch ----
+	lb := b.Scope("latch")
+	lb.Drive(irD, lb.MuxW(stFetch, irQ, d.PmemRdata))
+
+	// ---- State next ----
+	nb := b.Scope("next")
+	st := func(v int) synth.Word { return b.Const(2, uint64(v)) }
+	nb.Drive(stateD, nb.MuxTree(stateQ, []synth.Word{
+		st(StFetch), st(StExec), st(StFetch), st(StReset),
+	}))
+
+	// ---- Watchdog timer ----
+	// The same shape as the msp430 watchdog: an 8-bit password-protected
+	// control register resetting to hold, a free-running interval counter,
+	// and a power-on reset on expiry or password violation — the
+	// untainted-reset recovery mechanism every target must provide.
+	wd := b.Scope("wdt")
+	wdtCtlQ, wdtCtlD := wd.RegisterLoop("ctl", 8, por, high, WdtHold)
+	wdtCntQ, wdtCntD := wd.RegisterLoop("cnt", 16, por, high, 0)
+	d.WdtCtl, d.WdtCnt = wdtCtlQ, wdtCntQ
+
+	wdtSel := wd.And(dmemWe, wd.EqConst(dmemAddr, AddrWDTCTL))
+	pwOk := wd.EqConst(synth.Slice(dmemWdata, 8, 16), WdtPassword)
+	wdtWe := wd.BufNamed("wdt_we", wd.And(wdtSel, pwOk))
+	d.WdtWe = wdtWe
+	pwViolation := wd.And(wdtSel, wd.Not(pwOk))
+
+	hold := wdtCtlQ[7]
+	interval := wd.MuxTree(synth.Slice(wdtCtlQ, 0, 2), []synth.Word{
+		b.Const(16, 32767), b.Const(16, 8191), b.Const(16, 511), b.Const(16, 63),
+	})
+	expired := wd.BufNamed("wdt_expired", wd.And(wd.Not(hold), wd.EqW(wdtCntQ, interval)))
+	d.WdtExpired = expired
+
+	cntPlus1 := wd.Inc(wdtCntQ)
+	cntRun := wd.MuxW(hold, cntPlus1, wdtCntQ)
+	cntNext := wd.MuxW(wd.OrN(wdtWe, expired), cntRun, zero16)
+	wd.Drive(wdtCntD, cntNext)
+	wd.Drive(wdtCtlD, wd.MuxW(wdtWe, wdtCtlQ, synth.Slice(dmemWdata, 0, 8)))
+
+	b.DriveBit(por, b.OrN(d.Rst, expired, pwViolation))
+
+	// ---- GPIO output ports ----
+	gb := b.Scope("gpio")
+	for i := 0; i < mcu.NumPorts; i++ {
+		we := gb.And(dmemWe, gb.EqConst(dmemAddr, uint64(PortOutAddr(i))))
+		q, dd := gb.RegisterLoop(portName("p", i, "out"), 16, por, high, 0)
+		gb.Drive(dd, gb.MuxW(we, q, dmemWdata))
+		d.PortOut[i] = q
+	}
+
+	// ---- Primary outputs ----
+	pmemAddr := b.MuxTree(stateQ, []synth.Word{
+		b.Const(16, ResetVec), // StReset
+		pcQ,                   // StFetch: low half
+		pcPlus2,               // StExec: high half
+		pcQ,
+	})
+	d.PmemAddr = pmemAddr
+	d.DmemAddr = dmemAddr
+	d.DmemWdata = dmemWdata
+	d.DmemRe = dmemRe
+	d.DmemWe = dmemWe
+	d.DmemBW = low // halfword accesses only
+
+	b.OutputWord("pmem_addr", pmemAddr)
+	b.OutputWord("dmem_addr", dmemAddr)
+	b.OutputWord("dmem_wdata", dmemWdata)
+	nl.AddOutput("dmem_re", dmemRe)
+	nl.AddOutput("dmem_we", dmemWe)
+	for i := 0; i < mcu.NumPorts; i++ {
+		b.OutputWord(portName("p", i, "out"), d.PortOut[i])
+	}
+
+	// ---- Target conventions ----
+	d.Map = mcu.MemMap{
+		ROMStart: ROMStart, ROMEnd: ROMEnd,
+		RAMStart: RAMStart, RAMEnd: RAMEnd,
+		ResetVec: ResetVec,
+		WdtCtl:   AddrWDTCTL,
+	}
+	for i := 0; i < mcu.NumPorts; i++ {
+		d.Map.PortIn[i] = PortInAddr(i)
+		d.Map.PortOut[i] = PortOutAddr(i)
+		d.MMIO = append(d.MMIO,
+			mcu.MMIOReg{Addr: PortInAddr(i), Nets: d.PortIn[i]},
+			mcu.MMIOReg{Addr: PortOutAddr(i), Nets: d.PortOut[i]})
+	}
+	d.MMIO = append(d.MMIO,
+		mcu.MMIOReg{Addr: AddrWDTCTL, Nets: d.WdtCtl, Mask: 0xff})
+	// "jal x0, 0" parks 4-aligned candidate PCs; a candidate landing on the
+	// odd half reads insn 0x006f0000 (invalid), which also parks.
+	d.Trap = []uint16{0x006f, 0x0000}
+	for r := 0; r < 16; r++ {
+		d.RegName[r] = regName(r)
+	}
+	d.PCStep = 4
+	// Any low half that is not a recognized straight-line opcode is treated
+	// as a (possible) control transfer: JAL/JALR/branches and every invalid
+	// encoding, so parked trap candidates always hit a merge point.
+	d.JumpWord = func(w uint16) bool {
+		switch w & 0x7f {
+		case opLUI, opAUIPC, opOpImm, opOp, opLoad, opStore:
+			return false
+		}
+		return true
+	}
+
+	if err := nl.Validate(); err != nil {
+		panic("rv32: invalid netlist: " + err.Error())
+	}
+	return d
+}
+
+func regName(r int) string {
+	const digits = "0123456789"
+	if r < 10 {
+		return "x" + digits[r:r+1]
+	}
+	return "x1" + digits[r-10:r-9]
+}
+
+func portName(prefix string, i int, suffix string) string {
+	return prefix + string(rune('1'+i)) + suffix
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *mcu.Design
+)
+
+// Shared returns the memoized rv32 design, mirroring mcu.Shared for the
+// msp430 target: one build serves the engine, the service and the registry.
+func Shared() *mcu.Design {
+	sharedOnce.Do(func() { shared = Build() })
+	return shared
+}

@@ -1,0 +1,190 @@
+package rv32
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParked reports that the machine executed an instruction that does not
+// advance the PC (an explicit "jal x0, 0" park or an invalid encoding) —
+// the architectural termination convention shared with the gate core.
+var ErrParked = errors.New("rv32: machine parked")
+
+// Machine is the behavioural interpreter oracle for the rv32 core: the
+// independently written reference the gate-level netlist is conformance-
+// tested against (the same role isa.Machine plays for the msp430 target).
+//
+// Semantics mirror the documented core conventions: 32-bit x1..x15 with x0
+// hardwired zero (register fields mod 16), a 16-bit PC and address space,
+// halfword memory accesses only, and PC parking on invalid encodings.
+type Machine struct {
+	PC  uint16
+	X   [16]uint32
+	Mem []byte // 64 KiB flat memory, little-endian halfwords
+	// Insns counts executed instructions; Cycles the two-cycles-per-
+	// instruction cost model of the gate core (excluding reset).
+	Insns  uint64
+	Cycles uint64
+}
+
+// NewMachine returns a machine with zeroed memory and registers.
+func NewMachine() *Machine {
+	return &Machine{Mem: make([]byte, 1<<16)}
+}
+
+// LoadHalf reads a little-endian halfword.
+func (m *Machine) LoadHalf(a uint16) uint16 {
+	return uint16(m.Mem[a]) | uint16(m.Mem[a+1])<<8
+}
+
+// StoreHalf writes a little-endian halfword.
+func (m *Machine) StoreHalf(a uint16, v uint16) {
+	m.Mem[a] = byte(v)
+	m.Mem[a+1] = byte(v >> 8)
+}
+
+// Reset loads the reset vector into the PC.
+func (m *Machine) Reset() { m.PC = m.LoadHalf(ResetVec) }
+
+// Step executes one instruction. A parked machine (invalid encoding or a
+// self-targeting jump) returns ErrParked with the PC unchanged.
+func (m *Machine) Step() error {
+	insn := uint32(m.LoadHalf(m.PC)) | uint32(m.LoadHalf(m.PC+2))<<16
+	next, wr, wv, err := m.exec(insn)
+	if err != nil {
+		return err
+	}
+	if next == m.PC {
+		return ErrParked
+	}
+	if wr != 0 {
+		m.X[wr] = wv
+	}
+	m.PC = next
+	m.Insns++
+	m.Cycles += 2
+	return nil
+}
+
+// exec decodes and executes insn, returning the next PC, the destination
+// register (0: none) and its value. Memory stores apply immediately.
+func (m *Machine) exec(insn uint32) (next uint16, wr int, wv uint32, err error) {
+	opcode := insn & 0x7f
+	rd := int(insn >> 7 & 0xf) // register fields mod 16
+	f3 := insn >> 12 & 0x7
+	rs1 := m.X[insn>>15&0xf]
+	rs2 := m.X[insn>>20&0xf]
+	f7 := insn >> 25
+
+	immI := signExt(insn>>20, 12)
+	immS := signExt(insn>>25<<5|insn>>7&0x1f, 12)
+	immB := signExt(insn>>31<<12|insn>>7&1<<11|insn>>25&0x3f<<5|insn>>8&0xf<<1, 13)
+	immU := insn & 0xfffff000
+	immJ := signExt(insn>>31<<20|insn>>12&0xff<<12|insn>>20&1<<11|insn>>21&0x3ff<<1, 21)
+
+	seq := m.PC + 4
+	park := m.PC
+	switch opcode {
+	case opLUI:
+		return seq, rd, immU, nil
+	case opAUIPC:
+		return seq, rd, uint32(m.PC) + immU, nil
+	case opJAL:
+		return m.PC + uint16(immJ), rd, uint32(seq), nil
+	case opJALR:
+		if f3 != 0 {
+			return park, 0, 0, nil
+		}
+		return uint16(rs1+immI) &^ 1, rd, uint32(seq), nil
+	case opBranch:
+		var taken bool
+		switch f3 {
+		case 0:
+			taken = rs1 == rs2
+		case 1:
+			taken = rs1 != rs2
+		case 4:
+			taken = int32(rs1) < int32(rs2)
+		case 5:
+			taken = int32(rs1) >= int32(rs2)
+		case 6:
+			taken = rs1 < rs2
+		case 7:
+			taken = rs1 >= rs2
+		default:
+			return park, 0, 0, nil
+		}
+		if taken {
+			return m.PC + uint16(immB), 0, 0, nil
+		}
+		return seq, 0, 0, nil
+	case opLoad:
+		a := uint16(rs1 + immI)
+		switch f3 {
+		case 1: // LH
+			return seq, rd, uint32(int32(int16(m.LoadHalf(a)))), nil
+		case 5: // LHU
+			return seq, rd, uint32(m.LoadHalf(a)), nil
+		}
+		return park, 0, 0, nil
+	case opStore:
+		if f3 != 1 {
+			return park, 0, 0, nil
+		}
+		m.StoreHalf(uint16(rs1+immS), uint16(rs2))
+		return seq, 0, 0, nil
+	case opOpImm, opOp:
+		b := immI
+		if opcode == opOp {
+			b = rs2
+			if f7 != 0 && !(f7 == 0x20 && f3 == 0) {
+				return park, 0, 0, nil
+			}
+		}
+		var r uint32
+		switch f3 {
+		case 0:
+			if opcode == opOp && f7 == 0x20 {
+				r = rs1 - b
+			} else {
+				r = rs1 + b
+			}
+		case 2:
+			if int32(rs1) < int32(b) {
+				r = 1
+			}
+		case 3:
+			if rs1 < b {
+				r = 1
+			}
+		case 4:
+			r = rs1 ^ b
+		case 6:
+			r = rs1 | b
+		case 7:
+			r = rs1 & b
+		default:
+			return park, 0, 0, nil
+		}
+		return seq, rd, r, nil
+	}
+	return park, 0, 0, nil
+}
+
+// RunToPark steps until the machine parks or maxInsns elapses.
+func (m *Machine) RunToPark(maxInsns int) error {
+	for i := 0; i < maxInsns; i++ {
+		if err := m.Step(); err != nil {
+			if errors.Is(err, ErrParked) {
+				return nil
+			}
+			return err
+		}
+	}
+	return fmt.Errorf("rv32: did not park within %d instructions (pc=%#04x)", maxInsns, m.PC)
+}
+
+func signExt(v uint32, bits int) uint32 {
+	shift := 32 - bits
+	return uint32(int32(v<<shift) >> shift)
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/glift"
 	"repro/internal/obs"
 	"repro/internal/repair"
+	"repro/internal/target"
 )
 
 // The HTTP API, mapping the fail-closed verdict taxonomy onto status codes
@@ -233,6 +234,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
+		tgt      *target.Target
 		img      *asm.Image
 		pol      *glift.Policy
 		opt      *glift.Options
@@ -240,13 +242,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rspec    *repair.Spec
 		err      error
 	)
+	if req.Target == "" {
+		req.Target = s.cfg.DefaultTarget
+	}
 	mode := req.Mode
 	switch mode {
 	case "analyze":
 		mode = modeAnalyze // canonical form
 		fallthrough
 	case modeAnalyze:
-		img, pol, opt, deadline, err = compile(&req)
+		tgt, img, pol, opt, deadline, err = compile(&req)
 	case modeRepair:
 		rspec, opt, deadline, err = compileRepair(&req)
 	default:
@@ -278,7 +283,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if mode == modeRepair {
 		key = s.repairKey(rspec, opt, deadline)
 	} else {
-		key = s.jobKey(img, pol, opt, deadline)
+		key = s.jobKey(tgt, img, pol, opt, deadline)
 	}
 
 	s.mu.Lock()
@@ -343,6 +348,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJobLocked(key)
+	j.tgt = tgt
 	j.img, j.pol, j.opt, j.deadline = img, pol, *opt, deadline
 	j.mode, j.rspec = mode, rspec
 	j.backendSet = req.Options.Backend != ""

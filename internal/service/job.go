@@ -10,8 +10,10 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
+	"repro/internal/mcu"
 	"repro/internal/repair"
 	"repro/internal/sim"
+	"repro/internal/target"
 )
 
 // Job states.
@@ -32,8 +34,11 @@ const (
 // submitters: concurrent identical submissions coalesce onto the job that
 // is already queued or running.
 type job struct {
-	id       string
-	key      string
+	id  string
+	key string
+	// tgt is the processor target the job analyzes on (nil for repair
+	// jobs, which run on the server's default design).
+	tgt      *target.Target
 	img      *asm.Image
 	pol      *glift.Policy
 	opt      glift.Options
@@ -180,7 +185,14 @@ type RepairRequest struct {
 // assembly text or an Intel-hex image), a policy and options. Mode "repair"
 // runs the analyze→mask→re-verify loop instead of a single analysis.
 type JobRequest struct {
-	// Source is MSP430 assembly for the repository's assembler.
+	// Target selects the processor target by registered name (empty:
+	// msp430, preserving the pre-target schema). Unlike the wall-time
+	// knobs (workers/backend/spec_lanes), the target changes the analyzed
+	// system, so it IS part of the content-addressed job key: identical
+	// programs submitted against different targets never coalesce and
+	// never share cache entries.
+	Target string `json:"target,omitempty"`
+	// Source is assembly text for the selected target's assembler.
 	Source string `json:"source,omitempty"`
 	// IHex is an Intel-hex program image (the asm430 -ihex output shape).
 	IHex string `json:"ihex,omitempty"`
@@ -205,34 +217,58 @@ func toRanges(rs []RangeRequest) []glift.AddrRange {
 }
 
 // compile turns a request into engine inputs, reporting user errors (bad
-// source, bad policy) that the HTTP layer maps to 400.
-func compile(req *JobRequest) (*asm.Image, *glift.Policy, *glift.Options, time.Duration, error) {
+// target, bad source, bad policy) that the HTTP layer maps to 400.
+func compile(req *JobRequest) (*target.Target, *asm.Image, *glift.Policy, *glift.Options, time.Duration, error) {
+	tgt, err := target.Parse(req.Target)
+	if err != nil {
+		return nil, nil, nil, nil, 0, err
+	}
 	var img *asm.Image
-	var err error
 	switch {
 	case req.Source != "" && req.IHex != "":
-		return nil, nil, nil, 0, fmt.Errorf("give either source or ihex, not both")
+		return nil, nil, nil, nil, 0, fmt.Errorf("give either source or ihex, not both")
 	case req.Source != "":
-		if img, err = asm.AssembleSource(req.Source); err != nil {
-			return nil, nil, nil, 0, err
+		if img, err = tgt.Assemble(req.Source); err != nil {
+			return nil, nil, nil, nil, 0, err
 		}
 	case req.IHex != "":
 		if img, err = imageFromIHex(req.IHex, req.Entry); err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, nil, 0, err
 		}
 	default:
-		return nil, nil, nil, 0, fmt.Errorf("missing program: give source or ihex")
+		return nil, nil, nil, nil, 0, fmt.Errorf("missing program: give source or ihex")
+	}
+	if err := validateImage(img, tgt.Design()); err != nil {
+		return nil, nil, nil, nil, 0, err
 	}
 
 	pol, err := compilePolicy(&req.Policy)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, nil, 0, err
 	}
 	opt, deadline, err := compileOptions(&req.Options)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, nil, 0, err
 	}
-	return img, pol, opt, deadline, nil
+	return tgt, img, pol, opt, deadline, nil
+}
+
+// validateImage rejects images that do not fit the target's ROM: each
+// target has its own memory geometry, and an out-of-range word would
+// otherwise fault deep inside system construction instead of as a 400.
+func validateImage(img *asm.Image, d *mcu.Design) error {
+	for _, seg := range img.Segments {
+		end := uint32(seg.Addr) + 2*uint32(len(seg.Words))
+		if seg.Addr < d.Map.ROMStart || end > d.Map.ROMEnd {
+			return fmt.Errorf("image segment [%#04x,%#06x) outside target ROM [%#04x,%#06x)",
+				seg.Addr, end, d.Map.ROMStart, d.Map.ROMEnd)
+		}
+	}
+	if img.Entry < d.Map.ROMStart || uint32(img.Entry) >= d.Map.ROMEnd {
+		return fmt.Errorf("entry point %#04x outside target ROM [%#04x,%#06x)",
+			img.Entry, d.Map.ROMStart, d.Map.ROMEnd)
+	}
+	return nil
 }
 
 // compilePolicy turns the wire policy into a validated engine policy.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/glift"
 	"repro/internal/repair"
+	"repro/internal/target"
 )
 
 // Repair-job mode: a submission with "mode": "repair" runs the
@@ -29,6 +30,14 @@ import (
 // compileRepair turns a repair-mode request into a validated repair spec,
 // reporting user errors the HTTP layer maps to 400.
 func compileRepair(req *JobRequest) (*repair.Spec, *glift.Options, time.Duration, error) {
+	// Honest capability gating: the repair pipeline parses, rewrites and
+	// re-assembles msp430 assembly; other targets are analysis-only until
+	// their ISAs grow transform support.
+	if tgt, err := target.Parse(req.Target); err != nil {
+		return nil, nil, 0, err
+	} else if !tgt.SupportsRepair {
+		return nil, nil, 0, fmt.Errorf("repair mode is not supported for target %q (only msp430 has transform/repair support)", tgt.Name)
+	}
 	if req.IHex != "" {
 		return nil, nil, 0, fmt.Errorf("repair mode requires source (the loop re-parses and rewrites assembly; ihex images cannot be repaired)")
 	}

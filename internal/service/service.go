@@ -7,9 +7,9 @@
 // full analysis report in the shared glift.ReportJSON wire shape.
 //
 // Results are stored in a content-addressed cache keyed by a canonical
-// SHA-256 over (netlist fingerprint, assembled image, canonical policy
-// encoding, normalized engine options, job deadline), so a byte-identical
-// resubmission is served without re-running the engine. An in-flight
+// SHA-256 over (target name, netlist fingerprint, assembled image,
+// canonical policy encoding, normalized engine options, job deadline), so a
+// byte-identical resubmission is served without re-running the engine. An in-flight
 // deduplication layer coalesces concurrent identical submissions onto a
 // single execution. Only completed explorations (Verified or Violations
 // verdicts) are cached: an Incomplete or InternalError outcome reflects the
@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/target"
 )
 
 // Config tunes a Server.
@@ -97,6 +98,13 @@ type Config struct {
 	// client backoff and end-to-end verdict integrity under overload.
 	// Production use leaves it 0.
 	ChaosRejectPercent int
+
+	// DefaultTarget is the processor target applied to submissions that
+	// omit the "target" field (empty: the registry default, msp430). The
+	// effective target always participates in the job key, so flipping
+	// this between restarts never lets jobs from different targets share
+	// cache entries.
+	DefaultTarget string
 
 	// StreamRingEvents bounds the per-job event ring behind
 	// GET /jobs/{id}/events; a reader that falls further behind sees a gap
@@ -164,9 +172,13 @@ type counters struct {
 // a content-addressed result cache behind an HTTP API.
 type Server struct {
 	cfg      Config
-	design   *mcu.Design
+	design   *mcu.Design // the default target's design (or NewOn's override)
 	designFP [sha256.Size]byte
 	mux      *http.ServeMux
+	// tmu guards tdesigns, the lazily-built designs of non-default targets
+	// (fingerprinting a netlist is not free, so each is computed once).
+	tmu      sync.Mutex
+	tdesigns map[string]targetDesign
 	queue    chan *job
 	wg       sync.WaitGroup
 	store    *store.Store  // nil: persistence disabled
@@ -197,10 +209,14 @@ func New(cfg Config) (*Server, error) {
 // starts is guaranteed to be serving only integrity-checked results.
 func NewOn(d *mcu.Design, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if _, err := target.Parse(cfg.DefaultTarget); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	s := &Server{
 		cfg:      cfg,
 		design:   d,
 		designFP: d.NL.Fingerprint(),
+		tdesigns: make(map[string]targetDesign),
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
@@ -298,15 +314,47 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// targetDesign is one lazily-resolved non-default target: its immutable
+// shared design and the netlist fingerprint that keys its jobs.
+type targetDesign struct {
+	d  *mcu.Design
+	fp [sha256.Size]byte
+}
+
+// designFor resolves the design and netlist fingerprint a job's target
+// analyzes on. The default target maps to the server's own design — which
+// NewOn may have overridden with a modified netlist — so the pre-target
+// semantics of every existing caller are preserved; other targets resolve
+// through the registry, memoized per server.
+func (s *Server) designFor(tgt *target.Target) (*mcu.Design, [sha256.Size]byte) {
+	if tgt == nil || tgt.Name == target.Default().Name {
+		return s.design, s.designFP
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if e, ok := s.tdesigns[tgt.Name]; ok {
+		return e.d, e.fp
+	}
+	d := tgt.Design()
+	e := targetDesign{d: d, fp: d.NL.Fingerprint()}
+	s.tdesigns[tgt.Name] = e
+	return e.d, e.fp
+}
+
 // jobKey computes the canonical content address of a job: the SHA-256 of
-// the netlist fingerprint, the assembled image (entry point plus every
-// segment), the policy's canonical JSON, the normalized engine options and
-// the job deadline. Two submissions with equal keys are guaranteed to
-// produce the same completed report, which is what makes cache reuse and
-// in-flight coalescing sound.
-func (s *Server) jobKey(img *asm.Image, pol *glift.Policy, opt *glift.Options, deadline time.Duration) string {
+// the target name and its netlist fingerprint, the assembled image (entry
+// point plus every segment), the policy's canonical JSON, the normalized
+// engine options and the job deadline. Two submissions with equal keys are
+// guaranteed to produce the same completed report, which is what makes
+// cache reuse and in-flight coalescing sound — and why the target, which
+// selects the analyzed system itself, participates in the key while the
+// wall-time knobs (Workers/Backend/SpecLanes) do not.
+func (s *Server) jobKey(tgt *target.Target, img *asm.Image, pol *glift.Policy, opt *glift.Options, deadline time.Duration) string {
+	_, fp := s.designFor(tgt)
 	h := sha256.New()
-	h.Write(s.designFP[:])
+	h.Write([]byte(tgt.Name))
+	h.Write([]byte{0})
+	h.Write(fp[:])
 	put := func(v any) {
 		if err := binary.Write(h, binary.LittleEndian, v); err != nil {
 			panic(fmt.Sprintf("service: hashing job key: %v", err))
@@ -394,7 +442,8 @@ func (s *Server) runJob(j *job) {
 
 	var rep *glift.Report
 	engStart := time.Now()
-	eng, err := glift.NewEngineOn(s.design, j.img, j.pol, &opt)
+	design, _ := s.designFor(j.tgt)
+	eng, err := glift.NewEngineOn(design, j.img, j.pol, &opt)
 	if err != nil {
 		// Policy validation happens at submission time, so this is an
 		// internal construction failure; report it fail-closed.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/glift"
+	"repro/internal/target"
 )
 
 // cleanSrc verifies: no taint sources touched, trivial control flow.
@@ -459,31 +460,31 @@ func TestJobKeySensitivity(t *testing.T) {
 	pol := &glift.Policy{Name: "a", TaintedInPorts: []int{0}}
 	opt := &glift.Options{}
 
-	base := s.jobKey(img, pol, opt, 0)
-	if s.jobKey(img, pol, opt, 0) != base {
+	base := s.jobKey(target.Default(), img, pol, opt, 0)
+	if s.jobKey(target.Default(), img, pol, opt, 0) != base {
 		t.Error("key not deterministic")
 	}
 	renamed := *pol
 	renamed.Name = "b"
-	if s.jobKey(img, &renamed, opt, 0) != base {
+	if s.jobKey(target.Default(), img, &renamed, opt, 0) != base {
 		t.Error("policy display name must not change the key")
 	}
-	if s.jobKey(img2, pol, opt, 0) == base {
+	if s.jobKey(target.Default(), img2, pol, opt, 0) == base {
 		t.Error("image change must change the key")
 	}
 	repol := &glift.Policy{Name: "a", TaintedInPorts: []int{1}}
-	if s.jobKey(img, repol, opt, 0) == base {
+	if s.jobKey(target.Default(), img, repol, opt, 0) == base {
 		t.Error("policy change must change the key")
 	}
-	if s.jobKey(img, pol, &glift.Options{MaxCycles: 1000}, 0) == base {
+	if s.jobKey(target.Default(), img, pol, &glift.Options{MaxCycles: 1000}, 0) == base {
 		t.Error("options change must change the key")
 	}
-	if s.jobKey(img, pol, opt, time.Second) == base {
+	if s.jobKey(target.Default(), img, pol, opt, time.Second) == base {
 		t.Error("deadline change must change the key")
 	}
 	// Defaults spelled out explicitly hash like omitted defaults.
 	n := opt.Normalized()
-	if s.jobKey(img, pol, &glift.Options{MaxCycles: n.MaxCycles, MaxPathCycles: n.MaxPathCycles,
+	if s.jobKey(target.Default(), img, pol, &glift.Options{MaxCycles: n.MaxCycles, MaxPathCycles: n.MaxPathCycles,
 		WidenAfter: n.WidenAfter, SoftMemBytes: n.SoftMemBytes, HardMemBytes: n.HardMemBytes}, 0) != base {
 		t.Error("explicit defaults must hash like omitted defaults")
 	}

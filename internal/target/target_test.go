@@ -1,0 +1,103 @@
+package target
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDefaultsToMSP430(t *testing.T) {
+	tg, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Name != "msp430" {
+		t.Fatalf("default target = %q, want msp430", tg.Name)
+	}
+	if tg != Default() {
+		t.Fatalf("Parse(\"\") did not return Default()")
+	}
+}
+
+func TestParseKnownTargets(t *testing.T) {
+	for _, name := range Names() {
+		tg, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if tg.Name != name {
+			t.Fatalf("Parse(%q) = %q", name, tg.Name)
+		}
+		if tg.Design == nil || tg.NewDesign == nil || tg.Assemble == nil {
+			t.Fatalf("target %q is missing hooks", name)
+		}
+	}
+}
+
+func TestParseUnknownListsValidSet(t *testing.T) {
+	_, err := Parse("z80")
+	if err == nil {
+		t.Fatal("Parse(\"z80\") succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid target %q", err, name)
+		}
+	}
+}
+
+// TestDesignMemoized checks Design() returns the shared instance while
+// NewDesign() builds fresh ones.
+func TestDesignMemoized(t *testing.T) {
+	for _, tg := range Targets() {
+		if tg.Design() != tg.Design() {
+			t.Fatalf("%s: Design() is not memoized", tg.Name)
+		}
+		if tg.NewDesign() == tg.Design() {
+			t.Fatalf("%s: NewDesign() returned the shared design", tg.Name)
+		}
+	}
+}
+
+// TestDesignConventions checks every registered design carries the
+// cross-target conventions the engine depends on.
+func TestDesignConventions(t *testing.T) {
+	for _, tg := range Targets() {
+		d := tg.Design()
+		if d.Map.RAMStart >= d.Map.RAMEnd || uint32(d.Map.ROMStart) >= d.Map.ROMEnd {
+			t.Fatalf("%s: degenerate memory map %+v", tg.Name, d.Map)
+		}
+		if len(d.Trap) == 0 {
+			t.Fatalf("%s: no trap fill pattern", tg.Name)
+		}
+		if d.PCStep == 0 || d.JumpWord == nil {
+			t.Fatalf("%s: missing instruction-stream conventions", tg.Name)
+		}
+		if !d.JumpWord(d.Trap[0]) {
+			t.Fatalf("%s: trap word %#04x is not a jump word (parked PCs would never merge)", tg.Name, d.Trap[0])
+		}
+		if len(d.PC) == 0 || d.PCNext == nil || d.BranchTaken == 0 {
+			t.Fatalf("%s: missing engine fork nets", tg.Name)
+		}
+	}
+}
+
+// TestAssembleSmoke assembles one trivial program per target.
+func TestAssembleSmoke(t *testing.T) {
+	srcs := map[string]string{
+		"msp430": "start:  jmp start\n",
+		"rv32":   "start:  j start\n",
+	}
+	for _, tg := range Targets() {
+		src, ok := srcs[tg.Name]
+		if !ok {
+			t.Fatalf("no smoke source for target %q — extend this test", tg.Name)
+		}
+		img, err := tg.Assemble(src)
+		if err != nil {
+			t.Fatalf("%s: %v", tg.Name, err)
+		}
+		if img.Entry != tg.Design().Map.ROMStart {
+			t.Fatalf("%s: entry %#04x, want ROM start %#04x", tg.Name, img.Entry, tg.Design().Map.ROMStart)
+		}
+	}
+}
